@@ -1,0 +1,37 @@
+"""Shared plumbing for the experiment-reproduction benchmarks.
+
+Every ``test_table*`` / ``test_fig*`` module regenerates one table or figure
+of the paper: it computes the same rows/series the paper reports, prints
+them, and writes them under ``benchmarks/results/`` so the artifacts survive
+the pytest run.  Absolute numbers come from the simulated substrate; the
+*shape* (who wins, by what factor, where crossovers sit) is what EXPERIMENTS.md
+compares against the paper.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> Path:
+    """Print a result block and persist it to benchmarks/results/<name>."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text)
+    print(f"\n===== {name} =====")
+    print(text)
+    return path
+
+
+def fmt_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Fixed-width text table."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    def line(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    return "\n".join([line(headers), sep] + [line(r) for r in rows]) + "\n"

@@ -1,0 +1,42 @@
+"""Ablation — the four thread-binding strategies of Scenario B.
+
+P-MoVE's generated launch scripts bind threads "using one of the balanced,
+compact, numa balanced, numa compact strategies based on the probed target
+system topology" (§IV).  On the two-socket skx, a memory-bound kernel at
+half occupancy shows why the choice matters: balanced placement engages
+both sockets' memory controllers, compact placement leaves one socket idle.
+"""
+
+from _helpers import emit, fmt_table
+
+from repro.machine import SimulatedMachine, get_preset
+from repro.workloads import STRATEGIES, build_kernel, pin_threads
+
+
+def run(strategy: str, n_threads: int = 22, seed: int = 6) -> float:
+    spec = get_preset("skx")
+    machine = SimulatedMachine(spec, seed=seed)
+    cpus = pin_threads(spec, n_threads, strategy)
+    desc = build_kernel("triad", 60_000_000, iterations=10)  # DRAM-bound
+    return machine.run_kernel(desc, cpus, runtime_noise_std=0.0).runtime_s
+
+
+def test_ablation_pinning_strategies(benchmark):
+    times = {s: run(s) for s in STRATEGIES}
+
+    # Balanced engages both sockets -> roughly twice the DRAM bandwidth of
+    # compact/numa_compact, which pack 22 threads onto socket 0.
+    assert times["balanced"] < times["compact"] * 0.65
+    assert times["numa_balanced"] < times["numa_compact"] * 0.65
+    # Compact and numa_compact coincide on this topology (1 NUMA/socket).
+    assert abs(times["compact"] - times["numa_compact"]) / times["compact"] < 0.05
+
+    rows = [[s, f"{times[s]*1e3:.2f}",
+             f"{times['compact'] / times[s]:.2f}x"] for s in STRATEGIES]
+    emit(
+        "ablation_pinning.txt",
+        "skx, DRAM-bound triad, 22 threads (half the machine)\n\n"
+        + fmt_table(["strategy", "runtime ms", "speedup vs compact"], rows),
+    )
+
+    benchmark(lambda: pin_threads(get_preset("skx"), 44, "numa_balanced"))

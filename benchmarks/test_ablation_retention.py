@@ -1,0 +1,56 @@
+"""Ablation — InfluxDB retention policy bounding long-term storage.
+
+§V-B: "On a large cluster sampling with a high frequency can easily
+overwhelm the KB ... we rely on the retention policy of InfluxDB which
+describes for how long the DB keeps data."  This ablation measures stored
+series growth with and without a retention horizon over a long monitoring
+session.
+"""
+
+from _helpers import emit, fmt_table
+
+from repro.db import InfluxDB, Point
+
+
+def run(retention_s: float | None, hours: float = 2.0, freq: float = 1.0):
+    """A long Scenario-A-style ingest; returns stored-series samples."""
+    db = InfluxDB()
+    db.create_database("pmove")
+    if retention_s is not None:
+        db.set_retention_policy("pmove", retention_s)
+    stored_timeline = []
+    n_ticks = int(hours * 3600 * freq)
+    for k in range(n_ticks):
+        t = k / freq
+        db.write("pmove", Point("kernel_all_load", {"tag": "longrun"},
+                                {"_value": 1.0}, t))
+        if k % 600 == 0:
+            db.enforce_retention("pmove", now=t)
+            stored_timeline.append((t, db.stats("pmove")["series_stored"]))
+    return stored_timeline, db.stats("pmove")
+
+
+def test_ablation_retention(benchmark):
+    unbounded_timeline, unbounded = run(retention_s=None)
+    bounded_timeline, bounded = run(retention_s=1800.0)
+
+    # Unbounded storage grows linearly with time.
+    assert unbounded_timeline[-1][1] > 0.9 * len(unbounded_timeline) * 600
+    # Retention caps the resident series at the horizon's worth of points.
+    peak_bounded = max(s for _, s in bounded_timeline)
+    assert peak_bounded <= 1800 + 600 + 1
+    assert unbounded["series_stored"] > 3 * peak_bounded
+    # Total write volume is identical: retention drops old data, not ingest.
+    assert unbounded["points_written"] == bounded["points_written"]
+
+    rows = [
+        ["no retention", unbounded["points_written"], unbounded["series_stored"]],
+        ["30 min retention", bounded["points_written"], max(s for _, s in bounded_timeline)],
+    ]
+    emit(
+        "ablation_retention.txt",
+        "2 h of 1 Hz single-metric monitoring\n\n"
+        + fmt_table(["policy", "points written", "peak stored"], rows),
+    )
+
+    benchmark(lambda: run(retention_s=1800.0, hours=0.2))

@@ -1,0 +1,66 @@
+"""Ablation — representative thread counts for CARM construction.
+
+§IV-B1: "To reduce the extensive benchmarking overhead of all possible
+thread count combinations, P-MoVE generates a subset of the most
+representative thread counts."  This ablation compares the representative
+sweep against the exhaustive one: the roofs interpolated from the subset
+stay within a few percent of the exhaustively-measured ones at a fraction
+of the benchmarking cost.
+"""
+
+from _helpers import emit, fmt_table
+
+from repro.carm import CarmMicrobenchSuite, representative_thread_counts
+from repro.core import KnowledgeBase
+from repro.machine import SimulatedMachine, get_preset
+from repro.probing import probe
+
+
+def interp(counts, values, t):
+    """Piecewise-linear interpolation of a roof over thread counts."""
+    for (c0, v0), (c1, v1) in zip(zip(counts, values), zip(counts[1:], values[1:])):
+        if c0 <= t <= c1:
+            return v0 + (v1 - v0) * (t - c0) / (c1 - c0)
+    return values[-1]
+
+
+def test_ablation_representative_thread_counts(benchmark):
+    spec = get_preset("icl")
+    machine = SimulatedMachine(spec, seed=55)
+    kb = KnowledgeBase.from_probe(probe(spec))
+    suite = CarmMicrobenchSuite(machine, kb)
+
+    rep_counts = representative_thread_counts(spec.n_cores, spec.n_sockets, spec.smt)
+    all_counts = list(range(1, spec.n_threads + 1))
+
+    rep = {m.n_threads: m for m in suite.sweep(rep_counts)}
+    full = {m.n_threads: m for m in suite.sweep(all_counts)}
+
+    # Cost: the representative sweep runs ~1/3 the configurations here and
+    # O(cores) fewer on the 88-thread skx.
+    assert len(rep_counts) <= len(all_counts) / 3
+
+    worst = 0.0
+    rows = []
+    rc = sorted(rep)
+    for t in all_counts:
+        est = interp(rc, [rep[c].bandwidth_gbs["DRAM"] for c in rc], t)
+        true = full[t].bandwidth_gbs["DRAM"]
+        err = abs(est - true) / true
+        worst = max(worst, err)
+        if t in (1, 3, 5, 8, 12, 16):
+            rows.append([t, f"{true:.1f}", f"{est:.1f}", f"{100*err:.2f}"])
+
+    # Interpolated DRAM roof within ~15 % of the exhaustive measurement
+    # everywhere (the saturating region is slightly concave).
+    assert worst < 0.15
+
+    emit(
+        "ablation_representative_threads.txt",
+        f"icl CARM DRAM roof: {len(rep_counts)} representative counts vs "
+        f"{len(all_counts)} exhaustive; worst interpolation error "
+        f"{100*worst:.2f}%\n\n"
+        + fmt_table(["threads", "exhaustive GB/s", "interpolated GB/s", "err %"], rows),
+    )
+
+    benchmark(lambda: suite.run(8))

@@ -1,0 +1,69 @@
+"""Extension bench — communication telemetry vs interconnect speed (§VI).
+
+Cluster-level P-MoVE exists to surface exactly this: the same 4-node
+bulk-synchronous job on fabrics from 10 GbE to 400 Gbit, measuring the
+communication fraction the JobInterface records and where the job flips
+from comm-bound to compute-bound.
+"""
+
+from _helpers import emit, fmt_table
+
+from repro.cluster import ClusterMonitor, Interconnect, JobSpec, SimulatedCluster
+from repro.machine import csl
+from repro.workloads import build_kernel
+
+FABRICS = (
+    Interconnect(link_bw_gbs=1.25, latency_us=10.0, name="10gbe"),
+    Interconnect(link_bw_gbs=12.5, latency_us=1.5, name="hdr100"),
+    Interconnect(link_bw_gbs=25.0, latency_us=1.2, name="hdr200"),
+    Interconnect(link_bw_gbs=50.0, latency_us=1.0, name="ndr400"),
+)
+
+
+def run_on(fabric: Interconnect):
+    cluster = SimulatedCluster(csl, n_nodes=4, interconnect=fabric, seed=13)
+    monitor = ClusterMonitor(cluster)
+    spec = JobSpec(
+        name="halo_cg", n_nodes=4, ranks_per_node=28,
+        rank_kernel=build_kernel("triad", 400_000, iterations=1),
+        iterations=150,
+        halo_bytes_per_neighbor=1.5e6, halo_neighbors=2, allreduce_bytes=8e3,
+    )
+    doc, execution, _ = monitor.run_job(spec, freq_hz=4.0)
+    return execution, doc
+
+
+def test_ext_interconnect_sweep(benchmark):
+    rows = []
+    results = {}
+    for fabric in FABRICS:
+        execution, doc = run_on(fabric)
+        results[fabric.name] = execution
+        rows.append([
+            fabric.name,
+            f"{fabric.link_bw_gbs * 8:.0f} Gbit",
+            f"{execution.runtime_s:.3f}",
+            f"{100 * execution.comm_fraction:.1f}%",
+            f"{execution.comm_bytes_per_node / 1e9:.2f} GB",
+            "comm" if execution.comm_fraction > 0.5 else "compute",
+        ])
+
+    # Faster fabric -> shorter runtime, smaller comm fraction; the bytes
+    # shipped are a property of the job, not the fabric.
+    runtimes = [results[f.name].runtime_s for f in FABRICS]
+    assert runtimes == sorted(runtimes, reverse=True)
+    fracs = [results[f.name].comm_fraction for f in FABRICS]
+    assert fracs == sorted(fracs, reverse=True)
+    byts = {round(results[f.name].comm_bytes_per_node) for f in FABRICS}
+    assert len(byts) == 1
+    # The crossover exists inside the swept range: slowest fabric is
+    # comm-bound, the fastest is compute-bound.
+    assert fracs[0] > 0.5 > fracs[-1]
+
+    emit(
+        "ext_interconnect.txt",
+        "4-node halo+allreduce job (csl nodes), JobInterface communication telemetry\n\n"
+        + fmt_table(["fabric", "link", "runtime s", "comm %", "bytes/node", "bound"], rows),
+    )
+
+    benchmark(lambda: run_on(FABRICS[1]))

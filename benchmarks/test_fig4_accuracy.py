@@ -1,0 +1,116 @@
+"""Fig 4 — errors between sampled metrics and likwid-bench ground truth.
+
+The paper executes sum, stream, triad, peakflops, ddot, daxpy under PCP
+sampling, parses likwid-bench's exact operation counts, and reports the
+relative FLOP- and data-volume errors per sampling frequency on skx, icl
+and zen3.
+
+Shape requirements:
+- errors within a few percent everywhere (positive = overcount, the
+  systematic bias of Weaver et al. [28]);
+- zen3 noisier than the Intel boxes (2 counters -> its FLOPS+loads+stores
+  set multiplexes, as the paper's larger zen3 error bars show).
+"""
+
+from _helpers import emit, fmt_table
+
+from repro.db import InfluxDB
+from repro.machine import ISA, SimulatedMachine, get_preset
+from repro.pcp import Pmcd, PmdaPerfevent, Sampler, perfevent_metric
+from repro.pmu import PMU
+from repro.workloads import build_kernel, parse_likwid_output, render_likwid_output
+
+KERNELS = ("sum", "stream", "triad", "peakflops", "ddot", "daxpy")
+FREQS = (1, 2, 4, 8, 16)
+
+#: Fig 4's measurement formulas, straight from §V-A: FLOPS and data volume
+#: per platform.
+_EVENTS = {
+    "skx": ["FP_ARITH:512B_PACKED_DOUBLE", "MEM_INST_RETIRED:ALL_LOADS",
+            "MEM_INST_RETIRED:ALL_STORES"],
+    "icl": ["FP_ARITH:512B_PACKED_DOUBLE", "MEM_INST_RETIRED:ALL_LOADS",
+            "MEM_INST_RETIRED:ALL_STORES"],
+    "zen3": ["RETIRED_SSE_AVX_FLOPS:ANY", "MEM_UOPS:LOADS", "MEM_UOPS:STORES"],
+}
+
+
+def measure(host: str, kernel: str, freq: float, seed: int) -> tuple[float, float]:
+    """Run one kernel under sampling; return (flops error, volume error)
+    as relative fractions vs the parsed likwid-bench ground truth."""
+    spec = get_preset(host)
+    isa = ISA.AVX512 if ISA.AVX512 in spec.isas else ISA.AVX2
+    machine = SimulatedMachine(spec, seed=seed)
+    pmu = PMU(machine, seed=seed)
+    perfevent = PmdaPerfevent(pmu)
+    cpus = list(range(spec.n_cores))
+    perfevent.configure(_EVENTS[host], cpus=cpus)
+    sampler = Sampler(Pmcd([perfevent]), InfluxDB(), seed=seed)
+
+    # Size the kernel to run a couple of seconds.
+    desc = build_kernel(kernel, 4_000_000, isa=isa, iterations=600)
+    t0 = machine.clock.now()
+    run = machine.run_kernel(desc, cpus, sampling_overhead=sampler.sampling_overhead(freq))
+    metrics = [perfevent_metric(e) for e in _EVENTS[host]]
+    stats = sampler.run(metrics, freq, t0, run.t_end, tag=f"{host}-{kernel}-{freq}",
+                        final_fetch=True)
+
+    # Ground truth, via the likwid-bench output parser (§V-A methodology).
+    truth = parse_likwid_output(render_likwid_output(desc, run, spec))
+
+    sums = {}
+    for e, m in zip(_EVENTS[host], metrics):
+        meas_name = m.replace(".", "_")
+        pts = sampler.influx.points("pmove", meas_name, tags={"tag": stats.tag})
+        sums[e] = sum(sum(p.fields.values()) for p in pts)
+
+    if host == "zen3":
+        flops = sums["RETIRED_SSE_AVX_FLOPS:ANY"]
+        # The paper's (LOADS + STORES) x 8 formula assumes scalar uops; the
+        # simulated Zen kernels issue vector uops, so scale by the lane
+        # count for a like-for-like byte volume.
+        volume = (sums["MEM_UOPS:LOADS"] + sums["MEM_UOPS:STORES"]) * 8 * isa.dp_lanes
+    else:
+        # FP_ARITH counts increment by 2 for FMA already; lanes remain.
+        flops = sums["FP_ARITH:512B_PACKED_DOUBLE"] * 8
+        volume = (sums["MEM_INST_RETIRED:ALL_LOADS"]
+                  + sums["MEM_INST_RETIRED:ALL_STORES"]) * 64
+    flops_err = (flops - truth["flops"]) / truth["flops"]
+    vol_err = (volume - truth["data_volume_bytes"]) / truth["data_volume_bytes"]
+    return flops_err, vol_err
+
+
+def test_fig4_measurement_accuracy(benchmark):
+    rows = []
+    errors = {}
+    for host in ("skx", "icl", "zen3"):
+        for freq in FREQS:
+            f_errs, v_errs = [], []
+            for k_i, kernel in enumerate(KERNELS):
+                fe, ve = measure(host, kernel, float(freq), seed=100 + k_i)
+                # peakflops has ~no stores; volume error stays defined.
+                f_errs.append(fe)
+                v_errs.append(ve)
+            avg_f = sum(f_errs) / len(f_errs)
+            avg_v = sum(v_errs) / len(v_errs)
+            errors[(host, freq)] = (avg_f, avg_v, max(map(abs, f_errs)))
+            rows.append([host, freq, f"{100*avg_f:+.3f}", f"{100*avg_v:+.3f}",
+                         f"{100*max(map(abs, f_errs)):.3f}"])
+
+    # --- Shape assertions -------------------------------------------------
+    for (host, freq), (avg_f, avg_v, worst) in errors.items():
+        assert abs(avg_f) < 0.05, (host, freq, avg_f)  # within a few %
+        assert abs(avg_v) < 0.05, (host, freq, avg_v)
+    # zen3 (multiplexed: 3 events on 2 counters) is noisier than Intel.
+    zen_worst = max(errors[("zen3", f)][2] for f in FREQS)
+    intel_worst = max(errors[(h, f)][2] for h in ("skx", "icl") for f in FREQS)
+    assert zen_worst > intel_worst
+
+    emit(
+        "fig4_accuracy.txt",
+        fmt_table(
+            ["host", "samples/s", "avg FLOPs err %", "avg volume err %", "worst |err| %"],
+            rows,
+        ),
+    )
+
+    benchmark(lambda: measure("icl", "triad", 4.0, seed=1))

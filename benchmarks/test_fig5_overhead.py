@@ -1,0 +1,90 @@
+"""Fig 5 — time overhead caused by profiling the six likwid-bench kernels.
+
+The paper runs each kernel with and without sampling (5 repetitions,
+averaged) and reports the relative runtime change per sampling frequency.
+
+Shape requirements (§V-C):
+- overheads are tiny (order 0.01 %);
+- *negative* overheads occur, because the sampling cost is smaller than
+  run-to-run variance;
+- "a meaningful skew towards positive overhead is observed with increasing
+  frequency".
+"""
+
+from _helpers import emit, fmt_table
+
+from repro.db import InfluxDB
+from repro.machine import SimulatedMachine, get_preset
+from repro.pcp import Pmcd, PmdaPerfevent, Sampler, perfevent_metric
+from repro.pmu import PMU
+
+KERNELS = ("sum", "stream", "triad", "peakflops", "ddot", "daxpy")
+FREQS = (1, 4, 16, 64, 256)
+REPS = 5
+
+
+def mean_runtime(host: str, kernel: str, freq: float | None, seeds) -> float:
+    """Average runtime of ``REPS`` executions, optionally under sampling."""
+    from repro.workloads import build_kernel
+
+    spec = get_preset(host)
+    times = []
+    for seed in seeds:
+        machine = SimulatedMachine(spec, seed=seed)
+        cpus = list(range(spec.n_cores))
+        desc = build_kernel(kernel, 4_000_000, iterations=150)
+        if freq is None:
+            run = machine.run_kernel(desc, cpus)
+        else:
+            pmu = PMU(machine, seed=seed)
+            perfevent = PmdaPerfevent(pmu)
+            perfevent.configure(["UNHALTED_CORE_CYCLES"], cpus=cpus)
+            sampler = Sampler(Pmcd([perfevent]), InfluxDB(), seed=seed)
+            t0 = machine.clock.now()
+            run = machine.run_kernel(
+                desc, cpus, sampling_overhead=sampler.sampling_overhead(freq)
+            )
+            sampler.run([perfevent_metric("UNHALTED_CORE_CYCLES")], freq, t0,
+                        run.t_end, final_fetch=True)
+        times.append(run.runtime_s)
+    return sum(times) / len(times)
+
+
+def test_fig5_profiling_overhead(benchmark):
+    host = "icl"
+    rows = []
+    overheads: dict[tuple[str, int], float] = {}
+    for k_i, kernel in enumerate(KERNELS):
+        # Different seed banks for baseline and sampled runs: both see
+        # run-to-run variance, exactly like the paper's repeated runs.
+        base = mean_runtime(host, kernel, None, seeds=range(500 + 10 * k_i, 500 + 10 * k_i + REPS))
+        row = [kernel]
+        for f_i, freq in enumerate(FREQS):
+            sampled = mean_runtime(
+                host, kernel, float(freq),
+                seeds=range(700 + 100 * k_i + 10 * f_i, 700 + 100 * k_i + 10 * f_i + REPS),
+            )
+            ov = 100.0 * (sampled - base) / base
+            overheads[(kernel, freq)] = ov
+            row.append(f"{ov:+.4f}")
+        rows.append(row)
+
+    # --- Shape assertions -------------------------------------------------
+    all_vals = list(overheads.values())
+    # Tiny magnitudes: everything within a fraction of a percent.
+    assert max(abs(v) for v in all_vals) < 1.0
+    # Negative overheads exist (variance dominates at low frequency).
+    assert any(v < 0 for v in all_vals)
+    # Skew toward positive with increasing frequency: the mean overhead at
+    # the highest frequency clearly exceeds the mean at the lowest.
+    low = sum(overheads[(k, FREQS[0])] for k in KERNELS) / len(KERNELS)
+    high = sum(overheads[(k, FREQS[-1])] for k in KERNELS) / len(KERNELS)
+    assert high > low
+    assert high > 0
+
+    emit(
+        "fig5_overhead.txt",
+        fmt_table(["kernel"] + [f"{f}/s ov%" for f in FREQS], rows),
+    )
+
+    benchmark(lambda: mean_runtime(host, "sum", 16.0, seeds=range(3)))

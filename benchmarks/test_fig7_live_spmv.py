@@ -1,0 +1,121 @@
+"""Fig 7 — live performance events during SpMV execution on csl.
+
+The paper runs Intel MKL then Merge SpMV over the five Table IV matrices,
+original (top) vs RCM-reordered (bottom), sampling SCALAR_DOUBLE /
+AVX512_DOUBLE / TOTAL_MEMORY instructions and RAPL power live.
+
+Shape requirements (§V-D):
+- the RCM-reordered pass completes ~22 % faster overall;
+- AVX512 FP events appear only during MKL, scalar FP only during Merge
+  (the drop/rise at the dashed phase boundary);
+- Merge shows *more* TOTAL_MEMORY_INSTRUCTIONS and *higher*
+  RAPL_POWER_PACKAGE than MKL.
+"""
+
+from _helpers import emit, fmt_table
+
+from repro.core import PMoVE
+from repro.machine import SimulatedMachine, get_preset
+from repro.workloads import TABLE4, generate, reorder, spmv_descriptor
+
+EVENTS = [
+    "SCALAR_DOUBLE_INSTRUCTIONS",
+    "AVX512_DOUBLE_INSTRUCTIONS",
+    "TOTAL_MEMORY_INSTRUCTIONS",
+    "RAPL_POWER_PACKAGE",
+]
+MATRICES = list(TABLE4)
+_SCALES = {  # structural stand-in sizes that keep the run quick
+    "adaptive": 0.003, "audikw_1": 0.01, "dielFilterV3real": 0.01,
+    "hugetrace-00020": 0.0015, "human_gene1": 0.25,
+}
+
+
+def run_pass(daemon: PMoVE, ordering: str, seed: int):
+    """One Fig 7 pass: MKL then Merge over the five matrices; returns
+    (total runtime, per-(matrix, algorithm) event sums)."""
+    spec = get_preset("csl")
+    t0 = daemon.target("csl").machine.clock.now()
+    sums = {}
+    for name in MATRICES:
+        a = reorder(generate(name, scale=_SCALES[name], seed=seed), ordering)
+        nnz_scale = TABLE4[name].nnz / a.nnz
+        for alg in ("mkl", "merge"):
+            desc = spmv_descriptor(a, spec, algorithm=alg, n_threads=28,
+                                   nnz_scale=nnz_scale, name=f"spmv_{alg}_{name}")
+            obs, run = daemon.scenario_b("csl", desc, EVENTS, freq_hz=16, n_threads=28)
+            res = daemon.recall_observation("csl", obs)
+            totals = {}
+            for m in obs["metrics"]:
+                rs = res[m["measurement"]]
+                totals[m["event"]] = sum(
+                    v for _, row in rs.rows for v in row if v
+                )
+            totals["runtime_s"] = run.runtime_s
+            totals["power_w"] = run.profile.power_watts
+            sums[(name, alg)] = totals
+    return daemon.target("csl").machine.clock.now() - t0, sums
+
+
+def test_fig7_live_spmv_monitoring(benchmark):
+    daemon = PMoVE(seed=77)
+    daemon.attach_target(SimulatedMachine(get_preset("csl"), seed=77))
+
+    t_orig, orig = run_pass(daemon, "none", seed=7)
+    t_rcm, rcm = run_pass(daemon, "rcm", seed=7)
+
+    rows = []
+    for (name, alg), totals in orig.items():
+        rows.append([
+            name, alg, "none",
+            f"{totals['runtime_s']*1e3:.1f}",
+            f"{totals.get('FP_ARITH:SCALAR_DOUBLE', 0):.3g}",
+            f"{totals.get('FP_ARITH:512B_PACKED_DOUBLE', 0):.3g}",
+            f"{totals.get('MEM_INST_RETIRED:ALL_LOADS', 0) + totals.get('MEM_INST_RETIRED:ALL_STORES', 0):.3g}",
+            f"{totals['power_w']:.0f}",
+        ])
+    for (name, alg), totals in rcm.items():
+        rows.append([
+            name, alg, "rcm",
+            f"{totals['runtime_s']*1e3:.1f}",
+            f"{totals.get('FP_ARITH:SCALAR_DOUBLE', 0):.3g}",
+            f"{totals.get('FP_ARITH:512B_PACKED_DOUBLE', 0):.3g}",
+            f"{totals.get('MEM_INST_RETIRED:ALL_LOADS', 0) + totals.get('MEM_INST_RETIRED:ALL_STORES', 0):.3g}",
+            f"{totals['power_w']:.0f}",
+        ])
+
+    # --- Shape assertions -------------------------------------------------
+    # RCM pass is faster overall; the paper reports ~22 % less time.
+    improvement = 100.0 * (t_orig - t_rcm) / t_orig
+    assert 10.0 < improvement < 40.0, improvement
+
+    for name in MATRICES:
+        for ordering, sums in (("none", orig), ("rcm", rcm)):
+            mkl = sums[(name, "mkl")]
+            merge = sums[(name, "merge")]
+            # AVX512 only under MKL; scalar only under Merge.
+            assert mkl.get("FP_ARITH:512B_PACKED_DOUBLE", 0) > 0
+            assert merge.get("FP_ARITH:512B_PACKED_DOUBLE", 0) == 0
+            assert merge.get("FP_ARITH:SCALAR_DOUBLE", 0) > 0
+            assert mkl.get("FP_ARITH:SCALAR_DOUBLE", 0) == 0
+            # Merge: more memory instructions, higher package power.
+            mem_mkl = mkl.get("MEM_INST_RETIRED:ALL_LOADS", 0) + mkl.get(
+                "MEM_INST_RETIRED:ALL_STORES", 0)
+            mem_merge = merge.get("MEM_INST_RETIRED:ALL_LOADS", 0) + merge.get(
+                "MEM_INST_RETIRED:ALL_STORES", 0)
+            assert mem_merge > 2 * mem_mkl, (name, ordering)
+            assert merge["power_w"] > mkl["power_w"], (name, ordering)
+
+    header = f"total pass runtime: original {t_orig:.3f}s  rcm {t_rcm:.3f}s  " \
+             f"improvement {improvement:.1f}% (paper: ~22%)\n\n"
+    emit(
+        "fig7_live_spmv.txt",
+        header + fmt_table(
+            ["matrix", "alg", "order", "ms", "scalar_fp", "avx512_fp", "mem_instr", "W"],
+            rows,
+        ),
+    )
+
+    spec = get_preset("csl")
+    a = generate("adaptive", scale=_SCALES["adaptive"], seed=7)
+    benchmark(lambda: spmv_descriptor(a, spec, algorithm="mkl", n_threads=28))

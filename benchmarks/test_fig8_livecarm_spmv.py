@@ -1,0 +1,88 @@
+"""Fig 8 — live-CARM during SpMV execution (hugetrace-00020 on csl).
+
+Four execution phases on the live-CARM panel: Intel MKL (pink box) and
+Merge (orange box), each on the original (blue) and RCM-reordered (green)
+matrix.
+
+Shape requirements (§V-E):
+- for each algorithm, the RCM phase sits at higher performance than the
+  original-ordering phase;
+- MKL sits above Merge (AVX512 exploitation);
+- all dots stay under the machine's CARM roofs.
+"""
+
+import statistics
+
+from _helpers import RESULTS_DIR, emit, fmt_table
+
+from repro.carm import assign_phases, live_carm_points, load_from_kb, render_carm_svg
+from repro.core import PMoVE, run_benchmark
+from repro.machine import SimulatedMachine, get_preset
+from repro.workloads import TABLE4, generate, reorder, spmv_descriptor
+
+EVENTS = [
+    "SCALAR_DOUBLE_INSTRUCTIONS",
+    "SSE_DOUBLE_INSTRUCTIONS",
+    "AVX2_DOUBLE_INSTRUCTIONS",
+    "AVX512_DOUBLE_INSTRUCTIONS",
+    "TOTAL_MEMORY_INSTRUCTIONS",
+]
+PHASES = (("mkl", "none"), ("mkl", "rcm"), ("merge", "none"), ("merge", "rcm"))
+
+
+def test_fig8_livecarm_spmv(benchmark):
+    daemon = PMoVE(seed=88)
+    machine = SimulatedMachine(get_preset("csl"), seed=88)
+    kb = daemon.attach_target(machine)
+    run_benchmark(kb, machine, "carm", thread_counts=[28])
+    model = load_from_kb(kb, 28)
+
+    base = generate("hugetrace-00020", scale=0.0015, seed=3)
+    nnz_scale = TABLE4["hugetrace-00020"].nnz / base.nnz
+    spec = machine.spec
+
+    all_points = []
+    phase_windows = []
+    medians = {}
+    for alg, ordering in PHASES:
+        a = reorder(base, ordering)
+        # Repeat the SpMV so each phase spans multiple sampling windows.
+        desc = spmv_descriptor(a, spec, algorithm=alg, n_threads=28,
+                               nnz_scale=nnz_scale,
+                               name=f"spmv_{alg}_{ordering}").scaled(40)
+        obs, run = daemon.scenario_b("csl", desc, EVENTS, freq_hz=16, n_threads=28)
+        pts = [p for p in live_carm_points(daemon.influx, "pmove", obs, "cascadelake")
+               if p.flops > 0]
+        assert pts, (alg, ordering)
+        phase = f"{alg}/{ordering}"
+        phase_windows.append((phase, run.t_start, run.t_end))
+        all_points.extend(assign_phases(pts, [(phase, run.t_start, run.t_end)]))
+        medians[(alg, ordering)] = (
+            statistics.median(p.ai for p in pts),
+            statistics.median(p.gflops for p in pts),
+        )
+
+    # --- Shape assertions -------------------------------------------------
+    for alg in ("mkl", "merge"):
+        assert medians[(alg, "rcm")][1] > medians[(alg, "none")][1], alg
+    for ordering in ("none", "rcm"):
+        assert medians[("mkl", ordering)][1] > medians[("merge", ordering)][1]
+    for (alg, ordering), (ai, gf) in medians.items():
+        assert gf <= model.attainable(ai, "L1") * 1.05, "dot above the roofs"
+
+    svg = render_carm_svg(model, all_points, title="Fig 8: live-CARM during SpMV (csl)")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "fig8_livecarm_spmv.svg").write_text(svg)
+
+    rows = [
+        [alg, ordering, f"{ai:.4f}", f"{gf:.2f}",
+         model.bounding_level(ai, gf)]
+        for (alg, ordering), (ai, gf) in medians.items()
+    ]
+    emit(
+        "fig8_livecarm_spmv.txt",
+        fmt_table(["algorithm", "ordering", "median AI", "median GFLOP/s", "bounding level"], rows)
+        + "\nSVG: benchmarks/results/fig8_livecarm_spmv.svg\n",
+    )
+
+    benchmark(lambda: render_carm_svg(model, all_points))

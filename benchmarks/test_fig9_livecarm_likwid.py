@@ -1,0 +1,103 @@
+"""Fig 9 — live-CARM during likwid benchmark execution (csl).
+
+Triad, PeakFlops and DDOT against the machine's CARM roofs.
+
+Shape requirements (§V-E):
+- Triad is memory-bound: its theoretical AI (2 FLOPs per 24 bytes) is
+  captured by live-CARM, and because the working set does not fit in L1,
+  its dots stay below the L1 roof (the paper: "approaches the L2 roof but
+  is unable to surpass it" — bounded by a cache-level roof, not the peak);
+- PeakFlops reports performance at the horizontal FP roof, at high AI
+  (the paper quotes AI = 2 for its variant);
+- DDOT has AI 0.125, fits in L1, and surpasses outer-level roofs,
+  approaching the architecture's maximum performance.
+
+Note: the paper quotes Triad's theoretical AI as 0.625; the arithmetic of
+the kernel (2 FLOPs / 24 B, or 2/32 with write-allocate) gives 0.0625-0.083
+— we treat the paper's figure as a typo of 0.0625 and assert the computed
+value (see EXPERIMENTS.md).
+"""
+
+import statistics
+
+from _helpers import RESULTS_DIR, emit, fmt_table
+
+from repro.carm import assign_phases, live_carm_points, load_from_kb, render_carm_svg
+from repro.core import PMoVE, run_benchmark
+from repro.machine import SimulatedMachine, get_preset
+from repro.workloads import build_kernel
+
+EVENTS = [
+    "SCALAR_DOUBLE_INSTRUCTIONS",
+    "SSE_DOUBLE_INSTRUCTIONS",
+    "AVX2_DOUBLE_INSTRUCTIONS",
+    "AVX512_DOUBLE_INSTRUCTIONS",
+    "TOTAL_MEMORY_INSTRUCTIONS",
+]
+
+#: kernel -> (elements, iterations): Triad streams a multi-MB working set;
+#: DDOT stays L1-resident; PeakFlops is register-resident.
+CONFIGS = {
+    "triad": (8_000_000, 1200),
+    "peakflops": (2048, 60_000_000),
+    "ddot": (1500, 45_000_000),
+}
+
+
+def test_fig9_livecarm_likwid(benchmark):
+    daemon = PMoVE(seed=99)
+    machine = SimulatedMachine(get_preset("csl"), seed=99)
+    kb = daemon.attach_target(machine)
+    run_benchmark(kb, machine, "carm", thread_counts=[28])
+    model = load_from_kb(kb, 28)
+
+    all_points = []
+    medians = {}
+    for kernel, (n, iters) in CONFIGS.items():
+        desc = build_kernel(kernel, n, iterations=iters)
+        obs, run = daemon.scenario_b("csl", desc, EVENTS, freq_hz=16, n_threads=28)
+        pts = [p for p in live_carm_points(daemon.influx, "pmove", obs, "cascadelake")
+               if p.flops > 0]
+        assert pts, kernel
+        all_points.extend(assign_phases(pts, [(kernel, run.t_start, run.t_end)]))
+        medians[kernel] = (
+            statistics.median(p.ai for p in pts),
+            statistics.median(p.gflops for p in pts),
+        )
+
+    # --- Shape assertions -------------------------------------------------
+    ai_triad, gf_triad = medians["triad"]
+    assert ai_triad == statistics.median([ai_triad])  # sanity
+    assert abs(ai_triad - 2 / 24) / (2 / 24) < 0.05  # live AI == theory
+    # Triad: memory-bound, below the L1 roof, near an outer-level roof.
+    assert gf_triad < model.attainable(ai_triad, "L1") * 0.5
+    assert gf_triad >= model.attainable(ai_triad, "DRAM") * 0.7
+
+    ai_peak, gf_peak = medians["peakflops"]
+    assert ai_peak > 1.5  # high-AI kernel (paper variant: AI = 2)
+    # Performance "very close to the one obtained with the CARM
+    # microbenchmarks" — i.e. at the horizontal roof.
+    assert gf_peak >= model.peak("avx512") * 0.85
+
+    ai_ddot, gf_ddot = medians["ddot"]
+    assert abs(ai_ddot - 0.125) / 0.125 < 0.05  # the paper's DDOT AI
+    # Fits L1: surpasses the L2 roof.
+    assert gf_ddot > model.attainable(ai_ddot, "L2")
+    assert model.bounding_level(ai_ddot, gf_ddot) == "L1"
+
+    svg = render_carm_svg(model, all_points,
+                          title="Fig 9: live-CARM during likwid benchmarks (csl)")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "fig9_livecarm_likwid.svg").write_text(svg)
+
+    rows = [
+        [k, f"{ai:.4f}", f"{gf:.1f}", model.bounding_level(ai, gf)]
+        for k, (ai, gf) in medians.items()
+    ]
+    emit(
+        "fig9_livecarm_likwid.txt",
+        fmt_table(["kernel", "median AI", "median GFLOP/s", "bounding level"], rows)
+        + "\nSVG: benchmarks/results/fig9_livecarm_likwid.svg\n",
+    )
+
+    benchmark(lambda: [model.attainable(0.1, lvl) for lvl in model.levels])

@@ -1,0 +1,46 @@
+"""Table II — specifications of the experiment platforms.
+
+Regenerates the platform table by *probing* each preset (the full
+render-then-parse pipeline), not by reading the specs directly — so this
+doubles as an end-to-end check of the probing substrate.
+"""
+
+from _helpers import emit, fmt_table
+
+from repro.machine import get_preset
+from repro.probing import probe
+
+PLATFORMS = ("skx", "icl", "csl", "zen3")
+
+
+def test_table2_platform_specs(benchmark):
+    rows = []
+    for name in PLATFORMS:
+        spec = get_preset(name)
+        p = probe(spec)
+        topo = p["topology"]
+        threads = topo["sockets"] * topo["cores_per_socket"] * topo["threads_per_core"]
+        rows.append([
+            name,
+            p["os"],
+            p["kernel"],
+            topo["cpu_name"],
+            f"{topo['sockets'] * topo['cores_per_socket']}c/{threads}t",
+            f"{p['system']['memory_bytes'] // 2**30} GB @ {p['system']['mem_clock_hz'] // 10**6} MHz",
+            p["pcp"]["version"],
+        ])
+
+    by_host = {r[0]: r for r in rows}
+    assert by_host["skx"][4] == "44c/88t"
+    assert by_host["icl"][4] == "16c/16t" or by_host["icl"][4] == "8c/16t"
+    assert by_host["csl"][4] == "28c/56t"
+    assert by_host["zen3"][4] == "16c/32t"
+    assert "1024 GB" in by_host["skx"][5]
+    assert "AMD EPYC 7313" in by_host["zen3"][3]
+
+    emit(
+        "table2_platforms.txt",
+        fmt_table(["host", "OS", "kernel", "CPU", "cores", "memory", "pcp"], rows),
+    )
+
+    benchmark(lambda: probe(get_preset("skx")))

@@ -1,0 +1,97 @@
+"""Table III — data points expected vs observed at the host DB.
+
+The paper's throughput/loss study: pmdaperfevent sampling on skx (88
+hardware threads) and icl (16) at 2/8/32 Hz with 4/5/6 metrics over 10 s
+runs, through the unbuffered PCP → network → InfluxDB pipeline.
+
+Shape requirements (paper §V-A):
+- Expected = freq x #metrics x #threads x 10 exactly;
+- negligible loss at 2 and 8 Hz;
+- at 32 Hz, "more than half of the data points are lost in transmission on
+  skx and 1/3 are lost on icl" (L+Z);
+- batched zeros appear only at high frequency;
+- loss correlates with instance-domain size (skx >> icl).
+"""
+
+from _helpers import emit, fmt_table
+
+from repro.db import InfluxDB
+from repro.machine import SimulatedMachine, get_preset
+from repro.pcp import Pmcd, PmdaPerfevent, Sampler, perfevent_metric
+from repro.pmu import PMU
+
+#: "metrics that are highly unlikely to report zero" (§V-A).
+EVENTS = [
+    "UNHALTED_CORE_CYCLES",
+    "INSTRUCTION_RETIRED",
+    "UOPS_DISPATCHED",
+    "BRANCH_INSTRUCTIONS_RETIRED",
+    "MEM_INST_RETIRED:ALL_LOADS",
+    "MEM_INST_RETIRED:ALL_STORES",
+]
+DURATION_S = 10.0
+
+
+def run_cell(host: str, freq: int, n_metrics: int, seed: int):
+    machine = SimulatedMachine(get_preset(host), seed=seed)
+    machine.advance(DURATION_S + 1)
+    pmu = PMU(machine, seed=seed)
+    perfevent = PmdaPerfevent(pmu)
+    perfevent.configure(EVENTS[:n_metrics])
+    sampler = Sampler(Pmcd([perfevent]), InfluxDB(), seed=seed)
+    metrics = [perfevent_metric(e) for e in EVENTS[:n_metrics]]
+    return sampler.run(metrics, float(freq), 0.0, DURATION_S)
+
+
+def test_table3_throughput_and_loss(benchmark):
+    rows = []
+    stats_by_cell = {}
+    for host in ("skx", "icl"):
+        for freq in (2, 8, 32):
+            for mt in (4, 5, 6):
+                st = run_cell(host, freq, mt, seed=freq * 10 + mt)
+                stats_by_cell[(host, freq, mt)] = st
+                rows.append([
+                    host, freq, mt,
+                    f"{st.expected_points:.2E}",
+                    f"{st.inserted_points:.2E}",
+                    f"{st.zero_points:.2E}",
+                    f"{st.loss_pct:.1f}",
+                    f"{st.loss_plus_zero_pct:.1f}",
+                    f"{st.throughput:.1f}",
+                    f"{st.actual_throughput:.1f}",
+                ])
+
+    # --- Shape assertions -------------------------------------------------
+    # Expected counts match the paper's exactly (same formula).
+    assert stats_by_cell[("skx", 2, 4)].expected_points == 7040
+    assert stats_by_cell[("icl", 2, 4)].expected_points == 1280
+    # Low frequencies: negligible losses.
+    for host in ("skx", "icl"):
+        for freq in (2, 8):
+            for mt in (4, 5, 6):
+                assert stats_by_cell[(host, freq, mt)].loss_plus_zero_pct < 15
+    # 32 Hz: skx loses more than half (L+Z), icl about a third.
+    skx32 = [stats_by_cell[("skx", 32, mt)].loss_plus_zero_pct for mt in (4, 5, 6)]
+    icl32 = [stats_by_cell[("icl", 32, mt)].loss_plus_zero_pct for mt in (4, 5, 6)]
+    assert sum(skx32) / 3 > 50
+    assert 20 < sum(icl32) / 3 < 50
+    # Loss (without zeros) correlates with the instance-domain size.
+    assert min(
+        stats_by_cell[("skx", 32, mt)].loss_pct for mt in (4, 5, 6)
+    ) > max(stats_by_cell[("icl", 32, mt)].loss_pct for mt in (4, 5, 6))
+    # Zeros are a high-frequency phenomenon.
+    for host in ("skx", "icl"):
+        assert stats_by_cell[(host, 2, 4)].zero_points == 0
+        assert stats_by_cell[(host, 32, 6)].zero_points > 0
+
+    emit(
+        "table3_throughput.txt",
+        fmt_table(
+            ["Host", "Freq", "#mt", "Expected", "Inserted", "Zeros",
+             "%L", "L+Z%", "Tput", "A.Tput"],
+            rows,
+        ),
+    )
+
+    benchmark(lambda: run_cell("icl", 8, 4, seed=1))

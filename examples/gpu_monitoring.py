@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""GPU integration (§III-D) — probing, NVML telemetry, and ncu profiling.
+
+Attaches a GPU-equipped node (the Quadro GV100 of Listing 4), shows the
+GPU's twin in the KB, samples NVML metrics while a kernel runs, and
+profiles a launch through the ncu wrapper, folding the parsed metrics back
+into the KB as an observation.
+
+Run:  python examples/gpu_monitoring.py
+"""
+
+from repro.core import PMoVE
+from repro.gpu import GpuKernelDescriptor, build_wrapper_script, parse_ncu_report, run_ncu
+from repro.machine import SimulatedMachine, gpu_node
+
+
+def main() -> None:
+    daemon = PMoVE(seed=5)
+    machine = SimulatedMachine(gpu_node(), seed=5)
+    kb = daemon.attach_target(machine)
+
+    gpu_twin = kb.find_by_name("gpu0")
+    print("GPU twin (Listing 4 shape):")
+    for prop in gpu_twin.properties():
+        print(f"  {prop.name:<20} {prop.description}")
+    print(f"  SWTelemetry streams: {[t.name for t in gpu_twin.sw_telemetry()]}")
+    print()
+
+    target = daemon.target("cn1")
+    gpu = target.gpus[0]
+
+    # The wrapper P-MoVE would copy to the target.
+    script = build_wrapper_script(
+        "./spmv_gpu", ["hugetrace.mtx"],
+        ["dram__bytes.sum", "sm__throughput.avg.pct_of_peak_sustained_elapsed"],
+    )
+    print("generated ncu wrapper:")
+    print("  " + script.replace("\n", "\n  ").rstrip())
+    print()
+
+    # Launch under ncu while NVML telemetry streams (Scenario A on a GPU).
+    report = run_ncu(gpu, GpuKernelDescriptor(
+        "spmv_gpu", flops_sp=4e11, dram_bytes=6e11, l2_bytes=1.2e12, occupancy=0.7,
+    ))
+    stats, _ = daemon.scenario_a(
+        "cn1", duration_s=3.0,
+        metrics=["nvidia.gpuactive", "nvidia.memused", "nvidia.power"],
+    )
+    print(f"NVML telemetry: {stats.inserted_points} points sampled")
+    for meas in ("nvidia_gpuactive", "nvidia_memused", "nvidia_power"):
+        pts = daemon.influx.points("pmove", meas)
+        if pts:
+            print(f"  {meas:<18} last={pts[-1].fields['_gpu0']:.1f}")
+
+    parsed = parse_ncu_report(report)
+    print(f"\nncu profile of '{parsed['kernel']}':")
+    for k in ("gpu__time_duration.sum", "dram__bytes.sum",
+              "sm__throughput.avg.pct_of_peak_sustained_elapsed",
+              "gpu__compute_memory_access_throughput.avg.pct_of_peak_sustained_elapsed"):
+        print(f"  {k:<66} {parsed['metrics'][k]:.2f}")
+
+    kb.append_entry({
+        "@type": "ObservationInterface",
+        "@id": "dtmi:dt:cn1:gpuobservation1;1",
+        "tag": "gpu-ncu-1",
+        "command": "ncu ./spmv_gpu hugetrace.mtx",
+        "affinity": [],
+        "pinning": "n/a",
+        "metrics": [],
+        "time": {"start": gpu.launches[-1].t_start, "end": gpu.launches[-1].t_end},
+        "report": parsed["metrics"],
+        "queries": [],
+    })
+    kb.save(daemon.mongo)
+    print("\nncu metrics folded into the KB as an ObservationInterface; "
+          f"KB now carries {len(kb.entries)} entries")
+
+
+if __name__ == "__main__":
+    main()

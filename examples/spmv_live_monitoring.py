@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Live SpMV monitoring — the paper's §V-D workflow on one matrix.
+
+Runs Intel-MKL-style and merge-based SpMV over hugetrace-00020 (original
+and RCM-reordered), sampling SCALAR/AVX512 FP instructions, memory
+instructions and package power live, then renders the event timelines as
+terminal sparklines — a text-mode Fig 7.
+
+Also demonstrates that the *numerics* are real: the merge-based kernel is
+executed and checked against the reference CSR SpMV.
+
+Run:  python examples/spmv_live_monitoring.py
+"""
+
+import numpy as np
+
+from repro.core import PMoVE
+from repro.machine import SimulatedMachine, csl
+from repro.viz import sparkline
+from repro.workloads import TABLE4, generate, merge_spmv, reorder, spmv_csr, spmv_descriptor
+
+EVENTS = [
+    "SCALAR_DOUBLE_INSTRUCTIONS",
+    "AVX512_DOUBLE_INSTRUCTIONS",
+    "TOTAL_MEMORY_INSTRUCTIONS",
+    "RAPL_POWER_PACKAGE",
+]
+
+
+def main() -> None:
+    daemon = PMoVE(seed=2)
+    machine = SimulatedMachine(csl(), seed=2)
+    daemon.attach_target(machine)
+    spec = machine.spec
+
+    # A structural stand-in for hugetrace-00020, scaled for a quick demo.
+    base = generate("hugetrace-00020", scale=0.0015, seed=1)
+    nnz_scale = TABLE4["hugetrace-00020"].nnz / base.nnz
+
+    # Sanity: the merge algorithm is a real SpMV.
+    x = np.random.default_rng(0).normal(size=base.shape[0])
+    y_merge, stats = merge_spmv(base, x, n_threads=8)
+    assert np.allclose(y_merge, spmv_csr(base, x), atol=1e-10)
+    print(f"merge SpMV verified against reference "
+          f"(work balance {stats.balance:.2f}, {stats.carries} carries)\n")
+
+    runtimes = {}
+    for ordering in ("none", "rcm"):
+        a = reorder(base, ordering)
+        for alg in ("mkl", "merge"):
+            desc = spmv_descriptor(
+                a, spec, algorithm=alg, n_threads=28, nnz_scale=nnz_scale
+            ).scaled(50)  # repeat so the run spans many sampling windows
+            obs, run = daemon.scenario_b("csl", desc, EVENTS, freq_hz=16, n_threads=28)
+            runtimes[(alg, ordering)] = run.runtime_s
+
+            results = daemon.recall_observation("csl", obs)
+            print(f"--- {alg} / ordering={ordering}  ({run.runtime_s*1e3:.1f} ms, "
+                  f"{run.profile.power_watts:.0f} W)")
+            for m in obs["metrics"]:
+                rs = results[m["measurement"]]
+                series = [sum(v for v in row if v) for _, row in rs.rows]
+                if any(series):
+                    print(f"  {m['event']:<36} {sparkline(series, 36)}")
+            print()
+
+    for alg in ("mkl", "merge"):
+        gain = 100 * (1 - runtimes[(alg, "rcm")] / runtimes[(alg, "none")])
+        print(f"RCM reordering speeds up {alg} SpMV by {gain:.1f}% "
+              f"(paper: ~22% across the suite)")
+    ratio = runtimes[("merge", "none")] / runtimes[("mkl", "none")]
+    print(f"MKL (AVX-512) outruns merge (scalar) by {ratio:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""P-MoVE reproduction: performance monitoring and visualization with
+encoded knowledge (Taşyaran et al., SC 2024).
+
+Top-level subpackages mirror the paper's architecture:
+
+- :mod:`repro.machine` — simulated target systems (Table II platforms).
+- :mod:`repro.pmu` — PMU event catalogs, counters, and the Abstraction
+  Layer (§IV-A).
+- :mod:`repro.probing` — system probing tools and parsers (§III-C).
+- :mod:`repro.pcp` — the Performance Co-Pilot substrate: agents, pmcd,
+  sampling, host–target transport.
+- :mod:`repro.db` — InfluxDB-like time-series store and MongoDB-like
+  document store.
+- :mod:`repro.core` — the P-MoVE contribution proper: ontology, Knowledge
+  Base, observation/benchmark interfaces, query generation, views, the
+  daemon (Fig 3 scenarios), and SUPERDB (§III-E).
+- :mod:`repro.viz` — Grafana-style dashboards generated from the KB
+  (Fig 2, Listing 1).
+- :mod:`repro.carm` — Cache-Aware Roofline Model construction and the
+  live-CARM panel (§IV-B, Figs 8–9).
+- :mod:`repro.workloads` — SpMV (MKL-like and merge-based), likwid-bench
+  kernels, STREAM, HPCG, matrix generators and reorderings.
+- :mod:`repro.gpu` — the NVIDIA device path of §III-D.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,21 @@
+"""Cache-Aware Roofline Model: KB-configured microbenchmarks, model
+construction and persistence, the live-CARM panel, and roofline rendering
+(§IV-B, Figs 8–9)."""
+
+from .live import LivePoint, assign_phases, live_carm_points
+from .microbench import CarmMeasurements, CarmMicrobenchSuite, representative_thread_counts
+from .model import CarmModel, load_from_kb, save_to_kb
+from .plot import render_carm_svg
+
+__all__ = [
+    "CarmMeasurements",
+    "CarmMicrobenchSuite",
+    "CarmModel",
+    "LivePoint",
+    "assign_phases",
+    "live_carm_points",
+    "load_from_kb",
+    "render_carm_svg",
+    "representative_thread_counts",
+    "save_to_kb",
+]

@@ -1,0 +1,158 @@
+"""CARM microbenchmarks (§IV-B1).
+
+P-MoVE ships "custom micro-benchmarks in x86 assembly, designed to
+experimentally assess the realistically attainable maximum performance of a
+given system, i.e., the sustainable bandwidth for different levels of memory
+hierarchy and the peak throughput of computational units", timed with the
+TSC.  Here each microbenchmark is a kernel descriptor auto-configured from
+the **KB** (cache sizes, available ISAs — never the spec object), executed
+on the simulated machine, and timed with the simulated TSC.
+
+To bound benchmarking cost, the paper "generates a subset of the most
+representative thread counts"; :func:`representative_thread_counts` picks
+{1, 2, one socket, all cores, all threads}-style points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.kb import KnowledgeBase
+from repro.machine.kernel import KernelDescriptor
+from repro.machine.simulator import SimulatedMachine
+from repro.machine.spec import ISA
+
+__all__ = ["CarmMeasurements", "representative_thread_counts", "CarmMicrobenchSuite"]
+
+
+@dataclass
+class CarmMeasurements:
+    """Measured roofs for one (system, thread count) configuration."""
+
+    hostname: str
+    n_threads: int
+    bandwidth_gbs: dict[str, float] = field(default_factory=dict)  # level -> GB/s
+    peak_gflops: dict[str, float] = field(default_factory=dict)  # isa -> GFLOP/s
+
+    def to_dict(self) -> dict:
+        return {
+            "hostname": self.hostname,
+            "n_threads": self.n_threads,
+            "bandwidth_gbs": dict(self.bandwidth_gbs),
+            "peak_gflops": dict(self.peak_gflops),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CarmMeasurements":
+        return cls(
+            hostname=d["hostname"],
+            n_threads=d["n_threads"],
+            bandwidth_gbs=dict(d["bandwidth_gbs"]),
+            peak_gflops=dict(d["peak_gflops"]),
+        )
+
+
+def representative_thread_counts(n_cores: int, n_sockets: int, smt: int) -> list[int]:
+    """The reduced thread-count sweep (§IV-B1)."""
+    cores_per_socket = n_cores // max(1, n_sockets)
+    cand = {1, 2, max(1, cores_per_socket // 2), cores_per_socket, n_cores,
+            n_cores * smt}
+    return sorted(c for c in cand if c >= 1)
+
+
+class CarmMicrobenchSuite:
+    """Auto-configured bandwidth + FP-peak microbenchmarks."""
+
+    def __init__(self, machine: SimulatedMachine, kb: KnowledgeBase) -> None:
+        if kb.hostname != machine.spec.hostname:
+            raise ValueError("KB and machine describe different hosts")
+        self.machine = machine
+        self.kb = kb
+        # Configuration comes from the KB, as the paper requires.
+        self.cache_sizes = self._cache_sizes_from_kb()
+        self.isas = [ISA(i) for i in kb.probe["cpu"]["isas"]]
+
+    def _cache_sizes_from_kb(self) -> dict[str, int]:
+        sizes: dict[str, int] = {}
+        for c in self.kb.probe["topology"]["caches"]:
+            lvl = f"L{c['level']}"
+            if c.get("kind") in (None, "data", "unified"):
+                sizes[lvl] = c["size_bytes"]
+        if not sizes:
+            raise ValueError("KB has no cache topology for CARM configuration")
+        return sizes
+
+    # ------------------------------------------------------------------
+    def _bandwidth_kernel(self, level: str, n_threads: int) -> KernelDescriptor:
+        """Streaming load/store kernel whose working set sits in ``level``."""
+        isa = max(self.isas, key=lambda i: i.dp_lanes)  # widest vectors
+        lanes = isa.dp_lanes
+        if level == "DRAM":
+            ws = 64 * 1024 * 1024 * max(1, n_threads)
+        else:
+            # Half the cache per sharing thread keeps the set resident.
+            ws = int(self.cache_sizes[level] * 0.45) * max(1, n_threads)
+        n_elems = max(1024, int(2e7))
+        return KernelDescriptor(
+            name=f"carm_bw_{level.lower()}",
+            flops_dp={isa: float(n_elems)},
+            loads=2 * n_elems / lanes / 3,
+            stores=n_elems / lanes / 3,
+            mem_isa=isa,
+            working_set_bytes=ws,
+            locality={level: 1.0},
+            overhead_instr_ratio=0.05,
+        )
+
+    def _flops_kernel(self, isa: ISA) -> KernelDescriptor:
+        """Register-resident FMA chain: pure compute."""
+        n = int(4e8)
+        return KernelDescriptor(
+            name=f"carm_fp_{isa.value}",
+            flops_dp={isa: float(n)},
+            fma_fraction=1.0,
+            loads=n / isa.dp_lanes / 64,
+            stores=0,
+            mem_isa=isa,
+            working_set_bytes=4096,
+            locality={"L1": 1.0},
+            overhead_instr_ratio=0.02,
+        )
+
+    # ------------------------------------------------------------------
+    def _timed_run(self, desc: KernelDescriptor, cpu_ids: list[int]) -> float:
+        """Run a kernel and time it with the TSC (§IV-B1's methodology)."""
+        tsc = self.machine.tsc
+        c0 = tsc.rdtsc()
+        self.machine.run_kernel(desc, cpu_ids, runtime_noise_std=0.004)
+        c1 = tsc.rdtsc()
+        return tsc.measure(c0, c1)
+
+    def run(self, n_threads: int, levels: list[str] | None = None) -> CarmMeasurements:
+        """Measure all roofs at one thread count."""
+        spec = self.machine.spec
+        if not 1 <= n_threads <= spec.n_threads:
+            raise ValueError(f"n_threads out of range for {spec.hostname}")
+        cpu_ids = list(range(min(n_threads, spec.n_cores)))
+        if n_threads > spec.n_cores:  # SMT siblings
+            cpu_ids += [spec.n_cores + i for i in range(n_threads - spec.n_cores)]
+        meas = CarmMeasurements(hostname=spec.hostname, n_threads=n_threads)
+        for level in levels or list(self.cache_sizes) + ["DRAM"]:
+            desc = self._bandwidth_kernel(level, n_threads)
+            t = self._timed_run(desc, cpu_ids)
+            meas.bandwidth_gbs[level] = desc.bytes_total / t / 1e9
+        for isa in self.isas:
+            if isa == ISA.SCALAR and len(self.isas) > 1:
+                pass  # scalar peak still measured; keep all
+            desc = self._flops_kernel(isa)
+            t = self._timed_run(desc, cpu_ids)
+            meas.peak_gflops[isa.value] = desc.total_flops / t / 1e9
+        return meas
+
+    def sweep(self, thread_counts: list[int] | None = None) -> list[CarmMeasurements]:
+        """Run the representative sweep (or an explicit list)."""
+        spec = self.machine.spec
+        counts = thread_counts or representative_thread_counts(
+            spec.n_cores, spec.n_sockets, spec.smt
+        )
+        return [self.run(t) for t in counts]

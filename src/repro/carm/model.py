@@ -1,0 +1,146 @@
+"""The Cache-Aware Roofline Model (CARM [17]) built from microbenchmark
+measurements, persisted in and reconstructed from the KB (§IV-B1).
+
+CARM characterizes attainable performance as
+``min(peak_flops, AI * B_level)`` per memory level, with AI measured against
+*total* core–memory traffic (all levels), which is what distinguishes it
+from the classic DRAM-only roofline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.kb import KnowledgeBase
+from repro.core.observation import make_benchmark, make_benchmark_result
+
+from .microbench import CarmMeasurements
+
+__all__ = ["CarmModel", "save_to_kb", "load_from_kb"]
+
+_LEVEL_ORDER = ("L1", "L2", "L3", "DRAM")
+
+
+@dataclass
+class CarmModel:
+    """Roofs of one (system, thread count, ISA) configuration."""
+
+    hostname: str
+    n_threads: int
+    bandwidth_gbs: dict[str, float]
+    peak_gflops: dict[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.bandwidth_gbs or not self.peak_gflops:
+            raise ValueError("CARM needs at least one bandwidth and one peak roof")
+
+    @classmethod
+    def from_measurements(cls, m: CarmMeasurements) -> "CarmModel":
+        return cls(
+            hostname=m.hostname,
+            n_threads=m.n_threads,
+            bandwidth_gbs=dict(m.bandwidth_gbs),
+            peak_gflops=dict(m.peak_gflops),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> list[str]:
+        return [l for l in _LEVEL_ORDER if l in self.bandwidth_gbs]
+
+    def peak(self, isa: str | None = None) -> float:
+        """Peak FLOP roof for one ISA (default: the highest roof)."""
+        if isa is None:
+            return max(self.peak_gflops.values())
+        try:
+            return self.peak_gflops[isa]
+        except KeyError:
+            raise KeyError(
+                f"no peak measured for ISA {isa!r}; have {sorted(self.peak_gflops)}"
+            ) from None
+
+    def attainable(self, ai: float, level: str = "DRAM", isa: str | None = None) -> float:
+        """CARM-attainable GFLOP/s at arithmetic intensity ``ai``."""
+        if ai <= 0:
+            raise ValueError("arithmetic intensity must be positive")
+        if level not in self.bandwidth_gbs:
+            raise KeyError(f"no bandwidth roof for {level!r}")
+        return min(self.peak(isa), ai * self.bandwidth_gbs[level])
+
+    def ridge_point(self, level: str = "DRAM", isa: str | None = None) -> float:
+        """AI where the ``level`` bandwidth roof meets the FP roof."""
+        return self.peak(isa) / self.bandwidth_gbs[level]
+
+    def bounding_level(self, ai: float, gflops: float) -> str:
+        """The memory level whose roof bounds this point — i.e. the level
+        the data appears to be served from, scanning outermost (DRAM)
+        inward.  A point above the DRAM roof but under the L3 roof reads
+        as "L3-resident"; this is the data-locality readout of Figs 8-9
+        ("the performance surpassing the L2 roof" => served from L1).
+        Points at the horizontal FP roof read as "peak" (Fig 9's
+        PeakFlops); points above every roof as "above_roofs"."""
+        if gflops >= 0.98 * self.peak():
+            return "peak"
+        for level in reversed(self.levels):
+            if gflops <= self.attainable(ai, level) * 1.02:
+                return level
+        return "above_roofs"
+
+    def to_dict(self) -> dict:
+        return {
+            "hostname": self.hostname,
+            "n_threads": self.n_threads,
+            "bandwidth_gbs": dict(self.bandwidth_gbs),
+            "peak_gflops": dict(self.peak_gflops),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CarmModel":
+        return cls(
+            hostname=d["hostname"],
+            n_threads=d["n_threads"],
+            bandwidth_gbs=dict(d["bandwidth_gbs"]),
+            peak_gflops=dict(d["peak_gflops"]),
+        )
+
+
+def save_to_kb(kb: KnowledgeBase, meas: CarmMeasurements, compiler: str = "gcc") -> dict:
+    """Store microbenchmark results as a BenchmarkInterface entry so the
+    CARM plot can be rebuilt "without the need to re-run all the
+    microbenchmarks" (§IV-B1)."""
+    results = [
+        make_benchmark_result(f"bandwidth_{lvl}", bw, "GB/s")
+        for lvl, bw in sorted(meas.bandwidth_gbs.items())
+    ] + [
+        make_benchmark_result(f"peak_{isa}", gf, "GFLOP/s")
+        for isa, gf in sorted(meas.peak_gflops.items())
+    ]
+    entry = make_benchmark(
+        host_seg=kb.hostname,
+        index=len(kb.entries_of_type("BenchmarkInterface")),
+        name="CARM",
+        compiler=compiler,
+        command=f"carm_bench -t {meas.n_threads}",
+        results=results,
+        parameters={"n_threads": meas.n_threads},
+    )
+    return kb.append_entry(entry)
+
+
+def load_from_kb(kb: KnowledgeBase, n_threads: int) -> CarmModel:
+    """Reconstruct the CARM for one thread count from KB entries."""
+    for entry in kb.entries_of_type("BenchmarkInterface"):
+        if entry.get("name") == "CARM" and entry["parameters"].get("n_threads") == n_threads:
+            bw: dict[str, float] = {}
+            peak: dict[str, float] = {}
+            for r in entry["results"]:
+                metric = r["metric"]
+                if metric.startswith("bandwidth_"):
+                    bw[metric.removeprefix("bandwidth_")] = r["value"]
+                elif metric.startswith("peak_"):
+                    peak[metric.removeprefix("peak_")] = r["value"]
+            return CarmModel(
+                hostname=kb.hostname, n_threads=n_threads,
+                bandwidth_gbs=bw, peak_gflops=peak,
+            )
+    raise KeyError(f"no CARM entry for {n_threads} threads in the KB")

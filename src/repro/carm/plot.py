@@ -1,0 +1,109 @@
+"""Roofline plot rendering: the live-CARM panel as an SVG (Figs 8–9).
+
+Log-log axes, one bandwidth roof per memory level, one horizontal FP roof
+per ISA, application dots colored by execution phase, and a bounding box
+per phase (the colored squares of Fig 8).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.viz.svg import PALETTE, SvgCanvas
+
+from .live import LivePoint
+from .model import CarmModel
+
+__all__ = ["render_carm_svg"]
+
+
+def render_carm_svg(
+    model: CarmModel,
+    points: list[LivePoint] | None = None,
+    width: int = 720,
+    height: int = 420,
+    title: str | None = None,
+    phase_boxes: bool = True,
+) -> str:
+    """Render a CARM plot with optional live application dots."""
+    points = points or []
+    c = SvgCanvas(width, height)
+    ml, mr, mt, mb = 64, 16, 34, 42
+    pw, ph = width - ml - mr, height - mt - mb
+    c.text(12, 20, title or f"CARM — {model.hostname} ({model.n_threads} threads)", size=13)
+
+    peak = model.peak()
+    # Axis ranges: decade-aligned, covering roofs and dots.
+    ais = [p.ai for p in points if math.isfinite(p.ai) and p.ai > 0]
+    gfs = [p.gflops for p in points if p.gflops > 0]
+    x_lo = min([0.01] + [min(ais)] if ais else [0.01]) / 2
+    x_hi = max([model.ridge_point(model.levels[-1]) * 8] + ais) * 2
+    y_hi = peak * 2
+    y_lo = min([x_lo * min(model.bandwidth_gbs.values())] + gfs) / 2
+
+    lx0, lx1 = math.log10(x_lo), math.log10(x_hi)
+    ly0, ly1 = math.log10(y_lo), math.log10(y_hi)
+
+    def sx(ai: float) -> float:
+        return ml + (math.log10(ai) - lx0) / (lx1 - lx0) * pw
+
+    def sy(gf: float) -> float:
+        return mt + (1 - (math.log10(gf) - ly0) / (ly1 - ly0)) * ph
+
+    # Gridlines at decades.
+    for d in range(int(math.floor(lx0)), int(math.ceil(lx1)) + 1):
+        x = sx(10.0**d)
+        if ml <= x <= ml + pw:
+            c.line(x, mt, x, mt + ph, color="#333", dash="2,3")
+            c.text(x, mt + ph + 16, f"1e{d}", anchor="middle", size=10)
+    for d in range(int(math.floor(ly0)), int(math.ceil(ly1)) + 1):
+        y = sy(10.0**d)
+        if mt <= y <= mt + ph:
+            c.line(ml, y, ml + pw, y, color="#333", dash="2,3")
+            c.text(ml - 6, y + 4, f"1e{d}", anchor="end", size=10)
+    c.text(ml + pw / 2, height - 8, "Arithmetic Intensity (FLOP/byte)", anchor="middle", size=11)
+    c.text(14, mt - 10, "GFLOP/s", size=11)
+
+    # Bandwidth roofs (diagonals clipped at the ISA peak).
+    for i, level in enumerate(model.levels):
+        bw = model.bandwidth_gbs[level]
+        color = PALETTE[i % len(PALETTE)]
+        ridge = peak / bw
+        a0 = max(x_lo, y_lo / bw)
+        pts = []
+        for ai in (a0, min(ridge, x_hi)):
+            pts.append((sx(ai), sy(min(peak, ai * bw))))
+        if ridge < x_hi:
+            pts.append((sx(x_hi), sy(peak)))
+        c.polyline(pts, color=color, width=1.8)
+        label_ai = min(ridge, x_hi) / 3
+        c.text(sx(label_ai) + 4, sy(min(peak, label_ai * bw)) - 5, f"{level} {bw:.0f} GB/s",
+               color=color, size=10)
+
+    # FP peak roofs per ISA.
+    for j, (isa, gf) in enumerate(sorted(model.peak_gflops.items(), key=lambda kv: kv[1])):
+        y = sy(gf)
+        c.line(ml, y, ml + pw, y, color="#ccc", width=1.2, dash="6,3")
+        c.text(ml + pw - 4, y - 4, f"{isa} {gf:.0f} GF/s", anchor="end", size=10)
+
+    # Application dots, colored by phase; optional phase bounding boxes.
+    phases = sorted({p.phase for p in points})
+    phase_color = {ph: PALETTE[(k + 4) % len(PALETTE)] for k, ph in enumerate(phases)}
+    for p in points:
+        if p.gflops <= 0 or not math.isfinite(p.ai) or p.ai <= 0:
+            continue
+        c.circle(sx(p.ai), sy(p.gflops), 3.0, phase_color[p.phase], opacity=0.8)
+    if phase_boxes:
+        for k, ph_name in enumerate(phases):
+            if not ph_name:
+                continue
+            sel = [p for p in points if p.phase == ph_name and p.gflops > 0 and p.ai > 0
+                   and math.isfinite(p.ai)]
+            if not sel:
+                continue
+            xs = [sx(p.ai) for p in sel]
+            ys = [sy(p.gflops) for p in sel]
+            c.rect(min(xs) - 6, min(ys) - 6, max(xs) - min(xs) + 12, max(ys) - min(ys) + 12,
+                   color=phase_color[ph_name])
+            c.text(min(xs), min(ys) - 10, ph_name, color=phase_color[ph_name], size=10)
+    return c.to_string()

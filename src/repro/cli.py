@@ -1,0 +1,234 @@
+"""``pmove`` — command-line front end for the P-MoVE reproduction.
+
+Usage (also available as ``python -m repro.cli``)::
+
+    pmove probe skx                  # probe a preset, print the summary
+    pmove kb csl --depth 2           # build + render the Knowledge Base
+    pmove monitor icl --duration 10  # Scenario A with a rendered dashboard
+    pmove observe csl --kernel triad # Scenario B + auto-generated queries
+    pmove carm csl --threads 28      # CARM roofs (optionally --svg out.svg)
+    pmove bench icl stream           # BenchmarkInterface runners
+    pmove cluster --nodes 4          # cluster demo job with comm telemetry
+    pmove presets                    # list the Table II platforms
+
+Every subcommand runs against the simulated substrate, entirely offline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.machine import PRESETS, SimulatedMachine, get_preset
+
+__all__ = ["main", "build_parser"]
+
+_KERNELS = ("sum", "stream", "triad", "peakflops", "ddot", "daxpy")
+_DEFAULT_EVENTS = [
+    "SCALAR_DOUBLE_INSTRUCTIONS",
+    "AVX512_DOUBLE_INSTRUCTIONS",
+    "TOTAL_MEMORY_INSTRUCTIONS",
+    "RAPL_POWER_PACKAGE",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="pmove",
+        description="P-MoVE: performance monitoring and visualization with encoded knowledge",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("presets", help="list the available target platforms")
+
+    s = sub.add_parser("probe", help="probe a target and print the parsed system JSON")
+    s.add_argument("preset", choices=sorted(PRESETS))
+    s.add_argument("--raw", action="store_true", help="dump the raw tool outputs instead")
+
+    s = sub.add_parser("kb", help="build the Knowledge Base and render the twin tree")
+    s.add_argument("preset", choices=sorted(PRESETS))
+    s.add_argument("--depth", type=int, default=2, help="tree depth to render")
+
+    s = sub.add_parser("monitor", help="Scenario A: software telemetry + dashboard")
+    s.add_argument("preset", choices=sorted(PRESETS))
+    s.add_argument("--duration", type=float, default=10.0)
+    s.add_argument("--freq", type=float, default=1.0)
+
+    s = sub.add_parser("observe", help="Scenario B: profile a kernel execution")
+    s.add_argument("preset", choices=sorted(PRESETS))
+    s.add_argument("--kernel", choices=_KERNELS, default="triad")
+    s.add_argument("--elements", type=int, default=4_000_000)
+    s.add_argument("--iterations", type=int, default=500)
+    s.add_argument("--threads", type=int, default=None)
+    s.add_argument("--freq", type=float, default=8.0)
+    s.add_argument("--pinning", default="balanced",
+                   choices=("balanced", "compact", "numa_balanced", "numa_compact"))
+    s.add_argument("--events", nargs="+", default=_DEFAULT_EVENTS,
+                   help="generic (vendor-neutral) event names")
+
+    s = sub.add_parser("carm", help="construct the Cache-Aware Roofline Model")
+    s.add_argument("preset", choices=sorted(PRESETS))
+    s.add_argument("--threads", type=int, default=None)
+    s.add_argument("--svg", default=None, help="write the roofline plot here")
+
+    s = sub.add_parser("bench", help="run a BenchmarkInterface benchmark")
+    s.add_argument("preset", choices=sorted(PRESETS))
+    s.add_argument("name", choices=("carm", "stream", "hpcg"))
+
+    s = sub.add_parser("cluster", help="cluster-level demo: schedule a monitored job")
+    s.add_argument("--preset", choices=sorted(PRESETS), default="csl")
+    s.add_argument("--nodes", type=int, default=4)
+    s.add_argument("--job-nodes", type=int, default=2)
+    s.add_argument("--iterations", type=int, default=300)
+    return p
+
+
+# ----------------------------------------------------------------------
+def _cmd_presets(args) -> int:
+    for name in sorted(PRESETS):
+        spec = get_preset(name)
+        print(f"{name:<5} {spec.cpu_model:<45} {spec.memory_bytes // 2**30} GB "
+              f"{spec.mem_type}@{spec.mem_freq_mhz}")
+    return 0
+
+
+def _cmd_probe(args) -> int:
+    from repro.probing import collect_raw_probe, probe
+
+    spec = get_preset(args.preset)
+    doc = collect_raw_probe(spec) if args.raw else probe(spec)
+    print(json.dumps(doc, indent=1, default=str))
+    return 0
+
+
+def _cmd_kb(args) -> int:
+    from repro.core import KnowledgeBase
+    from repro.probing import probe
+
+    kb = KnowledgeBase.from_probe(probe(get_preset(args.preset)))
+    print(f"Knowledge Base for {kb.hostname}: {len(kb)} twins")
+    print(kb.render_tree(max_depth=args.depth))
+    return 0
+
+
+def _cmd_monitor(args) -> int:
+    from repro.core import PMoVE
+
+    daemon = PMoVE()
+    daemon.attach_target(SimulatedMachine(get_preset(args.preset)))
+    stats, uid = daemon.scenario_a(args.preset, duration_s=args.duration,
+                                   freq_hz=args.freq)
+    print(f"sampled {stats.inserted_points} points "
+          f"({stats.loss_pct:.1f}% lost, {stats.zero_points} zeros)")
+    print(daemon.grafana.render_dashboard_text(uid))
+    return 0
+
+
+def _cmd_observe(args) -> int:
+    from repro.core import PMoVE
+    from repro.workloads import build_kernel
+
+    daemon = PMoVE()
+    machine = SimulatedMachine(get_preset(args.preset))
+    daemon.attach_target(machine)
+    desc = build_kernel(args.kernel, args.elements, iterations=args.iterations)
+    obs, run = daemon.scenario_b(
+        args.preset, desc, args.events, freq_hz=args.freq,
+        n_threads=args.threads, pinning=args.pinning,
+    )
+    print(f"{args.kernel} ran {run.runtime_s:.4f}s on cpus {obs['affinity']}")
+    if obs["report"]["skipped_events"]:
+        print(f"skipped (unsupported here): {obs['report']['skipped_events']}")
+    print("\nauto-generated queries:")
+    for q in obs["queries"]:
+        print(f"  {q[:110]}{'...' if len(q) > 110 else ''}")
+    print("\nrecalled series totals:")
+    for measurement, rs in daemon.recall_observation(args.preset, obs).items():
+        total = sum(v for _, row in rs.rows for v in row if v)
+        print(f"  {measurement:<62} {total:.4g}")
+    return 0
+
+
+def _cmd_carm(args) -> int:
+    from repro.carm import load_from_kb, render_carm_svg
+    from repro.core import PMoVE, run_benchmark
+
+    daemon = PMoVE()
+    machine = SimulatedMachine(get_preset(args.preset))
+    kb = daemon.attach_target(machine)
+    threads = args.threads or machine.spec.n_cores
+    run_benchmark(kb, machine, "carm", thread_counts=[threads])
+    model = load_from_kb(kb, threads)
+    print(f"CARM for {model.hostname} @ {threads} threads")
+    for level in model.levels:
+        print(f"  {level:<5} {model.bandwidth_gbs[level]:9.1f} GB/s")
+    for isa, gf in sorted(model.peak_gflops.items(), key=lambda kv: kv[1]):
+        print(f"  {isa:<7} {gf:9.1f} GFLOP/s")
+    if args.svg:
+        with open(args.svg, "w") as fh:
+            fh.write(render_carm_svg(model))
+        print(f"roofline written to {args.svg}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.core import PMoVE, run_benchmark
+
+    daemon = PMoVE()
+    machine = SimulatedMachine(get_preset(args.preset))
+    kb = daemon.attach_target(machine)
+    entries = run_benchmark(kb, machine, args.name)
+    for entry in entries:
+        print(f"{entry['name']} ({entry['compiler']}): {entry['command']}")
+        for r in entry["results"]:
+            print(f"  {r['metric']:<24} {r['value']:12.2f} {r['units']}")
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    from repro.cluster import ClusterMonitor, JobSpec, SimulatedCluster
+    from repro.workloads import build_kernel
+
+    preset = PRESETS[args.preset]
+    cluster = SimulatedCluster(preset, n_nodes=args.nodes)
+    monitor = ClusterMonitor(cluster)
+    spec = get_preset(args.preset)
+    job = JobSpec(
+        name="cli_job", n_nodes=min(args.job_nodes, args.nodes),
+        ranks_per_node=spec.n_cores,
+        rank_kernel=build_kernel("triad", 400_000, iterations=1),
+        iterations=args.iterations,
+        halo_bytes_per_neighbor=1e6, halo_neighbors=2, allreduce_bytes=8e3,
+    )
+    doc, execution, _ = monitor.run_job(job, freq_hz=4.0)
+    print(f"job {doc['job_id']} on {execution.nodes}: "
+          f"{execution.runtime_s:.3f}s ({100 * execution.comm_fraction:.1f}% comm)")
+    for node, byts in monitor.comm_telemetry(execution).items():
+        print(f"  {node}: {byts / 1e9:.2f} GB shipped")
+    return 0
+
+
+_COMMANDS = {
+    "presets": _cmd_presets,
+    "probe": _cmd_probe,
+    "kb": _cmd_kb,
+    "monitor": _cmd_monitor,
+    "observe": _cmd_observe,
+    "carm": _cmd_carm,
+    "bench": _cmd_bench,
+    "cluster": _cmd_cluster,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, KeyError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

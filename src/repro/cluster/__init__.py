@@ -1,0 +1,21 @@
+"""Cluster-level P-MoVE (§VI future work, implemented): node fleet behind
+an interconnect model, a batch scheduler emitting job metadata, and the
+cluster monitor that links node KBs, samples job windows, and records
+JobInterface entries with communication telemetry."""
+
+from .cluster import SimulatedCluster
+from .interconnect import Interconnect
+from .job import JobExecution, JobSpec, make_job_entry
+from .monitor import ClusterMonitor
+from .scheduler import FifoScheduler, QueuedJob
+
+__all__ = [
+    "ClusterMonitor",
+    "FifoScheduler",
+    "Interconnect",
+    "JobExecution",
+    "JobSpec",
+    "QueuedJob",
+    "SimulatedCluster",
+    "make_job_entry",
+]

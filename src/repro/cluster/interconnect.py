@@ -1,0 +1,69 @@
+"""Interconnect model for cluster-level P-MoVE (§VI).
+
+"The design ... enables a straightforward extension of the framework from
+single-node servers to clusters ... in conjunction with communication
+telemetry."  The interconnect here is a flat (fat-tree-like, full-bisection)
+fabric characterized by per-link bandwidth and base latency, with standard
+cost models for the collectives bulk-synchronous jobs use:
+
+- point-to-point / halo exchange: alpha-beta model;
+- allreduce: ring algorithm, ``2 (n-1)/n`` data volume per rank;
+- congestion: concurrent jobs sharing the fabric scale each other's
+  effective bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Interconnect"]
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """A full-bisection fabric: 100 Gbit HDR-class defaults."""
+
+    link_bw_gbs: float = 12.5  # GB/s per node link (100 Gbit)
+    latency_us: float = 1.5
+    name: str = "hdr100"
+
+    def __post_init__(self) -> None:
+        if self.link_bw_gbs <= 0 or self.latency_us < 0:
+            raise ValueError("invalid interconnect parameters")
+
+    # ------------------------------------------------------------------
+    def p2p_time(self, message_bytes: float, congestion: float = 1.0) -> float:
+        """Alpha-beta time for one point-to-point message."""
+        if message_bytes < 0:
+            raise ValueError("negative message size")
+        if congestion < 1.0:
+            raise ValueError("congestion factor is >= 1")
+        return self.latency_us * 1e-6 + message_bytes / (self.link_bw_gbs * 1e9 / congestion)
+
+    def halo_exchange_time(
+        self, bytes_per_neighbor: float, n_neighbors: int, congestion: float = 1.0
+    ) -> float:
+        """Nearest-neighbor exchange; sends overlap pairwise, so the cost is
+        per-neighbor serialized on the node's single link."""
+        if n_neighbors < 0:
+            raise ValueError("negative neighbor count")
+        return n_neighbors * self.p2p_time(bytes_per_neighbor, congestion)
+
+    def allreduce_time(
+        self, payload_bytes: float, n_ranks: int, congestion: float = 1.0
+    ) -> float:
+        """Ring allreduce: ``2 (n-1)`` steps moving ``payload/n`` each."""
+        if n_ranks < 1:
+            raise ValueError("allreduce needs at least one rank")
+        if n_ranks == 1:
+            return 0.0
+        steps = 2 * (n_ranks - 1)
+        per_step = self.p2p_time(payload_bytes / n_ranks, congestion)
+        return steps * per_step
+
+    def barrier_time(self, n_ranks: int) -> float:
+        """Dissemination barrier: ceil(log2 n) latency rounds."""
+        if n_ranks < 1:
+            raise ValueError("barrier needs at least one rank")
+        rounds = max(1, (n_ranks - 1).bit_length())
+        return rounds * self.latency_us * 1e-6

@@ -1,0 +1,105 @@
+"""Job model: the "job-specific metadata emitted from HPC clusters" (§VI).
+
+A :class:`JobSpec` describes a bulk-synchronous parallel application: a
+per-rank compute kernel, a rank/node geometry, and per-iteration
+communication (halo exchange + allreduce).  A completed execution becomes a
+``JobInterface`` KB entry carrying the timing and communication telemetry,
+with links to the per-node ObservationInterfaces when the job ran under
+monitoring.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.dtmi import make_dtmi
+from repro.machine.kernel import KernelDescriptor
+
+__all__ = ["JobSpec", "JobExecution", "make_job_entry"]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One submitted application."""
+
+    name: str
+    n_nodes: int
+    ranks_per_node: int
+    rank_kernel: KernelDescriptor  # per-rank, per-iteration compute
+    iterations: int = 1
+    halo_bytes_per_neighbor: float = 0.0
+    halo_neighbors: int = 0
+    allreduce_bytes: float = 0.0
+    user: str = "hpcuser"
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1 or self.ranks_per_node < 1:
+            raise ValueError("job needs at least one node and one rank per node")
+        if self.iterations < 1:
+            raise ValueError("job needs at least one iteration")
+        if min(self.halo_bytes_per_neighbor, self.allreduce_bytes) < 0:
+            raise ValueError("negative communication volumes")
+
+    @property
+    def n_ranks(self) -> int:
+        return self.n_nodes * self.ranks_per_node
+
+
+@dataclass
+class JobExecution:
+    """Record of one completed job."""
+
+    spec: JobSpec
+    job_id: str
+    nodes: list[str]
+    t_start: float
+    t_end: float
+    compute_s: float
+    comm_s: float
+    comm_bytes_per_node: float
+    observation_ids: list[str] = field(default_factory=list)
+
+    @property
+    def runtime_s(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def comm_fraction(self) -> float:
+        return self.comm_s / self.runtime_s if self.runtime_s else 0.0
+
+
+def make_job_entry(cluster_name: str, index: int, execution: JobExecution) -> dict[str, Any]:
+    """Build the JobInterface KB entry for a completed job."""
+    spec = execution.spec
+    return {
+        "@type": "JobInterface",
+        "@id": make_dtmi(cluster_name, f"job{index}"),
+        "@context": "dtmi:dtdl:context;2",
+        "job_id": execution.job_id,
+        "name": spec.name,
+        "user": spec.user,
+        "nodes": list(execution.nodes),
+        "n_ranks": spec.n_ranks,
+        "ranks_per_node": spec.ranks_per_node,
+        "iterations": spec.iterations,
+        "time": {
+            "start": execution.t_start,
+            "end": execution.t_end,
+            "runtime_s": execution.runtime_s,
+        },
+        "communication": {
+            "comm_s": execution.comm_s,
+            "compute_s": execution.compute_s,
+            "comm_fraction": execution.comm_fraction,
+            "bytes_per_node": execution.comm_bytes_per_node,
+            "allreduce_bytes": spec.allreduce_bytes,
+            "halo_bytes_per_neighbor": spec.halo_bytes_per_neighbor,
+        },
+        "observations": list(execution.observation_ids),
+    }
+
+
+def new_job_id() -> str:
+    return f"job-{uuid.uuid4().hex[:10]}"

@@ -1,0 +1,162 @@
+"""Cluster-level P-MoVE (§VI): one daemon, many node KBs, job-linked
+observations.
+
+"Based on the proposed design in this paper, we are on the verge of
+developing a cluster-level P-MoVE that encapsulates meticulous performance
+analysis and monitoring capabilities, in conjunction with communication
+telemetry and job-specific metadata emitted from HPC clusters."
+
+:class:`ClusterMonitor` attaches every cluster node as a daemon target
+(full probe → KB per node), maintains a *cluster KB document* — a twin whose
+Relationships link to each node's KB root, stored alongside them in the
+document store — and records scheduler-run jobs as ``JobInterface`` entries
+with per-node telemetry sampled over the job window.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.daemon import PMoVE
+from repro.core.dtmi import make_dtmi
+from repro.core.views import level_view
+from repro.pcp.sampler import SamplingStats
+
+from .cluster import SimulatedCluster
+from .job import JobExecution, JobSpec, make_job_entry
+from .scheduler import FifoScheduler
+
+__all__ = ["ClusterMonitor"]
+
+#: Node telemetry sampled over each job window (SW side; §VI's
+#: "communication telemetry" rides on network.interface.out.bytes).
+_JOB_METRICS = (
+    "kernel.percpu.cpu.user",
+    "kernel.all.load",
+    "network.interface.out.bytes",
+    "mem.util.used",
+)
+
+
+class ClusterMonitor:
+    """Monitoring facade over a simulated cluster."""
+
+    def __init__(self, cluster: SimulatedCluster, daemon: PMoVE | None = None,
+                 backfill: bool = False) -> None:
+        self.cluster = cluster
+        self.daemon = daemon or PMoVE()
+        self.scheduler = FifoScheduler(cluster, backfill=backfill)
+        self.job_entries: list[dict[str, Any]] = []
+        for machine in cluster.nodes.values():
+            self.daemon.attach_target(machine)
+        self._save_cluster_kb()
+
+    # ------------------------------------------------------------------
+    # The cluster KB document
+    # ------------------------------------------------------------------
+    def cluster_kb_document(self) -> dict[str, Any]:
+        """The cluster twin: linked-data references to every node KB."""
+        cname = self.cluster.name
+        return {
+            "@type": "Interface",
+            "@id": make_dtmi(cname),
+            "@context": "dtmi:dtdl:context;2",
+            "kind": "system",
+            "name": cname,
+            "contents": [
+                {
+                    "@id": make_dtmi(cname, f"rel_{node}"),
+                    "@type": "Relationship",
+                    "name": "has_node",
+                    "target": self.daemon.target(node).kb.root_id,
+                }
+                for node in self.cluster.node_names
+            ]
+            + [
+                {
+                    "@id": make_dtmi(cname, "interconnect"),
+                    "@type": "Property",
+                    "name": "interconnect",
+                    "description": self.cluster.interconnect.name,
+                }
+            ],
+            "jobs": [e["@id"] for e in self.job_entries],
+        }
+
+    def _save_cluster_kb(self) -> None:
+        col = self.daemon.mongo.collection(self.daemon.database, "cluster_kb")
+        col.replace_one({"name": self.cluster.name}, self.cluster_kb_document(),
+                        upsert=True)
+
+    # ------------------------------------------------------------------
+    # Monitored job execution
+    # ------------------------------------------------------------------
+    def run_job(
+        self, spec: JobSpec, freq_hz: float = 1.0
+    ) -> tuple[dict[str, Any], JobExecution, dict[str, SamplingStats]]:
+        """Submit, run and monitor one job.
+
+        Returns (JobInterface entry, execution record, per-node sampling
+        stats).  Telemetry for the job window is recorded per node under
+        the job id as the observation tag, so job-centric queries work the
+        same way observation recall does.
+        """
+        entry = self.scheduler.submit(spec)
+        (execution,) = self.scheduler.run_all()[-1:]
+
+        stats: dict[str, SamplingStats] = {}
+        for node in execution.nodes:
+            target = self.daemon.target(node)
+            stats[node] = target.sampler.run(
+                list(_JOB_METRICS),
+                freq_hz,
+                execution.t_start,
+                execution.t_end,
+                tag=execution.job_id,
+                final_fetch=True,
+            )
+
+        job_doc = make_job_entry(self.cluster.name, entry.job_index, execution)
+        self.job_entries.append(job_doc)
+        self.daemon.mongo.collection(self.daemon.database, "jobs").insert_one(job_doc)
+        # Attach the job to each participating node's KB history too.
+        for node in execution.nodes:
+            kb = self.daemon.target(node).kb
+            kb.append_entry(dict(job_doc))
+            kb.save(self.daemon.mongo, self.daemon.database)
+        self._save_cluster_kb()
+        return job_doc, execution, stats
+
+    # ------------------------------------------------------------------
+    # Cluster-wide queries
+    # ------------------------------------------------------------------
+    def jobs(self, user: str | None = None) -> list[dict[str, Any]]:
+        flt: dict[str, Any] = {"user": user} if user else {}
+        return self.daemon.mongo.collection(self.daemon.database, "jobs").find(flt)
+
+    def job_history(self, node: str) -> list[dict[str, Any]]:
+        """Jobs that touched one node (dashboard job-history view)."""
+        return self.daemon.mongo.collection(self.daemon.database, "jobs").find(
+            {"nodes": node}
+        )
+
+    def fleet_dashboard(self, kind: str = "node", metric: str | None = None) -> str:
+        """Level view over every node's KB, registered in Grafana."""
+        kbs = [self.daemon.target(n).kb for n in self.cluster.node_names]
+        view = level_view(kbs, kind, metric=metric)
+        return self.daemon.dashboard_for_view(view)
+
+    def comm_telemetry(self, execution: JobExecution) -> dict[str, float]:
+        """Bytes each node shipped during a job window, from the recorded
+        network.interface.out.bytes series."""
+        out: dict[str, float] = {}
+        for node in execution.nodes:
+            pts = self.daemon.influx.points(
+                self.daemon.database,
+                "network_interface_out_bytes",
+                tags={"tag": execution.job_id, "host": node},
+            )
+            nic = self.cluster.node(node).spec.nics[0].name
+            total = sum(p.fields.get(f"_{nic}", 0.0) for p in pts)
+            out[node] = total
+        return out

@@ -1,0 +1,124 @@
+"""A batch scheduler for the simulated cluster.
+
+Real clusters hand P-MoVE its "job-specific metadata" through the batch
+system; this FIFO scheduler (with optional conservative backfill) plays
+that role: it owns node availability, decides placements, runs jobs on the
+cluster, and keeps the queue/accounting state a cluster monitor reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cluster import SimulatedCluster
+from .job import JobExecution, JobSpec
+
+__all__ = ["QueuedJob", "FifoScheduler"]
+
+
+@dataclass
+class QueuedJob:
+    """One queue entry."""
+
+    spec: JobSpec
+    submit_t: float
+    job_index: int
+    state: str = "queued"  # queued | running | completed
+    execution: JobExecution | None = None
+
+    @property
+    def wait_s(self) -> float:
+        if self.execution is None:
+            return 0.0
+        return self.execution.t_start - self.submit_t
+
+
+class FifoScheduler:
+    """First-in-first-out placement with optional backfill."""
+
+    def __init__(self, cluster: SimulatedCluster, backfill: bool = False) -> None:
+        self.cluster = cluster
+        self.backfill = backfill
+        self.queue: list[QueuedJob] = []
+        self.completed: list[QueuedJob] = []
+        self._node_free: dict[str, float] = {n: 0.0 for n in cluster.node_names}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> QueuedJob:
+        if spec.n_nodes > len(self._node_free):
+            raise ValueError(
+                f"job {spec.name!r} wants {spec.n_nodes} nodes; cluster has "
+                f"{len(self._node_free)}"
+            )
+        entry = QueuedJob(spec=spec, submit_t=self.cluster.time(),
+                          job_index=self._counter)
+        self._counter += 1
+        self.queue.append(entry)
+        return entry
+
+    def _pick_nodes(self, n: int) -> list[str]:
+        """The n earliest-free nodes (ties broken by name order)."""
+        ranked = sorted(self._node_free.items(), key=lambda kv: (kv[1], kv[0]))
+        return [name for name, _ in ranked[:n]]
+
+    def _start(self, entry: QueuedJob) -> JobExecution:
+        nodes = self._pick_nodes(entry.spec.n_nodes)
+        # The job cannot start before its nodes are free or before submit.
+        start_at = max([entry.submit_t] + [self._node_free[n] for n in nodes])
+        for n in nodes:
+            self.cluster.node(n).clock.advance_to(start_at)
+        entry.state = "running"
+        execution = self.cluster.run_job(entry.spec, nodes)
+        for n in nodes:
+            self._node_free[n] = execution.t_end
+        entry.execution = execution
+        entry.state = "completed"
+        self.completed.append(entry)
+        return execution
+
+    def run_all(self) -> list[JobExecution]:
+        """Drain the queue in FIFO order (backfill lets a small job jump
+        ahead when it fits on nodes the head job cannot use yet)."""
+        done: list[JobExecution] = []
+        while self.queue:
+            if self.backfill and len(self.queue) > 1:
+                head_need = self.queue[0].spec.n_nodes
+                head_start = sorted(self._node_free.values())[head_need - 1]
+                for i, cand in enumerate(list(self.queue[1:]), start=1):
+                    cand_nodes = self._pick_nodes(cand.spec.n_nodes)
+                    cand_start = max(self._node_free[n] for n in cand_nodes)
+                    # Conservative: only jump if it cannot delay the head.
+                    if cand_start < head_start:
+                        est_end = cand_start + self._estimate_runtime(cand.spec)
+                        if est_end <= head_start:
+                            self.queue.pop(i)
+                            done.append(self._start(cand))
+                            break
+                else:
+                    done.append(self._start(self.queue.pop(0)))
+                continue
+            done.append(self._start(self.queue.pop(0)))
+        return done
+
+    def _estimate_runtime(self, spec: JobSpec) -> float:
+        """Cheap runtime estimate for backfill decisions (compute-only)."""
+        from repro.machine.memory import estimate_execution
+
+        node = next(iter(self.cluster.nodes.values()))
+        desc = spec.rank_kernel.scaled(float(spec.ranks_per_node))
+        prof = estimate_execution(desc, node.spec, list(range(spec.ranks_per_node)), rng=None)
+        return prof.runtime_s * spec.iterations * 1.2
+
+    # ------------------------------------------------------------------
+    def utilization(self) -> dict[str, float]:
+        """Busy fraction per node since t=0 (accounting view)."""
+        now = self.cluster.time()
+        if now == 0:
+            return {n: 0.0 for n in self._node_free}
+        busy: dict[str, float] = {n: 0.0 for n in self._node_free}
+        for entry in self.completed:
+            if entry.execution:
+                for n in entry.execution.nodes:
+                    busy[n] += entry.execution.runtime_s
+        return {n: min(1.0, b / now) for n, b in busy.items()}

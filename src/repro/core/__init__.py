@@ -1,0 +1,96 @@
+"""P-MoVE core: the HPC ontology, the Knowledge Base, entry interfaces,
+automatic query generation, KB views, the daemon (Fig 3 scenarios), the
+BenchmarkInterface runners, and SUPERDB."""
+
+from .anomaly import (
+    Anomaly,
+    ewma_chart,
+    rolling_zscore,
+    scan_component,
+    scan_observation,
+    scan_series,
+)
+from .benchmarks import BENCHMARKS, run_benchmark
+from .daemon import DEFAULT_ENV, PMoVE, Target
+from .dtmi import DtmiError, dtmi_parent, is_dtmi, make_dtmi, parse_dtmi
+from .kb import KBError, KnowledgeBase
+from .observation import (
+    make_benchmark,
+    make_benchmark_result,
+    make_observation,
+    make_process,
+    new_tag,
+    observation_fields,
+)
+from .ontology import (
+    DTDL_CONTEXT,
+    Command,
+    HWTelemetry,
+    Interface,
+    OntologyError,
+    Property,
+    Relationship,
+    SWTelemetry,
+    content_from_jsonld,
+)
+from .queries import generate_queries, query_for_component, recall
+from .replay import Prediction, ReplayEvent, predict_runtime, replay, suggest_upgrade
+from .rootcause import Diagnosis, classify, diagnose, record_probe_baseline
+from .superdb import SuperDB
+from .views import (PanelSpec, ViewSpec, focus_view, level_view,
+    observation_level_view, subtree_view)
+
+__all__ = [
+    "Anomaly",
+    "BENCHMARKS",
+    "Diagnosis",
+    "Prediction",
+    "ReplayEvent",
+    "classify",
+    "diagnose",
+    "ewma_chart",
+    "predict_runtime",
+    "replay",
+    "rolling_zscore",
+    "scan_component",
+    "scan_observation",
+    "scan_series",
+    "suggest_upgrade",
+    "DEFAULT_ENV",
+    "DTDL_CONTEXT",
+    "Command",
+    "DtmiError",
+    "HWTelemetry",
+    "Interface",
+    "KBError",
+    "KnowledgeBase",
+    "OntologyError",
+    "PMoVE",
+    "PanelSpec",
+    "Property",
+    "Relationship",
+    "SWTelemetry",
+    "SuperDB",
+    "Target",
+    "ViewSpec",
+    "content_from_jsonld",
+    "dtmi_parent",
+    "focus_view",
+    "generate_queries",
+    "is_dtmi",
+    "level_view",
+    "make_benchmark",
+    "make_benchmark_result",
+    "make_dtmi",
+    "make_observation",
+    "make_process",
+    "new_tag",
+    "observation_level_view",
+    "observation_fields",
+    "parse_dtmi",
+    "query_for_component",
+    "recall",
+    "record_probe_baseline",
+    "run_benchmark",
+    "subtree_view",
+]

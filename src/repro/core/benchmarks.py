@@ -1,0 +1,102 @@
+"""BenchmarkInterface runners (§III-C).
+
+"P-MoVE can perform Cache Aware Roofline Model (CARM), STREAM and High
+Performance Conjugate Gradient (HPCG) benchmarks using the
+BenchmarkInterface.  As the probing phase, P-MoVE first copies the benchmark
+source codes to the target system ... compiles the benchmarks on the target
+system using a preferred compiler, e.g., icc or gcc.  After the benchmark,
+P-MoVE parses the results and creates a BenchmarkInterface with the
+corresponding BenchmarkResult."
+
+Each runner here follows exactly that flow against the simulated target:
+run → render the tool's native output → *parse that output* → build the
+entry from the parsed values.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.machine.simulator import SimulatedMachine
+
+from .kb import KnowledgeBase
+from .observation import make_benchmark, make_benchmark_result
+
+__all__ = ["BENCHMARKS", "run_benchmark"]
+
+BENCHMARKS = ("carm", "stream", "hpcg")
+
+
+def _preferred_compiler(kb: KnowledgeBase) -> str:
+    """icc on Intel targets when available, else gcc (§III-C)."""
+    vendor = kb.probe.get("cpu", {}).get("vendor", "")
+    return "icc" if "Intel" in vendor else "gcc"
+
+
+def _run_carm(kb: KnowledgeBase, machine: SimulatedMachine, **params: Any) -> list[dict]:
+    from repro.carm.microbench import CarmMicrobenchSuite
+    from repro.carm.model import save_to_kb
+
+    suite = CarmMicrobenchSuite(machine, kb)
+    counts = params.get("thread_counts")
+    entries = [save_to_kb(kb, m, compiler=_preferred_compiler(kb))
+               for m in suite.sweep(counts)]
+    return entries
+
+
+def _run_stream(kb: KnowledgeBase, machine: SimulatedMachine, **params: Any) -> list[dict]:
+    from repro.workloads.stream import parse_stream_output, run_stream
+
+    n = int(params.get("n", 20_000_000))
+    _, output = run_stream(machine, n=n, ntimes=int(params.get("ntimes", 10)))
+    parsed = parse_stream_output(output)  # parse the tool output, per §III-C
+    results = [
+        make_benchmark_result(f"{k}_bandwidth", v, "MB/s") for k, v in sorted(parsed.items())
+    ]
+    entry = make_benchmark(
+        host_seg=kb.hostname,
+        index=len(kb.entries_of_type("BenchmarkInterface")),
+        name="STREAM",
+        compiler=_preferred_compiler(kb),
+        command=f"stream_c.exe (N={n})",
+        results=results,
+        parameters={"n": n},
+    )
+    return [kb.append_entry(entry)]
+
+
+def _run_hpcg(kb: KnowledgeBase, machine: SimulatedMachine, **params: Any) -> list[dict]:
+    from repro.workloads.hpcg import parse_hpcg_output, run_hpcg
+
+    dims = {k: int(params.get(k, 16)) for k in ("nx", "ny", "nz")}
+    _, output = run_hpcg(machine, **dims, n_iterations=int(params.get("n_iterations", 50)))
+    parsed = parse_hpcg_output(output)
+    results = [
+        make_benchmark_result("gflops", parsed["gflops"], "GFLOP/s"),
+        make_benchmark_result("residual", parsed.get("residual", 0.0), "relative"),
+    ]
+    entry = make_benchmark(
+        host_seg=kb.hostname,
+        index=len(kb.entries_of_type("BenchmarkInterface")),
+        name="HPCG",
+        compiler=_preferred_compiler(kb),
+        command=f"xhpcg --nx={dims['nx']} --ny={dims['ny']} --nz={dims['nz']}",
+        results=results,
+        parameters=dims,
+    )
+    return [kb.append_entry(entry)]
+
+
+def run_benchmark(
+    kb: KnowledgeBase, machine: SimulatedMachine, name: str, **params: Any
+) -> list[dict]:
+    """Run a named benchmark and append its BenchmarkInterface entries."""
+    if kb.hostname != machine.spec.hostname:
+        raise ValueError("KB and machine describe different hosts")
+    if name == "carm":
+        return _run_carm(kb, machine, **params)
+    if name == "stream":
+        return _run_stream(kb, machine, **params)
+    if name == "hpcg":
+        return _run_hpcg(kb, machine, **params)
+    raise KeyError(f"unknown benchmark {name!r}; known: {BENCHMARKS}")

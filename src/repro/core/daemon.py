@@ -1,0 +1,305 @@
+"""The P-MoVE daemon: Fig 3's host-side orchestrator.
+
+Step ⓪ reads the environment (database endpoints, Grafana token); step ①
+ships the probing module to the target; step ② parses the returned system
+JSON into the KB; step ③ inserts the KB into MongoDB (re-run whenever the
+KB changes).  After that the framework is "fully functional using only this
+data structure".
+
+Two scenarios (Fig 3):
+
+- **Scenario A** — always-on software telemetry: PCP collectors configured
+  from the KB, dashboards generated *before* the target starts reporting
+  (steps A1/A2 are concurrent because the query parameters already live in
+  the KB).
+- **Scenario B** — HW events around a kernel execution: generic events are
+  resolved through the Abstraction Layer, the PMU is programmed, a pinning
+  script is generated from the probed topology, the kernel runs under
+  sampling, and an ObservationInterface (with auto-generated recall
+  queries) is appended to the KB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.db.influx import InfluxDB
+from repro.db.influxql import ResultSet
+from repro.db.mongo import MongoDB
+from repro.gpu.device import SimulatedGpu
+from repro.gpu.nvml import NvmlSampler
+from repro.machine.activity import SoftwareState
+from repro.machine.kernel import KernelDescriptor
+from repro.machine.simulator import KernelRun, SimulatedMachine
+from repro.pcp.agents import PmdaLinux, PmdaNvidia, PmdaPerfevent, PmdaProc
+from repro.pcp.pmcd import Pmcd
+from repro.pcp.pmns import instance_field, metric_to_measurement, perfevent_metric
+from repro.pcp.sampler import Sampler, SamplingStats
+from repro.pcp.transport import TransportModel
+from repro.pmu.abstraction import AbstractionLayer, UnsupportedEventError, pmu_utils
+from repro.pmu.counters import PMU
+from repro.probing.prober import collect_raw_probe, parse_probe
+from repro.viz.generator import generate_dashboard
+from repro.viz.grafana import GrafanaServer
+from repro.workloads.pinning import pin_threads, pinning_script
+
+from .kb import KnowledgeBase
+from .observation import make_observation, make_process, new_tag, observation_fields
+from .queries import generate_queries, recall
+from .views import ViewSpec, level_view, subtree_view
+
+__all__ = ["Target", "PMoVE", "DEFAULT_ENV"]
+
+DEFAULT_ENV = {
+    "INFLUX_HOST": "127.0.0.1:8086",
+    "MONGO_HOST": "127.0.0.1:27017",
+    "GRAFANA_HOST": "127.0.0.1:3000",
+    "GRAFANA_TOKEN": "pmove-token",
+    "PMOVE_DB": "pmove",
+}
+
+#: Default SWTelemetry set for Scenario A — "approximately 20 pmdalinux
+#: metrics ... at 1-second intervals" (§V-B); these are the core ones.
+_SCENARIO_A_METRICS = (
+    "kernel.percpu.cpu.idle",
+    "kernel.percpu.cpu.user",
+    "kernel.all.load",
+    "kernel.all.pswitch",
+    "mem.util.used",
+    "mem.numa.alloc.hit",
+)
+
+
+@dataclass
+class Target:
+    """Everything the daemon holds per attached target system."""
+
+    machine: SimulatedMachine
+    kb: KnowledgeBase
+    pmu: PMU
+    pmcd: Pmcd
+    sampler: Sampler
+    perfevent: PmdaPerfevent
+    observation_count: int = 0
+    gpus: list[SimulatedGpu] = field(default_factory=list)
+
+
+class PMoVE:
+    """The daemon: owns host-side services and attached targets."""
+
+    def __init__(self, env: dict[str, str] | None = None, seed: int = 0) -> None:
+        self.env = {**DEFAULT_ENV, **(env or {})}
+        self.database = self.env["PMOVE_DB"]
+        self.influx = InfluxDB()
+        self.influx.create_database(self.database)
+        self.mongo = MongoDB()
+        self.grafana = GrafanaServer(
+            self.influx, database=self.database, api_token=self.env["GRAFANA_TOKEN"]
+        )
+        self.layer: AbstractionLayer = pmu_utils
+        self.targets: dict[str, Target] = {}
+        self._seed = seed
+
+    # ==================================================================
+    # Attachment (Fig 3 steps 1-3)
+    # ==================================================================
+    def attach_target(
+        self, machine: SimulatedMachine, transport: TransportModel | None = None
+    ) -> KnowledgeBase:
+        """Probe the target, build its KB, persist it, wire up its PCP."""
+        spec = machine.spec
+        if spec.hostname in self.targets:
+            raise ValueError(f"target {spec.hostname!r} already attached")
+        raw = collect_raw_probe(spec)  # step 1 (runs on the target)
+        parsed = parse_probe(raw)  # step 2 (host side)
+        kb = KnowledgeBase.from_probe(parsed, config=dict(self.env))
+        kb.save(self.mongo, self.database)  # step 3
+
+        state = SoftwareState(machine)
+        pmu = PMU(machine, seed=self._seed)
+        perfevent = PmdaPerfevent(pmu)
+        agents = [PmdaLinux(state), perfevent, PmdaProc(state)]
+        gpus = [SimulatedGpu(g, machine.clock) for g in spec.gpus]
+        for g in gpus:
+            agents.append(PmdaNvidia(NvmlSampler(g)))
+        pmcd = Pmcd(agents)
+        sampler = Sampler(
+            pmcd, self.influx, transport=transport, database=self.database,
+            seed=self._seed, host=spec.hostname,
+        )
+        self.targets[spec.hostname] = Target(
+            machine=machine, kb=kb, pmu=pmu, pmcd=pmcd, sampler=sampler,
+            perfevent=perfevent, gpus=gpus,
+        )
+        return kb
+
+    def target(self, hostname: str) -> Target:
+        try:
+            return self.targets[hostname]
+        except KeyError:
+            raise KeyError(
+                f"target {hostname!r} not attached; attached: {sorted(self.targets)}"
+            ) from None
+
+    # ==================================================================
+    # Scenario A: software telemetry monitoring
+    # ==================================================================
+    def scenario_a(
+        self,
+        hostname: str,
+        duration_s: float,
+        freq_hz: float = 1.0,
+        metrics: list[str] | None = None,
+    ) -> tuple[SamplingStats, str]:
+        """Monitor system state; returns (sampling stats, dashboard uid).
+
+        The dashboard is generated and registered *before* sampling starts
+        — the paper's point that A1 and A2 can happen at the same time
+        because everything needed is already in the KB.
+        """
+        t = self.target(hostname)
+        metrics = list(metrics or _SCENARIO_A_METRICS)
+        available = set(t.pmcd.available_metrics())
+        unknown = [m for m in metrics if m not in available]
+        if unknown:
+            raise ValueError(f"metrics not available on {hostname}: {unknown}")
+
+        # A2: dashboard exists before the target reports anything.
+        view = subtree_view(t.kb, t.kb.root_id, hw=False)
+        wanted = {metric_to_measurement(m) for m in metrics}
+        panels = tuple(
+            p for p in view.panels if any(meas in wanted for meas, _ in p.targets)
+        )
+        dash = generate_dashboard(
+            ViewSpec(name=f"systemstate:{hostname}", kind="subtree", panels=panels)
+        )
+        uid = self.grafana.register(dash)
+
+        # A1/A3: configure collectors and sample.
+        t0 = t.machine.clock.now()
+        t.machine.advance(duration_s)
+        stats = t.sampler.run(metrics, freq_hz, t0, t0 + duration_s, tag=f"sysstate-{hostname}")
+        return stats, uid
+
+    # ==================================================================
+    # Scenario B: HW events around a kernel execution
+    # ==================================================================
+    def resolve_events(self, hostname: str, generic_events: list[str]) -> tuple[list[str], list[str]]:
+        """Abstraction-layer resolution: (hw events needed, unsupported
+        generic events skipped)."""
+        t = self.target(hostname)
+        pmu_name = t.kb.probe["pmu"]["uarch"]
+        hw: list[str] = []
+        skipped: list[str] = []
+        for g in generic_events:
+            try:
+                for e in self.layer.formula(pmu_name, g).events:
+                    if e not in hw:
+                        hw.append(e)
+            except UnsupportedEventError:
+                skipped.append(g)
+        if not hw:
+            raise UnsupportedEventError(
+                f"none of {generic_events} are supported on {hostname}"
+            )
+        return hw, skipped
+
+    def scenario_b(
+        self,
+        hostname: str,
+        descriptor: KernelDescriptor,
+        generic_events: list[str],
+        freq_hz: float = 8.0,
+        n_threads: int | None = None,
+        pinning: str = "balanced",
+        command: str | None = None,
+    ) -> tuple[dict[str, Any], KernelRun]:
+        """Profile one kernel execution; returns (observation entry, run).
+
+        Steps B1-B8: program PMUs via the Abstraction Layer, generate the
+        pinning script, run the kernel under sampling, record the
+        time-series under a fresh tag, and append the ObservationInterface
+        (with auto-generated queries) to the KB.
+        """
+        t = self.target(hostname)
+        spec = t.machine.spec
+        n_threads = n_threads or spec.n_cores
+        cpu_ids = pin_threads(spec, n_threads, pinning)
+        hw_events, skipped = self.resolve_events(hostname, generic_events)
+
+        # B1: configure the sampler (PMU counter programming).
+        t.perfevent.configure(hw_events, cpus=cpu_ids)
+        # The launch script P-MoVE would copy to the target.
+        command = command or f"./{descriptor.name}"
+        script = pinning_script(spec, command, [], n_threads, pinning)
+
+        # Run the kernel under sampling; sampling dilates the runtime.
+        overhead = t.sampler.sampling_overhead(freq_hz)
+        t0 = t.machine.clock.now()
+        run = t.machine.run_kernel(descriptor, cpu_ids, sampling_overhead=overhead)
+
+        # Sample the execution window and stop as the kernel halts.
+        tag = new_tag()
+        metrics = [perfevent_metric(e) for e in hw_events]
+        stats = t.sampler.run(metrics, freq_hz, t0, run.t_end, tag=tag, final_fetch=True)
+
+        fields = observation_fields(cpu_ids)
+        metric_entries = [
+            {
+                "metric": perfevent_metric(e),
+                "measurement": metric_to_measurement(perfevent_metric(e)),
+                "fields": fields,
+                "event": e,
+            }
+            for e in hw_events
+        ]
+        report = {
+            "runtime_s": run.runtime_s,
+            "sampling": {
+                "freq_hz": freq_hz,
+                "expected_points": stats.expected_points,
+                "inserted_points": stats.inserted_points,
+                "loss_pct": stats.loss_pct,
+            },
+            "skipped_events": skipped,
+            "pinning_script": script,
+        }
+        t.observation_count += 1
+        obs = make_observation(
+            host_seg=hostname,
+            index=t.observation_count,
+            tag=tag,
+            command=command,
+            cpu_ids=cpu_ids,
+            pinning=pinning,
+            metrics=metric_entries,
+            t_start=t0,
+            t_end=run.t_end,
+            report=report,
+        )
+        obs["queries"] = generate_queries(obs)
+        t.kb.append_entry(obs)
+        t.kb.append_entry(
+            make_process(hostname, pid=10_000 + t.observation_count, command=command,
+                         start_time=t0)
+        )
+        t.kb.save(self.mongo, self.database)  # step 3 re-occurs on KB change
+        return obs, run
+
+    # ==================================================================
+    # Recall & dashboards
+    # ==================================================================
+    def recall_observation(self, hostname: str, observation: dict[str, Any]) -> dict[str, ResultSet]:
+        """Execute an observation's auto-generated queries (Listing 3)."""
+        self.target(hostname)
+        return recall(self.influx, self.database, observation)
+
+    def dashboard_for_view(self, view: ViewSpec) -> str:
+        """Generate and register a dashboard for any KB view."""
+        return self.grafana.register(generate_dashboard(view))
+
+    def compare_targets(self, kind: str, metric: str | None = None) -> str:
+        """Cross-machine level-view dashboard (Fig 2 c/d)."""
+        kbs = [t.kb for t in self.targets.values()]
+        return self.dashboard_for_view(level_view(kbs, kind, metric=metric))

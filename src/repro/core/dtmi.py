@@ -1,0 +1,58 @@
+"""DTMI (Digital Twin Model Identifier) handling.
+
+P-MoVE identifies every (sub)twin with DTDL-style DTMIs, e.g. Listing 4's
+``dtmi:dt:cn1:gpu0;1`` and ``dtmi:dt:cn1:gpu0:property0;1``.  A DTMI is a
+``:``-separated path under the ``dtmi:dt:`` root plus a ``;version`` suffix;
+the path encodes the component hierarchy, which is what lets the KB treat
+identifiers as tree addresses.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["make_dtmi", "parse_dtmi", "is_dtmi", "dtmi_parent", "DtmiError"]
+
+_SEGMENT_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_]*$")
+_DTMI_RE = re.compile(r"^dtmi:dt(?::[A-Za-z][A-Za-z0-9_]*)+;(\d+)$")
+
+
+class DtmiError(ValueError):
+    """Malformed DTMI string or segment."""
+
+
+def make_dtmi(*segments: str, version: int = 1) -> str:
+    """Build ``dtmi:dt:<seg>:<seg>...;<version>``.
+
+    Segments must be identifier-like (DTDL forbids leading digits and
+    punctuation); versions are positive integers.
+    """
+    if not segments:
+        raise DtmiError("DTMI needs at least one segment")
+    if version < 1:
+        raise DtmiError("DTMI version must be >= 1")
+    for seg in segments:
+        if not _SEGMENT_RE.match(seg):
+            raise DtmiError(f"invalid DTMI segment {seg!r}")
+    return "dtmi:dt:" + ":".join(segments) + f";{version}"
+
+
+def is_dtmi(s: str) -> bool:
+    return bool(_DTMI_RE.match(s))
+
+
+def parse_dtmi(s: str) -> tuple[list[str], int]:
+    """Split a DTMI into (segments, version)."""
+    m = _DTMI_RE.match(s)
+    if not m:
+        raise DtmiError(f"not a DTMI: {s!r}")
+    body = s[len("dtmi:dt:") : s.rindex(";")]
+    return body.split(":"), int(m.group(1))
+
+
+def dtmi_parent(s: str) -> str | None:
+    """The DTMI one level up the hierarchy, or None at the root."""
+    segments, version = parse_dtmi(s)
+    if len(segments) == 1:
+        return None
+    return make_dtmi(*segments[:-1], version=version)

@@ -1,0 +1,133 @@
+"""KB entry interfaces: Observation, Benchmark, Process (§III-C).
+
+Except for ProcessInterface, "all classes/interfaces have their values
+assigned as constants during the generation phase"; a ProcessInterface "is
+re-instantiated each time it is invoked".  ObservationInterface entries
+"encode sampled hardware performance events and system metrics, executed
+commands, generated affinity, time and other relevant metadata" — and carry
+the unique observation tag that links back to the time-series rows in
+InfluxDB (Listing 2).
+"""
+
+from __future__ import annotations
+
+import uuid
+from typing import Any
+
+from repro.pcp.pmns import instance_field, metric_to_measurement
+
+from .dtmi import make_dtmi
+
+__all__ = [
+    "new_tag",
+    "make_observation",
+    "make_benchmark",
+    "make_benchmark_result",
+    "make_process",
+    "observation_fields",
+]
+
+
+def new_tag() -> str:
+    """A fresh observation UUID (the WHERE tag=... linker of Listing 3)."""
+    return str(uuid.uuid4())
+
+
+def observation_fields(cpu_ids: list[int]) -> list[str]:
+    """Influx field names for an observation's affinity set."""
+    return [instance_field(f"cpu{c}") for c in sorted(cpu_ids)]
+
+
+def make_observation(
+    host_seg: str,
+    index: int,
+    tag: str,
+    command: str,
+    cpu_ids: list[int],
+    pinning: str,
+    metrics: list[dict[str, Any]],
+    t_start: float,
+    t_end: float,
+    report: dict[str, Any] | None = None,
+    queries: list[str] | None = None,
+) -> dict[str, Any]:
+    """Build an ObservationInterface entry (Listing 2 shape).
+
+    ``metrics`` items carry ``metric`` (PCP name), ``measurement`` (Influx)
+    and ``fields`` (instance fields sampled), which is everything query
+    generation needs.
+    """
+    if t_end < t_start:
+        raise ValueError("observation ends before it starts")
+    for m in metrics:
+        if "metric" not in m or "fields" not in m:
+            raise ValueError("metric entries need 'metric' and 'fields'")
+        m.setdefault("measurement", metric_to_measurement(m["metric"]))
+    return {
+        "@type": "ObservationInterface",
+        "@id": make_dtmi(host_seg, f"observation{index}"),
+        "@context": "dtmi:dtdl:context;2",
+        "tag": tag,
+        "command": command,
+        "affinity": sorted(cpu_ids),
+        "pinning": pinning,
+        "metrics": metrics,
+        "time": {"start": t_start, "end": t_end, "runtime_s": t_end - t_start},
+        "report": report or {},
+        "queries": queries or [],
+    }
+
+
+def make_benchmark_result(metric: str, value: float, units: str) -> dict[str, Any]:
+    """A BenchmarkResult helper entry (§III-C)."""
+    if not metric:
+        raise ValueError("benchmark result needs a metric name")
+    return {"@type": "BenchmarkResult", "metric": metric, "value": value, "units": units}
+
+
+def make_benchmark(
+    host_seg: str,
+    index: int,
+    name: str,
+    compiler: str,
+    command: str,
+    results: list[dict[str, Any]],
+    parameters: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Build a BenchmarkInterface entry (CARM / STREAM / HPCG, §III-C)."""
+    if not results:
+        raise ValueError("benchmark entry needs at least one result")
+    for r in results:
+        if r.get("@type") != "BenchmarkResult":
+            raise ValueError("results must be BenchmarkResult entries")
+    return {
+        "@type": "BenchmarkInterface",
+        "@id": make_dtmi(host_seg, f"benchmark{index}"),
+        "@context": "dtmi:dtdl:context;2",
+        "name": name,
+        "compiler": compiler,
+        "command": command,
+        "parameters": parameters or {},
+        "results": results,
+    }
+
+
+def make_process(
+    host_seg: str,
+    pid: int,
+    command: str,
+    user: str = "pmove",
+    start_time: float = 0.0,
+) -> dict[str, Any]:
+    """Build a ProcessInterface entry — dynamic, re-created per invocation."""
+    if pid <= 0:
+        raise ValueError("pid must be positive")
+    return {
+        "@type": "ProcessInterface",
+        "@id": make_dtmi(host_seg, f"proc{pid}_{uuid.uuid4().hex[:8]}"),
+        "@context": "dtmi:dtdl:context;2",
+        "pid": pid,
+        "command": command,
+        "user": user,
+        "start_time": start_time,
+    }

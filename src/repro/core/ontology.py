@@ -1,0 +1,257 @@
+"""The HPC ontology: DTDL metamodel classes (§II–III).
+
+DTDL's six metamodel classes — Interface, Telemetry, Properties, Commands,
+Relationship and data schemes — are the vocabulary; P-MoVE extends Telemetry
+into *SWTelemetry* (always-sampled software state) and *HWTelemetry*
+(PMU events sampled at high frequency during kernel executions), and treats
+**each Interface as a standalone (sub)twin** — the core principle the paper
+leans on.
+
+Every class serializes to the JSON-LD shapes of the paper's Listing 4 and
+deserializes back, so a KB is exactly a bag of these documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .dtmi import DtmiError, is_dtmi
+
+__all__ = [
+    "DTDL_CONTEXT",
+    "OntologyError",
+    "Property",
+    "SWTelemetry",
+    "HWTelemetry",
+    "Relationship",
+    "Command",
+    "Interface",
+    "content_from_jsonld",
+]
+
+DTDL_CONTEXT = "dtmi:dtdl:context;2"
+
+#: Component kinds the HPC ontology models (§III-C: "every component that
+#: performs computation, communication, or I/O").
+COMPONENT_KINDS = (
+    "system",
+    "node",
+    "socket",
+    "core",
+    "thread",
+    "cache",
+    "memory",
+    "numa",
+    "disk",
+    "nic",
+    "gpu",
+    "process",
+)
+
+
+class OntologyError(ValueError):
+    """Malformed ontology objects or JSON-LD documents."""
+
+
+@dataclass(frozen=True)
+class Property:
+    """Static metadata of a component (model names, sizes, locations)."""
+
+    id: str
+    name: str
+    description: Any
+
+    def to_jsonld(self) -> dict[str, Any]:
+        return {
+            "@id": self.id,
+            "@type": "Property",
+            "name": self.name,
+            "description": self.description,
+        }
+
+
+@dataclass(frozen=True)
+class SWTelemetry:
+    """An always-sampled, low-frequency software metric (§III-A).
+
+    ``sampler_name`` is the PCP metric; ``db_name`` the Influx measurement;
+    ``field_name`` the instance field (``_cpu0``...) — the triplet Listing 4
+    shows as SamplerName/DBName/FieldName.
+    """
+
+    id: str
+    name: str
+    sampler_name: str
+    db_name: str
+    field_name: str = "_value"
+    description: str = ""
+
+    def to_jsonld(self) -> dict[str, Any]:
+        return {
+            "@id": self.id,
+            "@type": "SWTelemetry",
+            "name": self.name,
+            "SamplerName": self.sampler_name,
+            "DBName": self.db_name,
+            "FieldName": self.field_name,
+            "description": self.description,
+        }
+
+
+@dataclass(frozen=True)
+class HWTelemetry:
+    """A PMU event sampled at high frequency during kernel runs (§III-A).
+
+    ``pmu_name`` names the counting unit (a CPU PMU key or ``"ncu"`` for
+    GPUs, as in Listing 4)."""
+
+    id: str
+    name: str
+    pmu_name: str
+    sampler_name: str
+    db_name: str
+    field_name: str = "_value"
+    description: str = ""
+
+    def to_jsonld(self) -> dict[str, Any]:
+        return {
+            "@id": self.id,
+            "@type": "HWTelemetry",
+            "name": self.name,
+            "PMUName": self.pmu_name,
+            "SamplerName": self.sampler_name,
+            "DBName": self.db_name,
+            "FieldName": self.field_name,
+            "description": self.description,
+        }
+
+
+@dataclass(frozen=True)
+class Relationship:
+    """An edge between twins (``contains``, ``on_numa_node``, ...)."""
+
+    id: str
+    name: str
+    target: str
+
+    def to_jsonld(self) -> dict[str, Any]:
+        return {"@id": self.id, "@type": "Relationship", "name": self.name, "target": self.target}
+
+
+@dataclass(frozen=True)
+class Command:
+    """An action a twin supports (run benchmark, start sampling)."""
+
+    id: str
+    name: str
+    description: str = ""
+
+    def to_jsonld(self) -> dict[str, Any]:
+        return {"@id": self.id, "@type": "Command", "name": self.name, "description": self.description}
+
+
+Content = Property | SWTelemetry | HWTelemetry | Relationship | Command
+
+
+@dataclass
+class Interface:
+    """One standalone (sub)twin: a component plus its contents.
+
+    ``kind`` is the HPC component type (socket, thread, gpu, ...); the
+    JSON-LD form matches Listing 4 exactly.
+    """
+
+    id: str
+    kind: str
+    name: str
+    contents: list[Content] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not is_dtmi(self.id):
+            raise OntologyError(f"Interface @id must be a DTMI, got {self.id!r}")
+        if self.kind not in COMPONENT_KINDS:
+            raise OntologyError(f"unknown component kind {self.kind!r}")
+
+    # ------------------------------------------------------------------
+    def properties(self) -> list[Property]:
+        return [c for c in self.contents if isinstance(c, Property)]
+
+    def sw_telemetry(self) -> list[SWTelemetry]:
+        return [c for c in self.contents if isinstance(c, SWTelemetry)]
+
+    def hw_telemetry(self) -> list[HWTelemetry]:
+        return [c for c in self.contents if isinstance(c, HWTelemetry)]
+
+    def telemetry(self) -> list[SWTelemetry | HWTelemetry]:
+        return [c for c in self.contents if isinstance(c, (SWTelemetry, HWTelemetry))]
+
+    def relationships(self) -> list[Relationship]:
+        return [c for c in self.contents if isinstance(c, Relationship)]
+
+    def property_value(self, name: str) -> Any:
+        for p in self.properties():
+            if p.name == name:
+                return p.description
+        raise KeyError(f"{self.id} has no property {name!r}")
+
+    def add(self, content: Content) -> None:
+        self.contents.append(content)
+
+    # ------------------------------------------------------------------
+    def to_jsonld(self) -> dict[str, Any]:
+        return {
+            "@type": "Interface",
+            "@id": self.id,
+            "@context": DTDL_CONTEXT,
+            "kind": self.kind,
+            "name": self.name,
+            "contents": [c.to_jsonld() for c in self.contents],
+        }
+
+    @classmethod
+    def from_jsonld(cls, doc: dict[str, Any]) -> "Interface":
+        if doc.get("@type") != "Interface":
+            raise OntologyError(f"not an Interface document: {doc.get('@type')!r}")
+        iface = cls(
+            id=doc["@id"],
+            kind=doc.get("kind", "node"),
+            name=doc.get("name", ""),
+        )
+        for c in doc.get("contents", ()):
+            iface.add(content_from_jsonld(c))
+        return iface
+
+
+def content_from_jsonld(doc: dict[str, Any]) -> Content:
+    """Deserialize one contents entry by its @type."""
+    t = doc.get("@type")
+    try:
+        if t == "Property":
+            return Property(id=doc["@id"], name=doc["name"], description=doc.get("description"))
+        if t == "SWTelemetry":
+            return SWTelemetry(
+                id=doc["@id"],
+                name=doc["name"],
+                sampler_name=doc["SamplerName"],
+                db_name=doc["DBName"],
+                field_name=doc.get("FieldName", "_value"),
+                description=doc.get("description", ""),
+            )
+        if t == "HWTelemetry":
+            return HWTelemetry(
+                id=doc["@id"],
+                name=doc["name"],
+                pmu_name=doc["PMUName"],
+                sampler_name=doc["SamplerName"],
+                db_name=doc["DBName"],
+                field_name=doc.get("FieldName", "_value"),
+                description=doc.get("description", ""),
+            )
+        if t == "Relationship":
+            return Relationship(id=doc["@id"], name=doc["name"], target=doc["target"])
+        if t == "Command":
+            return Command(id=doc["@id"], name=doc["name"], description=doc.get("description", ""))
+    except KeyError as e:
+        raise OntologyError(f"{t} document missing field {e}") from None
+    raise OntologyError(f"unknown content @type {t!r}")

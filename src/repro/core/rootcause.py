@@ -1,0 +1,152 @@
+"""Differential root-cause classification of performance variations.
+
+The paper's opening problem statement: "Performance variations caused by
+... load imbalances, CPU throttling, reduced frequency, shared resource
+contention ... can result in up to a 100% difference in performance.  To
+efficiently and effectively find the root causes of these variations, one
+requires a comprehensive, structured knowledge of the computational
+system."  Detection (:mod:`repro.core.anomaly`) says *something* changed;
+this module says *what kind* of thing, by differential diagnosis:
+
+Two probe kernels with opposite resource profiles — a register-resident
+FMA chain (pure compute) and a DRAM-streaming triad (pure bandwidth) — are
+run against baselines stored in the KB as a ``BenchmarkInterface`` entry.
+The pair of slowdowns is a signature:
+
+====================  ==============  ==============
+fault                 compute probe   memory probe
+====================  ==============  ==============
+CPU throttling        strong          mild (stalls hide some of it)
+bandwidth contention  ~none           strong
+load imbalance        uniform         uniform (straggler paces both)
+healthy               ~1.0            ~1.0
+====================  ==============  ==============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.kernel import KernelDescriptor
+from repro.machine.spec import ISA
+
+from .kb import KnowledgeBase
+from .observation import make_benchmark, make_benchmark_result
+
+__all__ = ["Diagnosis", "record_probe_baseline", "diagnose"]
+
+_BASELINE_NAME = "rootcause_probe_baseline"
+
+
+def _probes(spec) -> dict[str, KernelDescriptor]:
+    """The two diagnostic kernels, sized for the target."""
+    isa = ISA.AVX512 if ISA.AVX512 in spec.isas else ISA.AVX2
+    n = 2048
+    compute = KernelDescriptor(
+        "probe_compute",
+        flops_dp={isa: 32.0 * n * 200_000},
+        fma_fraction=1.0,
+        loads=n * 200_000 / isa.dp_lanes / 64,
+        stores=0,
+        mem_isa=isa,
+        working_set_bytes=16 * 1024,
+        locality={"L1": 1.0},
+        overhead_instr_ratio=0.02,
+    )
+    m = 30_000_000
+    memory = KernelDescriptor(
+        "probe_memory",
+        flops_dp={isa: 2.0 * m},
+        fma_fraction=1.0,
+        loads=2 * m / isa.dp_lanes,
+        stores=m / isa.dp_lanes,
+        mem_isa=isa,
+        working_set_bytes=3 * 8 * m,
+        locality={"DRAM": 1.0},
+        overhead_instr_ratio=0.05,
+    )
+    return {"compute": compute, "memory": memory}
+
+
+def _run_probes(machine, cpu_ids=None) -> dict[str, float]:
+    cpu_ids = cpu_ids or list(range(machine.spec.n_cores))
+    return {
+        name: machine.run_kernel(desc, cpu_ids, runtime_noise_std=0.002).runtime_s
+        for name, desc in _probes(machine.spec).items()
+    }
+
+
+def record_probe_baseline(kb: KnowledgeBase, machine) -> dict:
+    """Run the probes on a healthy machine and store the baseline in the
+    KB (the structured knowledge root-causing later consults)."""
+    if kb.hostname != machine.spec.hostname:
+        raise ValueError("KB and machine describe different hosts")
+    times = _run_probes(machine)
+    entry = make_benchmark(
+        host_seg=kb.hostname,
+        index=len(kb.entries_of_type("BenchmarkInterface")),
+        name=_BASELINE_NAME,
+        compiler="n/a",
+        command="pmove rootcause --baseline",
+        results=[
+            make_benchmark_result(f"{name}_runtime", t, "s")
+            for name, t in sorted(times.items())
+        ],
+    )
+    return kb.append_entry(entry)
+
+
+def _load_baseline(kb: KnowledgeBase) -> dict[str, float]:
+    for entry in reversed(kb.entries_of_type("BenchmarkInterface")):
+        if entry.get("name") == _BASELINE_NAME:
+            return {
+                r["metric"].removesuffix("_runtime"): r["value"]
+                for r in entry["results"]
+            }
+    raise LookupError(
+        f"no {_BASELINE_NAME} entry in {kb.hostname}'s KB; run "
+        "record_probe_baseline() while the machine is healthy"
+    )
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """Outcome of one differential diagnosis."""
+
+    fault: str  # healthy | cpu_throttle | memory_contention | load_imbalance | unknown
+    confidence: float  # 0..1
+    compute_slowdown: float
+    memory_slowdown: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError("confidence must be in [0, 1]")
+
+
+def classify(compute_slowdown: float, memory_slowdown: float) -> Diagnosis:
+    """Signature matching on the probe slowdown pair (pure function)."""
+    rc, rm = compute_slowdown, memory_slowdown
+    if rc < 1.08 and rm < 1.08:
+        margin = max(rc, rm) - 1.0
+        return Diagnosis("healthy", max(0.5, 1.0 - margin * 5), rc, rm)
+    # Uniform dilation: a straggler paces compute and memory phases alike.
+    if min(rc, rm) > 1.12 and abs(rc - rm) / max(rc, rm) < 0.12:
+        return Diagnosis("load_imbalance", 0.9 - abs(rc - rm), rc, rm)
+    if rc > rm:
+        # Compute hit harder: frequency loss; memory probe partially hides
+        # it behind DRAM stalls.
+        conf = min(1.0, (rc - rm) / max(rc - 1.0, 1e-9))
+        return Diagnosis("cpu_throttle", 0.5 + 0.5 * conf, rc, rm)
+    if rm > 1.12 and rc < 1.12:
+        return Diagnosis("memory_contention", min(1.0, 0.5 + (rm - rc)), rc, rm)
+    return Diagnosis("unknown", 0.3, rc, rm)
+
+
+def diagnose(kb: KnowledgeBase, machine) -> Diagnosis:
+    """Run the probes now and classify against the KB baseline."""
+    baseline = _load_baseline(kb)
+    current = _run_probes(machine)
+    return classify(
+        current["compute"] / baseline["compute"],
+        current["memory"] / baseline["memory"],
+    )

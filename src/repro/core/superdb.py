@@ -1,0 +1,151 @@
+"""SUPERDB: the global performance database (§III-E).
+
+"For long-term data management, P-MoVE operates a global performance
+database, SUPERDB ... cloud instances of MongoDB and InfluxDB", accumulating
+metrics and KBs from many systems for architectural research and ML
+training.  Observations are promoted into one of two forms:
+
+- ``TSObservationInterface`` — the raw time series are copied up;
+- ``AGGObservationInterface`` — "statistically summarizes data using
+  various aggregations, e.g., min, max, mean, to manage high data volumes".
+
+Users *with* a local P-MoVE instance can recall and visualize; without one,
+they "can only download selected data for ML training" (:meth:`download`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.db.influx import InfluxDB
+from repro.db.mongo import MongoDB
+
+__all__ = ["SuperDB"]
+
+_AGGS = ("min", "max", "mean", "count")
+
+
+def _aggregate(values: list[float]) -> dict[str, float]:
+    if not values:
+        return {"min": math.nan, "max": math.nan, "mean": math.nan, "count": 0}
+    return {
+        "min": min(values),
+        "max": max(values),
+        "mean": sum(values) / len(values),
+        "count": float(len(values)),
+    }
+
+
+class SuperDB:
+    """Cloud-side aggregation of many local P-MoVE instances."""
+
+    def __init__(self) -> None:
+        self.mongo = MongoDB()
+        self.influx = InfluxDB()
+        self.influx.create_database("superdb")
+
+    # ------------------------------------------------------------------
+    # Reporting (user opt-in, §III-E)
+    # ------------------------------------------------------------------
+    def report(
+        self,
+        kb,
+        local_influx: InfluxDB,
+        local_database: str = "pmove",
+        mode: str = "agg",
+    ) -> dict[str, int]:
+        """Push a local instance's KB + observation telemetry upstream.
+
+        ``mode='ts'`` copies raw series (TSObservationInterface);
+        ``mode='agg'`` stores per-field aggregates (AGGObservationInterface).
+        """
+        if mode not in ("ts", "agg"):
+            raise ValueError("mode must be 'ts' or 'agg'")
+        kbs = self.mongo.collection("superdb", "kbs")
+        kbs.replace_one({"hostname": kb.hostname}, kb.to_jsonld(), upsert=True)
+
+        obs_col = self.mongo.collection("superdb", "observations")
+        n_obs = n_points = 0
+        for obs in kb.entries_of_type("ObservationInterface"):
+            doc: dict[str, Any] = {
+                "@type": "TSObservationInterface" if mode == "ts" else "AGGObservationInterface",
+                "@id": obs["@id"] + ":" + mode,
+                "hostname": kb.hostname,
+                "source": obs["@id"],
+                "tag": obs["tag"],
+                "command": obs["command"],
+                "affinity": obs["affinity"],
+                "time": obs["time"],
+            }
+            if mode == "ts":
+                copied = 0
+                for m in obs["metrics"]:
+                    pts = local_influx.points(
+                        local_database, m["measurement"], tags={"tag": obs["tag"]}
+                    )
+                    for p in pts:
+                        self.influx.write("superdb", p)
+                        copied += len(p.fields)
+                doc["points_copied"] = copied
+                n_points += copied
+            else:
+                aggregates: dict[str, dict[str, dict[str, float]]] = {}
+                for m in obs["metrics"]:
+                    pts = local_influx.points(
+                        local_database, m["measurement"], tags={"tag": obs["tag"]}
+                    )
+                    per_field: dict[str, dict[str, float]] = {}
+                    for f in m["fields"]:
+                        vals = [p.fields[f] for p in pts if f in p.fields]
+                        per_field[f] = _aggregate(vals)
+                        n_points += len(vals)
+                    aggregates[m["measurement"]] = per_field
+                doc["aggregates"] = aggregates
+            obs_col.replace_one({"@id": doc["@id"]}, doc, upsert=True)
+            n_obs += 1
+        return {"observations": n_obs, "points": n_points}
+
+    # ------------------------------------------------------------------
+    # Global queries
+    # ------------------------------------------------------------------
+    def systems(self) -> list[str]:
+        return sorted(
+            d["hostname"] for d in self.mongo.collection("superdb", "kbs").find()
+        )
+
+    def observations(self, hostname: str | None = None) -> list[dict[str, Any]]:
+        flt = {"hostname": hostname} if hostname else {}
+        return self.mongo.collection("superdb", "observations").find(flt)
+
+    def kb_document(self, hostname: str) -> dict[str, Any]:
+        doc = self.mongo.collection("superdb", "kbs").find_one({"hostname": hostname})
+        if doc is None:
+            raise KeyError(f"SUPERDB has no KB for {hostname!r}")
+        return doc
+
+    def download(self, hostname: str, command_filter: str | None = None) -> list[dict[str, Any]]:
+        """The no-local-instance access path: raw documents for ML training,
+        no dashboards, no recall."""
+        flt: dict[str, Any] = {"hostname": hostname}
+        if command_filter:
+            flt["command"] = {"$regex": command_filter}
+        return self.mongo.collection("superdb", "observations").find(flt)
+
+    def compare_metric(self, measurement: str, field: str) -> dict[str, dict[str, float]]:
+        """Cross-system aggregate comparison for one metric — the global
+        view that motivates SUPERDB."""
+        out: dict[str, dict[str, float]] = {}
+        for doc in self.mongo.collection("superdb", "observations").find(
+            {"@type": "AGGObservationInterface"}
+        ):
+            agg = doc.get("aggregates", {}).get(measurement, {}).get(field)
+            if agg and agg.get("count"):
+                host = doc["hostname"]
+                cur = out.setdefault(host, {"min": math.inf, "max": -math.inf, "mean": 0.0, "count": 0.0})
+                cur["min"] = min(cur["min"], agg["min"])
+                cur["max"] = max(cur["max"], agg["max"])
+                total = cur["count"] + agg["count"]
+                cur["mean"] = (cur["mean"] * cur["count"] + agg["mean"] * agg["count"]) / total
+                cur["count"] = total
+        return out

@@ -1,0 +1,195 @@
+"""KB views: focus, subtree, and level (§III-B, Fig 2).
+
+A view is a declarative selection over the KB tree — which components and
+which of their telemetry streams belong on one dashboard.  The Grafana
+generator (:mod:`repro.viz.generator`) turns a :class:`ViewSpec` into the
+dashboard JSON of Listing 1.
+
+- **Focus view**: one component's metrics, optionally extended with the
+  path from the component up to the root for root-cause navigation.
+- **Subtree view**: from an arbitrary node down to all its leaves, detail
+  increasing with depth.
+- **Level view**: all instances of one component type, side by side — and
+  across *multiple* machines' KBs, which is what Fig 2(c)/(d) show for
+  processes on two different servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .kb import KnowledgeBase
+from .ontology import HWTelemetry, SWTelemetry
+
+__all__ = ["PanelSpec", "ViewSpec", "focus_view", "subtree_view", "level_view",
+           "observation_level_view"]
+
+
+@dataclass(frozen=True)
+class PanelSpec:
+    """One dashboard panel: series from one or more telemetry streams.
+
+    Each target is ``(measurement, field)`` or, for observation-scoped
+    series (Fig 2 c/d process views), ``(measurement, field, tag, alias)``.
+    """
+
+    title: str
+    targets: tuple[tuple, ...]
+    component: str = ""  # dtmi of the owning twin (informational)
+
+    def __post_init__(self) -> None:
+        if not self.targets:
+            raise ValueError(f"panel {self.title!r} has no targets")
+        for t in self.targets:
+            if len(t) not in (2, 4):
+                raise ValueError(f"panel target must be 2- or 4-tuple: {t}")
+
+
+@dataclass(frozen=True)
+class ViewSpec:
+    """A complete view: ordered panels plus provenance metadata."""
+
+    name: str
+    kind: str  # "focus" | "subtree" | "level"
+    panels: tuple[PanelSpec, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("focus", "subtree", "level"):
+            raise ValueError(f"unknown view kind {self.kind!r}")
+
+
+def _component_panels(kb: KnowledgeBase, dtmi: str, hw: bool, sw: bool) -> list[PanelSpec]:
+    iface = kb.get(dtmi)
+    panels = []
+    for t in iface.telemetry():
+        if isinstance(t, HWTelemetry) and not hw:
+            continue
+        if isinstance(t, SWTelemetry) and not sw:
+            continue
+        panels.append(
+            PanelSpec(
+                title=f"{iface.name}: {t.name}",
+                targets=((t.db_name, t.field_name),),
+                component=dtmi,
+            )
+        )
+    return panels
+
+
+def observation_level_view(
+    kbs: KnowledgeBase | list[KnowledgeBase],
+    event: str,
+    command_filter: str | None = None,
+    label: str | None = None,
+) -> ViewSpec:
+    """Level view over *executions*: one series per ObservationInterface.
+
+    This is Fig 2(c)/(d): "the level-view dashboards for different processes
+    running SpMV on two sockets with two different orderings ... and on
+    different servers".  Each matching observation contributes one
+    tag-scoped series (summed field of its first cpu) for ``event``.
+    """
+    if isinstance(kbs, KnowledgeBase):
+        kbs = [kbs]
+    if not kbs:
+        raise ValueError("observation view needs at least one KB")
+    targets = []
+    for kb in kbs:
+        for obs in kb.entries_of_type("ObservationInterface"):
+            if command_filter and command_filter not in obs.get("command", ""):
+                continue
+            for m in obs.get("metrics", []):
+                if m.get("event") == event and m.get("fields"):
+                    targets.append((
+                        m["measurement"],
+                        m["fields"][0],
+                        obs["tag"],
+                        f"{kb.hostname}:{obs.get('command', '?')}",
+                    ))
+                    break
+    if not targets:
+        raise ValueError(
+            f"no observations with event {event!r} match the process view"
+        )
+    hostnames = "+".join(kb.hostname for kb in kbs)
+    title = label or f"process: {event} ({hostnames})"
+    return ViewSpec(
+        name=f"level:process:{hostnames}",
+        kind="level",
+        panels=(PanelSpec(title=title, targets=tuple(targets)),),
+    )
+
+
+def focus_view(
+    kb: KnowledgeBase,
+    dtmi: str,
+    include_path: bool = False,
+    hw: bool = True,
+    sw: bool = True,
+) -> ViewSpec:
+    """Focus on a single component; optionally walk the path to the root
+    ("navigating from a component perspective to a more generalized system
+    perspective", §III-B)."""
+    panels = _component_panels(kb, dtmi, hw, sw)
+    if include_path:
+        for anc in kb.path_to_root(dtmi)[1:]:
+            panels.extend(_component_panels(kb, anc.id, hw, sw))
+    if not panels:
+        raise ValueError(f"component {dtmi} has no telemetry to view")
+    return ViewSpec(name=f"focus:{kb.get(dtmi).name}", kind="focus", panels=tuple(panels))
+
+
+def subtree_view(
+    kb: KnowledgeBase, dtmi: str, hw: bool = True, sw: bool = True
+) -> ViewSpec:
+    """From ``dtmi`` down to all connected leaves (§III-B)."""
+    panels: list[PanelSpec] = []
+    for iface in kb.subtree(dtmi):
+        panels.extend(_component_panels(kb, iface.id, hw, sw))
+    if not panels:
+        raise ValueError(f"subtree of {dtmi} has no telemetry to view")
+    return ViewSpec(name=f"subtree:{kb.get(dtmi).name}", kind="subtree", panels=tuple(panels))
+
+
+def level_view(
+    kbs: KnowledgeBase | list[KnowledgeBase],
+    kind: str,
+    metric: str | None = None,
+    hw: bool = True,
+    sw: bool = True,
+) -> ViewSpec:
+    """All instances of one component type, possibly across machines.
+
+    One panel per telemetry *name*, each panel overlaying every instance's
+    series — "viewing them individually or in comparison" (§III-B).  Pass a
+    list of KBs for the cross-server comparison of Fig 2(c)/(d).
+    """
+    if isinstance(kbs, KnowledgeBase):
+        kbs = [kbs]
+    if not kbs:
+        raise ValueError("level view needs at least one KB")
+    by_metric: dict[str, list[tuple[str, str]]] = {}
+    components: dict[str, str] = {}
+    for kb in kbs:
+        for iface in kb.components_of_kind(kind):
+            for t in iface.telemetry():
+                if isinstance(t, HWTelemetry) and not hw:
+                    continue
+                if isinstance(t, SWTelemetry) and not sw:
+                    continue
+                if metric is not None and t.name != metric:
+                    continue
+                by_metric.setdefault(t.name, []).append((t.db_name, t.field_name))
+                components.setdefault(t.name, iface.id)
+    if not by_metric:
+        raise ValueError(f"no {kind!r} telemetry matches the level view")
+    hostnames = "+".join(kb.hostname for kb in kbs)
+    panels = tuple(
+        PanelSpec(
+            title=f"{kind}: {name} ({hostnames})",
+            targets=tuple(targets),
+            component=components[name],
+        )
+        for name, targets in sorted(by_metric.items())
+    )
+    return ViewSpec(name=f"level:{kind}:{hostnames}", kind="level", panels=panels)

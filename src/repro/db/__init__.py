@@ -1,0 +1,22 @@
+"""Database substrates: the InfluxDB-like time-series store (with line
+protocol, retention policies and an InfluxQL subset) and the MongoDB-like
+document store the Knowledge Base lives in (§III-A)."""
+
+from .influx import InfluxDB, InfluxError, Point, RetentionPolicy
+from .influxql import Query, ResultSet, execute, parse_query, show_measurements
+from .mongo import Collection, MongoDB, MongoError
+
+__all__ = [
+    "Collection",
+    "InfluxDB",
+    "InfluxError",
+    "MongoDB",
+    "MongoError",
+    "Point",
+    "Query",
+    "ResultSet",
+    "RetentionPolicy",
+    "execute",
+    "show_measurements",
+    "parse_query",
+]

@@ -1,0 +1,234 @@
+"""In-memory InfluxDB 1.8 substitute.
+
+P-MoVE stores *SWTelemetry* and *HWTelemetry* samples in InfluxDB (§III-A),
+keyed by measurement name, tagged with observation UUIDs, with one field per
+instance (``_cpu0``, ``_node1``, …).  This substrate implements the pieces
+the framework exercises: line-protocol ingest, per-database measurement
+stores, retention policies (the paper's answer to long-term disk pressure,
+§V-B), and the InfluxQL subset executed by :mod:`repro.db.influxql`.
+
+Timestamps are virtual-clock seconds stored at nanosecond resolution, as
+Influx line protocol does.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["Point", "InfluxError", "RetentionPolicy", "InfluxDB"]
+
+
+class InfluxError(ValueError):
+    """Malformed line protocol or unknown database/measurement."""
+
+
+_ESCAPE_RE = re.compile(r"([,= ])")
+
+
+def _escape(s: str) -> str:
+    return _ESCAPE_RE.sub(r"\\\1", s)
+
+
+def _unescape(s: str) -> str:
+    return re.sub(r"\\([,= ])", r"\1", s)
+
+
+def _split_unescaped(s: str, sep: str) -> list[str]:
+    """Split on ``sep`` except where backslash-escaped."""
+    out, buf, i = [], "", 0
+    while i < len(s):
+        ch = s[i]
+        if ch == "\\" and i + 1 < len(s):
+            buf += s[i : i + 2]
+            i += 2
+            continue
+        if ch == sep:
+            out.append(buf)
+            buf = ""
+        else:
+            buf += ch
+        i += 1
+    out.append(buf)
+    return out
+
+
+@dataclass(frozen=True)
+class Point:
+    """One time-series sample."""
+
+    measurement: str
+    tags: dict[str, str]
+    fields: dict[str, float]
+    time: float  # seconds
+
+    def __post_init__(self) -> None:
+        if not self.measurement:
+            raise InfluxError("point needs a measurement name")
+        if not self.fields:
+            raise InfluxError("point needs at least one field")
+
+    def to_line(self) -> str:
+        """Serialize to Influx line protocol (ns timestamp)."""
+        key = _escape(self.measurement)
+        if self.tags:
+            key += "," + ",".join(
+                f"{_escape(k)}={_escape(v)}" for k, v in sorted(self.tags.items())
+            )
+        fields = ",".join(f"{_escape(k)}={v!r}" for k, v in sorted(self.fields.items()))
+        return f"{key} {fields} {int(self.time * 1e9)}"
+
+    @classmethod
+    def from_line(cls, line: str) -> "Point":
+        """Parse one line-protocol record."""
+        parts = _split_unescaped(line.strip(), " ")
+        parts = [p for p in parts if p != ""]
+        if len(parts) < 2:
+            raise InfluxError(f"malformed line protocol: {line!r}")
+        key = parts[0]
+        field_part = parts[1]
+        ts = int(parts[2]) / 1e9 if len(parts) > 2 else 0.0
+        key_parts = _split_unescaped(key, ",")
+        measurement = _unescape(key_parts[0])
+        tags: dict[str, str] = {}
+        for kv in key_parts[1:]:
+            k, _, v = kv.partition("=")
+            if not k or not v:
+                raise InfluxError(f"malformed tag {kv!r}")
+            tags[_unescape(k)] = _unescape(v)
+        fields: dict[str, float] = {}
+        for kv in _split_unescaped(field_part, ","):
+            k, _, v = kv.partition("=")
+            if not k or v == "":
+                raise InfluxError(f"malformed field {kv!r}")
+            try:
+                fields[_unescape(k)] = float(v)
+            except ValueError:
+                raise InfluxError(f"non-numeric field value {v!r}") from None
+        return cls(measurement=measurement, tags=tags, fields=fields, time=ts)
+
+
+@dataclass
+class RetentionPolicy:
+    """How long a database keeps points (``duration_s=None`` = forever)."""
+
+    duration_s: float | None = None
+    name: str = "autogen"
+
+
+class _Database:
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.measurements: dict[str, list[Point]] = defaultdict(list)
+        self.retention = RetentionPolicy()
+        self.points_written = 0
+        self.bytes_written = 0
+
+
+class InfluxDB:
+    """The time-series store: multiple databases, line-protocol ingest."""
+
+    def __init__(self) -> None:
+        self._dbs: dict[str, _Database] = {}
+
+    # ------------------------------------------------------------------
+    # Admin
+    # ------------------------------------------------------------------
+    def create_database(self, name: str) -> None:
+        if not name:
+            raise InfluxError("database name cannot be empty")
+        self._dbs.setdefault(name, _Database(name))
+
+    def drop_database(self, name: str) -> None:
+        self._dbs.pop(name, None)
+
+    def databases(self) -> list[str]:
+        return sorted(self._dbs)
+
+    def _db(self, name: str) -> _Database:
+        try:
+            return self._dbs[name]
+        except KeyError:
+            raise InfluxError(f"database {name!r} does not exist") from None
+
+    def set_retention_policy(self, db: str, duration_s: float | None) -> None:
+        self._db(db).retention = RetentionPolicy(duration_s=duration_s)
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def write(self, db: str, point: Point) -> None:
+        d = self._db(db)
+        d.measurements[point.measurement].append(point)
+        d.points_written += len(point.fields)
+        d.bytes_written += len(point.to_line()) + 1
+
+    def write_many(self, db: str, points: list[Point]) -> int:
+        for p in points:
+            self.write(db, p)
+        return len(points)
+
+    def write_lines(self, db: str, lines: str) -> int:
+        """Ingest a line-protocol batch; returns points written."""
+        n = 0
+        for line in lines.splitlines():
+            if line.strip() and not line.lstrip().startswith("#"):
+                self.write(db, Point.from_line(line))
+                n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def measurements(self, db: str) -> list[str]:
+        return sorted(self._db(db).measurements)
+
+    def points(
+        self,
+        db: str,
+        measurement: str,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+    ) -> list[Point]:
+        """Raw point scan with optional tag-equality and time filters."""
+        pts = self._db(db).measurements.get(measurement, [])
+        out = []
+        for p in pts:
+            if tags and any(p.tags.get(k) != v for k, v in tags.items()):
+                continue
+            if t0 is not None and p.time < t0:
+                continue
+            if t1 is not None and p.time > t1:
+                continue
+            out.append(p)
+        return sorted(out, key=lambda p: p.time)
+
+    # ------------------------------------------------------------------
+    # Retention & stats
+    # ------------------------------------------------------------------
+    def enforce_retention(self, db: str, now: float) -> int:
+        """Drop points older than the retention horizon; returns #dropped."""
+        d = self._db(db)
+        if d.retention.duration_s is None:
+            return 0
+        horizon = now - d.retention.duration_s
+        dropped = 0
+        for name in list(d.measurements):
+            kept = [p for p in d.measurements[name] if p.time >= horizon]
+            dropped += len(d.measurements[name]) - len(kept)
+            if kept:
+                d.measurements[name] = kept
+            else:
+                del d.measurements[name]
+        return dropped
+
+    def stats(self, db: str) -> dict[str, int]:
+        d = self._db(db)
+        stored = sum(len(v) for v in d.measurements.values())
+        return {
+            "points_written": d.points_written,
+            "bytes_written": d.bytes_written,
+            "series_stored": stored,
+        }

@@ -1,0 +1,203 @@
+"""InfluxQL subset: the query language P-MoVE auto-generates (Listing 3).
+
+Supported grammar::
+
+    SELECT <select_list> FROM "<measurement>"
+        [WHERE <cond> [AND <cond>]*]
+        [GROUP BY time(<N>s)]
+
+    SHOW MEASUREMENTS
+    select_list := * | item [, item]*
+    item        := "field" | field | AGG("field") with AGG in
+                   MEAN MAX MIN SUM COUNT LAST
+    cond        := tagkey = "value" | tagkey = 'value'
+                 | time >= <sec> | time <= <sec> | time > | time <
+
+The paper's generated queries (Listing 3) are exactly this shape::
+
+    SELECT "_cpu0", "_cpu1" FROM "kernel_percpu_cpu_idle"
+        WHERE tag="278e26c2-3fd3-45e4-862b-5646dc9e7aa0"
+
+Results come back as a :class:`ResultSet` of (time, values-per-column).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .influx import InfluxDB, InfluxError, Point
+
+__all__ = ["Query", "ResultSet", "parse_query", "execute", "show_measurements"]
+
+_AGGS = ("MEAN", "MAX", "MIN", "SUM", "COUNT", "LAST")
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed InfluxQL statement."""
+
+    measurement: str
+    columns: tuple[str, ...]  # field names, or ("*",)
+    aggregate: str | None  # None or one of _AGGS
+    tag_filters: tuple[tuple[str, str], ...]
+    t0: float | None
+    t1: float | None
+    group_by_s: float | None
+    limit: int | None = None
+
+
+@dataclass
+class ResultSet:
+    """Query output: ordered columns and (time, row) tuples."""
+
+    columns: list[str]
+    rows: list[tuple[float, list[float | None]]]
+
+    def column(self, name: str) -> list[float | None]:
+        idx = self.columns.index(name)
+        return [row[idx] for _, row in self.rows]
+
+    def times(self) -> list[float]:
+        return [t for t, _ in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def _strip_quotes(s: str) -> str:
+    s = s.strip()
+    if len(s) >= 2 and s[0] == s[-1] and s[0] in "\"'":
+        return s[1:-1]
+    return s
+
+
+def show_measurements(db: InfluxDB, database: str) -> list[str]:
+    """Execute ``SHOW MEASUREMENTS`` (what Grafana's query builder runs)."""
+    return db.measurements(database)
+
+
+def parse_query(text: str) -> Query:
+    """Parse one InfluxQL statement (raises :class:`InfluxError`)."""
+    src = text.strip().rstrip(";")
+    m = re.match(
+        r"SELECT\s+(?P<sel>.+?)\s+FROM\s+(?P<meas>\"[^\"]+\"|\S+)"
+        r"(?:\s+WHERE\s+(?P<where>.+?))?"
+        r"(?:\s+GROUP\s+BY\s+time\((?P<gb>[\d.]+)s\))?"
+        r"(?:\s+LIMIT\s+(?P<limit>\d+))?\s*$",
+        src,
+        re.IGNORECASE | re.DOTALL,
+    )
+    if not m:
+        raise InfluxError(f"unparseable InfluxQL: {text!r}")
+    sel = m.group("sel").strip()
+    measurement = _strip_quotes(m.group("meas"))
+
+    aggregate: str | None = None
+    columns: list[str] = []
+    if sel == "*":
+        columns = ["*"]
+    else:
+        for item in re.split(r"\s*,\s*", sel):
+            am = re.match(r"(\w+)\((.+)\)$", item.strip())
+            if am and am.group(1).upper() in _AGGS:
+                agg = am.group(1).upper()
+                if aggregate is not None and aggregate != agg:
+                    raise InfluxError("mixed aggregate functions not supported")
+                aggregate = agg
+                columns.append(_strip_quotes(am.group(2)))
+            else:
+                columns.append(_strip_quotes(item))
+
+    tag_filters: list[tuple[str, str]] = []
+    t0 = t1 = None
+    if m.group("where"):
+        for cond in re.split(r"\s+AND\s+", m.group("where"), flags=re.IGNORECASE):
+            cond = cond.strip()
+            tm = re.match(r"time\s*(>=|<=|>|<)\s*([\d.eE+-]+)", cond)
+            if tm:
+                op, val = tm.group(1), float(tm.group(2))
+                if op in (">=", ">"):
+                    t0 = val
+                else:
+                    t1 = val
+                continue
+            em = re.match(r"(\"?[\w.]+\"?)\s*=\s*(\"[^\"]*\"|'[^']*'|\S+)", cond)
+            if not em:
+                raise InfluxError(f"unparseable WHERE condition {cond!r}")
+            tag_filters.append((_strip_quotes(em.group(1)), _strip_quotes(em.group(2))))
+
+    gb = float(m.group("gb")) if m.group("gb") else None
+    if gb is not None and aggregate is None:
+        aggregate = "MEAN"  # Influx requires an aggregate with GROUP BY time
+    limit = int(m.group("limit")) if m.group("limit") else None
+    if limit is not None and limit < 1:
+        raise InfluxError("LIMIT must be positive")
+    return Query(
+        measurement=measurement,
+        columns=tuple(columns),
+        aggregate=aggregate,
+        tag_filters=tuple(tag_filters),
+        t0=t0,
+        t1=t1,
+        group_by_s=gb,
+        limit=limit,
+    )
+
+
+def _agg(name: str, values: list[float]) -> float | None:
+    if not values:
+        return None
+    if name == "MEAN":
+        return sum(values) / len(values)
+    if name == "MAX":
+        return max(values)
+    if name == "MIN":
+        return min(values)
+    if name == "SUM":
+        return sum(values)
+    if name == "COUNT":
+        return float(len(values))
+    if name == "LAST":
+        return values[-1]
+    raise InfluxError(f"unknown aggregate {name}")
+
+
+def execute(db: InfluxDB, database: str, query: Query | str) -> ResultSet:
+    """Execute a query against one database."""
+    q = parse_query(query) if isinstance(query, str) else query
+    pts: list[Point] = db.points(
+        database, q.measurement, tags=dict(q.tag_filters), t0=q.t0, t1=q.t1
+    )
+    if q.columns == ("*",):
+        cols: list[str] = sorted({f for p in pts for f in p.fields})
+    else:
+        cols = list(q.columns)
+
+    if q.aggregate is None:
+        rows = [(p.time, [p.fields.get(c) for c in cols]) for p in pts]
+        if q.limit is not None:
+            rows = rows[: q.limit]
+        return ResultSet(columns=cols, rows=rows)
+
+    if q.group_by_s is None:
+        values = {c: [p.fields[c] for p in pts if c in p.fields] for c in cols}
+        row = [_agg(q.aggregate, values[c]) for c in cols]
+        t = pts[0].time if pts else 0.0
+        return ResultSet(columns=cols, rows=[(t, row)])
+
+    # GROUP BY time(Ns): bucket on floor(time / N) * N.
+    buckets: dict[float, dict[str, list[float]]] = {}
+    for p in pts:
+        b = (p.time // q.group_by_s) * q.group_by_s
+        slot = buckets.setdefault(b, {c: [] for c in cols})
+        for c in cols:
+            if c in p.fields:
+                slot[c].append(p.fields[c])
+    rows = [
+        (b, [_agg(q.aggregate, buckets[b][c]) for c in cols])
+        for b in sorted(buckets)
+    ]
+    if q.limit is not None:
+        rows = rows[: q.limit]
+    return ResultSet(columns=cols, rows=rows)

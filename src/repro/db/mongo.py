@@ -1,0 +1,236 @@
+"""In-memory MongoDB 6 substitute.
+
+"MongoDB stores the knowledge base as JSON-LD extended with entries for each
+computation" (§III-A).  This substrate provides databases, collections, and
+the query-operator subset the KB layer and SUPERDB use: equality matches on
+dotted paths, ``$eq $ne $gt $gte $lt $lte $in $nin $exists $regex``, the
+logical ``$and $or``, plus ``$set``/``$push`` updates.
+
+Documents are deep-copied on insert and on return, so callers cannot mutate
+stored state by accident — the property that makes "the KB is given to each
+function as a parameter ... a snapshot" (§III) trustworthy.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import re
+from typing import Any
+
+__all__ = ["MongoError", "Collection", "MongoDB"]
+
+
+class MongoError(ValueError):
+    """Bad filter/update documents."""
+
+
+_OPERATORS = {"$eq", "$ne", "$gt", "$gte", "$lt", "$lte", "$in", "$nin", "$exists", "$regex"}
+
+
+def _resolve_path(doc: Any, path: str) -> tuple[bool, Any]:
+    """Walk a dotted path; returns (found, value)."""
+    cur = doc
+    for part in path.split("."):
+        if isinstance(cur, dict) and part in cur:
+            cur = cur[part]
+        elif isinstance(cur, list) and part.isdigit() and int(part) < len(cur):
+            cur = cur[int(part)]
+        else:
+            return False, None
+    return True, cur
+
+
+def _match_value(value: Any, found: bool, cond: Any) -> bool:
+    if isinstance(cond, dict) and any(k.startswith("$") for k in cond):
+        for op, arg in cond.items():
+            if op not in _OPERATORS:
+                raise MongoError(f"unsupported operator {op!r}")
+            if op == "$exists":
+                if bool(arg) != found:
+                    return False
+                continue
+            if not found:
+                return False
+            try:
+                if op == "$eq" and not value == arg:
+                    return False
+                if op == "$ne" and not value != arg:
+                    return False
+                if op == "$gt" and not value > arg:
+                    return False
+                if op == "$gte" and not value >= arg:
+                    return False
+                if op == "$lt" and not value < arg:
+                    return False
+                if op == "$lte" and not value <= arg:
+                    return False
+                if op == "$in" and value not in arg:
+                    return False
+                if op == "$nin" and value in arg:
+                    return False
+                if op == "$regex" and not (
+                    isinstance(value, str) and re.search(arg, value)
+                ):
+                    return False
+            except TypeError:
+                return False
+        return True
+    # Plain equality; arrays match if equal or containing the value.
+    if not found:
+        return False
+    if isinstance(value, list) and not isinstance(cond, list):
+        return cond in value or value == cond
+    return value == cond
+
+
+def _matches(doc: dict, flt: dict) -> bool:
+    for key, cond in flt.items():
+        if key == "$and":
+            if not all(_matches(doc, sub) for sub in cond):
+                return False
+        elif key == "$or":
+            if not any(_matches(doc, sub) for sub in cond):
+                return False
+        elif key.startswith("$"):
+            raise MongoError(f"unsupported top-level operator {key!r}")
+        else:
+            found, value = _resolve_path(doc, key)
+            if not _match_value(value, found, cond):
+                return False
+    return True
+
+
+class Collection:
+    """One document collection."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._docs: list[dict] = []
+
+    # ------------------------------------------------------------------
+    def insert_one(self, doc: dict) -> Any:
+        if not isinstance(doc, dict):
+            raise MongoError("documents must be dicts")
+        stored = copy.deepcopy(doc)
+        stored.setdefault("_id", f"oid{next(self._ids):08d}")
+        self._docs.append(stored)
+        return stored["_id"]
+
+    def insert_many(self, docs: list[dict]) -> list[Any]:
+        return [self.insert_one(d) for d in docs]
+
+    def find(self, flt: dict | None = None, limit: int | None = None) -> list[dict]:
+        flt = flt or {}
+        out = []
+        for d in self._docs:
+            if _matches(d, flt):
+                out.append(copy.deepcopy(d))
+                if limit is not None and len(out) >= limit:
+                    break
+        return out
+
+    def find_one(self, flt: dict | None = None) -> dict | None:
+        res = self.find(flt, limit=1)
+        return res[0] if res else None
+
+    def count_documents(self, flt: dict | None = None) -> int:
+        flt = flt or {}
+        return sum(1 for d in self._docs if _matches(d, flt))
+
+    def distinct(self, path: str, flt: dict | None = None) -> list[Any]:
+        flt = flt or {}
+        seen = []
+        for d in self._docs:
+            if _matches(d, flt):
+                found, v = _resolve_path(d, path)
+                if found and v not in seen:
+                    seen.append(v)
+        return seen
+
+    # ------------------------------------------------------------------
+    def update_one(self, flt: dict, update: dict) -> int:
+        """Apply ``$set``/``$push`` to the first matching document."""
+        for d in self._docs:
+            if _matches(d, flt):
+                self._apply_update(d, update)
+                return 1
+        return 0
+
+    def update_many(self, flt: dict, update: dict) -> int:
+        n = 0
+        for d in self._docs:
+            if _matches(d, flt):
+                self._apply_update(d, update)
+                n += 1
+        return n
+
+    @staticmethod
+    def _apply_update(doc: dict, update: dict) -> None:
+        for op, spec in update.items():
+            if op == "$set":
+                for path, value in spec.items():
+                    parts = path.split(".")
+                    cur = doc
+                    for p in parts[:-1]:
+                        cur = cur.setdefault(p, {})
+                    cur[parts[-1]] = copy.deepcopy(value)
+            elif op == "$push":
+                for path, value in spec.items():
+                    parts = path.split(".")
+                    cur = doc
+                    for p in parts[:-1]:
+                        cur = cur.setdefault(p, {})
+                    arr = cur.setdefault(parts[-1], [])
+                    if not isinstance(arr, list):
+                        raise MongoError(f"$push target {path!r} is not an array")
+                    arr.append(copy.deepcopy(value))
+            else:
+                raise MongoError(f"unsupported update operator {op!r}")
+
+    def replace_one(self, flt: dict, doc: dict, upsert: bool = False) -> int:
+        for i, d in enumerate(self._docs):
+            if _matches(d, flt):
+                stored = copy.deepcopy(doc)
+                stored.setdefault("_id", d["_id"])
+                self._docs[i] = stored
+                return 1
+        if upsert:
+            self.insert_one(doc)
+            return 1
+        return 0
+
+    def delete_many(self, flt: dict) -> int:
+        before = len(self._docs)
+        self._docs = [d for d in self._docs if not _matches(d, flt)]
+        return before - len(self._docs)
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+
+class MongoDB:
+    """The document store: named databases of named collections."""
+
+    def __init__(self) -> None:
+        self._dbs: dict[str, dict[str, Collection]] = {}
+
+    def collection(self, db: str, name: str) -> Collection:
+        cols = self._dbs.setdefault(db, {})
+        if name not in cols:
+            cols[name] = Collection(name)
+        return cols[name]
+
+    def __getitem__(self, db: str) -> dict[str, Collection]:
+        return self._dbs.setdefault(db, {})
+
+    def databases(self) -> list[str]:
+        return sorted(self._dbs)
+
+    def collections(self, db: str) -> list[str]:
+        return sorted(self._dbs.get(db, {}))
+
+    def drop_database(self, db: str) -> None:
+        self._dbs.pop(db, None)

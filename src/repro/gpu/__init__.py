@@ -1,0 +1,33 @@
+"""NVIDIA GPU path of §III-D: simulated devices, nvidia-smi/DeviceQuery/NVML
+substitutes, and the ncu profiling wrapper."""
+
+from .device import GpuKernelDescriptor, GpuKernelLaunch, SimulatedGpu
+from .ncu import build_wrapper_script, parse_ncu_report, render_ncu_report, run_ncu
+from .nvml import (
+    NVML_METRICS,
+    NvmlSampler,
+    parse_device_query,
+    parse_drm_numa,
+    parse_nvidia_smi,
+    render_device_query,
+    render_drm_numa,
+    render_nvidia_smi,
+)
+
+__all__ = [
+    "NVML_METRICS",
+    "GpuKernelDescriptor",
+    "GpuKernelLaunch",
+    "NvmlSampler",
+    "SimulatedGpu",
+    "build_wrapper_script",
+    "parse_device_query",
+    "parse_drm_numa",
+    "parse_ncu_report",
+    "parse_nvidia_smi",
+    "render_device_query",
+    "render_drm_numa",
+    "render_ncu_report",
+    "render_nvidia_smi",
+    "run_ncu",
+]

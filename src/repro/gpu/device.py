@@ -1,0 +1,135 @@
+"""Simulated NVIDIA GPU devices (§III-D).
+
+A :class:`SimulatedGpu` owns a :class:`~repro.machine.spec.GpuSpec` and a
+tiny roofline envelope (peak FP32 throughput from SM count/clock, DRAM
+bandwidth), executes :class:`GpuKernelDescriptor` launches on the shared
+virtual clock, and keeps a launch history that the NVML sampler and the
+``ncu`` wrapper read from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.spec import GpuSpec
+from repro.machine.tsc import VirtualClock
+
+__all__ = ["GpuKernelDescriptor", "GpuKernelLaunch", "SimulatedGpu"]
+
+
+@dataclass(frozen=True)
+class GpuKernelDescriptor:
+    """Operation counts of one GPU kernel launch."""
+
+    name: str
+    flops_sp: float = 0.0
+    flops_dp: float = 0.0
+    dram_bytes: float = 0.0
+    l2_bytes: float = 0.0
+    shared_bytes: float = 0.0
+    occupancy: float = 0.8  # achieved / theoretical warps
+    grid_size: int = 1024
+    block_size: int = 256
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.occupancy <= 1.0:
+            raise ValueError("occupancy must be in (0, 1]")
+        if min(self.flops_sp, self.flops_dp, self.dram_bytes, self.l2_bytes) < 0:
+            raise ValueError("negative operation counts")
+
+
+@dataclass
+class GpuKernelLaunch:
+    """One completed launch: timing plus derived throughput metrics."""
+
+    descriptor: GpuKernelDescriptor
+    t_start: float
+    t_end: float
+    metrics: dict[str, float]
+
+    @property
+    def runtime_s(self) -> float:
+        return self.t_end - self.t_start
+
+
+class SimulatedGpu:
+    """One GPU: envelope + launch history on a shared virtual clock."""
+
+    #: FP32 ops per SM per clock (2 per FMA on 64 CUDA cores).
+    _FLOPS_PER_SM_CLK_SP = 128.0
+
+    def __init__(self, spec: GpuSpec, clock: VirtualClock) -> None:
+        self.spec = spec
+        self.clock = clock
+        self.launches: list[GpuKernelLaunch] = []
+        self.mem_used_mb_base = 420.0  # driver/context overhead
+
+    # ------------------------------------------------------------------
+    @property
+    def peak_gflops_sp(self) -> float:
+        return (
+            self.spec.n_sms
+            * self._FLOPS_PER_SM_CLK_SP
+            * self.spec.base_clock_mhz
+            / 1e3
+        )
+
+    @property
+    def peak_gflops_dp(self) -> float:
+        return self.peak_gflops_sp / 2.0  # GV100-class 1:2 DP ratio
+
+    @property
+    def dram_bw_gbs(self) -> float:
+        return 870.0  # HBM2-class
+
+    @property
+    def l2_bw_gbs(self) -> float:
+        return 2500.0
+
+    # ------------------------------------------------------------------
+    def launch(self, desc: GpuKernelDescriptor) -> GpuKernelLaunch:
+        """Execute a kernel: roofline timing, ncu-style metric synthesis."""
+        t_sp = desc.flops_sp / (self.peak_gflops_sp * 1e9 * desc.occupancy)
+        t_dp = desc.flops_dp / (self.peak_gflops_dp * 1e9 * desc.occupancy)
+        t_dram = desc.dram_bytes / (self.dram_bw_gbs * 1e9)
+        t_l2 = desc.l2_bytes / (self.l2_bw_gbs * 1e9)
+        runtime = max(t_sp + t_dp, t_dram, t_l2, 1e-6)
+
+        sm_pct = 100.0 * (t_sp + t_dp) / runtime * desc.occupancy
+        mem_pct = 100.0 * max(t_dram, t_l2) / runtime
+        metrics = {
+            "gpu__time_duration.sum": runtime * 1e3,  # ms
+            "sm__throughput.avg.pct_of_peak_sustained_elapsed": min(100.0, sm_pct),
+            "gpu__compute_memory_access_throughput.avg.pct_of_peak_sustained_elapsed": min(
+                100.0, mem_pct
+            ),
+            "dram__bytes.sum": desc.dram_bytes,
+            "lts__t_bytes.sum": desc.l2_bytes,
+            "smsp__sass_thread_inst_executed_op_fadd_pred_on.sum": desc.flops_sp / 2,
+            "smsp__sass_thread_inst_executed_op_dfma_pred_on.sum": desc.flops_dp / 2,
+            "sm__warps_active.avg.pct_of_peak_sustained_active": desc.occupancy * 100.0,
+            "launch__grid_size": float(desc.grid_size),
+            "launch__block_size": float(desc.block_size),
+        }
+        t0 = self.clock.now()
+        t1 = self.clock.advance(runtime)
+        launch = GpuKernelLaunch(descriptor=desc, t_start=t0, t_end=t1, metrics=metrics)
+        self.launches.append(launch)
+        return launch
+
+    # ------------------------------------------------------------------
+    def utilization(self, t: float) -> float:
+        """GPU busy fraction at time ``t`` (1.0 during a launch)."""
+        return 1.0 if any(l.t_start <= t < l.t_end for l in self.launches) else 0.0
+
+    def mem_used_mb(self, t: float) -> float:
+        active = [l for l in self.launches if l.t_start <= t < l.t_end]
+        # Working set approximated by DRAM traffic capped at device memory.
+        extra = sum(
+            min(l.descriptor.dram_bytes / 1e6, self.spec.memory_mb * 0.5)
+            for l in active
+        )
+        return min(self.spec.memory_mb, self.mem_used_mb_base + extra)
+
+    def power_watts(self, t: float) -> float:
+        return 35.0 + 215.0 * self.utilization(t)

@@ -1,0 +1,146 @@
+"""``nvidia-smi`` / DeviceQuery / NVML substitutes (§III-D).
+
+The paper probes NVIDIA GPUs with ``nvidia-smi`` (models, bus, processes),
+``/sys/class/drm`` (NUMA placement) and ``DeviceQuery`` (SMs, shared memory,
+caches), then samples *SWTelemetry* with ``pcp-pmda-nvidia`` — "essentially
+capturing every metric supported by NVML".  Renderers emit the tool formats
+from specs; parsers recover structured facts; :class:`NvmlSampler` exposes
+the NVML metric set over a :class:`~repro.gpu.device.SimulatedGpu`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.machine.spec import GpuSpec, MachineSpec
+
+from .device import SimulatedGpu
+
+__all__ = [
+    "render_nvidia_smi",
+    "parse_nvidia_smi",
+    "render_device_query",
+    "parse_device_query",
+    "render_drm_numa",
+    "parse_drm_numa",
+    "NVML_METRICS",
+    "NvmlSampler",
+]
+
+
+def render_nvidia_smi(spec: MachineSpec) -> str:
+    """``nvidia-smi --query-gpu=index,name,memory.total,pci.bus_id
+    --format=csv`` output."""
+    lines = ["index, name, memory.total [MiB], pci.bus_id"]
+    for g in spec.gpus:
+        lines.append(f"{g.index}, {g.model}, {g.memory_mb} MiB, {g.bus_id}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_nvidia_smi(text: str) -> list[dict[str, Any]]:
+    """Parse the CSV query output into per-GPU dicts."""
+    lines = [l for l in text.splitlines() if l.strip()]
+    if not lines or not lines[0].startswith("index"):
+        raise ValueError("not nvidia-smi CSV query output")
+    gpus = []
+    for line in lines[1:]:
+        parts = [p.strip() for p in line.split(",")]
+        if len(parts) != 4:
+            raise ValueError(f"malformed nvidia-smi row: {line!r}")
+        mem = int(parts[2].split()[0])
+        gpus.append(
+            {"index": int(parts[0]), "model": parts[1], "memory_mb": mem, "bus_id": parts[3]}
+        )
+    return gpus
+
+
+def render_device_query(gpu: GpuSpec) -> str:
+    """CUDA ``deviceQuery``-style report for one GPU."""
+    return (
+        f'Device {gpu.index}: "{gpu.model}"\n'
+        f"  CUDA Capability Major/Minor version number:    {gpu.compute_capability}\n"
+        f"  Total amount of global memory:                 {gpu.memory_mb} MBytes\n"
+        f"  ({gpu.n_sms}) Multiprocessors\n"
+        f"  GPU Max Clock rate:                            {gpu.base_clock_mhz} MHz\n"
+        f"  L2 Cache Size:                                 {gpu.l2_cache_kb * 1024} bytes\n"
+        f"  Total amount of shared memory per block:       {gpu.shared_mem_per_block_kb * 1024} bytes\n"
+    )
+
+
+def parse_device_query(text: str) -> dict[str, Any]:
+    """Parse deviceQuery text into the HW-spec facts the KB needs."""
+    out: dict[str, Any] = {}
+    if m := re.search(r'Device (\d+): "(.+)"', text):
+        out["index"] = int(m.group(1))
+        out["model"] = m.group(2)
+    if m := re.search(r"Capability Major/Minor version number:\s*([\d.]+)", text):
+        out["compute_capability"] = m.group(1)
+    if m := re.search(r"global memory:\s*(\d+) MBytes", text):
+        out["memory_mb"] = int(m.group(1))
+    if m := re.search(r"\((\d+)\) Multiprocessors", text):
+        out["n_sms"] = int(m.group(1))
+    if m := re.search(r"L2 Cache Size:\s*(\d+) bytes", text):
+        out["l2_cache_kb"] = int(m.group(1)) // 1024
+    if m := re.search(r"shared memory per block:\s*(\d+) bytes", text):
+        out["shared_mem_per_block_kb"] = int(m.group(1)) // 1024
+    if "model" not in out:
+        raise ValueError("deviceQuery output has no Device header")
+    return out
+
+
+def render_drm_numa(spec: MachineSpec) -> dict[str, str]:
+    """``/sys/class/drm/cardN/device/numa_node`` file map."""
+    return {
+        f"/sys/class/drm/card{g.index}/device/numa_node": str(g.numa_node)
+        for g in spec.gpus
+    }
+
+
+def parse_drm_numa(files: dict[str, str]) -> dict[int, int]:
+    """card index -> numa node."""
+    out: dict[int, int] = {}
+    for path, content in files.items():
+        if m := re.match(r"/sys/class/drm/card(\d+)/device/numa_node", path):
+            out[int(m.group(1))] = int(content.strip())
+    return out
+
+
+#: NVML metric set exposed by pcp-pmda-nvidia (SWTelemetry, §III-D).
+NVML_METRICS = {
+    "nvidia.gpuactive": ("percent", "GPU utilization"),
+    "nvidia.memactive": ("percent", "Memory utilization"),
+    "nvidia.memused": ("MB", "Device memory in use"),
+    "nvidia.memtotal": ("MB", "Device memory total"),
+    "nvidia.power": ("watts", "Board power draw"),
+    "nvidia.temp": ("celsius", "Core temperature"),
+    "nvidia.fanspeed": ("percent", "Fan speed"),
+}
+
+
+class NvmlSampler:
+    """NVML metric reads over a simulated GPU (what pcp-pmda-nvidia does)."""
+
+    def __init__(self, gpu: SimulatedGpu) -> None:
+        self.gpu = gpu
+
+    def metrics(self) -> list[str]:
+        return sorted(NVML_METRICS)
+
+    def value(self, metric: str, t: float) -> float:
+        g = self.gpu
+        if metric == "nvidia.gpuactive":
+            return g.utilization(t) * 100.0
+        if metric == "nvidia.memactive":
+            return g.utilization(t) * 65.0
+        if metric == "nvidia.memused":
+            return g.mem_used_mb(t)
+        if metric == "nvidia.memtotal":
+            return float(g.spec.memory_mb)
+        if metric == "nvidia.power":
+            return g.power_watts(t)
+        if metric == "nvidia.temp":
+            return 34.0 + 42.0 * g.utilization(t)
+        if metric == "nvidia.fanspeed":
+            return 25.0 + 45.0 * g.utilization(t)
+        raise KeyError(f"unknown NVML metric {metric!r}")

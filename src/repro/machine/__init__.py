@@ -1,0 +1,67 @@
+"""Simulated target systems: specs, presets, virtual time, and the
+execution engine that turns kernel descriptors into PMU-observable event
+streams.  This package is the substitute for the physical servers of the
+paper's Table II (see DESIGN.md, "Substitutions")."""
+
+from .activity import SW_METRICS, SoftwareState
+from .faults import CpuThrottle, Fault, FaultSet, LoadImbalance, MemoryContention
+from .kernel import QUANTITIES, KernelDescriptor, fp_quantity
+from .memory import ExecutionProfile, estimate_execution
+from .presets import PRESETS, csl, get_preset, gpu_node, icl, skx, zen3
+from .simulator import KernelRun, SimulatedMachine
+from .spec import (
+    ISA,
+    CacheSpec,
+    CoreSpec,
+    DiskSpec,
+    GpuSpec,
+    MachineSpec,
+    NicSpec,
+    NumaNodeSpec,
+    PerfEnvelope,
+    PMUSpec,
+    SocketSpec,
+    Vendor,
+)
+from .timeline import Scope, Timeline
+from .tsc import TimeStampCounter, VirtualClock
+
+__all__ = [
+    "ISA",
+    "PRESETS",
+    "QUANTITIES",
+    "SW_METRICS",
+    "CacheSpec",
+    "CoreSpec",
+    "CpuThrottle",
+    "Fault",
+    "FaultSet",
+    "LoadImbalance",
+    "MemoryContention",
+    "DiskSpec",
+    "ExecutionProfile",
+    "GpuSpec",
+    "KernelDescriptor",
+    "KernelRun",
+    "MachineSpec",
+    "NicSpec",
+    "NumaNodeSpec",
+    "PMUSpec",
+    "PerfEnvelope",
+    "Scope",
+    "SimulatedMachine",
+    "SocketSpec",
+    "SoftwareState",
+    "TimeStampCounter",
+    "Timeline",
+    "Vendor",
+    "VirtualClock",
+    "csl",
+    "estimate_execution",
+    "fp_quantity",
+    "get_preset",
+    "gpu_node",
+    "icl",
+    "skx",
+    "zen3",
+]

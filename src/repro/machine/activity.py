@@ -1,0 +1,130 @@
+"""Software-visible system state (what ``pmdalinux`` reads from /proc).
+
+The paper's *SWTelemetry* metrics — CPU load, memory use, NUMA allocation
+counters — are "always sampled with a low frequency" (§III-A).  This module
+derives those values from the machine's timeline so that software telemetry
+and hardware telemetry tell one consistent story: when a kernel runs, the
+busy time, load average, memory footprint and NUMA traffic all move
+together.
+
+All counter-type metrics are monotonic in time, as /proc counters are.
+"""
+
+from __future__ import annotations
+
+from .simulator import SimulatedMachine
+
+__all__ = ["SoftwareState", "SW_METRICS"]
+
+_BASE_MEM_USED_KB = 4 * 1024 * 1024  # 4 GB of OS + daemons
+
+#: Metric name -> (instance domain, semantics, units). Instance domains:
+#: "percpu", "pernode", "perdisk", "pernic", or None (single value).
+SW_METRICS: dict[str, tuple[str | None, str, str]] = {
+    "kernel.percpu.cpu.idle": ("percpu", "counter", "ms"),
+    "kernel.percpu.cpu.user": ("percpu", "counter", "ms"),
+    "kernel.percpu.cpu.sys": ("percpu", "counter", "ms"),
+    "kernel.all.load": (None, "instant", "load"),
+    "kernel.all.nprocs": (None, "instant", "count"),
+    "kernel.all.pswitch": (None, "counter", "count"),
+    "mem.util.used": (None, "instant", "kb"),
+    "mem.util.free": (None, "instant", "kb"),
+    "mem.numa.alloc.hit": ("pernode", "counter", "pages"),
+    "mem.numa.alloc.miss": ("pernode", "counter", "pages"),
+    "disk.dev.write_bytes": ("perdisk", "counter", "kb"),
+    "network.interface.out.bytes": ("pernic", "counter", "bytes"),
+    "hinv.ncpu": (None, "discrete", "count"),
+}
+
+
+class SoftwareState:
+    """Computes /proc-style metric values for a machine at a given time."""
+
+    def __init__(self, machine: SimulatedMachine) -> None:
+        self.machine = machine
+        self.spec = machine.spec
+
+    # ------------------------------------------------------------------
+    def instances(self, metric: str) -> list[str]:
+        """Instance names for a metric's domain (PCP instance domain)."""
+        domain = SW_METRICS[metric][0]
+        if domain is None:
+            return [""]
+        if domain == "percpu":
+            return [f"cpu{i}" for i in range(self.spec.n_threads)]
+        if domain == "pernode":
+            return [f"node{n.node_id}" for n in self.spec.numa_nodes]
+        if domain == "perdisk":
+            return [d.name for d in self.spec.disks]
+        if domain == "pernic":
+            return [n.name for n in self.spec.nics]
+        raise KeyError(domain)
+
+    def value(self, metric: str, instance: str, t: float) -> float:
+        """Metric value at virtual time ``t`` for one instance."""
+        if metric not in SW_METRICS:
+            raise KeyError(f"unknown SW metric {metric!r}")
+        m = self.machine
+        freq_hz = self.spec.base_freq_ghz * 1e9
+
+        if metric.startswith("kernel.percpu.cpu."):
+            cpu = int(instance.removeprefix("cpu"))
+            busy_s = m.read_cpu(cpu, "cycles", 0.0, t) / freq_hz
+            busy_s = min(busy_s, t)
+            if metric.endswith(".idle"):
+                return (t - busy_s) * 1000.0
+            if metric.endswith(".user"):
+                return busy_s * 900.0  # 90 % of busy time in user mode
+            return busy_s * 100.0
+
+        if metric == "kernel.all.load":
+            window = min(t, 60.0)
+            if window <= 0:
+                return 0.0
+            return sum(
+                m.busy_fraction(c, t - window, t) for c in range(self.spec.n_threads)
+            )
+
+        if metric == "kernel.all.nprocs":
+            return 220 + 2 * len(m.active_runs(t))
+
+        if metric == "kernel.all.pswitch":
+            # ~120 switches/s/cpu idle, plus activity-driven switching.
+            base = 120.0 * self.spec.n_threads * t
+            run_extra = sum(
+                (min(r.t_end, t) - r.t_start) * 50.0 * len(r.cpu_ids)
+                for r in m.runs
+                if r.t_start < t
+            )
+            return base + run_extra
+
+        if metric in ("mem.util.used", "mem.util.free"):
+            active_ws = sum(r.descriptor.working_set_bytes for r in m.active_runs(t))
+            used_kb = _BASE_MEM_USED_KB + active_ws / 1024.0
+            if metric == "mem.util.used":
+                return used_kb
+            return max(0.0, self.spec.memory_bytes / 1024.0 - used_kb)
+
+        if metric.startswith("mem.numa.alloc."):
+            node_id = int(instance.removeprefix("node"))
+            node = self.spec.numa_nodes[node_id]
+            # Pages touched on this node ~ DRAM bytes pulled by its cores.
+            pages = 0.0
+            for core in node.core_ids:
+                for cpu in self.spec.threads_of_core(core):
+                    pages += m.read_cpu(cpu, "dram_bytes", 0.0, t) / 4096.0
+            if metric.endswith(".hit"):
+                return pages * 0.97 + 500.0 * t  # steady OS allocation churn
+            return pages * 0.03
+
+        if metric == "disk.dev.write_bytes":
+            # OS logging trickle; the Influx write load lives on the host.
+            return 2048.0 * t
+
+        if metric == "network.interface.out.bytes":
+            return m.read(("node", 0), "net_out_bytes", 0.0, t)
+
+        if metric == "hinv.ncpu":
+            return float(self.spec.n_threads)
+
+        raise KeyError(metric)

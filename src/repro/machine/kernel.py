@@ -1,0 +1,175 @@
+"""Kernel descriptors: the operation-count contract between workloads and
+the execution simulator.
+
+A :class:`KernelDescriptor` states *what* a kernel does — FP operations by
+ISA and precision, memory instructions, bytes moved, working-set size, and
+where its memory traffic is served from — without saying how long it takes.
+The simulator (see :mod:`repro.machine.simulator`) turns a descriptor into a
+runtime and a continuous stream of generic PMU quantities using the
+machine's performance envelope.
+
+Quantities follow the FP_ARITH convention of Intel PMUs: ``fp_dp_avx512``
+counts retired 512-bit DP FP *instructions* (an FMA counts once), so
+``FLOPs = count × lanes × (1 + fma_fraction)``.  This is exactly the
+convention the paper's live-CARM formulas must invert (§IV-B2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .spec import ISA, MachineSpec
+
+__all__ = ["KernelDescriptor", "QUANTITIES", "fp_quantity"]
+
+#: Generic quantity names produced by kernel executions.  PMU catalogs map
+#: vendor event names onto these.
+QUANTITIES = (
+    "cycles",
+    "instructions",
+    "fp_dp_scalar",
+    "fp_dp_sse",
+    "fp_dp_avx2",
+    "fp_dp_avx512",
+    "fp_sp_scalar",
+    "fp_sp_sse",
+    "fp_sp_avx2",
+    "fp_sp_avx512",
+    "loads",
+    "stores",
+    "l1d_miss",
+    "l2_miss",
+    "l3_access",
+    "l3_hit",
+    "l3_miss",
+    "dram_bytes",
+    "energy_pkg",  # socket scope, joules
+    "energy_dram",  # socket scope, joules
+)
+
+_MEM_LEVELS = ("L1", "L2", "L3", "DRAM")
+
+
+def fp_quantity(isa: ISA, precision: str = "dp") -> str:
+    """Generic quantity name for FP instruction counts of ``isa``."""
+    if precision not in ("dp", "sp"):
+        raise ValueError(f"precision must be 'dp' or 'sp', got {precision!r}")
+    return f"fp_{precision}_{isa.value}"
+
+
+@dataclass(frozen=True)
+class KernelDescriptor:
+    """Operation counts of one kernel invocation (totals across all threads).
+
+    ``flops_dp`` / ``flops_sp`` map ISA → total floating-point *operations*
+    (an FMA contributes 2).  ``loads`` / ``stores`` are memory instruction
+    counts at the kernel's dominant access width (``mem_isa``): an AVX-512
+    load moving 64 bytes counts once.  ``locality`` maps memory level →
+    fraction of ``bytes_total`` served from that level; when ``None`` the
+    simulator derives it from ``working_set_bytes`` and the target's caches.
+    """
+
+    name: str
+    flops_dp: dict[ISA, float] = field(default_factory=dict)
+    flops_sp: dict[ISA, float] = field(default_factory=dict)
+    fma_fraction: float = 0.0
+    loads: float = 0.0
+    stores: float = 0.0
+    mem_isa: ISA = ISA.SCALAR
+    working_set_bytes: int = 0
+    locality: dict[str, float] | None = None
+    # Non-FP, non-memory instructions (address arithmetic, branches, …) per
+    # FP+mem instruction; scalar codes carry more overhead.
+    overhead_instr_ratio: float = 0.3
+    # Fraction of the sustainable bandwidth this kernel's access pattern can
+    # actually draw: latency-bound scalar gathers (merge SpMV) sit well
+    # below 1.0, streaming vector code at 1.0.
+    mem_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.loads < 0 or self.stores < 0:
+            raise ValueError("negative memory instruction counts")
+        if not 0.0 <= self.fma_fraction <= 1.0:
+            raise ValueError("fma_fraction must be in [0, 1]")
+        if not 0.0 < self.mem_efficiency <= 1.0:
+            raise ValueError("mem_efficiency must be in (0, 1]")
+        if self.locality is not None:
+            total = sum(self.locality.values())
+            if abs(total - 1.0) > 1e-6:
+                raise ValueError(f"locality fractions must sum to 1, got {total}")
+            for lvl in self.locality:
+                if lvl not in _MEM_LEVELS:
+                    raise ValueError(f"unknown memory level {lvl!r} in locality")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_flops(self) -> float:
+        return sum(self.flops_dp.values()) + sum(self.flops_sp.values())
+
+    @property
+    def bytes_total(self) -> float:
+        """Bytes moved between core and memory hierarchy."""
+        return (self.loads + self.stores) * self.mem_isa.vector_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte, the x-coordinate of CARM."""
+        b = self.bytes_total
+        return self.total_flops / b if b else float("inf")
+
+    def fp_instructions(self, isa: ISA, precision: str = "dp") -> float:
+        """Retired FP instruction count for one ISA class (FMA counts once
+        here; the FP_ARITH-style *event* count is derived by the simulator).
+        """
+        flops = (self.flops_dp if precision == "dp" else self.flops_sp).get(isa, 0.0)
+        if not flops:
+            return 0.0
+        lanes = isa.dp_lanes if precision == "dp" else isa.sp_lanes
+        ops_per_instr = lanes * (1.0 + self.fma_fraction)
+        return flops / ops_per_instr
+
+    @property
+    def total_instructions(self) -> float:
+        """All retired instructions: FP + memory + loop overhead."""
+        fp = sum(
+            self.fp_instructions(isa, prec)
+            for prec in ("dp", "sp")
+            for isa in ISA
+        )
+        mem = self.loads + self.stores
+        return (fp + mem) * (1.0 + self.overhead_instr_ratio)
+
+    def resolve_locality(self, spec: MachineSpec, n_threads: int) -> dict[str, float]:
+        """The per-level traffic split, deriving one if not given.
+
+        The derived split sends ~85 % of traffic to the level the working
+        set fits in and spreads the remainder outward (cold misses,
+        prefetch overshoot), mirroring what CARM microbenchmark sweeps
+        observe on real machines.
+        """
+        if self.locality is not None:
+            return dict(self.locality)
+        home = spec.memory_level_for(self.working_set_bytes, n_threads)
+        levels = [f"L{l}" for l in spec.cache_levels] + ["DRAM"]
+        idx = levels.index(home)
+        split = {home: 0.85 if idx + 1 < len(levels) else 1.0}
+        rest = 1.0 - split[home]
+        outer = levels[idx + 1 :]
+        for i, lvl in enumerate(outer):
+            share = rest * (0.7 if i + 1 < len(outer) else 1.0)
+            split[lvl] = share
+            rest -= share
+        return split
+
+    def scaled(self, factor: float) -> "KernelDescriptor":
+        """A descriptor with all operation counts multiplied by ``factor``
+        (used to repeat a kernel body N times)."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return replace(
+            self,
+            flops_dp={k: v * factor for k, v in self.flops_dp.items()},
+            flops_sp={k: v * factor for k, v in self.flops_sp.items()},
+            loads=self.loads * factor,
+            stores=self.stores * factor,
+        )

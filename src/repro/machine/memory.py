@@ -1,0 +1,225 @@
+"""Roofline-consistent execution timing model.
+
+Given a :class:`~repro.machine.kernel.KernelDescriptor` and a set of
+hardware threads, :func:`estimate_execution` predicts the kernel's runtime
+and its complete generic-quantity totals (FP instruction counts per ISA,
+memory instructions, per-level misses, DRAM bytes, package energy).
+
+The model is deliberately the same family of model CARM itself embodies —
+``t = max(t_compute, t_memory)`` with per-level bandwidths — so that CARM
+plots built from microbenchmark "measurements" of this machine and live
+application dots derived from its PMU streams are mutually consistent, which
+is the property Figs 8–9 rely on.
+"""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .kernel import KernelDescriptor, fp_quantity
+from .spec import ISA, MachineSpec
+
+__all__ = ["ExecutionProfile", "estimate_execution"]
+
+_LINE_BYTES = 64
+
+
+@dataclass
+class ExecutionProfile:
+    """Predicted behaviour of one kernel run.
+
+    ``per_thread`` maps generic quantity → per-hardware-thread total (the
+    run's work is assumed balanced across its threads); ``per_socket`` maps
+    socket id → {quantity: total} for package-scope quantities (energy).
+    """
+
+    runtime_s: float
+    per_thread: dict[str, float]
+    per_socket: dict[int, dict[str, float]]
+    level_traffic_bytes: dict[str, float]
+    bound: str  # "compute" | "memory"
+    power_watts: float
+
+
+def _placement(spec: MachineSpec, cpu_ids: list[int]) -> tuple[int, dict[int, int]]:
+    """(distinct physical cores, {socket: cores engaged}) for a pinning.
+
+    SMT siblings share their core's FP pipes and cache ports, and a socket's
+    shared levels only serve the cores actually placed on it — this is what
+    makes the balanced/compact pinning strategies (§IV) measurably differ.
+    """
+    cores = {spec.core_of_thread(c) for c in cpu_ids}
+    per_socket: dict[int, int] = {}
+    for core in cores:
+        sid = spec.socket_of_core(core)
+        per_socket[sid] = per_socket.get(sid, 0) + 1
+    return len(cores), per_socket
+
+
+def _effective_bandwidth_gbs(
+    spec: MachineSpec, level: str, n_cores: int, cores_per_socket_used: dict[int, int]
+) -> float:
+    """Sustainable bandwidth of a level for an explicit core placement."""
+    env = spec.envelope
+    per_socket_bw = env.level_bw_gbs[level]
+    if level in ("L1", "L2"):
+        return per_socket_bw * n_cores / spec.sockets[0].n_cores
+    t_sat = env.saturation_threads.get(level, spec.sockets[0].n_cores)
+    total = 0.0
+    for n in cores_per_socket_used.values():
+        total += per_socket_bw * min(1.0, (n / t_sat) ** 0.85)
+    return total
+
+
+def _compute_time(desc: KernelDescriptor, spec: MachineSpec, n_cores: int) -> float:
+    """Time to issue all FP instructions through the FMA pipes."""
+    core = spec.sockets[0].core
+    issue_rate = core.fma_units * core.max_freq_ghz * 1e9 * n_cores
+    fp_instr = sum(
+        desc.fp_instructions(isa, prec) for prec in ("dp", "sp") for isa in ISA
+    )
+    return fp_instr / issue_rate if fp_instr else 0.0
+
+
+def _memory_time(
+    traffic: dict[str, float],
+    spec: MachineSpec,
+    n_cores: int,
+    per_socket: dict[int, int],
+) -> float:
+    """Serial traversal of the memory hierarchy: each level's traffic at
+    that level's placement-aware sustainable bandwidth."""
+    t = 0.0
+    for level, byts in traffic.items():
+        if byts:
+            bw = _effective_bandwidth_gbs(spec, level, n_cores, per_socket)
+            t += byts / (bw * 1e9)
+    return t
+
+
+def _instruction_time(desc: KernelDescriptor, spec: MachineSpec, n_cores: int) -> float:
+    """Front-end bound: total retired instructions through a 4-wide issue.
+
+    This is what makes heavily scalar codes (Merge SpMV) slower than their
+    byte counts alone suggest.
+    """
+    core = spec.sockets[0].core
+    issue_rate = 4.0 * core.max_freq_ghz * 1e9 * n_cores
+    return desc.total_instructions / issue_rate
+
+
+def estimate_execution(
+    desc: KernelDescriptor,
+    spec: MachineSpec,
+    cpu_ids: list[int],
+    rng: np.random.Generator | None = None,
+    runtime_noise_std: float = 0.003,
+) -> ExecutionProfile:
+    """Predict runtime and quantity totals for ``desc`` on ``cpu_ids``.
+
+    ``runtime_noise_std`` is the lognormal run-to-run variation; Fig 5's
+    negative "overheads" exist because this variance exceeds the true
+    sampling overhead at low frequencies.
+    """
+    if not cpu_ids:
+        raise ValueError("kernel needs at least one hardware thread")
+    bad = [c for c in cpu_ids if not 0 <= c < spec.n_threads]
+    if bad:
+        raise ValueError(f"cpu ids {bad} out of range for {spec.hostname}")
+    n_threads = len(cpu_ids)
+    n_cores_used, per_socket = _placement(spec, cpu_ids)
+
+    locality = desc.resolve_locality(spec, n_threads)
+    traffic = {lvl: desc.bytes_total * frac for lvl, frac in locality.items()}
+
+    t_fp = _compute_time(desc, spec, n_cores_used)
+    t_mem = _memory_time(traffic, spec, n_cores_used, per_socket) / desc.mem_efficiency
+    t_issue = _instruction_time(desc, spec, n_cores_used)
+    runtime = max(t_fp, t_mem, t_issue, 1e-9)
+    bound = "compute" if max(t_fp, t_issue) >= t_mem else "memory"
+    if rng is not None and runtime_noise_std > 0:
+        runtime *= float(np.exp(rng.normal(0.0, runtime_noise_std)))
+
+    # ------------------------------------------------------------------
+    # Quantity totals.  Work is split evenly across the run's threads.
+    # ------------------------------------------------------------------
+    levels = [f"L{l}" for l in spec.cache_levels] + ["DRAM"]
+    # Bytes that missed level i = traffic homed at any level beyond i.
+    def beyond(level: str) -> float:
+        idx = levels.index(level)
+        return sum(traffic.get(l, 0.0) for l in levels[idx + 1 :])
+
+    l1_miss = beyond("L1") / _LINE_BYTES
+    l2_miss = beyond("L2") / _LINE_BYTES if "L2" in levels else 0.0
+    l3_miss = beyond("L3") / _LINE_BYTES if "L3" in levels else l2_miss
+    l3_access = l2_miss
+    l3_hit = max(0.0, l3_access - l3_miss)
+    dram_bytes = traffic.get("DRAM", 0.0)
+
+    totals: dict[str, float] = {
+        "instructions": desc.total_instructions,
+        "loads": desc.loads,
+        "stores": desc.stores,
+        "l1d_miss": l1_miss,
+        "l2_miss": l2_miss,
+        "l3_access": l3_access,
+        "l3_hit": l3_hit,
+        "l3_miss": l3_miss,
+        "dram_bytes": dram_bytes,
+    }
+    core = spec.sockets[0].core
+    # Every participating hardware thread's clock runs for the whole kernel,
+    # so cycles are per-thread * n_threads here (undone by the split below).
+    totals["cycles"] = runtime * core.max_freq_ghz * 1e9 * n_threads
+    for prec, table in (("dp", desc.flops_dp), ("sp", desc.flops_sp)):
+        for isa, flops in table.items():
+            if not flops:
+                continue
+            # FP_ARITH-style count: lanes per event increment, FMA counts 2.
+            lanes = isa.dp_lanes if prec == "dp" else isa.sp_lanes
+            totals[fp_quantity(isa, prec)] = flops / lanes
+    per_thread = {q: v / n_threads for q, v in totals.items()}
+
+    # ------------------------------------------------------------------
+    # Package power: idle + activity. Instruction throughput and DRAM
+    # pressure both raise power; scalar codes retire more instructions per
+    # byte, so they burn more (paper's Fig 7 discussion).
+    # ------------------------------------------------------------------
+    env = spec.envelope
+    n_cores_used = min(n_threads, spec.n_cores)
+    # Retired-instruction rate normalized to 1 instr/cycle/core: scalar
+    # codes retire far more instructions per byte, so they burn more power
+    # per unit of work — the paper's Fig 7 explanation for Merge's higher
+    # RAPL_POWER_PACKAGE.
+    instr_rate_norm = min(
+        1.0,
+        (desc.total_instructions / runtime) / (core.max_freq_ghz * 1e9 * spec.n_cores),
+    )
+    dram_norm = min(1.0, (dram_bytes / runtime) / (spec.bandwidth_gbs("DRAM", spec.n_threads) * 1e9))
+    core_frac = n_cores_used / spec.n_cores
+    util = 0.45 * core_frac + 0.40 * instr_rate_norm + 0.15 * dram_norm
+    power = env.rapl_idle_watts + (env.rapl_max_watts - env.rapl_idle_watts) * min(1.0, util)
+
+    sockets_used = sorted({spec.socket_of_core(spec.core_of_thread(c)) for c in cpu_ids})
+    per_socket: dict[int, dict[str, float]] = {}
+    delta_watts = max(0.0, power - env.rapl_idle_watts)
+    for sid in range(spec.n_sockets):
+        active = sid in sockets_used
+        watts = env.rapl_idle_watts + (delta_watts / len(sockets_used) if active else 0.0)
+        per_socket[sid] = {
+            "energy_pkg": watts * runtime,
+            "energy_dram": (dram_bytes / len(sockets_used) * 20e-9 if active else 0.0)
+            + 4.0 * runtime,
+        }
+
+    return ExecutionProfile(
+        runtime_s=runtime,
+        per_thread=per_thread,
+        per_socket=per_socket,
+        level_traffic_bytes=traffic,
+        bound=bound,
+        power_watts=power,
+    )

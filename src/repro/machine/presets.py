@@ -1,0 +1,250 @@
+"""Preset :class:`~repro.machine.spec.MachineSpec` instances for the four
+platforms of the paper's Table II (skx, icl, csl, zen3), plus a GPU-equipped
+node used to exercise the §III-D compute-device path (Listing 4's Quadro
+GV100).
+
+Cache sizes, core counts, frequencies, memory and OS strings match Table II;
+the performance envelopes (per-level bandwidth, peak power) are plausible
+published figures for the parts — the reproduction only relies on their
+*relative* shape (L1 > L2 > L3 > DRAM, skx DRAM ≫ icl DRAM, …).
+"""
+
+from __future__ import annotations
+
+from .spec import (
+    ISA,
+    CacheSpec,
+    CoreSpec,
+    DiskSpec,
+    GpuSpec,
+    MachineSpec,
+    NicSpec,
+    NumaNodeSpec,
+    PerfEnvelope,
+    PMUSpec,
+    SocketSpec,
+    Vendor,
+)
+
+__all__ = ["skx", "icl", "csl", "zen3", "gpu_node", "PRESETS", "get_preset"]
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+_INTEL_ISAS = (ISA.SCALAR, ISA.SSE, ISA.AVX2, ISA.AVX512)
+_AMD_ISAS = (ISA.SCALAR, ISA.SSE, ISA.AVX2)
+
+
+def _intel_caches(l1_kb: int, l2_kb: int, l3_mb: float, n_cores: int, smt: int) -> tuple[CacheSpec, ...]:
+    return (
+        CacheSpec(level=1, size_bytes=l1_kb * KB, shared_by=smt, kind="data", latency_cycles=4),
+        CacheSpec(level=1, size_bytes=32 * KB, shared_by=smt, kind="instruction", latency_cycles=4),
+        CacheSpec(level=2, size_bytes=l2_kb * KB, shared_by=smt, kind="unified", latency_cycles=14),
+        CacheSpec(
+            level=3,
+            size_bytes=int(l3_mb * MB),
+            shared_by=n_cores * smt,
+            associativity=11,
+            kind="unified",
+            latency_cycles=50,
+        ),
+    )
+
+
+def skx() -> MachineSpec:
+    """Table II skx: 2× Intel Xeon Gold 6152 (Skylake-X), 44c/88t, 1 TB."""
+    n_cores_per_socket, smt = 22, 2
+    core = CoreSpec(base_freq_ghz=2.1, max_freq_ghz=3.7, smt=smt, fma_units=2)
+    caches = _intel_caches(32, 1024, 30.25, n_cores_per_socket, smt)
+    sockets = tuple(
+        SocketSpec(socket_id=i, n_cores=n_cores_per_socket, core=core, caches=caches)
+        for i in range(2)
+    )
+    numa = tuple(
+        NumaNodeSpec(
+            node_id=i,
+            memory_bytes=512 * GB,
+            core_ids=tuple(range(i * 22, (i + 1) * 22)),
+        )
+        for i in range(2)
+    )
+    return MachineSpec(
+        hostname="skx",
+        os_name="Ubuntu 20.04.3 LTS x86_64",
+        kernel="5.15.0-73-generic",
+        cpu_model="Intel Xeon Gold 6152 @3.7GHz x2 (44c/88t)",
+        vendor=Vendor.INTEL,
+        uarch="skylakex",
+        sockets=sockets,
+        numa_nodes=numa,
+        memory_bytes=1024 * GB,
+        mem_type="DDR4",
+        mem_freq_mhz=2666,
+        isas=_INTEL_ISAS,
+        pmu=PMUSpec(n_programmable=4, n_fixed=3, uarch="skylakex"),
+        envelope=PerfEnvelope(
+            level_bw_gbs={"L1": 5900.0, "L2": 2500.0, "L3": 900.0, "DRAM": 115.0},
+            saturation_threads={"L3": 18, "DRAM": 10},
+            rapl_idle_watts=55.0,
+            rapl_max_watts=140.0,
+        ),
+        disks=(
+            DiskSpec("sda", "INTEL SSDSC2KB960G8", 960_197_124_096, write_bw_mbs=480),
+            DiskSpec("sdb", "ST4000NM0035", 4_000_787_030_016, rotational=True, write_bw_mbs=180),
+            DiskSpec("sdc", "ST4000NM0035", 4_000_787_030_016, rotational=True, write_bw_mbs=180),
+            DiskSpec("sdd", "ST4000NM0035", 4_000_787_030_016, rotational=True, write_bw_mbs=180),
+        ),
+        nics=(NicSpec("eno1", "Intel I350 Gigabit", bw_mbit=100.0),),
+    )
+
+
+def icl() -> MachineSpec:
+    """Table II icl: Intel i9-11900K (Ice Lake client), 8c/16t, 64 GB."""
+    n_cores, smt = 8, 2
+    core = CoreSpec(base_freq_ghz=3.5, max_freq_ghz=5.1, smt=smt, fma_units=2)
+    caches = _intel_caches(48, 512, 16.0, n_cores, smt)
+    sockets = (SocketSpec(socket_id=0, n_cores=n_cores, core=core, caches=caches),)
+    numa = (NumaNodeSpec(node_id=0, memory_bytes=64 * GB, core_ids=tuple(range(8))),)
+    return MachineSpec(
+        hostname="icl",
+        os_name="Linux Mint 21.1 x86_64",
+        kernel="5.15.0-56-generic",
+        cpu_model="Intel i9-11900K @5.1GHz (8c/16t)",
+        vendor=Vendor.INTEL,
+        uarch="icelake",
+        sockets=sockets,
+        numa_nodes=numa,
+        memory_bytes=64 * GB,
+        mem_type="DDR4",
+        mem_freq_mhz=2133,
+        isas=_INTEL_ISAS,
+        pmu=PMUSpec(n_programmable=4, n_fixed=3, uarch="icelake"),
+        envelope=PerfEnvelope(
+            level_bw_gbs={"L1": 3200.0, "L2": 1500.0, "L3": 520.0, "DRAM": 32.0},
+            saturation_threads={"L3": 8, "DRAM": 4},
+            rapl_idle_watts=18.0,
+            rapl_max_watts=125.0,
+        ),
+        disks=(DiskSpec("nvme0n1", "Samsung SSD 980 PRO 1TB", 1_000_204_886_016, write_bw_mbs=2500),),
+        nics=(NicSpec("enp5s0", "Intel I225-V 2.5GbE", bw_mbit=100.0),),
+    )
+
+
+def csl() -> MachineSpec:
+    """Table II csl: Intel Xeon Gold 6258R (Cascade Lake), 28c/56t, 64 GB."""
+    n_cores, smt = 28, 2
+    core = CoreSpec(base_freq_ghz=2.7, max_freq_ghz=4.0, smt=smt, fma_units=2)
+    caches = _intel_caches(32, 1024, 38.5, n_cores, smt)
+    sockets = (SocketSpec(socket_id=0, n_cores=n_cores, core=core, caches=caches),)
+    numa = (NumaNodeSpec(node_id=0, memory_bytes=64 * GB, core_ids=tuple(range(28))),)
+    return MachineSpec(
+        hostname="csl",
+        os_name="CentOS Linux release 7.9.2009 (Core) x86_64",
+        kernel="3.10.0-1160.90.1.el7.x86_64",
+        cpu_model="Intel Xeon Gold 6258R @2.7GHz (28c/56t)",
+        vendor=Vendor.INTEL,
+        uarch="cascadelake",
+        sockets=sockets,
+        numa_nodes=numa,
+        memory_bytes=64 * GB,
+        mem_type="DDR4",
+        mem_freq_mhz=3200,
+        isas=_INTEL_ISAS,
+        pmu=PMUSpec(n_programmable=4, n_fixed=3, uarch="cascadelake"),
+        envelope=PerfEnvelope(
+            level_bw_gbs={"L1": 5700.0, "L2": 2600.0, "L3": 1000.0, "DRAM": 140.0},
+            saturation_threads={"L3": 22, "DRAM": 12},
+            rapl_idle_watts=48.0,
+            rapl_max_watts=205.0,
+        ),
+        disks=(DiskSpec("sda", "SAMSUNG MZ7LH960", 960_197_124_096, write_bw_mbs=520),),
+        nics=(NicSpec("em1", "Broadcom NetXtreme BCM5720", bw_mbit=100.0),),
+    )
+
+
+def zen3() -> MachineSpec:
+    """Table II zen3: AMD EPYC 7313 (Zen3), 16c/32t, 128 GB."""
+    n_cores, smt = 16, 2
+    core = CoreSpec(base_freq_ghz=3.0, max_freq_ghz=3.7, smt=smt, fma_units=2)
+    caches = (
+        CacheSpec(level=1, size_bytes=32 * KB, shared_by=smt, kind="data", latency_cycles=4),
+        CacheSpec(level=1, size_bytes=32 * KB, shared_by=smt, kind="instruction", latency_cycles=4),
+        CacheSpec(level=2, size_bytes=512 * KB, shared_by=smt, kind="unified", latency_cycles=12),
+        # 4 CCXs of 32 MB each; shared_by counts threads per CCX instance.
+        CacheSpec(level=3, size_bytes=32 * MB, shared_by=8, associativity=16, kind="unified", latency_cycles=46),
+    )
+    sockets = (SocketSpec(socket_id=0, n_cores=n_cores, core=core, caches=caches),)
+    numa = (NumaNodeSpec(node_id=0, memory_bytes=128 * GB, core_ids=tuple(range(16))),)
+    return MachineSpec(
+        hostname="zen3",
+        os_name="Ubuntu 22.04.3 LTS x86_64",
+        kernel="6.2.0-33-generic",
+        cpu_model="AMD EPYC 7313 @3GHz (16c/32t)",
+        vendor=Vendor.AMD,
+        uarch="zen3",
+        sockets=sockets,
+        numa_nodes=numa,
+        memory_bytes=128 * GB,
+        mem_type="DDR4",
+        mem_freq_mhz=2933,
+        isas=_AMD_ISAS,
+        # The paper: "AMD has two internal counters, one for each sampling
+        # flag" — so multi-event sampling on zen3 multiplexes.
+        pmu=PMUSpec(n_programmable=2, n_fixed=0, uarch="zen3", overcount_ppm=450.0, jitter_ppm=220.0),
+        envelope=PerfEnvelope(
+            level_bw_gbs={"L1": 2700.0, "L2": 1350.0, "L3": 820.0, "DRAM": 170.0},
+            saturation_threads={"L3": 12, "DRAM": 8},
+            rapl_idle_watts=42.0,
+            rapl_max_watts=155.0,
+        ),
+        disks=(DiskSpec("nvme0n1", "WDC WDS100T1X0E", 1_000_204_886_016, write_bw_mbs=3200),),
+        nics=(NicSpec("enp65s0", "Intel X550T 10GbE", bw_mbit=100.0),),
+    )
+
+
+def gpu_node() -> MachineSpec:
+    """A csl-like node carrying the Quadro GV100 of Listing 4 (cn1)."""
+    base = csl()
+    gpu = GpuSpec(
+        index=0,
+        model="NVIDIA Quadro GV100",
+        memory_mb=34359,
+        n_sms=80,
+        shared_mem_per_block_kb=48,
+        l2_cache_kb=6144,
+        numa_node=0,
+        bus_id="0000:3B:00.0",
+        compute_capability="7.0",
+        base_clock_mhz=1132,
+    )
+    return MachineSpec(
+        hostname="cn1",
+        os_name=base.os_name,
+        kernel=base.kernel,
+        cpu_model=base.cpu_model,
+        vendor=base.vendor,
+        uarch=base.uarch,
+        sockets=base.sockets,
+        numa_nodes=base.numa_nodes,
+        memory_bytes=base.memory_bytes,
+        mem_type=base.mem_type,
+        mem_freq_mhz=base.mem_freq_mhz,
+        isas=base.isas,
+        pmu=base.pmu,
+        envelope=base.envelope,
+        disks=base.disks,
+        nics=base.nics,
+        gpus=(gpu,),
+    )
+
+
+PRESETS = {"skx": skx, "icl": icl, "csl": csl, "zen3": zen3, "cn1": gpu_node}
+
+
+def get_preset(name: str) -> MachineSpec:
+    """Build the named preset; raises ``KeyError`` with the known names."""
+    try:
+        return PRESETS[name]()
+    except KeyError:
+        raise KeyError(f"unknown preset {name!r}; known: {sorted(PRESETS)}") from None

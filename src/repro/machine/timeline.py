@@ -1,0 +1,106 @@
+"""Piecewise-constant event-rate timelines.
+
+Every simulated execution lays down *segments*: on a scope (a hardware
+thread, a socket, or the whole node), over an interval ``[t0, t1)``, a set of
+generic quantities accrues at a constant rate.  PMU counters and PCP
+samplers then *integrate* these rates over their own sampling windows —
+which is precisely how a real counter behaves (it accumulates continuously;
+software observes differences between reads).
+
+Scopes are ``("cpu", id)`` for hardware threads, ``("socket", id)`` for
+package-level quantities (RAPL energy), and ``("node", 0)`` for system-wide
+software state.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from collections.abc import Iterable, Mapping
+
+__all__ = ["Scope", "Timeline"]
+
+Scope = tuple[str, int]
+
+
+class Timeline:
+    """Append-mostly store of rate segments, queryable by integration.
+
+    Segments may overlap freely (e.g. background OS activity plus a kernel
+    run on the same cpu); integration sums contributions.  Per (scope,
+    quantity) the segments are kept sorted by start time so integration is a
+    bisect plus a short scan.
+    """
+
+    def __init__(self) -> None:
+        # (scope, quantity) -> sorted list of (t0, t1, rate)
+        self._segs: dict[tuple[Scope, str], list[tuple[float, float, float]]] = defaultdict(list)
+        self._starts: dict[tuple[Scope, str], list[float]] = defaultdict(list)
+
+    def add_rate(self, scope: Scope, quantity: str, t0: float, t1: float, rate: float) -> None:
+        """Accrue ``quantity`` on ``scope`` at ``rate`` per second over [t0, t1)."""
+        if t1 < t0:
+            raise ValueError(f"segment ends before it starts: [{t0}, {t1})")
+        if t1 == t0 or rate == 0.0:
+            return
+        key = (scope, quantity)
+        idx = bisect.bisect_left(self._starts[key], t0)
+        self._starts[key].insert(idx, t0)
+        self._segs[key].insert(idx, (t0, t1, rate))
+
+    def add_total(self, scope: Scope, quantity: str, t0: float, t1: float, total: float) -> None:
+        """Accrue ``total`` units of ``quantity`` uniformly over [t0, t1)."""
+        if t1 <= t0:
+            if total:
+                raise ValueError("cannot deposit a nonzero total on an empty interval")
+            return
+        self.add_rate(scope, quantity, t0, t1, total / (t1 - t0))
+
+    def integrate(self, scope: Scope, quantity: str, t0: float, t1: float) -> float:
+        """Total amount of ``quantity`` accrued on ``scope`` during [t0, t1)."""
+        if t1 < t0:
+            raise ValueError("integration window reversed")
+        key = (scope, quantity)
+        segs = self._segs.get(key)
+        if not segs:
+            return 0.0
+        total = 0.0
+        # Segments are sorted by start; any overlapping segment starts
+        # before t1.
+        hi = bisect.bisect_right(self._starts[key], t1)
+        for s0, s1, rate in segs[:hi]:
+            lo_clip = max(s0, t0)
+            hi_clip = min(s1, t1)
+            if hi_clip > lo_clip:
+                total += rate * (hi_clip - lo_clip)
+        return total
+
+    def integrate_many(
+        self, scopes: Iterable[Scope], quantity: str, t0: float, t1: float
+    ) -> float:
+        return sum(self.integrate(s, quantity, t0, t1) for s in scopes)
+
+    def rate_at(self, scope: Scope, quantity: str, t: float) -> float:
+        """Instantaneous accrual rate at time ``t``."""
+        key = (scope, quantity)
+        segs = self._segs.get(key)
+        if not segs:
+            return 0.0
+        hi = bisect.bisect_right(self._starts[key], t)
+        return sum(rate for s0, s1, rate in segs[:hi] if s0 <= t < s1)
+
+    def quantities(self, scope: Scope) -> set[str]:
+        """All quantity names that ever accrued on ``scope``."""
+        return {q for (s, q) in self._segs if s == scope}
+
+    def bulk_add(
+        self,
+        scope: Scope,
+        totals: Mapping[str, float],
+        t0: float,
+        t1: float,
+    ) -> None:
+        """Deposit several quantities uniformly over the same interval."""
+        for quantity, total in totals.items():
+            if total:
+                self.add_total(scope, quantity, t0, t1, total)

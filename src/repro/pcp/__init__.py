@@ -1,0 +1,34 @@
+"""Performance Co-Pilot substrate: metric namespace, agents (PMDAs), the
+pmcd collector, the host-target transport model, and the unbuffered
+sampling loop whose loss behaviour Table III measures."""
+
+from .agents import Agent, AgentCosts, PmdaLinux, PmdaNvidia, PmdaPerfevent, PmdaProc
+from .pmcd import Pmcd, Report
+from .pmns import (
+    instance_field,
+    measurement_to_metric,
+    metric_to_measurement,
+    perfevent_metric,
+    sanitize_event,
+)
+from .sampler import Sampler, SamplingStats
+from .transport import TransportModel
+
+__all__ = [
+    "Agent",
+    "AgentCosts",
+    "Pmcd",
+    "PmdaLinux",
+    "PmdaNvidia",
+    "PmdaPerfevent",
+    "PmdaProc",
+    "Report",
+    "Sampler",
+    "SamplingStats",
+    "TransportModel",
+    "instance_field",
+    "measurement_to_metric",
+    "metric_to_measurement",
+    "perfevent_metric",
+    "sanitize_event",
+]

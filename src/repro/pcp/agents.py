@@ -1,0 +1,202 @@
+"""PCP metric agents (PMDAs) and their resource-cost models.
+
+The paper's Fig 6 measures four agents on the target system:
+
+- ``pmcd`` — manages other agents and reports their readings;
+- ``pmdaperfevent`` — samples PMUs via the Linux perf interface;
+- ``pmdalinux`` — software-sourced system state (memory, CPU times);
+- ``pmdaproc`` — per-process metrics, with a much larger instance domain
+  (hence its larger, but still constant, memory footprint).
+
+Each agent here produces metric values from the simulated machine *and*
+accounts its own CPU time per fetch, constant RSS, and bytes shipped —
+exactly the quantities Fig 6 plots.  Counter-type values are reported as
+window deltas (the sampler records the window), which is what P-MoVE's
+dashboards chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.activity import SW_METRICS, SoftwareState
+from repro.pmu.counters import PMU
+
+from .pmns import instance_field, perfevent_metric
+
+__all__ = ["AgentCosts", "Agent", "PmdaLinux", "PmdaPerfevent", "PmdaProc", "PmdaNvidia"]
+
+
+@dataclass
+class AgentCosts:
+    """Accumulated resource usage of one agent (Fig 6 quantities)."""
+
+    cpu_seconds: float = 0.0
+    fetches: int = 0
+    values_served: int = 0
+    rss_kb: float = 0.0
+
+    def charge(self, n_values: int, cpu_per_fetch: float, cpu_per_value: float) -> None:
+        self.fetches += 1
+        self.values_served += n_values
+        self.cpu_seconds += cpu_per_fetch + cpu_per_value * n_values
+
+
+class Agent:
+    """Base PMDA: metric ownership, fetch, and cost accounting."""
+
+    #: Fixed CPU cost per fetch round-trip (IPC with pmcd) and per value.
+    cpu_per_fetch = 40e-6
+    cpu_per_value = 6e-6
+    rss_kb = 6_000.0
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.costs = AgentCosts(rss_kb=self.rss_kb)
+
+    def metrics(self) -> list[str]:
+        raise NotImplementedError
+
+    def owns(self, metric: str) -> bool:
+        raise NotImplementedError
+
+    def fetch(self, metric: str, t0: float, t1: float) -> dict[str, float]:
+        """Return {influx field name: value} for one metric over a window."""
+        values = self._fetch(metric, t0, t1)
+        self.costs.charge(len(values), self.cpu_per_fetch, self.cpu_per_value)
+        return values
+
+    def _fetch(self, metric: str, t0: float, t1: float) -> dict[str, float]:
+        raise NotImplementedError
+
+
+class PmdaLinux(Agent):
+    """Software system-state metrics from /proc (SWTelemetry)."""
+
+    rss_kb = 9_200.0
+    cpu_per_value = 4e-6  # /proc reads are cheap
+
+    def __init__(self, state: SoftwareState) -> None:
+        super().__init__("pmdalinux")
+        self.state = state
+
+    def metrics(self) -> list[str]:
+        return sorted(SW_METRICS)
+
+    def owns(self, metric: str) -> bool:
+        return metric in SW_METRICS
+
+    def _fetch(self, metric: str, t0: float, t1: float) -> dict[str, float]:
+        semantics = SW_METRICS[metric][1]
+        out: dict[str, float] = {}
+        for inst in self.state.instances(metric):
+            if semantics == "counter":
+                v = self.state.value(metric, inst, t1) - self.state.value(metric, inst, t0)
+            else:
+                v = self.state.value(metric, inst, t1)
+            out[instance_field(inst)] = v
+        return out
+
+
+class PmdaPerfevent(Agent):
+    """PMU sampling via the perf interface (HWTelemetry).
+
+    Must be configured (counter programming) before fetching; PCP's
+    perfevent does the same through its event configuration file — which is
+    what P-MoVE's Abstraction Layer writes (§IV-A).
+    """
+
+    rss_kb = 5_800.0
+    cpu_per_value = 9e-6  # perf syscalls cost more than /proc reads
+
+    def __init__(self, pmu: PMU) -> None:
+        super().__init__("pmdaperfevent")
+        self.pmu = pmu
+        self._configured: list[str] = []
+
+    def configure(self, events: list[str], cpus: list[int] | None = None) -> None:
+        self.pmu.program(events, cpus=cpus)
+        self._configured = list(events)
+
+    @property
+    def configured_events(self) -> list[str]:
+        return list(self._configured)
+
+    def metrics(self) -> list[str]:
+        return [perfevent_metric(e) for e in self._configured]
+
+    def owns(self, metric: str) -> bool:
+        return metric.startswith("perfevent.")
+
+    def _event_for(self, metric: str) -> str:
+        for e in self._configured:
+            if perfevent_metric(e) == metric:
+                return e
+        raise KeyError(f"perfevent metric {metric!r} not configured")
+
+    def _fetch(self, metric: str, t0: float, t1: float) -> dict[str, float]:
+        event = self._event_for(metric)
+        vals = self.pmu.read_all_cpus(event, t0, t1)
+        return {instance_field(f"cpu{c}"): v for c, v in vals.items()}
+
+
+class PmdaProc(Agent):
+    """Per-process metrics.  The instance domain is every process on the
+    system, which is why this agent's (constant) memory footprint dwarfs
+    the others in Fig 6.  P-MoVE itself uses 0 per-process metrics (§V-B);
+    the agent exists because a default PCP install runs it."""
+
+    rss_kb = 35_000.0
+    cpu_per_value = 3e-6
+
+    _METRICS = ("proc.psinfo.utime", "proc.psinfo.stime", "proc.psinfo.rss")
+
+    def __init__(self, state: SoftwareState, n_processes: int = 220) -> None:
+        super().__init__("pmdaproc")
+        self.state = state
+        self.n_processes = n_processes
+
+    def metrics(self) -> list[str]:
+        return list(self._METRICS)
+
+    def owns(self, metric: str) -> bool:
+        return metric.startswith("proc.")
+
+    def _fetch(self, metric: str, t0: float, t1: float) -> dict[str, float]:
+        # A stable synthetic process table: pid -> deterministic share of
+        # system activity.  Process 1..n split the machine's busy time.
+        nproc = self.n_processes
+        busy_ms = sum(
+            self.state.value("kernel.percpu.cpu.user", f"cpu{c}", t1)
+            - self.state.value("kernel.percpu.cpu.user", f"cpu{c}", t0)
+            for c in range(min(4, self.state.spec.n_threads))
+        )
+        out: dict[str, float] = {}
+        for pid in range(1, nproc + 1):
+            if metric == "proc.psinfo.rss":
+                v = 2_000.0 + (pid % 17) * 800.0
+            elif metric == "proc.psinfo.utime":
+                v = busy_ms * (1.0 / nproc)
+            else:  # stime
+                v = busy_ms * (0.1 / nproc)
+            out[instance_field(f"{pid:06d} proc{pid}")] = v
+        return out
+
+
+class PmdaNvidia(Agent):
+    """NVML metrics via pcp-pmda-nvidia (§III-D SWTelemetry)."""
+
+    rss_kb = 7_500.0
+
+    def __init__(self, sampler) -> None:  # repro.gpu.NvmlSampler
+        super().__init__("pmdanvidia")
+        self.sampler = sampler
+
+    def metrics(self) -> list[str]:
+        return self.sampler.metrics()
+
+    def owns(self, metric: str) -> bool:
+        return metric.startswith("nvidia.")
+
+    def _fetch(self, metric: str, t0: float, t1: float) -> dict[str, float]:
+        return {instance_field(f"gpu{self.sampler.gpu.spec.index}"): self.sampler.value(metric, t1)}

@@ -1,0 +1,91 @@
+"""``pmcd`` — the PCP collector daemon on the target.
+
+pmcd "manages other agents and reports their readings" (§V-B): a fetch
+request for a set of metrics is routed to the owning agents, the results are
+flattened into one report, and pmcd charges its own (small) per-value CPU
+cost for marshalling.  The report is what the transport ships to the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .agents import Agent, AgentCosts
+
+__all__ = ["Report", "Pmcd"]
+
+
+@dataclass
+class Report:
+    """One fetch result: every (metric, field) value at one timestamp."""
+
+    time: float
+    window: tuple[float, float]
+    values: dict[str, dict[str, float]]  # metric -> {field: value}
+
+    @property
+    def n_points(self) -> int:
+        return sum(len(v) for v in self.values.values())
+
+    def zeroed(self) -> "Report":
+        """The same report with every value zeroed — what a stalled
+        perfevent snapshot delivers (the 'batched zeros' of §V-A)."""
+        return Report(
+            time=self.time,
+            window=self.window,
+            values={m: {f: 0.0 for f in fields} for m, fields in self.values.items()},
+        )
+
+
+class Pmcd:
+    """Routes fetches to agents and accounts its own cost."""
+
+    cpu_per_fetch = 60e-6
+    cpu_per_value = 2e-6
+    rss_kb = 8_400.0
+
+    def __init__(self, agents: list[Agent]) -> None:
+        if not agents:
+            raise ValueError("pmcd needs at least one agent")
+        names = [a.name for a in agents]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate agent names")
+        self.agents = list(agents)
+        self.costs = AgentCosts(rss_kb=self.rss_kb)
+
+    def agent(self, name: str) -> Agent:
+        for a in self.agents:
+            if a.name == name:
+                return a
+        raise KeyError(f"no agent named {name!r}")
+
+    def _route(self, metric: str) -> Agent:
+        for a in self.agents:
+            if a.owns(metric):
+                return a
+        raise KeyError(f"no agent owns metric {metric!r}")
+
+    def available_metrics(self) -> list[str]:
+        out: list[str] = []
+        for a in self.agents:
+            out.extend(a.metrics())
+        return sorted(out)
+
+    def fetch(self, metrics: list[str], t0: float, t1: float) -> Report:
+        """Fetch a metric set over a window into one report."""
+        if not metrics:
+            raise ValueError("empty metric list")
+        if t1 < t0:
+            raise ValueError("fetch window reversed")
+        values: dict[str, dict[str, float]] = {}
+        for m in metrics:
+            values[m] = self._route(m).fetch(m, t0, t1)
+        report = Report(time=t1, window=(t0, t1), values=values)
+        self.costs.charge(report.n_points, self.cpu_per_fetch, self.cpu_per_value)
+        return report
+
+    def resource_usage(self) -> dict[str, AgentCosts]:
+        """Per-agent accumulated costs, pmcd included (Fig 6 data)."""
+        out = {a.name: a.costs for a in self.agents}
+        out["pmcd"] = self.costs
+        return out

@@ -1,0 +1,62 @@
+"""PCP metric namespace (PMNS) helpers.
+
+PCP metrics are dotted names (``kernel.percpu.cpu.idle``,
+``perfevent.hwcounters.FP_ARITH_SCALAR_DOUBLE.value``).  InfluxDB
+measurement names replace the dots with underscores — which is why the
+paper's Listing 1 dashboard targets measurements like
+``perfevent_hwcounters_FP_ARITH_SCALAR_SINGLE_value``.  This module owns
+those naming conventions so every layer (agents, samplers, dashboards,
+query generation) agrees on them.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "perfevent_metric",
+    "metric_to_measurement",
+    "measurement_to_metric",
+    "instance_field",
+    "sanitize_event",
+]
+
+
+def sanitize_event(event: str) -> str:
+    """PMU event name → PMNS-safe token (``FP_ARITH:SCALAR_DOUBLE`` →
+    ``FP_ARITH_SCALAR_DOUBLE``)."""
+    if not event:
+        raise ValueError("empty event name")
+    return event.replace(":", "_").replace(".", "_")
+
+
+def perfevent_metric(event: str) -> str:
+    """PMU event name → pmdaperfevent metric name."""
+    return f"perfevent.hwcounters.{sanitize_event(event)}.value"
+
+
+def metric_to_measurement(metric: str) -> str:
+    """PCP metric name → InfluxDB measurement name (Listing 1 convention)."""
+    if not metric:
+        raise ValueError("empty metric name")
+    return metric.replace(".", "_")
+
+
+def measurement_to_metric(measurement: str) -> str:
+    """Best-effort inverse of :func:`metric_to_measurement` for perfevent
+    and kernel metrics (used when reconstructing queries from dashboards).
+
+    The mapping is not injective in general (event names may contain
+    underscores); perfevent measurements are reconstructed structurally.
+    """
+    if measurement.startswith("perfevent_hwcounters_") and measurement.endswith("_value"):
+        inner = measurement[len("perfevent_hwcounters_") : -len("_value")]
+        return f"perfevent.hwcounters.{inner}.value"
+    return measurement.replace("_", ".")
+
+
+def instance_field(instance: str) -> str:
+    """PCP instance name → Influx field name (``cpu0`` → ``_cpu0``).
+
+    The leading underscore is the paper's convention (Listings 2–3 select
+    fields ``"_cpu0"``, ``"_node1"``...).  Singleton metrics use ``_value``.
+    """
+    return f"_{instance}" if instance else "_value"

@@ -1,0 +1,38 @@
+"""PMU substrate: per-microarchitecture event catalogs (the libpfm4
+substitute), programmable counters with real slot limits and multiplexing,
+the Weaver-style noise model, and the paper's Abstraction Layer (§IV-A)."""
+
+from .abstraction import (
+    COMMON_EVENTS,
+    DEFAULT_CONFIGS,
+    TABLE1_EVENTS,
+    AbstractionLayer,
+    UnsupportedEventError,
+    pmu_utils,
+)
+from .counters import PMU, CounterAllocationError, CounterSession
+from .events import CATALOGS, EventCatalog, EventDef, UnknownEventError, catalog_for
+from .formulas import Formula, FormulaError, evaluate, tokenize
+from .noise import NoiseModel
+
+__all__ = [
+    "CATALOGS",
+    "COMMON_EVENTS",
+    "DEFAULT_CONFIGS",
+    "PMU",
+    "TABLE1_EVENTS",
+    "AbstractionLayer",
+    "CounterAllocationError",
+    "CounterSession",
+    "EventCatalog",
+    "EventDef",
+    "Formula",
+    "FormulaError",
+    "NoiseModel",
+    "UnknownEventError",
+    "UnsupportedEventError",
+    "catalog_for",
+    "evaluate",
+    "pmu_utils",
+    "tokenize",
+]

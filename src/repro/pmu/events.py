@@ -1,0 +1,218 @@
+"""PMU event catalogs — the libpfm4 substitute.
+
+libpfm4 "can recognize model-specific registers (and events) of virtually
+every x86 and ARM processor on the market" (§III-C).  Here, each supported
+microarchitecture gets a catalog of :class:`EventDef` entries mapping the
+vendor's event names onto the simulator's generic quantities.  An event's
+value is a linear combination of quantities (``terms``), which expresses
+things like AMD's ``RETIRED_SSE_AVX_FLOPS:ANY`` counting *FLOPs* while
+Intel's ``FP_ARITH`` events count *instructions* per width class.
+
+Catalog keys are the ``PMUSpec.uarch`` strings of the machine presets:
+``skylakex``, ``cascadelake``, ``icelake``, ``zen3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EventDef", "EventCatalog", "catalog_for", "CATALOGS", "UnknownEventError"]
+
+
+class UnknownEventError(KeyError):
+    """Raised when an event name is not in a microarchitecture's catalog."""
+
+
+@dataclass(frozen=True)
+class EventDef:
+    """One hardware event.
+
+    ``terms`` maps generic quantity names to scale factors: the event's true
+    value over a window is ``sum(scale * quantity_integral)``.  ``scope`` is
+    ``"cpu"`` for core events and ``"socket"`` for uncore/RAPL events.
+    ``fixed`` events live on fixed counters and never consume programmable
+    slots (Intel has 3; AMD none in this model — §IV-A).
+    """
+
+    name: str
+    terms: dict[str, float]
+    scope: str = "cpu"
+    fixed: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.scope not in ("cpu", "socket"):
+            raise ValueError(f"bad scope {self.scope!r}")
+        if not self.terms:
+            raise ValueError(f"event {self.name} has no quantity terms")
+
+
+class EventCatalog:
+    """All events one microarchitecture's PMU can count."""
+
+    def __init__(self, uarch: str, vendor: str, events: list[EventDef]) -> None:
+        self.uarch = uarch
+        self.vendor = vendor
+        self._events = {e.name: e for e in events}
+        if len(self._events) != len(events):
+            raise ValueError("duplicate event names in catalog")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def get(self, name: str) -> EventDef:
+        try:
+            return self._events[name]
+        except KeyError:
+            raise UnknownEventError(
+                f"{self.uarch} PMU has no event {name!r}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._events)
+
+    def core_events(self) -> list[str]:
+        return sorted(n for n, e in self._events.items() if e.scope == "cpu")
+
+    def socket_events(self) -> list[str]:
+        return sorted(n for n, e in self._events.items() if e.scope == "socket")
+
+
+# ----------------------------------------------------------------------
+# Intel catalogs.  Skylake-X / Cascade Lake / Ice Lake share the FP_ARITH /
+# MEM_INST_RETIRED scheme; Ice Lake renames a couple of uncore events but
+# the subset P-MoVE uses is stable across the three.
+# ----------------------------------------------------------------------
+
+
+def _intel_events() -> list[EventDef]:
+    evs = [
+        EventDef("UNHALTED_CORE_CYCLES", {"cycles": 1.0}, fixed=True,
+                 description="Core cycles while not halted"),
+        EventDef("UNHALTED_REFERENCE_CYCLES", {"cycles": 0.7}, fixed=True,
+                 description="Reference (TSC-rate) cycles while not halted"),
+        EventDef("INSTRUCTION_RETIRED", {"instructions": 1.0}, fixed=True,
+                 description="Instructions retired"),
+        EventDef("INSTRUCTIONS_RETIRED", {"instructions": 1.0}, fixed=True,
+                 description="Alias of INSTRUCTION_RETIRED"),
+        EventDef("UOPS_DISPATCHED", {"instructions": 1.25},
+                 description="Micro-ops dispatched to execution ports"),
+        EventDef("BRANCH_INSTRUCTIONS_RETIRED", {"instructions": 0.12},
+                 description="Retired branch instructions"),
+        # FP_ARITH_INST_RETIRED family: counts instructions per width class
+        # (FMA counts double) — this is what live-CARM inverts into GFLOPS.
+        EventDef("FP_ARITH:SCALAR_DOUBLE", {"fp_dp_scalar": 1.0},
+                 description="Retired scalar DP FP instructions (FMA=2)"),
+        EventDef("FP_ARITH:SCALAR_SINGLE", {"fp_sp_scalar": 1.0},
+                 description="Retired scalar SP FP instructions (FMA=2)"),
+        EventDef("FP_ARITH:128B_PACKED_DOUBLE", {"fp_dp_sse": 1.0},
+                 description="Retired 128-bit packed DP FP instructions"),
+        EventDef("FP_ARITH:128B_PACKED_SINGLE", {"fp_sp_sse": 1.0},
+                 description="Retired 128-bit packed SP FP instructions"),
+        EventDef("FP_ARITH:256B_PACKED_DOUBLE", {"fp_dp_avx2": 1.0},
+                 description="Retired 256-bit packed DP FP instructions"),
+        EventDef("FP_ARITH:256B_PACKED_SINGLE", {"fp_sp_avx2": 1.0},
+                 description="Retired 256-bit packed SP FP instructions"),
+        EventDef("FP_ARITH:512B_PACKED_DOUBLE", {"fp_dp_avx512": 1.0},
+                 description="Retired 512-bit packed DP FP instructions"),
+        EventDef("FP_ARITH:512B_PACKED_SINGLE", {"fp_sp_avx512": 1.0},
+                 description="Retired 512-bit packed SP FP instructions"),
+        EventDef("MEM_INST_RETIRED:ALL_LOADS", {"loads": 1.0},
+                 description="Retired load instructions"),
+        EventDef("MEM_INST_RETIRED:ALL_STORES", {"stores": 1.0},
+                 description="Retired store instructions"),
+        EventDef("MEM_UOPS_RETIRED:ALL_LOADS", {"loads": 1.02},
+                 description="Retired load uops"),
+        EventDef("MEM_UOPS_RETIRED:ALL_STORES", {"stores": 1.02},
+                 description="Retired store uops"),
+        EventDef("L1D:REPLACEMENT", {"l1d_miss": 1.0},
+                 description="L1D lines replaced (fill-side miss proxy)"),
+        EventDef("L2_RQSTS:MISS", {"l2_miss": 1.0},
+                 description="L2 requests that missed"),
+        EventDef("L2_RQSTS:REFERENCES", {"l1d_miss": 1.0},
+                 description="All L2 requests (= L1D misses reaching L2)"),
+        EventDef("LONGEST_LAT_CACHE:MISS", {"l3_miss": 1.0},
+                 description="LLC misses"),
+        EventDef("LONGEST_LAT_CACHE:REFERENCE", {"l3_access": 1.0},
+                 description="LLC references"),
+        # RAPL: per-socket energy, reported in joules by the perfevent
+        # agent (libpfm4 exposes the 2^-32 J scale; pre-scaled here).
+        EventDef("RAPL_ENERGY_PKG", {"energy_pkg": 1.0}, scope="socket",
+                 description="Package energy (J)"),
+        EventDef("RAPL_ENERGY_DRAM", {"energy_dram": 1.0}, scope="socket",
+                 description="DRAM energy (J)"),
+    ]
+    return evs
+
+
+def _zen3_events() -> list[EventDef]:
+    return [
+        EventDef("CYCLES_NOT_IN_HALT", {"cycles": 1.0},
+                 description="Core cycles not in halt"),
+        EventDef("RETIRED_INSTRUCTIONS", {"instructions": 1.0},
+                 description="Instructions retired"),
+        EventDef("RETIRED_UOPS", {"instructions": 1.3},
+                 description="Micro-ops retired"),
+        EventDef("RETIRED_BRANCH_INSTRUCTIONS", {"instructions": 0.12},
+                 description="Retired branch instructions"),
+        # Zen counts FLOPs directly (not instructions): MacOp FLOP count.
+        EventDef(
+            "RETIRED_SSE_AVX_FLOPS:ANY",
+            {
+                "fp_dp_scalar": 1.0,
+                "fp_dp_sse": 2.0,
+                "fp_dp_avx2": 4.0,
+                "fp_sp_scalar": 1.0,
+                "fp_sp_sse": 4.0,
+                "fp_sp_avx2": 8.0,
+            },
+            description="All retired SSE/AVX FLOPs (FMA counts 2 per lane)",
+        ),
+        EventDef("RETIRED_SSE_AVX_FLOPS:ADD_SUB_FLOPS", {"fp_dp_scalar": 0.4, "fp_dp_avx2": 1.6},
+                 description="Retired add/sub FLOPs (approximate split)"),
+        EventDef("RETIRED_SSE_AVX_FLOPS:MULT_FLOPS", {"fp_dp_scalar": 0.4, "fp_dp_avx2": 1.6},
+                 description="Retired multiply FLOPs (approximate split)"),
+        EventDef("LS_DISPATCH:LD_DISPATCH", {"loads": 1.0},
+                 description="Load operations dispatched"),
+        EventDef("LS_DISPATCH:STORE_DISPATCH", {"stores": 1.0},
+                 description="Store operations dispatched"),
+        EventDef("MEM_UOPS:LOADS", {"loads": 1.0},
+                 description="Load uops (alias used by the paper's Fig 4 setup)"),
+        EventDef("MEM_UOPS:STORES", {"stores": 1.0},
+                 description="Store uops (alias used by the paper's Fig 4 setup)"),
+        EventDef("L1_DATA_CACHE_REFILLS:ALL", {"l1d_miss": 1.0},
+                 description="L1D refills from L2 or beyond"),
+        EventDef("L2_CACHE_MISS_FROM_DC_MISS", {"l2_miss": 1.0},
+                 description="L2 misses from demand data"),
+        # Table I: AMD expresses L3 hits via LONGEST_LAT_CACHE events.
+        EventDef("LONGEST_LAT_CACHE:MISS", {"l3_miss": 1.0},
+                 description="LLC (CCX L3) misses"),
+        EventDef("LONGEST_LAT_CACHE:RETIRED", {"l3_hit": 1.0},
+                 description="LLC accesses that hit (retired)"),
+        EventDef("RAPL_ENERGY_PKG", {"energy_pkg": 1.0}, scope="socket",
+                 description="Package energy (J)"),
+        EventDef("RAPL_ENERGY_DRAM", {"energy_dram": 1.0}, scope="socket",
+                 description="DRAM energy (J)"),
+    ]
+
+
+CATALOGS: dict[str, EventCatalog] = {
+    "skylakex": EventCatalog("skylakex", "GenuineIntel", _intel_events()),
+    "cascadelake": EventCatalog("cascadelake", "GenuineIntel", _intel_events()),
+    "icelake": EventCatalog("icelake", "GenuineIntel", _intel_events()),
+    "zen3": EventCatalog("zen3", "AuthenticAMD", _zen3_events()),
+}
+
+
+def catalog_for(uarch: str) -> EventCatalog:
+    """Catalog for a microarchitecture key (see ``PMUSpec.uarch``)."""
+    try:
+        return CATALOGS[uarch]
+    except KeyError:
+        raise UnknownEventError(
+            f"no PMU catalog for microarchitecture {uarch!r}; "
+            f"known: {sorted(CATALOGS)}"
+        ) from None

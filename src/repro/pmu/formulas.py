@@ -1,0 +1,140 @@
+"""Event formula expressions for the Abstraction Layer.
+
+The paper's configuration grammar (§IV-A)::
+
+    [pmu_name | alias]
+    <generic_event>:<hardware_event_1> [op]
+    [op] : ((+|-|*|/) (<hw_event> | <const>)) [op]
+
+A formula is a chain of hardware-event names and numeric constants combined
+with ``+ - * /``.  ``pmu_utils.get`` returns the token list form (exactly
+the paper's example output); :func:`evaluate` computes a value given a
+resolver for hardware-event readings.  Evaluation honours standard operator
+precedence (``* /`` over ``+ -``), which coincides with the chain semantics
+for the homogeneous-operator formulas the paper shows and is well-defined
+for mixed ones.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable
+
+__all__ = ["tokenize", "Formula", "FormulaError", "evaluate"]
+
+_OPS = ("+", "-", "*", "/")
+# Hardware event names: WORD[:WORD] with dots/digits allowed, e.g.
+# MEM_INST_RETIRED:ALL_LOADS, RAPL_ENERGY_PKG, FP_ARITH:512B_PACKED_DOUBLE.
+_EVENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.]*(:[A-Za-z0-9_.]+)?$")
+_NUM_RE = re.compile(r"^\d+(\.\d+)?([eE][+-]?\d+)?$")
+
+
+class FormulaError(ValueError):
+    """Malformed formula text or token stream."""
+
+
+def tokenize(text: str) -> list[str]:
+    """Split formula text into event / constant / operator tokens.
+
+    Operators may or may not be surrounded by whitespace; event names never
+    contain operator characters, so splitting is unambiguous.
+    """
+    out: list[str] = []
+    buf = ""
+    for ch in text:
+        if ch in "+-*/":
+            if buf.strip():
+                out.append(buf.strip())
+            buf = ""
+            out.append(ch)
+        else:
+            buf += ch
+    if buf.strip():
+        out.append(buf.strip())
+    if not out:
+        raise FormulaError("empty formula")
+    return out
+
+
+class Formula:
+    """A validated formula: alternating operands and operators."""
+
+    def __init__(self, tokens: list[str]) -> None:
+        if not tokens:
+            raise FormulaError("empty formula")
+        if len(tokens) % 2 == 0:
+            raise FormulaError(f"formula must have odd token count: {tokens}")
+        for i, tok in enumerate(tokens):
+            if i % 2 == 0:
+                if tok in _OPS:
+                    raise FormulaError(f"operand expected at position {i}: {tokens}")
+                if not (_EVENT_RE.match(tok) or _NUM_RE.match(tok)):
+                    raise FormulaError(f"bad operand {tok!r}")
+            else:
+                if tok not in _OPS:
+                    raise FormulaError(f"operator expected at position {i}: {tokens}")
+        self.tokens = list(tokens)
+
+    @classmethod
+    def parse(cls, text: str) -> "Formula":
+        return cls(tokenize(text))
+
+    @property
+    def events(self) -> list[str]:
+        """Hardware event names referenced, in order of first appearance."""
+        seen: list[str] = []
+        for i, tok in enumerate(self.tokens):
+            if i % 2 == 0 and not _NUM_RE.match(tok) and tok not in seen:
+                seen.append(tok)
+        return seen
+
+    @property
+    def constants(self) -> list[float]:
+        return [
+            float(t) for i, t in enumerate(self.tokens) if i % 2 == 0 and _NUM_RE.match(t)
+        ]
+
+    def __repr__(self) -> str:
+        return f"Formula({' '.join(self.tokens)})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Formula) and self.tokens == other.tokens
+
+    def text(self) -> str:
+        return " ".join(self.tokens)
+
+    def evaluate(self, resolve: Callable[[str], float]) -> float:
+        """Compute the formula; ``resolve`` maps event name → reading."""
+        return evaluate(self.tokens, resolve)
+
+
+def evaluate(tokens: list[str], resolve: Callable[[str], float]) -> float:
+    """Evaluate a token chain with ``*``/``/`` binding tighter than ``+``/``-``."""
+    f = Formula(tokens)  # validates
+
+    def operand(tok: str) -> float:
+        if _NUM_RE.match(tok):
+            return float(tok)
+        return float(resolve(tok))
+
+    # First pass: collapse * and / runs.
+    values: list[float] = [operand(f.tokens[0])]
+    addops: list[str] = []
+    i = 1
+    while i < len(f.tokens):
+        op, rhs = f.tokens[i], operand(f.tokens[i + 1])
+        if op == "*":
+            values[-1] *= rhs
+        elif op == "/":
+            if rhs == 0:
+                raise ZeroDivisionError(f"division by zero in {f.text()}")
+            values[-1] /= rhs
+        else:
+            addops.append(op)
+            values.append(rhs)
+        i += 2
+    # Second pass: left-to-right + and -.
+    total = values[0]
+    for op, v in zip(addops, values[1:]):
+        total = total + v if op == "+" else total - v
+    return total

@@ -1,0 +1,25 @@
+"""System probing (§III-C): renderers that mimic the Linux tools P-MoVE
+shells out to on the target, and the parsers the host runs over their
+output to build the Knowledge Base."""
+
+from .cpuid import parse_cpuid, render_cpuid
+from .likwid_topology import parse_likwid_topology, render_likwid_topology
+from .lshw import parse_lshw, render_lshw
+from .prober import collect_raw_probe, parse_probe, probe
+from .sysblock import parse_smart, parse_sys_block, render_smart, render_sys_block
+
+__all__ = [
+    "collect_raw_probe",
+    "parse_cpuid",
+    "parse_likwid_topology",
+    "parse_lshw",
+    "parse_probe",
+    "parse_smart",
+    "parse_sys_block",
+    "probe",
+    "render_cpuid",
+    "render_likwid_topology",
+    "render_lshw",
+    "render_smart",
+    "render_sys_block",
+]

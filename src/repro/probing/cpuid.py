@@ -1,0 +1,57 @@
+"""``cpuid`` substitute: feature-summary renderer + parser.
+
+The cpuid instruction reports the vendor string, brand string and ISA
+feature flags.  The renderer emits a ``cpuid``-tool-like summary; the
+parser recovers vendor, brand and the ISA set (which the CARM
+microbenchmark configurator needs to pick vector widths, §IV-B1).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.machine.spec import ISA, MachineSpec
+
+__all__ = ["render_cpuid", "parse_cpuid"]
+
+_FLAG_FOR_ISA = {
+    ISA.SCALAR: "fpu",
+    ISA.SSE: "sse2",
+    ISA.AVX2: "avx2",
+    ISA.AVX512: "avx512f",
+}
+_ISA_FOR_FLAG = {v: k for k, v in _FLAG_FOR_ISA.items()}
+
+
+def render_cpuid(spec: MachineSpec) -> str:
+    """Render a cpuid-summary text block."""
+    flags = [_FLAG_FOR_ISA[isa] for isa in spec.isas]
+    extra = ["fma", "cx16", "popcnt", "aes", "rdtscp"]
+    lines = [
+        f"   vendor_id = \"{spec.vendor.value}\"",
+        f"   brand = \"{spec.cpu_model}\"",
+        f"   microarchitecture = {spec.uarch}",
+        f"   feature flags: {' '.join(sorted(set(flags + extra)))}",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def parse_cpuid(text: str) -> dict[str, Any]:
+    """Parse a cpuid summary into vendor / brand / isas."""
+    out: dict[str, Any] = {"vendor": None, "brand": None, "isas": []}
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("vendor_id"):
+            out["vendor"] = stripped.split('"')[1]
+        elif stripped.startswith("brand"):
+            out["brand"] = stripped.split('"')[1]
+        elif stripped.startswith("microarchitecture"):
+            out["uarch"] = stripped.split("=")[1].strip()
+        elif stripped.startswith("feature flags:"):
+            flags = stripped.removeprefix("feature flags:").split()
+            out["isas"] = sorted(
+                {_ISA_FOR_FLAG[f].value for f in flags if f in _ISA_FOR_FLAG}
+            )
+    if out["vendor"] is None:
+        raise ValueError("cpuid output missing vendor_id")
+    return out

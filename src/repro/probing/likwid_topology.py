@@ -1,0 +1,146 @@
+"""``likwid-topology`` substitute: renderer + parser.
+
+P-MoVE collects CPU and cache topology "by parsing likwid-topology from
+likwid tools and cpuid instruction" (§III-C).  The renderer produces the
+tool's text format from a :class:`~repro.machine.spec.MachineSpec` (this is
+what would run on the *target*); the parser consumes that text back into a
+plain dict (this runs on the *host* when building the KB).  Keeping both
+sides honest — the host never peeks at the spec object — exercises the same
+probe-ship-parse pipeline as the paper's Fig 3 steps 1–2.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.machine.spec import MachineSpec
+
+__all__ = ["render_likwid_topology", "parse_likwid_topology"]
+
+_RULE = "-" * 80
+_STARS = "*" * 80
+
+
+def render_likwid_topology(spec: MachineSpec) -> str:
+    """Render likwid-topology-style text for a machine."""
+    lines: list[str] = []
+    lines.append(_RULE)
+    lines.append(f"CPU name:\t{spec.cpu_model}")
+    lines.append(f"CPU type:\t{spec.vendor.value} {spec.uarch} processor")
+    lines.append("CPU stepping:\t4")
+    lines.append(_STARS)
+    lines.append("Hardware Thread Topology")
+    lines.append(_STARS)
+    lines.append(f"Sockets:\t\t{spec.n_sockets}")
+    lines.append(f"Cores per socket:\t{spec.sockets[0].n_cores}")
+    lines.append(f"Threads per core:\t{spec.smt}")
+    lines.append(_RULE)
+    lines.append("HWThread        Thread        Core        Die        Socket        Available")
+    for cpu in range(spec.n_threads):
+        core = spec.core_of_thread(cpu)
+        thread = spec.threads_of_core(core).index(cpu)
+        socket = spec.socket_of_core(core)
+        lines.append(
+            f"{cpu:<16}{thread:<14}{core:<12}{0:<11}{socket:<14}*"
+        )
+    lines.append(_STARS)
+    lines.append("Cache Topology")
+    lines.append(_STARS)
+    for cache in spec.sockets[0].caches:
+        if cache.kind == "instruction":
+            continue
+        lines.append(f"Level:\t\t\t{cache.level}")
+        if cache.size_bytes >= 1024 * 1024:
+            lines.append(f"Size:\t\t\t{cache.size_bytes / (1024 * 1024):g} MB")
+        else:
+            lines.append(f"Size:\t\t\t{cache.size_bytes / 1024:g} kB")
+        lines.append(f"Type:\t\t\t{cache.kind.capitalize()} cache")
+        lines.append(f"Associativity:\t\t{cache.associativity}")
+        lines.append(f"Shared by threads:\t{cache.shared_by}")
+        lines.append(_RULE)
+    lines.append(_STARS)
+    lines.append("NUMA Topology")
+    lines.append(_STARS)
+    lines.append(f"NUMA domains:\t\t{len(spec.numa_nodes)}")
+    lines.append(_RULE)
+    for node in spec.numa_nodes:
+        cpus = [
+            str(cpu) for core in node.core_ids for cpu in spec.threads_of_core(core)
+        ]
+        total_mb = node.memory_bytes / (1024 * 1024)
+        lines.append(f"Domain:\t\t\t{node.node_id}")
+        lines.append(f"Processors:\t\t( {' '.join(sorted(cpus, key=int))} )")
+        lines.append(f"Memory:\t\t\t{total_mb * 0.984:.1f} MB free of total {total_mb:.0f} MB")
+        lines.append(_RULE)
+    return "\n".join(lines) + "\n"
+
+
+def _parse_size(text: str) -> int:
+    m = re.match(r"([\d.]+)\s*(kB|MB|GB)", text)
+    if not m:
+        raise ValueError(f"unparseable cache size {text!r}")
+    val = float(m.group(1))
+    mult = {"kB": 1024, "MB": 1024**2, "GB": 1024**3}[m.group(2)]
+    return int(val * mult)
+
+
+def parse_likwid_topology(text: str) -> dict[str, Any]:
+    """Parse likwid-topology text into a topology dict.
+
+    Returns keys: ``cpu_name``, ``sockets``, ``cores_per_socket``,
+    ``threads_per_core``, ``caches`` (list of dicts), ``numa_domains``
+    (list of dicts with ``processors`` and ``memory_mb``), and
+    ``hwthreads`` (list of (hwthread, thread, core, socket)).
+    """
+    out: dict[str, Any] = {"caches": [], "numa_domains": [], "hwthreads": []}
+    section = ""
+    cur_cache: dict[str, Any] | None = None
+    cur_domain: dict[str, Any] | None = None
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped in ("Hardware Thread Topology", "Cache Topology", "NUMA Topology"):
+            section = stripped
+            continue
+        if m := re.match(r"CPU name:\s*(.+)", stripped):
+            out["cpu_name"] = m.group(1).strip()
+        elif m := re.match(r"CPU type:\s*(.+)", stripped):
+            out["cpu_type"] = m.group(1).strip()
+        elif m := re.match(r"Sockets:\s*(\d+)", stripped):
+            out["sockets"] = int(m.group(1))
+        elif m := re.match(r"Cores per socket:\s*(\d+)", stripped):
+            out["cores_per_socket"] = int(m.group(1))
+        elif m := re.match(r"Threads per core:\s*(\d+)", stripped):
+            out["threads_per_core"] = int(m.group(1))
+        elif section == "Hardware Thread Topology" and re.match(r"\d+\s+\d+", stripped):
+            parts = stripped.split()
+            out["hwthreads"].append(
+                (int(parts[0]), int(parts[1]), int(parts[2]), int(parts[4]))
+            )
+        elif section == "Cache Topology":
+            if m := re.match(r"Level:\s*(\d+)", stripped):
+                cur_cache = {"level": int(m.group(1))}
+                out["caches"].append(cur_cache)
+            elif cur_cache is not None:
+                if m := re.match(r"Size:\s*(.+)", stripped):
+                    cur_cache["size_bytes"] = _parse_size(m.group(1))
+                elif m := re.match(r"Associativity:\s*(\d+)", stripped):
+                    cur_cache["associativity"] = int(m.group(1))
+                elif m := re.match(r"Shared by threads:\s*(\d+)", stripped):
+                    cur_cache["shared_by"] = int(m.group(1))
+                elif m := re.match(r"Type:\s*(.+)", stripped):
+                    cur_cache["kind"] = m.group(1).replace(" cache", "").strip().lower()
+        elif section == "NUMA Topology":
+            if m := re.match(r"Domain:\s*(\d+)", stripped):
+                cur_domain = {"node_id": int(m.group(1))}
+                out["numa_domains"].append(cur_domain)
+            elif cur_domain is not None:
+                if m := re.match(r"Processors:\s*\(\s*(.+?)\s*\)", stripped):
+                    cur_domain["processors"] = [int(x) for x in m.group(1).split()]
+                elif m := re.match(r"Memory:.*total\s+([\d.]+)\s*MB", stripped):
+                    cur_domain["memory_mb"] = float(m.group(1))
+    required = ("cpu_name", "sockets", "cores_per_socket", "threads_per_core")
+    missing = [k for k in required if k not in out]
+    if missing:
+        raise ValueError(f"likwid-topology output missing {missing}")
+    return out

@@ -1,0 +1,148 @@
+"""``lshw`` substitute: JSON renderer + extractor.
+
+"The system, network, and memory information are collected via lshw"
+(§III-C).  The renderer emits the ``lshw -json`` tree shape for a machine
+spec; the extractor walks that tree (by node ``class``, as real consumers
+must) and pulls out what KB generation needs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.machine.spec import MachineSpec
+
+__all__ = ["render_lshw", "parse_lshw"]
+
+
+def render_lshw(spec: MachineSpec) -> dict[str, Any]:
+    """Render an ``lshw -json``-shaped dict for a machine."""
+    children: list[dict[str, Any]] = []
+    children.append(
+        {
+            "id": "memory",
+            "class": "memory",
+            "description": "System Memory",
+            "units": "bytes",
+            "size": spec.memory_bytes,
+            "children": [
+                {
+                    "id": f"bank:{i}",
+                    "class": "memory",
+                    "description": f"DIMM {spec.mem_type} Synchronous {spec.mem_freq_mhz} MHz",
+                    "clock": spec.mem_freq_mhz * 1_000_000,
+                }
+                for i in range(max(2, spec.n_sockets * 4))
+            ],
+        }
+    )
+    for s in spec.sockets:
+        children.append(
+            {
+                "id": f"cpu:{s.socket_id}",
+                "class": "processor",
+                "product": spec.cpu_model,
+                "vendor": spec.vendor.value,
+                "physid": str(s.socket_id),
+                "units": "Hz",
+                "size": int(s.core.base_freq_ghz * 1e9),
+                "capacity": int(s.core.max_freq_ghz * 1e9),
+                "configuration": {
+                    "cores": s.n_cores,
+                    "enabledcores": s.n_cores,
+                    "threads": s.n_threads,
+                },
+                "capabilities": {isa.value: True for isa in spec.isas},
+            }
+        )
+    for i, nic in enumerate(spec.nics):
+        children.append(
+            {
+                "id": f"network:{i}",
+                "class": "network",
+                "product": nic.model,
+                "logicalname": nic.name,
+                "units": "bit/s",
+                "capacity": int(nic.bw_mbit * 1e6),
+                "configuration": {"mtu": nic.mtu},
+            }
+        )
+    for i, disk in enumerate(spec.disks):
+        children.append(
+            {
+                "id": f"storage:{i}",
+                "class": "storage",
+                "product": disk.model,
+                "logicalname": f"/dev/{disk.name}",
+                "units": "bytes",
+                "size": disk.size_bytes,
+            }
+        )
+    return {
+        "id": spec.hostname,
+        "class": "system",
+        "description": "Computer",
+        "product": f"{spec.hostname} ({spec.os_name})",
+        "children": [
+            {"id": "core", "class": "bus", "description": "Motherboard", "children": children}
+        ],
+    }
+
+
+def _walk(node: dict[str, Any]):
+    yield node
+    for child in node.get("children", ()):
+        yield from _walk(child)
+
+
+def parse_lshw(tree: dict[str, Any]) -> dict[str, Any]:
+    """Extract system/memory/cpu/network/storage facts from an lshw tree."""
+    if tree.get("class") != "system":
+        raise ValueError("lshw root node must have class 'system'")
+    out: dict[str, Any] = {
+        "hostname": tree.get("id", "unknown"),
+        "processors": [],
+        "networks": [],
+        "storage": [],
+        "memory_bytes": 0,
+        "mem_clock_hz": None,
+    }
+    for node in _walk(tree):
+        cls = node.get("class")
+        if cls == "memory" and node.get("id") == "memory":
+            out["memory_bytes"] = int(node.get("size", 0))
+            for bank in node.get("children", ()):
+                if bank.get("clock"):
+                    out["mem_clock_hz"] = int(bank["clock"])
+                    break
+        elif cls == "processor":
+            out["processors"].append(
+                {
+                    "product": node.get("product", ""),
+                    "vendor": node.get("vendor", ""),
+                    "cores": node.get("configuration", {}).get("cores"),
+                    "threads": node.get("configuration", {}).get("threads"),
+                    "base_hz": node.get("size"),
+                    "max_hz": node.get("capacity"),
+                    "capabilities": sorted(node.get("capabilities", {})),
+                }
+            )
+        elif cls == "network":
+            out["networks"].append(
+                {
+                    "name": node.get("logicalname", node.get("id")),
+                    "product": node.get("product", ""),
+                    "capacity_bps": node.get("capacity"),
+                }
+            )
+        elif cls == "storage":
+            out["storage"].append(
+                {
+                    "device": node.get("logicalname", ""),
+                    "product": node.get("product", ""),
+                    "size_bytes": node.get("size"),
+                }
+            )
+    if not out["processors"]:
+        raise ValueError("lshw tree contains no processor nodes")
+    return out

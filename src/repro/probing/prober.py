@@ -1,0 +1,130 @@
+"""The probing module (§III-C, Fig 3 steps 1–2).
+
+"To initialize the KB, P-MoVE uses its probing tool... The probing relies on
+widely available Linux tools to gather data."  This orchestrator plays both
+sides of the paper's flow: on the *target* it renders every tool's output
+(lshw, likwid-topology, cpuid, /sys/block + SMART, nvidia-smi/DeviceQuery,
+libpfm4 event enumeration, PCP metric namespace); the bundle of raw outputs
+is the "JSON file containing the system information" copied back to the
+host; on the *host*, :func:`parse_probe` runs the parsers over that bundle
+to produce the structured system description KB generation consumes.
+
+The host side never touches a :class:`MachineSpec` — only tool output text,
+exactly as in the real system.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.gpu.nvml import (
+    NVML_METRICS,
+    parse_device_query,
+    parse_drm_numa,
+    parse_nvidia_smi,
+    render_device_query,
+    render_drm_numa,
+    render_nvidia_smi,
+)
+from repro.machine.activity import SW_METRICS
+from repro.machine.spec import MachineSpec
+from repro.pmu.events import catalog_for
+
+from .cpuid import parse_cpuid, render_cpuid
+from .likwid_topology import parse_likwid_topology, render_likwid_topology
+from .lshw import parse_lshw, render_lshw
+from .sysblock import parse_smart, parse_sys_block, render_smart, render_sys_block
+
+__all__ = ["collect_raw_probe", "parse_probe", "probe"]
+
+
+def collect_raw_probe(spec: MachineSpec) -> dict[str, Any]:
+    """Target-side collection: raw tool outputs, JSON-serializable.
+
+    This is the payload of Fig 3 step 2 (copied back to the host).
+    """
+    cat = catalog_for(spec.pmu.uarch)
+    raw: dict[str, Any] = {
+        "uname": {
+            "hostname": spec.hostname,
+            "os": spec.os_name,
+            "kernel": spec.kernel,
+        },
+        "lshw": render_lshw(spec),
+        "likwid_topology": render_likwid_topology(spec),
+        "cpuid": render_cpuid(spec),
+        "sys_block": render_sys_block(spec),
+        "smart": render_smart(spec),
+        # libpfm4 enumeration: the events this CPU's PMU can count.
+        "libpfm4": {
+            "uarch": spec.pmu.uarch,
+            "n_programmable": spec.pmu.n_programmable,
+            "n_fixed": spec.pmu.n_fixed,
+            "events": cat.names(),
+            "socket_events": cat.socket_events(),
+        },
+        # PCP pminfo: software metric namespace with instance domains.
+        "pcp": {
+            "version": spec.pcp_version,
+            "metrics": {
+                name: {"domain": dom or "", "semantics": sem, "units": units}
+                for name, (dom, sem, units) in SW_METRICS.items()
+            },
+        },
+    }
+    if spec.gpus:
+        raw["nvidia_smi"] = render_nvidia_smi(spec)
+        raw["device_query"] = {str(g.index): render_device_query(g) for g in spec.gpus}
+        raw["drm"] = render_drm_numa(spec)
+        raw["nvml_metrics"] = sorted(NVML_METRICS)
+    return raw
+
+
+def parse_probe(raw: dict[str, Any]) -> dict[str, Any]:
+    """Host-side parse of the raw probe bundle into the system description.
+
+    Raises ``ValueError``/``KeyError`` on malformed bundles — a truncated
+    probe must fail loudly rather than produce a hollow KB.
+    """
+    if "likwid_topology" not in raw or "lshw" not in raw:
+        raise ValueError("probe bundle missing mandatory tool outputs")
+    topo = parse_likwid_topology(raw["likwid_topology"])
+    system = parse_lshw(raw["lshw"])
+    cpuinfo = parse_cpuid(raw["cpuid"])
+
+    disks = parse_sys_block(raw.get("sys_block", {}))
+    smart_by_name = {
+        name: parse_smart(report) for name, report in raw.get("smart", {}).items()
+    }
+    for d in disks:
+        if d["name"] in smart_by_name:
+            d["smart"] = smart_by_name[d["name"]]
+
+    parsed: dict[str, Any] = {
+        "hostname": raw["uname"]["hostname"],
+        "os": raw["uname"]["os"],
+        "kernel": raw["uname"]["kernel"],
+        "system": system,
+        "topology": topo,
+        "cpu": cpuinfo,
+        "disks": disks,
+        "pmu": raw.get("libpfm4", {}),
+        "pcp": raw.get("pcp", {}),
+        "gpus": [],
+    }
+    if "nvidia_smi" in raw:
+        gpus = parse_nvidia_smi(raw["nvidia_smi"])
+        numa = parse_drm_numa(raw.get("drm", {}))
+        for g in gpus:
+            dq_text = raw.get("device_query", {}).get(str(g["index"]))
+            if dq_text:
+                g.update(parse_device_query(dq_text))
+            g["numa_node"] = numa.get(g["index"], 0)
+        parsed["gpus"] = gpus
+        parsed["nvml_metrics"] = raw.get("nvml_metrics", [])
+    return parsed
+
+
+def probe(spec: MachineSpec) -> dict[str, Any]:
+    """Full probe round-trip: collect on target, parse on host."""
+    return parse_probe(collect_raw_probe(spec))

@@ -1,0 +1,78 @@
+"""``/sys/block/*/device`` + SMART substitute.
+
+"When available, disk info is probed from /sys/block/*/device and SMART
+utility" (§III-C).  The renderer emits a ``/sys/block`` directory image
+(path → file contents) plus per-disk ``smartctl -Hi``-style reports; the
+parser consumes both.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.machine.spec import MachineSpec
+
+__all__ = ["render_sys_block", "render_smart", "parse_sys_block", "parse_smart"]
+
+_SECTOR = 512
+
+
+def render_sys_block(spec: MachineSpec) -> dict[str, str]:
+    """Render a /sys/block file map: {'sda/size': '1875385008', ...}."""
+    files: dict[str, str] = {}
+    for d in spec.disks:
+        files[f"{d.name}/size"] = str(d.size_bytes // _SECTOR)
+        files[f"{d.name}/queue/rotational"] = "1" if d.rotational else "0"
+        files[f"{d.name}/device/model"] = d.model
+        files[f"{d.name}/device/vendor"] = d.model.split()[0]
+    return files
+
+
+def render_smart(spec: MachineSpec) -> dict[str, str]:
+    """Render one smartctl report per disk, keyed by device name."""
+    reports = {}
+    for d in spec.disks:
+        reports[d.name] = (
+            f"=== START OF INFORMATION SECTION ===\n"
+            f"Device Model:     {d.model}\n"
+            f"User Capacity:    {d.size_bytes:,} bytes\n"
+            f"Rotation Rate:    {'7200 rpm' if d.rotational else 'Solid State Device'}\n"
+            f"=== START OF READ SMART DATA SECTION ===\n"
+            f"SMART overall-health self-assessment test result: {d.smart_health}\n"
+            f"  9 Power_On_Hours          -O--CK   {d.power_on_hours}\n"
+        )
+    return reports
+
+
+def parse_sys_block(files: dict[str, str]) -> list[dict[str, Any]]:
+    """Parse a /sys/block file map into per-disk dicts."""
+    disks: dict[str, dict[str, Any]] = {}
+    for path, content in files.items():
+        parts = path.split("/")
+        name = parts[0]
+        disk = disks.setdefault(name, {"name": name})
+        leaf = parts[-1]
+        if leaf == "size":
+            disk["size_bytes"] = int(content) * _SECTOR
+        elif leaf == "rotational":
+            disk["rotational"] = content.strip() == "1"
+        elif leaf == "model":
+            disk["model"] = content.strip()
+    return sorted(disks.values(), key=lambda d: d["name"])
+
+
+def parse_smart(report: str) -> dict[str, Any]:
+    """Parse a smartctl report into health facts."""
+    out: dict[str, Any] = {}
+    if m := re.search(r"Device Model:\s*(.+)", report):
+        out["model"] = m.group(1).strip()
+    if m := re.search(r"self-assessment test result:\s*(\w+)", report):
+        out["health"] = m.group(1)
+    if m := re.search(r"Power_On_Hours\s+\S+\s+(\d+)", report):
+        out["power_on_hours"] = int(m.group(1))
+    if m := re.search(r"Rotation Rate:\s*(.+)", report):
+        out["rotational"] = "rpm" in m.group(1)
+    if "health" not in out:
+        raise ValueError("SMART report missing health assessment")
+    return out

@@ -1,0 +1,23 @@
+"""Visualization substrate: the Listing-1 dashboard JSON model, automatic
+dashboard generation from KB views (Fig 2), a Grafana-like server, and
+text/SVG renderers."""
+
+from .dashboard import Dashboard, DashboardError, Panel, Target
+from .generator import generate_dashboard
+from .grafana import GrafanaServer
+from .render import render_series_svg, render_series_text, sparkline
+from .svg import PALETTE, SvgCanvas
+
+__all__ = [
+    "PALETTE",
+    "Dashboard",
+    "DashboardError",
+    "GrafanaServer",
+    "Panel",
+    "SvgCanvas",
+    "Target",
+    "generate_dashboard",
+    "render_series_svg",
+    "render_series_text",
+    "sparkline",
+]

@@ -1,0 +1,97 @@
+"""The Grafana server substitute.
+
+"With a plugin, Grafana processes the file and handles the connections to
+the streaming database that stores the performance data coming from P-MoVE
+telemetry agents and displays them" (§III-B).  :class:`GrafanaServer` keeps
+a registry of dashboards (by uid), resolves each panel target against the
+Influx substrate (the plugin role), and renders panels to text or SVG.
+"""
+
+from __future__ import annotations
+
+from repro.db.influx import InfluxDB
+from repro.db.influxql import execute
+
+from .dashboard import Dashboard, DashboardError, Panel
+from .render import Series, render_series_svg, render_series_text
+
+__all__ = ["GrafanaServer"]
+
+
+class GrafanaServer:
+    """Dashboard registry + panel execution against InfluxDB."""
+
+    def __init__(self, influx: InfluxDB, database: str = "pmove", api_token: str = "") -> None:
+        self.influx = influx
+        self.database = database
+        self.api_token = api_token
+        self._dashboards: dict[str, Dashboard] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, dashboard: Dashboard) -> str:
+        """Install (or replace) a dashboard; returns its uid."""
+        uid = dashboard.uid or f"dash{dashboard.id}"
+        dashboard.uid = uid
+        self._dashboards[uid] = dashboard
+        return uid
+
+    def register_json(self, text: str) -> str:
+        """Install a dashboard from its shared JSON file (Listing 1)."""
+        return self.register(Dashboard.loads(text))
+
+    def dashboards(self) -> list[str]:
+        return sorted(self._dashboards)
+
+    def get(self, uid: str) -> Dashboard:
+        try:
+            return self._dashboards[uid]
+        except KeyError:
+            raise DashboardError(f"no dashboard {uid!r} registered") from None
+
+    # ------------------------------------------------------------------
+    def execute_panel(
+        self,
+        panel: Panel,
+        t0: float | None = None,
+        t1: float | None = None,
+        tag: str | None = None,
+    ) -> Series:
+        """Run a panel's targets; returns label → (times, values)."""
+        series: Series = {}
+        for target in panel.targets:
+            where = []
+            effective_tag = target.tag or tag
+            if effective_tag is not None and effective_tag != "":
+                where.append(f'tag="{effective_tag}"')
+            if t0 is not None:
+                where.append(f"time >= {t0}")
+            if t1 is not None:
+                where.append(f"time <= {t1}")
+            clause = (" WHERE " + " AND ".join(where)) if where else ""
+            q = f'SELECT "{target.params}" FROM "{target.measurement}"{clause}'
+            rs = execute(self.influx, self.database, q)
+            times, values = [], []
+            for t, row in rs.rows:
+                if row[0] is not None:
+                    times.append(t)
+                    values.append(row[0])
+            label = target.alias or f"{target.measurement}{target.params}"[-40:]
+            series[label] = (times, values)
+        return series
+
+    def render_panel_text(self, uid: str, panel_id: int, **kw) -> str:
+        dash = self.get(uid)
+        panel = dash.panel(panel_id)
+        return render_series_text(panel.title, self.execute_panel(panel, **kw))
+
+    def render_panel_svg(self, uid: str, panel_id: int, **kw) -> str:
+        dash = self.get(uid)
+        panel = dash.panel(panel_id)
+        return render_series_svg(panel.title, self.execute_panel(panel, **kw))
+
+    def render_dashboard_text(self, uid: str, **kw) -> str:
+        dash = self.get(uid)
+        blocks = [f"== {dash.title} =="]
+        for panel in dash.panels:
+            blocks.append(render_series_text(panel.title, self.execute_panel(panel, **kw)))
+        return "\n\n".join(blocks)

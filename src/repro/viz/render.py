@@ -1,0 +1,106 @@
+"""Panel renderers: time series → unicode sparklines and SVG charts.
+
+These are the display side of the Grafana substitute: a panel's executed
+targets (label → (times, values)) become either a quick terminal sparkline
+or a standalone SVG line chart.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .svg import PALETTE, SvgCanvas
+
+__all__ = ["sparkline", "render_series_text", "render_series_svg"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+Series = dict[str, tuple[list[float], list[float]]]
+
+
+def sparkline(values: list[float], width: int = 40) -> str:
+    """Unicode sparkline of a series, resampled to ``width`` columns."""
+    if not values:
+        return ""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    # Resample by bucket means.
+    n = len(values)
+    buckets = []
+    for i in range(min(width, n)):
+        lo = i * n // min(width, n)
+        hi = max(lo + 1, (i + 1) * n // min(width, n))
+        buckets.append(sum(values[lo:hi]) / (hi - lo))
+    vmin, vmax = min(buckets), max(buckets)
+    span = vmax - vmin
+    out = []
+    for v in buckets:
+        idx = 8 if span == 0 else int((v - vmin) / span * 8)
+        out.append(_BLOCKS[min(8, max(0, idx))])
+    return "".join(out)
+
+
+def render_series_text(title: str, series: Series, width: int = 40) -> str:
+    """A labeled block of sparklines, one per series."""
+    lines = [title]
+    label_w = max((len(l) for l in series), default=0)
+    for label, (_, values) in sorted(series.items()):
+        last = values[-1] if values else float("nan")
+        lines.append(f"  {label:<{label_w}} {sparkline(values, width)} {last:.4g}")
+    return "\n".join(lines)
+
+
+def render_series_svg(
+    title: str,
+    series: Series,
+    width: int = 640,
+    height: int = 240,
+    y_label: str = "",
+) -> str:
+    """An SVG line chart with axes and a legend."""
+    c = SvgCanvas(width, height)
+    ml, mr, mt, mb = 58, 12, 28, 30
+    pw, ph = width - ml - mr, height - mt - mb
+    c.text(10, 18, title, size=13)
+
+    all_t = [t for ts, _ in series.values() for t in ts]
+    all_v = [v for _, vs in series.values() for v in vs if not math.isnan(v)]
+    if not all_t or not all_v:
+        c.text(width / 2, height / 2, "no data", anchor="middle")
+        return c.to_string()
+    t0, t1 = min(all_t), max(all_t)
+    v0, v1 = min(all_v), max(all_v)
+    if t1 == t0:
+        t1 = t0 + 1.0
+    if v1 == v0:
+        v1 = v0 + 1.0
+
+    def sx(t: float) -> float:
+        return ml + (t - t0) / (t1 - t0) * pw
+
+    def sy(v: float) -> float:
+        return mt + (1.0 - (v - v0) / (v1 - v0)) * ph
+
+    # Axes and gridlines.
+    c.line(ml, mt, ml, mt + ph, color="#555")
+    c.line(ml, mt + ph, ml + pw, mt + ph, color="#555")
+    for i in range(5):
+        v = v0 + (v1 - v0) * i / 4
+        y = sy(v)
+        c.line(ml, y, ml + pw, y, color="#333", dash="2,3")
+        c.text(ml - 6, y + 4, f"{v:.3g}", anchor="end", size=10)
+    for i in range(5):
+        t = t0 + (t1 - t0) * i / 4
+        c.text(sx(t), mt + ph + 14, f"{t:.3g}s", anchor="middle", size=10)
+    if y_label:
+        c.text(12, mt - 8, y_label, size=10)
+
+    for i, (label, (ts, vs)) in enumerate(sorted(series.items())):
+        color = PALETTE[i % len(PALETTE)]
+        pts = [(sx(t), sy(v)) for t, v in zip(ts, vs) if not math.isnan(v)]
+        if len(pts) >= 2:
+            c.polyline(pts, color=color)
+        elif pts:
+            c.circle(*pts[0], 2.5, color)
+        c.text(ml + 8 + 110 * i, mt - 8, label[:14], color=color, size=10)
+    return c.to_string()

@@ -1,0 +1,82 @@
+"""Minimal SVG canvas — the pixel substrate for dashboard and CARM plots.
+
+Grafana renders charts in the browser; this reproduction renders them as
+standalone SVG strings so dashboards and live-CARM panels remain inspectable
+artifacts without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from html import escape
+
+__all__ = ["SvgCanvas", "PALETTE"]
+
+#: Categorical series colors (Grafana-classic flavoured).
+PALETTE = (
+    "#7EB26D", "#EAB839", "#6ED0E0", "#EF843C", "#E24D42",
+    "#1F78C1", "#BA43A9", "#705DA0", "#508642", "#CCA300",
+)
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and serializes to a document string."""
+
+    def __init__(self, width: int, height: int, background: str = "#1f1f20") -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("canvas dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._elems: list[str] = [
+            f'<rect x="0" y="0" width="{width}" height="{height}" fill="{background}"/>'
+        ]
+
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             color: str = "#888", width: float = 1.0, dash: str | None = None) -> None:
+        d = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elems.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{color}" stroke-width="{width}"{d}/>'
+        )
+
+    def polyline(self, points: list[tuple[float, float]], color: str,
+                 width: float = 1.5) -> None:
+        if len(points) < 2:
+            raise ValueError("polyline needs >= 2 points")
+        pts = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self._elems.append(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def circle(self, x: float, y: float, r: float, color: str,
+               opacity: float = 1.0) -> None:
+        self._elems.append(
+            f'<circle cx="{x:.2f}" cy="{y:.2f}" r="{r:.2f}" fill="{color}" '
+            f'fill-opacity="{opacity:.2f}"/>'
+        )
+
+    def rect(self, x: float, y: float, w: float, h: float, color: str,
+             fill: bool = False, opacity: float = 1.0) -> None:
+        style = (
+            f'fill="{color}" fill-opacity="{opacity:.2f}"'
+            if fill
+            else f'fill="none" stroke="{color}"'
+        )
+        self._elems.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" height="{h:.2f}" {style}/>'
+        )
+
+    def text(self, x: float, y: float, s: str, color: str = "#ddd",
+             size: int = 11, anchor: str = "start") -> None:
+        self._elems.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" fill="{color}" font-size="{size}" '
+            f'font-family="monospace" text-anchor="{anchor}">{escape(s)}</text>'
+        )
+
+    def to_string(self) -> str:
+        body = "\n".join(self._elems)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f"{body}\n</svg>\n"
+        )

@@ -1,0 +1,57 @@
+"""Workloads: SpMV (MKL-like and merge-based), the likwid-bench kernel set,
+STREAM and HPCG benchmarks, Table IV matrix generators, reorderings (RCM et
+al.), reuse-distance locality analysis, and thread-pinning strategies."""
+
+from .hpcg import build_stencil, hpcg_descriptor, parse_hpcg_output, run_hpcg
+from .likwid_bench import (
+    LIKWID_KERNELS,
+    build_kernel,
+    kernel_ground_truth,
+    parse_likwid_output,
+    render_likwid_output,
+)
+from .locality import expected_stack_distances, line_reuse_gaps, x_gather_locality
+from .matrices import TABLE4, MatrixInfo, generate
+from .merge_spmv import MergeStats, merge_path_search, merge_spmv
+from .pinning import STRATEGIES, pin_threads, pinning_script
+from .reorder import ORDERINGS, apply_ordering, bandwidth, degree_order, random_order, rcm, reorder
+from .spmv import ALGORITHMS, spmv_csr, spmv_descriptor
+from .stream import STREAM_KERNELS, parse_stream_output, run_stream, stream_descriptor
+
+__all__ = [
+    "ALGORITHMS",
+    "LIKWID_KERNELS",
+    "ORDERINGS",
+    "STRATEGIES",
+    "STREAM_KERNELS",
+    "TABLE4",
+    "MatrixInfo",
+    "MergeStats",
+    "apply_ordering",
+    "bandwidth",
+    "build_kernel",
+    "build_stencil",
+    "degree_order",
+    "expected_stack_distances",
+    "generate",
+    "hpcg_descriptor",
+    "kernel_ground_truth",
+    "line_reuse_gaps",
+    "merge_path_search",
+    "merge_spmv",
+    "parse_hpcg_output",
+    "parse_likwid_output",
+    "parse_stream_output",
+    "pin_threads",
+    "pinning_script",
+    "random_order",
+    "rcm",
+    "render_likwid_output",
+    "reorder",
+    "run_hpcg",
+    "run_stream",
+    "spmv_csr",
+    "spmv_descriptor",
+    "stream_descriptor",
+    "x_gather_locality",
+]

@@ -1,0 +1,138 @@
+"""likwid-bench kernels and their ground-truth accounting (§V-A, Figs 4–5).
+
+likwid-bench "executes a pre-determined, fixed number of instruction streams
+and can report ground truth for events that happened afterwards" — which is
+exactly why the paper uses it to validate PCP's counter accuracy.  Each
+kernel here is a :class:`~repro.machine.kernel.KernelDescriptor` builder
+with *exact* FLOP / load / store counts, plus a renderer and parser for the
+likwid-bench output format the paper parses.
+
+Kernels (all double precision, per element of length-N vectors):
+
+========== =========================== ======= ======= ====== ==========
+kernel     operation                   flops   loads   stores bytes
+========== =========================== ======= ======= ====== ==========
+sum        s += a[i]                   1       1       0      8
+stream     a[i] = s*b[i]               1       1       1      16
+triad      a[i] = b[i] + s*c[i]        2 (fma) 2       1      24
+peakflops  register FMA chain          32      1       0      8
+ddot       s += a[i]*b[i]              2 (fma) 2       0      16
+daxpy      y[i] = a*x[i] + y[i]        2 (fma) 2       1      24
+========== =========================== ======= ======= ====== ==========
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.machine.kernel import KernelDescriptor
+from repro.machine.simulator import KernelRun
+from repro.machine.spec import ISA, MachineSpec
+
+__all__ = ["LIKWID_KERNELS", "build_kernel", "kernel_ground_truth",
+           "render_likwid_output", "parse_likwid_output"]
+
+
+@dataclass(frozen=True)
+class _KernelShape:
+    flops_per_elem: float
+    fma: bool
+    loads_per_elem: float
+    stores_per_elem: float
+    n_arrays: int
+
+
+LIKWID_KERNELS: dict[str, _KernelShape] = {
+    "sum": _KernelShape(1.0, False, 1.0, 0.0, 1),
+    "stream": _KernelShape(1.0, False, 1.0, 1.0, 2),
+    "triad": _KernelShape(2.0, True, 2.0, 1.0, 3),
+    "peakflops": _KernelShape(32.0, True, 1.0, 0.0, 1),
+    "ddot": _KernelShape(2.0, True, 2.0, 0.0, 2),
+    "daxpy": _KernelShape(2.0, True, 2.0, 1.0, 2),
+}
+
+
+def build_kernel(
+    name: str,
+    n_elements: int,
+    isa: ISA = ISA.AVX512,
+    iterations: int = 1,
+) -> KernelDescriptor:
+    """Exact-count descriptor for one likwid-bench kernel invocation.
+
+    ``n_elements`` is the per-array vector length; memory instructions are
+    counted at ``isa`` width (one AVX-512 load covers 8 doubles), matching
+    how likwid-bench's assembly kernels move data.
+    """
+    try:
+        shape = LIKWID_KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown likwid kernel {name!r}; known: {sorted(LIKWID_KERNELS)}"
+        ) from None
+    if n_elements <= 0 or iterations <= 0:
+        raise ValueError("n_elements and iterations must be positive")
+    total = float(n_elements * iterations)
+    lanes = isa.dp_lanes
+    return KernelDescriptor(
+        name=name,
+        flops_dp={isa: shape.flops_per_elem * total},
+        fma_fraction=1.0 if shape.fma else 0.0,
+        loads=shape.loads_per_elem * total / lanes,
+        stores=shape.stores_per_elem * total / lanes,
+        mem_isa=isa,
+        working_set_bytes=shape.n_arrays * 8 * n_elements,
+        overhead_instr_ratio=0.15,
+    )
+
+
+def kernel_ground_truth(desc: KernelDescriptor) -> dict[str, float]:
+    """The likwid-bench reference numbers for one descriptor: exact FLOPs
+    and data volume, the quantities Fig 4's error study compares against."""
+    return {
+        "flops": desc.total_flops,
+        "loads": desc.loads,
+        "stores": desc.stores,
+        "data_volume_bytes": desc.bytes_total,
+    }
+
+
+def render_likwid_output(desc: KernelDescriptor, run: KernelRun, spec: MachineSpec) -> str:
+    """likwid-bench result block for a completed run (what P-MoVE parses)."""
+    t = run.runtime_s
+    cycles = t * spec.base_freq_ghz * 1e9
+    mflops = desc.total_flops / t / 1e6
+    mbytes = desc.bytes_total / t / 1e6
+    return (
+        "--------------------------------------------------------------------------------\n"
+        f"Cycles:\t\t\t{cycles:.0f}\n"
+        f"CPU Clock:\t\t{spec.base_freq_ghz * 1e9:.0f}\n"
+        f"Time:\t\t\t{t:.6e} sec\n"
+        f"Iterations:\t\t{1}\n"
+        f"Size (Byte):\t\t{desc.working_set_bytes}\n"
+        f"MFlops/s:\t\t{mflops:.2f}\n"
+        f"MByte/s:\t\t{mbytes:.2f}\n"
+        f"Data volume (Byte):\t{int(desc.bytes_total)}\n"
+        f"FLOPs:\t\t\t{int(desc.total_flops)}\n"
+        "--------------------------------------------------------------------------------\n"
+    )
+
+
+def parse_likwid_output(text: str) -> dict[str, float]:
+    """Parse a likwid-bench result block into its reported numbers."""
+    patterns = {
+        "time_s": r"Time:\s*([\d.eE+-]+)\s*sec",
+        "cycles": r"Cycles:\s*([\d.]+)",
+        "mflops": r"MFlops/s:\s*([\d.]+)",
+        "data_volume_bytes": r"Data volume \(Byte\):\s*(\d+)",
+        "flops": r"FLOPs:\s*(\d+)",
+        "size_bytes": r"Size \(Byte\):\s*(\d+)",
+    }
+    out: dict[str, float] = {}
+    for key, pat in patterns.items():
+        if m := re.search(pat, text):
+            out[key] = float(m.group(1))
+    if "time_s" not in out or "flops" not in out:
+        raise ValueError("not a likwid-bench result block")
+    return out

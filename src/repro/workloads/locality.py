@@ -1,0 +1,108 @@
+"""Reuse-distance-based locality analysis for SpMV's x-vector gathers.
+
+SpMV streams the matrix (values, column indices) once but re-reads the dense
+``x`` vector through the caches; how often those gathers hit L1/L2/L3 is
+exactly what reordering changes ("the positive influence of reordering on
+improved data locality", §V-D).  This module estimates, per cache level,
+the fraction of x-gather traffic served there:
+
+1. accesses are taken at *cache-line* granularity (``col // 8`` doubles per
+   64-byte line), so spatial locality from banded orderings is captured;
+2. for every access, the gap to the previous access of the same line is
+   computed vectorized (lexsort over (line, position));
+3. the gap is converted to an expected stack distance
+   ``U * (1 - (1 - 1/U)^gap)`` (distinct lines expected among ``gap`` draws
+   from ``U`` hot lines), and binned against each level's capacity.
+
+The estimator is deliberately analytic — O(nnz log nnz), no cache simulator
+— but monotone in the ways that matter: tighter bandwidth → smaller gaps →
+higher cache residency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.machine.spec import MachineSpec
+
+__all__ = ["line_reuse_gaps", "expected_stack_distances", "x_gather_locality"]
+
+_LINE_DOUBLES = 8  # 64-byte line holds 8 doubles
+
+
+def line_reuse_gaps(cols: np.ndarray) -> np.ndarray:
+    """Gap (in accesses) since the same cache line was last touched;
+    ``-1`` marks cold first accesses."""
+    if cols.ndim != 1:
+        raise ValueError("cols must be a 1-D access stream")
+    lines = cols // _LINE_DOUBLES
+    pos = np.arange(lines.size, dtype=np.int64)
+    order = np.lexsort((pos, lines))
+    sl, spos = lines[order], pos[order]
+    gaps_sorted = np.full(lines.size, -1, dtype=np.int64)
+    if lines.size > 1:
+        same = sl[1:] == sl[:-1]
+        gaps_sorted[1:][same] = (spos[1:] - spos[:-1])[same]
+    out = np.empty_like(gaps_sorted)
+    out[order] = gaps_sorted
+    return out
+
+
+def expected_stack_distances(gaps: np.ndarray, n_unique_lines: int) -> np.ndarray:
+    """Expected distinct lines touched within each gap (cold = +inf)."""
+    if n_unique_lines <= 0:
+        raise ValueError("need a positive unique-line count")
+    out = np.full(gaps.shape, np.inf)
+    warm = gaps >= 0
+    u = float(n_unique_lines)
+    g = gaps[warm].astype(np.float64)
+    out[warm] = u * (1.0 - np.exp(g * np.log1p(-1.0 / u))) if u > 1 else 1.0
+    return out
+
+
+def x_gather_locality(
+    a: sp.csr_matrix,
+    spec: MachineSpec,
+    n_threads: int = 1,
+    x_cache_share: float = 0.5,
+    distance_scale: float = 1.0,
+) -> dict[str, float]:
+    """Fraction of x-gather *traffic* served per memory level.
+
+    ``x_cache_share`` is the portion of each cache x effectively owns (the
+    rest streams matrix data).  ``distance_scale`` inflates stack distances
+    when ``a`` is a scaled-down structural stand-in for a larger matrix
+    (a 1/k-rows instance has ~1/k-length reuse gaps, so pass k).  Returns
+    fractions over {L1, L2, L3, DRAM} summing to 1.
+    """
+    if distance_scale <= 0:
+        raise ValueError("distance_scale must be positive")
+    a = sp.csr_matrix(a)
+    if a.nnz == 0:
+        raise ValueError("empty matrix has no access stream")
+    if not 0 < x_cache_share <= 1:
+        raise ValueError("x_cache_share must be in (0, 1]")
+    cols = a.indices.astype(np.int64)
+    gaps = line_reuse_gaps(cols)
+    n_unique = int(np.unique(cols // _LINE_DOUBLES).size)
+    dists = expected_stack_distances(gaps, n_unique) * distance_scale
+
+    # Per-thread effective capacities in lines.
+    fractions: dict[str, float] = {}
+    remaining = np.ones(dists.shape, dtype=bool)
+    total = dists.size
+    for level in [f"L{l}" for l in spec.cache_levels]:
+        cache = spec.cache(int(level[1]))
+        share = cache.size_bytes * x_cache_share
+        if cache.shared_by > spec.smt:  # shared cache split across threads
+            cores_sharing = max(1, min(n_threads, cache.shared_by // spec.smt))
+            share /= cores_sharing
+        capacity_lines = max(1.0, share / 64.0)
+        hit = remaining & (dists <= capacity_lines)
+        fractions[level] = hit.sum() / total
+        remaining &= ~hit
+    fractions["DRAM"] = remaining.sum() / total
+    # Normalize away float dust.
+    s = sum(fractions.values())
+    return {k: v / s for k, v in fractions.items()}

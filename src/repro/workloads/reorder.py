@@ -1,0 +1,141 @@
+"""Sparse-matrix reorderings: RCM (own implementation), degree, random.
+
+The paper's Fig 2 level-view compares SpMV under orderings *none, rcm,
+degree, random*, and Figs 7–8 quantify the RCM benefit (~22 % faster).
+RCM here is implemented from scratch (Cuthill–McKee with a pseudo-peripheral
+start, reversed) and validated against SciPy's implementation in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["ORDERINGS", "rcm", "degree_order", "random_order", "apply_ordering",
+           "reorder", "bandwidth"]
+
+ORDERINGS = ("none", "rcm", "degree", "random")
+
+
+def _sym_pattern(a: sp.csr_matrix) -> sp.csr_matrix:
+    """Structurally symmetric pattern (RCM operates on the graph)."""
+    pattern = a + a.T
+    pattern = pattern.tocsr()
+    pattern.sort_indices()
+    return pattern
+
+
+def _bfs_levels(indptr: np.ndarray, indices: np.ndarray, start: int, n: int):
+    """BFS returning (order, level-of-node, eccentricity)."""
+    level = np.full(n, -1, dtype=np.int64)
+    level[start] = 0
+    frontier = [start]
+    order = [start]
+    depth = 0
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in indices[indptr[u] : indptr[u + 1]]:
+                if level[v] < 0:
+                    level[v] = level[u] + 1
+                    nxt.append(int(v))
+                    order.append(int(v))
+        if nxt:
+            depth += 1
+        frontier = nxt
+    return order, level, depth
+
+
+def _pseudo_peripheral(indptr: np.ndarray, indices: np.ndarray, start: int, n: int) -> int:
+    """George–Liu style: walk to a node of maximal eccentricity."""
+    node = start
+    _, level, depth = _bfs_levels(indptr, indices, node, n)
+    for _ in range(8):  # converges in a couple of sweeps
+        last_level = np.flatnonzero(level == depth)
+        if last_level.size == 0:
+            break
+        degrees = indptr[last_level + 1] - indptr[last_level]
+        candidate = int(last_level[np.argmin(degrees)])
+        _, lvl2, depth2 = _bfs_levels(indptr, indices, candidate, n)
+        if depth2 <= depth:
+            break
+        node, level, depth = candidate, lvl2, depth2
+    return node
+
+
+def rcm(a: sp.csr_matrix) -> np.ndarray:
+    """Reverse Cuthill–McKee permutation: ``perm[k]`` = old index of the
+    node placed at new position ``k``."""
+    a = _sym_pattern(sp.csr_matrix(a))
+    n = a.shape[0]
+    indptr, indices = a.indptr, a.indices
+    degrees = indptr[1:] - indptr[:-1]
+    visited = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    for comp_start in np.argsort(degrees, kind="stable"):
+        if visited[comp_start]:
+            continue
+        start = _pseudo_peripheral(indptr, indices, int(comp_start), n)
+        # Cuthill–McKee: BFS, neighbours in increasing-degree order.
+        visited[start] = True
+        queue = [start]
+        qi = 0
+        while qi < len(queue):
+            u = queue[qi]
+            qi += 1
+            order.append(u)
+            neigh = indices[indptr[u] : indptr[u + 1]]
+            neigh = neigh[~visited[neigh]]
+            if neigh.size:
+                neigh = neigh[np.argsort(degrees[neigh], kind="stable")]
+                visited[neigh] = True
+                queue.extend(int(v) for v in neigh)
+    return np.array(order[::-1], dtype=np.int64)  # the "reverse" in RCM
+
+
+def degree_order(a: sp.csr_matrix) -> np.ndarray:
+    """Nodes sorted by ascending degree."""
+    a = _sym_pattern(sp.csr_matrix(a))
+    degrees = a.indptr[1:] - a.indptr[:-1]
+    return np.argsort(degrees, kind="stable").astype(np.int64)
+
+
+def random_order(a: sp.csr_matrix, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).permutation(a.shape[0]).astype(np.int64)
+
+
+def apply_ordering(a: sp.csr_matrix, perm: np.ndarray) -> sp.csr_matrix:
+    """Symmetric permutation ``A[perm, :][:, perm]``."""
+    a = sp.csr_matrix(a)
+    n = a.shape[0]
+    if sorted(perm.tolist()) != list(range(n)):
+        raise ValueError("perm is not a permutation of the matrix indices")
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(n)
+    coo = a.tocoo()
+    out = sp.coo_matrix(
+        (coo.data, (inv[coo.row], inv[coo.col])), shape=a.shape
+    ).tocsr()
+    out.sort_indices()
+    return out
+
+
+def reorder(a: sp.csr_matrix, ordering: str, seed: int = 0) -> sp.csr_matrix:
+    """Apply one of the paper's orderings by name."""
+    if ordering == "none":
+        return sp.csr_matrix(a)
+    if ordering == "rcm":
+        return apply_ordering(a, rcm(a))
+    if ordering == "degree":
+        return apply_ordering(a, degree_order(a))
+    if ordering == "random":
+        return apply_ordering(a, random_order(a, seed=seed))
+    raise ValueError(f"unknown ordering {ordering!r}; known: {ORDERINGS}")
+
+
+def bandwidth(a: sp.csr_matrix) -> int:
+    """Maximum |i - j| over stored entries — what RCM minimizes."""
+    coo = sp.coo_matrix(a)
+    if coo.nnz == 0:
+        return 0
+    return int(np.abs(coo.row - coo.col).max())

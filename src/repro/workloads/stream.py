@@ -1,0 +1,89 @@
+"""STREAM benchmark [25] — one of the three BenchmarkInterface workloads.
+
+STREAM's four kernels (Copy, Scale, Add, Triad) measure sustainable memory
+bandwidth.  :func:`run_stream` executes them on a simulated machine and
+returns per-kernel best-of-``ntimes`` bandwidths, plus the standard STREAM
+output text (which P-MoVE parses into BenchmarkResult entries, §III-C).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.machine.kernel import KernelDescriptor
+from repro.machine.simulator import SimulatedMachine
+from repro.machine.spec import ISA
+
+__all__ = ["STREAM_KERNELS", "stream_descriptor", "run_stream", "parse_stream_output"]
+
+#: kernel -> (flops/elem, loads/elem, stores/elem, arrays touched)
+STREAM_KERNELS = {
+    "Copy": (0.0, 1.0, 1.0, 2),
+    "Scale": (1.0, 1.0, 1.0, 2),
+    "Add": (1.0, 2.0, 1.0, 3),
+    "Triad": (2.0, 2.0, 1.0, 3),
+}
+
+
+def stream_descriptor(kernel: str, n: int, isa: ISA = ISA.AVX2) -> KernelDescriptor:
+    """Descriptor for one STREAM kernel over arrays of ``n`` doubles."""
+    try:
+        flops, loads, stores, arrays = STREAM_KERNELS[kernel]
+    except KeyError:
+        raise KeyError(f"unknown STREAM kernel {kernel!r}") from None
+    if n <= 0:
+        raise ValueError("array length must be positive")
+    lanes = isa.dp_lanes
+    return KernelDescriptor(
+        name=f"stream_{kernel.lower()}",
+        flops_dp={isa: flops * n} if flops else {},
+        fma_fraction=1.0 if kernel == "Triad" else 0.0,
+        loads=loads * n / lanes,
+        stores=stores * n / lanes,
+        mem_isa=isa,
+        working_set_bytes=arrays * 8 * n,
+        overhead_instr_ratio=0.1,
+    )
+
+
+def run_stream(
+    machine: SimulatedMachine,
+    n: int = 20_000_000,
+    ntimes: int = 10,
+    cpu_ids: list[int] | None = None,
+    isa: ISA = ISA.AVX2,
+) -> tuple[dict[str, float], str]:
+    """Run STREAM; returns ({kernel: best MB/s}, standard output text)."""
+    if ntimes < 2:
+        raise ValueError("STREAM requires ntimes >= 2")
+    best: dict[str, float] = {}
+    for kernel, (_, loads, stores, _) in STREAM_KERNELS.items():
+        desc = stream_descriptor(kernel, n, isa=isa)
+        bytes_moved = (loads + stores) * 8 * n
+        rates = []
+        for _ in range(ntimes):
+            run = machine.run_kernel(desc, cpu_ids)
+            rates.append(bytes_moved / run.runtime_s / 1e6)
+        best[kernel] = max(rates)
+    lines = [
+        "-------------------------------------------------------------",
+        "STREAM version $Revision: 5.10 $",
+        "-------------------------------------------------------------",
+        f"Array size = {n} (elements)",
+        "Function    Best Rate MB/s  Avg time     Min time     Max time",
+    ]
+    for kernel, rate in best.items():
+        t = (STREAM_KERNELS[kernel][1] + STREAM_KERNELS[kernel][2]) * 8 * n / (rate * 1e6)
+        lines.append(f"{kernel}:{rate:16.1f}  {t:.6f}     {t:.6f}     {t:.6f}")
+    return best, "\n".join(lines) + "\n"
+
+
+def parse_stream_output(text: str) -> dict[str, float]:
+    """Parse STREAM output into {kernel: best MB/s}."""
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        if m := re.match(r"(Copy|Scale|Add|Triad):\s*([\d.]+)", line):
+            out[m.group(1)] = float(m.group(2))
+    if not out:
+        raise ValueError("not STREAM output")
+    return out

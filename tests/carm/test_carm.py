@@ -1,0 +1,220 @@
+"""Tests for CARM: microbenchmarks, model, KB persistence, live-CARM, plot."""
+
+import statistics
+
+import pytest
+
+from repro.carm import (
+    CarmMeasurements,
+    CarmMicrobenchSuite,
+    CarmModel,
+    LivePoint,
+    assign_phases,
+    live_carm_points,
+    load_from_kb,
+    render_carm_svg,
+    representative_thread_counts,
+    save_to_kb,
+)
+from repro.core import KnowledgeBase, PMoVE
+from repro.machine import SimulatedMachine, csl, icl
+from repro.probing import probe
+from repro.workloads import build_kernel
+
+LIVE_EVENTS = [
+    "SCALAR_DOUBLE_INSTRUCTIONS",
+    "SSE_DOUBLE_INSTRUCTIONS",
+    "AVX2_DOUBLE_INSTRUCTIONS",
+    "AVX512_DOUBLE_INSTRUCTIONS",
+    "TOTAL_MEMORY_INSTRUCTIONS",
+]
+
+
+@pytest.fixture(scope="module")
+def csl_setup():
+    m = SimulatedMachine(csl(), seed=8)
+    kb = KnowledgeBase.from_probe(probe(csl()))
+    suite = CarmMicrobenchSuite(m, kb)
+    meas = suite.run(28)
+    return m, kb, suite, meas
+
+
+class TestMicrobench:
+    def test_representative_counts(self):
+        assert representative_thread_counts(44, 2, 2) == [1, 2, 11, 22, 44, 88]
+        assert representative_thread_counts(8, 1, 2) == [1, 2, 4, 8, 16]
+
+    def test_roof_ordering(self, csl_setup):
+        _, _, _, meas = csl_setup
+        bw = meas.bandwidth_gbs
+        assert bw["L1"] > bw["L2"] > bw["L3"] > bw["DRAM"]
+
+    def test_peaks_scale_with_isa(self, csl_setup):
+        _, _, _, meas = csl_setup
+        pk = meas.peak_gflops
+        assert pk["avx512"] > pk["avx2"] > pk["sse"] > pk["scalar"]
+        assert pk["avx512"] == pytest.approx(8 * pk["scalar"], rel=0.1)
+
+    def test_roofs_near_envelope(self, csl_setup):
+        m, _, _, meas = csl_setup
+        assert meas.bandwidth_gbs["DRAM"] == pytest.approx(
+            m.spec.bandwidth_gbs("DRAM", 28), rel=0.1
+        )
+        assert meas.peak_gflops["avx512"] == pytest.approx(
+            m.spec.peak_gflops(__import__("repro.machine", fromlist=["ISA"]).ISA.AVX512, 28),
+            rel=0.1,
+        )
+
+    def test_thread_scaling(self, csl_setup):
+        _, _, suite, meas28 = csl_setup
+        meas1 = suite.run(1)
+        assert meas28.bandwidth_gbs["L1"] > 10 * meas1.bandwidth_gbs["L1"]
+        assert meas28.peak_gflops["avx512"] > 10 * meas1.peak_gflops["avx512"]
+
+    def test_bounds(self, csl_setup):
+        _, _, suite, _ = csl_setup
+        with pytest.raises(ValueError):
+            suite.run(0)
+        with pytest.raises(ValueError):
+            suite.run(999)
+
+    def test_host_mismatch(self):
+        m = SimulatedMachine(icl())
+        kb = KnowledgeBase.from_probe(probe(csl()))
+        with pytest.raises(ValueError, match="different hosts"):
+            CarmMicrobenchSuite(m, kb)
+
+    def test_measurements_dict_roundtrip(self, csl_setup):
+        _, _, _, meas = csl_setup
+        back = CarmMeasurements.from_dict(meas.to_dict())
+        assert back.bandwidth_gbs == meas.bandwidth_gbs
+
+
+class TestModel:
+    def model(self, csl_setup):
+        return CarmModel.from_measurements(csl_setup[3])
+
+    def test_attainable_min_rule(self, csl_setup):
+        model = self.model(csl_setup)
+        low_ai = model.attainable(0.01, "DRAM")
+        assert low_ai == pytest.approx(0.01 * model.bandwidth_gbs["DRAM"])
+        assert model.attainable(1e9, "DRAM") == model.peak()
+
+    def test_ridge_point(self, csl_setup):
+        model = self.model(csl_setup)
+        r = model.ridge_point("DRAM")
+        assert model.attainable(r, "DRAM") == pytest.approx(model.peak(), rel=1e-6)
+
+    def test_bounding_level_readout(self, csl_setup):
+        model = self.model(csl_setup)
+        ai = 0.125
+        # Just under the DRAM roof -> DRAM-resident.
+        assert model.bounding_level(ai, model.attainable(ai, "DRAM") * 0.9) == "DRAM"
+        # Above the L2 roof -> served from L1 (the Fig 9 DDOT reading).
+        above_l2 = model.attainable(ai, "L2") * 1.5
+        assert model.bounding_level(ai, min(above_l2, model.attainable(ai, "L1"))) == "L1"
+
+    def test_bounding_at_peak(self, csl_setup):
+        model = self.model(csl_setup)
+        assert model.bounding_level(10.0, model.peak() * 0.99) == "peak"
+
+    def test_bounding_above_all(self, csl_setup):
+        model = self.model(csl_setup)
+        # Low-AI point above even the L1 roof but far from the FP peak.
+        gf = model.attainable(0.01, "L1") * 1.5
+        assert model.bounding_level(0.01, gf) == "above_roofs"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CarmModel("h", 1, {}, {"scalar": 1.0})
+        m = CarmModel("h", 1, {"DRAM": 100.0}, {"scalar": 50.0})
+        with pytest.raises(ValueError):
+            m.attainable(0.0)
+        with pytest.raises(KeyError):
+            m.attainable(1.0, "L9")
+        with pytest.raises(KeyError):
+            m.peak("avx512")
+
+    def test_kb_persistence_roundtrip(self, csl_setup):
+        _, kb, _, meas = csl_setup
+        save_to_kb(kb, meas, compiler="icc")
+        model = load_from_kb(kb, 28)
+        assert model.bandwidth_gbs == pytest.approx(meas.bandwidth_gbs)
+        assert model.peak_gflops == pytest.approx(meas.peak_gflops)
+        with pytest.raises(KeyError):
+            load_from_kb(kb, 3)
+
+
+class TestLiveCarm:
+    @pytest.fixture(scope="class")
+    def observation(self):
+        d = PMoVE(seed=4)
+        m = SimulatedMachine(csl(), seed=4)
+        kb = d.attach_target(m)
+        desc = build_kernel("triad", 8_000_000, iterations=1200)
+        obs, run = d.scenario_b("csl", desc, LIVE_EVENTS, freq_hz=16, n_threads=28)
+        return d, kb, m, obs, run
+
+    def test_triad_ai_matches_theory(self, observation):
+        d, _, _, obs, _ = observation
+        pts = [p for p in live_carm_points(d.influx, "pmove", obs, "cascadelake")
+               if p.flops > 0]
+        assert len(pts) > 5
+        med_ai = statistics.median(p.ai for p in pts)
+        # triad: 2 FLOPs per 24 bytes = 0.0833.
+        assert med_ai == pytest.approx(2 / 24, rel=0.05)
+
+    def test_gflops_consistent_with_runtime(self, observation):
+        d, _, _, obs, run = observation
+        pts = [p for p in live_carm_points(d.influx, "pmove", obs, "cascadelake")
+               if p.flops > 0]
+        med_gf = statistics.median(p.gflops for p in pts)
+        expected = run.descriptor.total_flops / run.runtime_s / 1e9
+        assert med_gf == pytest.approx(expected, rel=0.15)
+
+    def test_width_inference_avx512(self, observation):
+        """Triad is pure AVX-512: inferred width must be 64 bytes, giving
+        bytes = mem_instr * 64."""
+        d, _, _, obs, run = observation
+        pts = [p for p in live_carm_points(d.influx, "pmove", obs, "cascadelake")
+               if p.flops > 0]
+        total_bytes = sum(p.bytes_moved for p in pts)
+        # Ground truth bytes for sampled windows is <= descriptor total.
+        assert total_bytes <= run.descriptor.bytes_total * 1.05
+        assert total_bytes >= run.descriptor.bytes_total * 0.5
+
+    def test_phase_assignment(self):
+        pts = [LivePoint(t=1.0, window_s=1, flops=1, bytes_moved=1),
+               LivePoint(t=5.0, window_s=1, flops=1, bytes_moved=1)]
+        labeled = assign_phases(pts, [("mkl", 0, 2), ("merge", 4, 6)])
+        assert [p.phase for p in labeled] == ["mkl", "merge"]
+
+    def test_requires_observation_entry(self):
+        d = PMoVE()
+        with pytest.raises(ValueError):
+            live_carm_points(d.influx, "pmove", {"@type": "Other"}, "skl")
+
+    def test_point_properties(self):
+        p = LivePoint(t=0, window_s=0.5, flops=1e9, bytes_moved=2e9)
+        assert p.gflops == pytest.approx(2.0)
+        assert p.ai == pytest.approx(0.5)
+        z = LivePoint(t=0, window_s=0.5, flops=1.0, bytes_moved=0.0)
+        assert z.ai == float("inf")
+
+
+class TestPlot:
+    def test_svg_renders(self, csl_setup):
+        model = CarmModel.from_measurements(csl_setup[3])
+        pts = [LivePoint(t=float(i), window_s=1.0, flops=5e9 * (i + 1),
+                         bytes_moved=60e9, phase="mkl" if i < 3 else "merge")
+               for i in range(6)]
+        svg = render_carm_svg(model, pts)
+        assert svg.startswith("<svg")
+        assert "GFLOP/s" in svg
+        assert "mkl" in svg and "merge" in svg  # phase boxes labeled
+        assert svg.count("circle") >= 6
+
+    def test_svg_without_points(self, csl_setup):
+        model = CarmModel.from_measurements(csl_setup[3])
+        svg = render_carm_svg(model, [])
+        assert "DRAM" in svg and "L1" in svg

@@ -1,0 +1,209 @@
+"""Tests for cluster-level P-MoVE: interconnect, jobs, cluster, scheduler."""
+
+import pytest
+
+from repro.cluster import (
+    FifoScheduler,
+    Interconnect,
+    JobSpec,
+    SimulatedCluster,
+    make_job_entry,
+)
+from repro.machine import LoadImbalance, csl, icl
+from repro.workloads import build_kernel
+
+
+def small_job(n_nodes=2, ranks=4, iterations=50, **kw):
+    defaults = dict(
+        name="testjob",
+        n_nodes=n_nodes,
+        ranks_per_node=ranks,
+        rank_kernel=build_kernel("triad", 200_000, iterations=1),
+        iterations=iterations,
+        halo_bytes_per_neighbor=1e5,
+        halo_neighbors=2,
+        allreduce_bytes=8e3,
+    )
+    defaults.update(kw)
+    return JobSpec(**defaults)
+
+
+class TestInterconnect:
+    def test_p2p_alpha_beta(self):
+        ic = Interconnect(link_bw_gbs=10.0, latency_us=2.0)
+        t = ic.p2p_time(10e9)
+        assert t == pytest.approx(2e-6 + 1.0)
+
+    def test_allreduce_scales_with_ranks(self):
+        ic = Interconnect()
+        assert ic.allreduce_time(1e6, 1) == 0.0
+        t4 = ic.allreduce_time(1e6, 4)
+        t16 = ic.allreduce_time(1e6, 16)
+        assert t16 > t4  # more latency rounds dominate at small payloads
+
+    def test_congestion_slows_transfers(self):
+        ic = Interconnect()
+        assert ic.p2p_time(1e9, congestion=2.0) > ic.p2p_time(1e9)
+        with pytest.raises(ValueError):
+            ic.p2p_time(1e9, congestion=0.5)
+
+    def test_barrier_log_rounds(self):
+        ic = Interconnect(latency_us=1.0)
+        assert ic.barrier_time(2) == pytest.approx(1e-6)
+        assert ic.barrier_time(16) == pytest.approx(4e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Interconnect(link_bw_gbs=0)
+        ic = Interconnect()
+        with pytest.raises(ValueError):
+            ic.p2p_time(-1)
+        with pytest.raises(ValueError):
+            ic.allreduce_time(1, 0)
+        with pytest.raises(ValueError):
+            ic.halo_exchange_time(1, -1)
+
+
+class TestJobSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            small_job(n_nodes=0)
+        with pytest.raises(ValueError):
+            small_job(iterations=0)
+        with pytest.raises(ValueError):
+            small_job(allreduce_bytes=-1)
+
+    def test_n_ranks(self):
+        assert small_job(n_nodes=3, ranks=7).n_ranks == 21
+
+
+class TestSimulatedCluster:
+    def test_node_naming_unique(self):
+        cluster = SimulatedCluster(icl, n_nodes=3)
+        assert cluster.node_names == ["icln00", "icln01", "icln02"]
+        with pytest.raises(KeyError):
+            cluster.node("ghost")
+
+    def test_needs_nodes(self):
+        with pytest.raises(ValueError):
+            SimulatedCluster(icl, n_nodes=0)
+
+    def test_job_advances_all_participants(self):
+        cluster = SimulatedCluster(icl, n_nodes=2)
+        ex = cluster.run_job(small_job())
+        for n in ex.nodes:
+            assert cluster.node(n).clock.now() == pytest.approx(ex.t_end)
+
+    def test_runtime_decomposition(self):
+        cluster = SimulatedCluster(icl, n_nodes=2)
+        ex = cluster.run_job(small_job())
+        assert ex.runtime_s == pytest.approx(ex.compute_s + ex.comm_s, rel=1e-6)
+        assert 0 < ex.comm_fraction < 1
+
+    def test_comm_bytes_respect_link_bandwidth(self):
+        cluster = SimulatedCluster(csl, n_nodes=4)
+        ex = cluster.run_job(small_job(n_nodes=4, ranks=28,
+                                       halo_bytes_per_neighbor=2e6))
+        eff_bw = ex.comm_bytes_per_node / ex.comm_s / 1e9
+        assert eff_bw <= cluster.interconnect.link_bw_gbs * 1.01
+
+    def test_straggler_paces_the_job(self):
+        clean = SimulatedCluster(icl, n_nodes=2, seed=3)
+        ex0 = clean.run_job(small_job(halo_bytes_per_neighbor=0, halo_neighbors=0,
+                                      allreduce_bytes=0))
+        slow = SimulatedCluster(icl, n_nodes=2, seed=3)
+        slow.node("icln01").inject_fault(
+            LoadImbalance(t0=0, t1=1e9, straggler_factor=1.5)
+        )
+        ex1 = slow.run_job(small_job(halo_bytes_per_neighbor=0, halo_neighbors=0,
+                                     allreduce_bytes=0))
+        assert ex1.compute_s == pytest.approx(1.5 * ex0.compute_s, rel=0.02)
+
+    def test_net_bytes_visible_in_sw_telemetry(self):
+        from repro.machine import SoftwareState
+
+        cluster = SimulatedCluster(icl, n_nodes=2)
+        ex = cluster.run_job(small_job())
+        node = cluster.node(ex.nodes[0])
+        total = SoftwareState(node).value(
+            "network.interface.out.bytes", node.spec.nics[0].name, ex.t_end
+        )
+        assert total == pytest.approx(ex.comm_bytes_per_node, rel=1e-6)
+
+    def test_too_many_ranks_rejected(self):
+        cluster = SimulatedCluster(icl, n_nodes=1)
+        with pytest.raises(ValueError, match="core count"):
+            cluster.run_job(small_job(n_nodes=1, ranks=99))
+
+    def test_wrong_node_count_rejected(self):
+        cluster = SimulatedCluster(icl, n_nodes=2)
+        with pytest.raises(ValueError, match="wants"):
+            cluster.run_job(small_job(n_nodes=2), node_names=["icln00"])
+
+    def test_make_job_entry_shape(self):
+        cluster = SimulatedCluster(icl, n_nodes=2)
+        ex = cluster.run_job(small_job())
+        doc = make_job_entry("cluster", 0, ex)
+        assert doc["@type"] == "JobInterface"
+        assert doc["nodes"] == ex.nodes
+        assert doc["communication"]["comm_fraction"] == pytest.approx(ex.comm_fraction)
+        assert doc["time"]["runtime_s"] == pytest.approx(ex.runtime_s)
+
+
+class TestScheduler:
+    def test_fifo_order_and_accounting(self):
+        cluster = SimulatedCluster(icl, n_nodes=2, seed=4)
+        sched = FifoScheduler(cluster)
+        a = sched.submit(small_job(n_nodes=2, iterations=30, name="a"))
+        b = sched.submit(small_job(n_nodes=2, iterations=30, name="b"))
+        runs = sched.run_all()
+        assert len(runs) == 2
+        assert runs[0].t_end <= runs[1].t_start + 1e-9
+        assert a.state == b.state == "completed"
+        assert b.wait_s > 0  # queued behind a
+
+    def test_disjoint_jobs_share_the_cluster(self):
+        cluster = SimulatedCluster(icl, n_nodes=4, seed=4)
+        sched = FifoScheduler(cluster)
+        sched.submit(small_job(n_nodes=2, name="left"))
+        sched.submit(small_job(n_nodes=2, name="right"))
+        r1, r2 = sched.run_all()
+        # Different node pairs; the second needn't wait for the first.
+        assert set(r1.nodes).isdisjoint(r2.nodes)
+        assert r2.t_start == pytest.approx(0.0, abs=1e-9)
+
+    def test_oversized_job_rejected(self):
+        cluster = SimulatedCluster(icl, n_nodes=2)
+        with pytest.raises(ValueError, match="cluster has"):
+            FifoScheduler(cluster).submit(small_job(n_nodes=3))
+
+    def test_backfill_lets_small_job_jump(self):
+        cluster = SimulatedCluster(icl, n_nodes=2, seed=5)
+        sched = FifoScheduler(cluster, backfill=True)
+        # Occupy one node with a long job, then queue a 2-node job (must
+        # wait) and a short 1-node job (fits now on the free node).
+        sched.submit(small_job(n_nodes=1, iterations=4000, name="long"))
+        sched.submit(small_job(n_nodes=2, iterations=50, name="wide"))
+        sched.submit(small_job(n_nodes=1, iterations=5, name="tiny"))
+        runs = sched.run_all()
+        by_name = {r.spec.name: r for r in runs}
+        assert by_name["tiny"].t_start < by_name["wide"].t_start
+
+    def test_utilization(self):
+        cluster = SimulatedCluster(icl, n_nodes=2, seed=6)
+        sched = FifoScheduler(cluster)
+        sched.submit(small_job(n_nodes=1, iterations=200))
+        sched.run_all()
+        util = sched.utilization()
+        assert 0.0 <= min(util.values()) <= max(util.values()) <= 1.0
+        assert max(util.values()) > 0.5
+
+
+class TestSingleNodeJob:
+    def test_no_fabric_traffic(self):
+        """Intra-node ranks use shared memory: no comm time, no NIC bytes."""
+        cluster = SimulatedCluster(icl, n_nodes=2)
+        ex = cluster.run_job(small_job(n_nodes=1))
+        assert ex.comm_s == 0.0
+        assert ex.comm_bytes_per_node == 0.0
+        assert ex.runtime_s == pytest.approx(ex.compute_s, rel=1e-6)

@@ -1,0 +1,115 @@
+"""Tests for the cluster monitor: node KBs, job entries, fleet views."""
+
+import pytest
+
+from repro.cluster import ClusterMonitor, JobSpec, SimulatedCluster
+from repro.core import KnowledgeBase
+from repro.machine import icl
+from repro.workloads import build_kernel
+
+
+@pytest.fixture(scope="module")
+def monitored():
+    cluster = SimulatedCluster(icl, n_nodes=3, seed=9)
+    mon = ClusterMonitor(cluster)
+    spec = JobSpec(
+        name="cg_solver",
+        n_nodes=2,
+        ranks_per_node=8,
+        rank_kernel=build_kernel("triad", 500_000, iterations=1),
+        iterations=400,
+        halo_bytes_per_neighbor=1e6,
+        halo_neighbors=2,
+        allreduce_bytes=8e3,
+        user="alice",
+    )
+    job_doc, execution, stats = mon.run_job(spec, freq_hz=8.0)
+    return cluster, mon, job_doc, execution, stats
+
+
+class TestAttachment:
+    def test_every_node_has_a_kb(self, monitored):
+        cluster, mon, *_ = monitored
+        for node in cluster.node_names:
+            kb = mon.daemon.target(node).kb
+            assert kb.hostname == node
+            assert len(kb) > 20
+
+    def test_cluster_kb_links_node_roots(self, monitored):
+        cluster, mon, *_ = monitored
+        doc = mon.cluster_kb_document()
+        targets = {c["target"] for c in doc["contents"]
+                   if c["@type"] == "Relationship"}
+        roots = {mon.daemon.target(n).kb.root_id for n in cluster.node_names}
+        assert targets == roots
+
+    def test_cluster_kb_persisted(self, monitored):
+        _, mon, *_ = monitored
+        col = mon.daemon.mongo.collection("pmove", "cluster_kb")
+        assert col.count_documents({"name": "cluster"}) == 1
+
+
+class TestJobMonitoring:
+    def test_job_entry_recorded(self, monitored):
+        _, mon, job_doc, execution, _ = monitored
+        assert job_doc["@type"] == "JobInterface"
+        assert job_doc["user"] == "alice"
+        assert job_doc["nodes"] == execution.nodes
+        assert mon.jobs(user="alice")
+        assert mon.jobs(user="bob") == []
+
+    def test_job_in_node_kb_history(self, monitored):
+        _, mon, job_doc, execution, _ = monitored
+        kb = KnowledgeBase.load(mon.daemon.mongo, execution.nodes[0])
+        jobs = kb.entries_of_type("JobInterface")
+        assert any(j["job_id"] == execution.job_id for j in jobs)
+
+    def test_job_history_per_node(self, monitored):
+        cluster, mon, _, execution, _ = monitored
+        assert mon.job_history(execution.nodes[0])
+        idle = [n for n in cluster.node_names if n not in execution.nodes]
+        assert mon.job_history(idle[0]) == []
+
+    def test_telemetry_sampled_per_node(self, monitored):
+        _, mon, _, execution, stats = monitored
+        assert set(stats) == set(execution.nodes)
+        for st in stats.values():
+            assert st.inserted_points > 0
+        # Series distinguishable per host via the host tag.
+        for node in execution.nodes:
+            pts = mon.daemon.influx.points(
+                "pmove", "kernel_all_load",
+                tags={"tag": execution.job_id, "host": node},
+            )
+            assert pts
+
+    def test_comm_telemetry_matches_execution(self, monitored):
+        _, mon, _, execution, _ = monitored
+        comm = mon.comm_telemetry(execution)
+        assert set(comm) == set(execution.nodes)
+        for total in comm.values():
+            assert total == pytest.approx(execution.comm_bytes_per_node, rel=0.1)
+
+    def test_load_visible_during_job(self, monitored):
+        """The job's ranks show up in the sampled load average."""
+        _, mon, _, execution, _ = monitored
+        pts = mon.daemon.influx.points(
+            "pmove", "kernel_all_load",
+            tags={"tag": execution.job_id, "host": execution.nodes[0]},
+        )
+        peak = max(p.fields["_value"] for p in pts)
+        assert peak > 4.0  # 8 ranks were running
+
+
+class TestFleetViews:
+    def test_fleet_dashboard_overlays_nodes(self, monitored):
+        cluster, mon, *_ = monitored
+        uid = mon.fleet_dashboard(kind="node", metric="kernel.all.load")
+        dash = mon.daemon.grafana.get(uid)
+        assert sum(len(p.targets) for p in dash.panels) == len(cluster.node_names)
+
+    def test_fleet_thread_view(self, monitored):
+        cluster, mon, *_ = monitored
+        uid = mon.fleet_dashboard(kind="thread", metric="kernel.percpu.cpu.idle")
+        dash = mon.daemon.grafana.get(uid)
+        assert sum(len(p.targets) for p in dash.panels) == 16 * 3

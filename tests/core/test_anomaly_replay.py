@@ -1,0 +1,228 @@
+"""Tests for anomaly detection, replay, and cross-architecture prediction."""
+
+import pytest
+
+from repro.carm import load_from_kb
+from repro.core import (
+    PMoVE,
+    Prediction,
+    ewma_chart,
+    predict_runtime,
+    replay,
+    rolling_zscore,
+    run_benchmark,
+    scan_component,
+    scan_observation,
+    scan_series,
+    suggest_upgrade,
+)
+from repro.machine import CpuThrottle, SimulatedMachine, csl, icl, skx
+from repro.workloads import build_kernel
+
+LIVE_EVENTS = [
+    "SCALAR_DOUBLE_INSTRUCTIONS",
+    "SSE_DOUBLE_INSTRUCTIONS",
+    "AVX2_DOUBLE_INSTRUCTIONS",
+    "AVX512_DOUBLE_INSTRUCTIONS",
+    "TOTAL_MEMORY_INSTRUCTIONS",
+]
+
+
+def flat_with_spike(n=40, spike_at=30, spike=10.0):
+    times = [float(i) for i in range(n)]
+    values = [1.0 + 0.01 * (i % 3) for i in range(n)]
+    values[spike_at] = spike
+    return times, values
+
+
+class TestDetectors:
+    def test_zscore_finds_spike(self):
+        times, values = flat_with_spike()
+        found = rolling_zscore(times, values)
+        assert any(a.t == 30.0 for a in found)
+        assert all(a.detector == "zscore" for a in found)
+
+    def test_zscore_quiet_on_flat(self):
+        times = [float(i) for i in range(50)]
+        values = [5.0 + 0.02 * (i % 5) for i in range(50)]
+        assert rolling_zscore(times, values) == []
+
+    def test_zscore_constant_window_level_shift(self):
+        times = [float(i) for i in range(30)]
+        values = [1.0] * 20 + [3.0] * 10
+        found = rolling_zscore(times, values, window=10)
+        assert found and found[0].t == 20.0
+
+    def test_zscore_validation(self):
+        with pytest.raises(ValueError):
+            rolling_zscore([], [], window=2)
+        with pytest.raises(ValueError):
+            rolling_zscore([], [], threshold=0)
+
+    def test_ewma_finds_sustained_shift(self):
+        times = [float(i) for i in range(40)]
+        values = [1.0 + 0.02 * (i % 4) for i in range(20)] + [1.6] * 20
+        found = ewma_chart(times, values)
+        assert found
+        assert found[0].t >= 20.0
+
+    def test_ewma_ignores_single_blip(self):
+        """A one-sample 3 % blip doesn't move the smoothed statistic."""
+        times, values = flat_with_spike(spike=1.03)
+        assert ewma_chart(times, values, alpha=0.1) == []
+
+    def test_ewma_short_series_empty(self):
+        assert ewma_chart([0.0], [1.0]) == []
+
+    def test_ewma_validation(self):
+        with pytest.raises(ValueError):
+            ewma_chart([], [], alpha=0.0)
+
+    def test_scan_series_dispatch(self):
+        times, values = flat_with_spike()
+        assert scan_series(times, values, detector="zscore")
+        with pytest.raises(KeyError, match="unknown detector"):
+            scan_series(times, values, detector="magic")
+
+    def test_anomaly_score_validation(self):
+        from repro.core import Anomaly
+
+        with pytest.raises(ValueError):
+            Anomaly(t=0, value=1, score=-1, detector="x")
+
+
+class TestEndToEndDetection:
+    @staticmethod
+    def _combined_rates(daemon, observations, measurement, fld):
+        """One continuous rate series across several observations — what a
+        long-running monitor sees."""
+        times, values = [], []
+        for obs in observations:
+            pts = daemon.influx.points("pmove", measurement, tags={"tag": obs["tag"]})
+            for prev, cur in zip(pts, pts[1:]):
+                dt = cur.time - prev.time
+                if dt > 0 and fld in cur.fields:
+                    times.append(cur.time)
+                    values.append(cur.fields[fld] / dt)
+        return times, values
+
+    def test_throttle_detected_across_runs(self):
+        """CPU throttling sets in between two executions of the same
+        kernel; monitoring the FLOP rate across runs must flag the drop,
+        and a fault-free pair must stay quiet."""
+        meas = "perfevent_hwcounters_FP_ARITH_512B_PACKED_DOUBLE_value"
+
+        def run_pair(throttled: bool):
+            d = PMoVE(seed=17)
+            m = SimulatedMachine(icl(), seed=17)
+            d.attach_target(m)
+            desc = build_kernel("peakflops", 2048, iterations=30_000_000)
+            obs1, run1 = d.scenario_b("icl", desc, ["FLOPS_DP"], freq_hz=16, n_threads=8)
+            if throttled:
+                m.inject_fault(CpuThrottle(t0=run1.t_end, t1=run1.t_end + 1e9,
+                                           freq_factor=0.4))
+            obs2, _ = d.scenario_b("icl", desc, ["FLOPS_DP"], freq_hz=16, n_threads=8)
+            return self._combined_rates(d, [obs1, obs2], meas, "_cpu0"), run1.t_end
+
+        (times, values), onset = run_pair(throttled=True)
+        anomalies = scan_series(times, values, detector="zscore",
+                                window=8, threshold=3.0)
+        assert anomalies
+        # The first flag lands right after the throttle onset.
+        assert anomalies[0].t == pytest.approx(onset, abs=0.3)
+
+        (times, values), _ = run_pair(throttled=False)
+        assert not scan_series(times, values, detector="zscore",
+                               window=8, threshold=3.0)
+
+    def test_scan_component_walks_to_root(self):
+        d = PMoVE(seed=18)
+        m = SimulatedMachine(icl(), seed=18)
+        kb = d.attach_target(m)
+        d.scenario_a("icl", duration_s=6.0, freq_hz=2.0)
+        result = scan_component(kb, d.influx, "pmove",
+                                kb.find_by_name("cpu0").id, window=4)
+        # The whole focus path is scanned, root included.
+        assert kb.root_id in result
+        assert len(result) == 4  # cpu0 -> core0 -> socket0 -> icl
+
+    def test_scan_requires_observation(self):
+        d = PMoVE()
+        with pytest.raises(ValueError):
+            scan_observation(d.influx, "pmove", {"@type": "Nope"})
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    """A csl observation plus CARM models for csl, icl and skx."""
+    d = PMoVE(seed=19)
+    m = SimulatedMachine(csl(), seed=19)
+    kb = d.attach_target(m)
+    run_benchmark(kb, m, "carm", thread_counts=[28])
+    src = load_from_kb(kb, 28)
+
+    models = {}
+    for mk, threads in ((icl, 8), (skx, 44)):
+        dd = PMoVE(seed=19)
+        mm = SimulatedMachine(mk(), seed=19)
+        kk = dd.attach_target(mm)
+        run_benchmark(kk, mm, "carm", thread_counts=[threads])
+        models[mm.spec.hostname] = load_from_kb(kk, threads)
+
+    desc = build_kernel("triad", 8_000_000, iterations=600)
+    obs, _ = d.scenario_b("csl", desc, LIVE_EVENTS, freq_hz=16, n_threads=28)
+    return d, obs, src, models, desc
+
+
+class TestReplay:
+    def test_replay_orders_events(self, recorded):
+        d, obs, *_ = recorded
+        events = replay(d.influx, "pmove", obs)
+        assert events
+        times = [e.t for e in events]
+        assert times == sorted(times)
+        measurements = {e.measurement for e in events}
+        assert len(measurements) == len(obs["metrics"])
+
+    def test_replay_requires_recorded_data(self, recorded):
+        d, obs, *_ = recorded
+        ghost = dict(obs, tag="never-recorded")
+        with pytest.raises(ValueError, match="no stored series"):
+            replay(d.influx, "pmove", ghost)
+
+    def test_replay_rejects_non_observation(self, recorded):
+        d, *_ = recorded
+        with pytest.raises(ValueError):
+            replay(d.influx, "pmove", {"@type": "BenchmarkInterface"})
+
+
+class TestPrediction:
+    def test_memory_bound_projection_accurate(self, recorded):
+        d, obs, src, models, desc = recorded
+        pred = predict_runtime(d.influx, "pmove", obs, src, models["icl"],
+                               "cascadelake")
+        # Validate against actually running on an icl machine.
+        m2 = SimulatedMachine(icl(), seed=19)
+        actual = m2.run_kernel(desc, list(range(8)), runtime_noise_std=0.0)
+        assert pred.bound == "DRAM"
+        assert pred.predicted_runtime_s == pytest.approx(actual.runtime_s, rel=0.15)
+
+    def test_prediction_direction(self, recorded):
+        d, obs, src, models, _ = recorded
+        slower = predict_runtime(d.influx, "pmove", obs, src, models["icl"], "cascadelake")
+        faster = predict_runtime(d.influx, "pmove", obs, src, models["skx"], "cascadelake")
+        # icl's DRAM is far weaker than csl's, skx's (2 sockets) is stronger.
+        assert slower.speedup < 1.0
+        assert faster.speedup > 1.0
+
+    def test_suggest_upgrade_ranks(self, recorded):
+        d, obs, src, models, _ = recorded
+        ranked = suggest_upgrade(d.influx, "pmove", obs, src,
+                                 list(models.values()), "cascadelake")
+        assert [p.target_host for p in ranked] == ["skx", "icl"]
+        assert all(isinstance(p, Prediction) for p in ranked)
+
+    def test_suggest_upgrade_empty(self, recorded):
+        d, obs, src, _, _ = recorded
+        with pytest.raises(ValueError):
+            suggest_upgrade(d.influx, "pmove", obs, src, [], "cascadelake")

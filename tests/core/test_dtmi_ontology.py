@@ -1,0 +1,130 @@
+"""Tests for DTMI identifiers and the DTDL ontology classes."""
+
+import pytest
+
+from repro.core import (
+    Command,
+    DtmiError,
+    HWTelemetry,
+    Interface,
+    OntologyError,
+    Property,
+    Relationship,
+    SWTelemetry,
+    content_from_jsonld,
+    dtmi_parent,
+    is_dtmi,
+    make_dtmi,
+    parse_dtmi,
+)
+
+
+class TestDtmi:
+    def test_make(self):
+        assert make_dtmi("cn1", "gpu0") == "dtmi:dt:cn1:gpu0;1"
+
+    def test_listing4_id(self):
+        """Listing 4's identifier shape."""
+        assert is_dtmi("dtmi:dt:cn1:gpu0;1")
+        assert is_dtmi("dtmi:dt:cn1:gpu0:property12;1")
+
+    def test_version(self):
+        assert make_dtmi("a", version=3) == "dtmi:dt:a;3"
+        assert parse_dtmi("dtmi:dt:a;3") == (["a"], 3)
+
+    def test_roundtrip(self):
+        d = make_dtmi("skx", "socket0", "core1", "cpu45")
+        segs, v = parse_dtmi(d)
+        assert segs == ["skx", "socket0", "core1", "cpu45"]
+        assert v == 1
+
+    def test_parent(self):
+        assert dtmi_parent("dtmi:dt:a:b:c;1") == "dtmi:dt:a:b;1"
+        assert dtmi_parent("dtmi:dt:a;1") is None
+
+    def test_bad_segments(self):
+        with pytest.raises(DtmiError):
+            make_dtmi("0leading")
+        with pytest.raises(DtmiError):
+            make_dtmi("has-dash")
+        with pytest.raises(DtmiError):
+            make_dtmi()
+        with pytest.raises(DtmiError):
+            make_dtmi("a", version=0)
+
+    def test_not_dtmi(self):
+        assert not is_dtmi("dtmi:foo:a;1")
+        assert not is_dtmi("random string")
+        with pytest.raises(DtmiError):
+            parse_dtmi("nope")
+
+
+class TestOntologyClasses:
+    def test_interface_requires_dtmi(self):
+        with pytest.raises(OntologyError, match="DTMI"):
+            Interface(id="not-a-dtmi", kind="node", name="x")
+
+    def test_interface_rejects_unknown_kind(self):
+        with pytest.raises(OntologyError, match="kind"):
+            Interface(id=make_dtmi("a"), kind="blender", name="x")
+
+    def test_listing4_gpu_interface_shape(self):
+        """Rebuild (a subset of) Listing 4 and check the JSON-LD shape."""
+        iface = Interface(id="dtmi:dt:cn1:gpu0;1", kind="gpu", name="gpu0")
+        iface.add(Property(id="dtmi:dt:cn1:gpu0:property0;1", name="model",
+                           description="NVIDIA Quadro GV100"))
+        iface.add(SWTelemetry(
+            id="dtmi:dt:cn1:gpu0:telemetry1337;1", name="metric4",
+            sampler_name="nvidia.memused", db_name="nvidia_memused",
+        ))
+        iface.add(HWTelemetry(
+            id="dtmi:dt:cn1:gpu0:telemetry1404;1", name="metric137",
+            pmu_name="ncu",
+            sampler_name="gpu__compute_memory_access_throughput",
+            db_name="ncu_gpu__compute_memory_access_throughput",
+            field_name="_gpu0",
+        ))
+        doc = iface.to_jsonld()
+        assert doc["@type"] == "Interface"
+        assert doc["@id"] == "dtmi:dt:cn1:gpu0;1"
+        assert doc["@context"] == "dtmi:dtdl:context;2"
+        types = [c["@type"] for c in doc["contents"]]
+        assert types == ["Property", "SWTelemetry", "HWTelemetry"]
+        hw = doc["contents"][2]
+        assert hw["PMUName"] == "ncu"
+        assert hw["FieldName"] == "_gpu0"
+
+    def test_interface_jsonld_roundtrip(self):
+        iface = Interface(id=make_dtmi("h", "socket0"), kind="socket", name="socket0")
+        iface.add(Property(id=make_dtmi("h", "socket0", "p0"), name="n_cores", description=22))
+        iface.add(Relationship(id=make_dtmi("h", "socket0", "r0"), name="contains",
+                               target=make_dtmi("h", "socket0", "core0")))
+        iface.add(Command(id=make_dtmi("h", "socket0", "c0"), name="sample"))
+        back = Interface.from_jsonld(iface.to_jsonld())
+        assert back.id == iface.id
+        assert back.property_value("n_cores") == 22
+        assert back.relationships()[0].target == make_dtmi("h", "socket0", "core0")
+
+    def test_from_jsonld_wrong_type(self):
+        with pytest.raises(OntologyError):
+            Interface.from_jsonld({"@type": "Property"})
+
+    def test_content_from_jsonld_unknown_type(self):
+        with pytest.raises(OntologyError, match="unknown content"):
+            content_from_jsonld({"@type": "Widget"})
+
+    def test_content_missing_fields(self):
+        with pytest.raises(OntologyError, match="missing"):
+            content_from_jsonld({"@type": "SWTelemetry", "@id": "x"})
+
+    def test_selectors(self):
+        iface = Interface(id=make_dtmi("h"), kind="node", name="h")
+        iface.add(SWTelemetry(id=make_dtmi("h", "t0"), name="m", sampler_name="m",
+                              db_name="m"))
+        iface.add(HWTelemetry(id=make_dtmi("h", "t1"), name="e", pmu_name="skl",
+                              sampler_name="p", db_name="p"))
+        assert len(iface.sw_telemetry()) == 1
+        assert len(iface.hw_telemetry()) == 1
+        assert len(iface.telemetry()) == 2
+        with pytest.raises(KeyError):
+            iface.property_value("nope")

@@ -1,0 +1,192 @@
+"""Tests for entry interfaces, query generation (Listing 3), and KB views."""
+
+import pytest
+
+from repro.core import (
+    KnowledgeBase,
+    ViewSpec,
+    focus_view,
+    generate_queries,
+    level_view,
+    make_benchmark,
+    make_benchmark_result,
+    make_observation,
+    make_process,
+    observation_fields,
+    query_for_component,
+    recall,
+    subtree_view,
+)
+from repro.core.views import PanelSpec
+from repro.db import InfluxDB, Point
+from repro.machine import icl, skx
+from repro.probing import probe
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return KnowledgeBase.from_probe(probe(skx()))
+
+
+def sample_observation(tag="278e26c2-3fd3-45e4-862b-5646dc9e7aa0"):
+    return make_observation(
+        host_seg="skx",
+        index=1,
+        tag=tag,
+        command="./spmv hugetrace.mtx",
+        cpu_ids=[0, 1, 22, 23],
+        pinning="balanced",
+        metrics=[
+            {
+                "metric": "kernel.percpu.cpu.idle",
+                "fields": ["_cpu0", "_cpu1", "_cpu22", "_cpu23"],
+            },
+            {
+                "metric": "mem.numa.alloc.hit",
+                "fields": ["_node0", "_node1"],
+            },
+        ],
+        t_start=10.0,
+        t_end=20.0,
+    )
+
+
+class TestObservationEntries:
+    def test_shape(self):
+        obs = sample_observation()
+        assert obs["@type"] == "ObservationInterface"
+        assert obs["@id"] == "dtmi:dt:skx:observation1;1"
+        assert obs["affinity"] == [0, 1, 22, 23]
+        assert obs["time"]["runtime_s"] == 10.0
+        # Measurement auto-derived from the metric name.
+        assert obs["metrics"][0]["measurement"] == "kernel_percpu_cpu_idle"
+
+    def test_time_validation(self):
+        with pytest.raises(ValueError):
+            make_observation("h", 1, "t", "cmd", [0], "compact",
+                             [{"metric": "m", "fields": ["_v"]}], 5.0, 1.0)
+
+    def test_metric_entry_validation(self):
+        with pytest.raises(ValueError, match="'metric' and 'fields'"):
+            make_observation("h", 1, "t", "cmd", [0], "compact",
+                             [{"metric": "m"}], 0.0, 1.0)
+
+    def test_observation_fields_sorted(self):
+        assert observation_fields([3, 1, 2]) == ["_cpu1", "_cpu2", "_cpu3"]
+
+    def test_benchmark_entries(self):
+        res = [make_benchmark_result("Copy_bandwidth", 90000.0, "MB/s")]
+        b = make_benchmark("skx", 0, "STREAM", "icc", "stream_c.exe", res)
+        assert b["@type"] == "BenchmarkInterface"
+        assert b["results"][0]["value"] == 90000.0
+        with pytest.raises(ValueError):
+            make_benchmark("skx", 0, "STREAM", "icc", "cmd", [])
+        with pytest.raises(ValueError):
+            make_benchmark("skx", 0, "S", "icc", "cmd", [{"metric": "x"}])
+        with pytest.raises(ValueError):
+            make_benchmark_result("", 1.0, "u")
+
+    def test_process_entries_dynamic(self):
+        p1 = make_process("skx", 4242, "./spmv")
+        p2 = make_process("skx", 4242, "./spmv")
+        assert p1["@id"] != p2["@id"]  # re-instantiated each invocation
+        with pytest.raises(ValueError):
+            make_process("skx", 0, "cmd")
+
+
+class TestQueryGeneration:
+    def test_listing3_shape(self):
+        """The generated queries match the paper's Listing 3 verbatim."""
+        queries = generate_queries(sample_observation())
+        assert queries[0] == (
+            'SELECT "_cpu0", "_cpu1", "_cpu22", "_cpu23" FROM '
+            '"kernel_percpu_cpu_idle" WHERE '
+            'tag="278e26c2-3fd3-45e4-862b-5646dc9e7aa0"'
+        )
+        assert queries[1] == (
+            'SELECT "_node0", "_node1" FROM "mem_numa_alloc_hit" WHERE '
+            'tag="278e26c2-3fd3-45e4-862b-5646dc9e7aa0"'
+        )
+
+    def test_requires_observation(self):
+        with pytest.raises(ValueError):
+            generate_queries({"@type": "BenchmarkInterface"})
+
+    def test_recall_executes(self):
+        obs = sample_observation(tag="t1")
+        influx = InfluxDB()
+        influx.create_database("pmove")
+        for t in range(5):
+            influx.write("pmove", Point("kernel_percpu_cpu_idle", {"tag": "t1"},
+                                        {"_cpu0": float(t), "_cpu1": 0.0,
+                                         "_cpu22": 0.0, "_cpu23": 0.0}, float(t)))
+        res = recall(influx, "pmove", obs)
+        assert len(res["kernel_percpu_cpu_idle"]) == 5
+        assert res["kernel_percpu_cpu_idle"].column("_cpu0") == [0, 1, 2, 3, 4]
+        assert len(res["mem_numa_alloc_hit"]) == 0
+
+    def test_query_for_component(self, kb):
+        t = kb.find_by_name("cpu0")
+        qs = query_for_component(kb, t.id)
+        assert any("kernel_percpu_cpu_idle" in q for q in qs)
+        assert all('"_cpu0"' in q for q in qs)
+
+
+class TestViews:
+    def test_focus_view_single_component(self, kb):
+        t = kb.find_by_name("cpu0")
+        view = focus_view(kb, t.id)
+        assert view.kind == "focus"
+        assert all(p.component == t.id for p in view.panels)
+
+    def test_focus_view_with_path(self, kb):
+        t = kb.find_by_name("cpu0")
+        plain = focus_view(kb, t.id)
+        pathful = focus_view(kb, t.id, include_path=True)
+        assert len(pathful.panels) > len(plain.panels)
+        components = {p.component for p in pathful.panels}
+        assert kb.root_id in components  # reaches the system level
+
+    def test_focus_view_filters(self, kb):
+        t = kb.find_by_name("cpu0")
+        hw_only = focus_view(kb, t.id, sw=False)
+        assert all("kernel" not in p.title for p in hw_only.panels)
+
+    def test_focus_no_telemetry_raises(self, kb):
+        l1 = kb.find_by_name("core0 L1")
+        with pytest.raises(ValueError, match="no telemetry"):
+            focus_view(kb, l1.id)
+
+    def test_subtree_view(self, kb):
+        sock = kb.find_by_name("socket0")
+        view = subtree_view(kb, sock.id, hw=False)
+        comps = {p.component for p in view.panels}
+        assert kb.find_by_name("cpu0").id in comps
+
+    def test_level_view_threads(self, kb):
+        view = level_view(kb, "thread", metric="kernel.percpu.cpu.idle")
+        assert len(view.panels) == 1
+        assert len(view.panels[0].targets) == 88  # one series per thread
+
+    def test_level_view_cross_machine(self, kb):
+        """Fig 2(c)/(d): the same component type across two servers."""
+        kb2 = KnowledgeBase.from_probe(probe(icl()))
+        view = level_view([kb, kb2], "socket", metric="RAPL_ENERGY_PKG")
+        assert "skx+icl" in view.name
+        assert len(view.panels[0].targets) == 3  # 2 skx sockets + 1 icl
+
+    def test_level_view_no_match(self, kb):
+        with pytest.raises(ValueError, match="matches"):
+            level_view(kb, "gpu")
+
+    def test_level_view_empty_kbs(self):
+        with pytest.raises(ValueError):
+            level_view([], "thread")
+
+    def test_panel_spec_validation(self):
+        with pytest.raises(ValueError):
+            PanelSpec(title="empty", targets=())
+
+    def test_view_kind_validation(self):
+        with pytest.raises(ValueError):
+            ViewSpec(name="x", kind="galaxy", panels=())

@@ -1,0 +1,73 @@
+"""Tests for observation/process-level views (Fig 2 c/d) and tag-scoped
+dashboard targets."""
+
+import pytest
+
+from repro.core import PMoVE, observation_level_view
+from repro.machine import SimulatedMachine, csl, icl
+from repro.viz import Target, generate_dashboard
+from repro.workloads import build_kernel
+
+EVENTS = ["AVX512_DOUBLE_INSTRUCTIONS", "TOTAL_MEMORY_INSTRUCTIONS"]
+
+
+@pytest.fixture(scope="module")
+def two_servers():
+    d = PMoVE(seed=23)
+    for mk in (icl, csl):
+        m = SimulatedMachine(mk(), seed=23)
+        d.attach_target(m)
+        host = m.spec.hostname
+        for ordering in ("none", "rcm"):
+            desc = build_kernel("triad", 2_000_000, iterations=200)
+            d.scenario_b(host, desc, EVENTS, freq_hz=8,
+                         n_threads=4, command=f"./spmv --order={ordering}")
+    return d
+
+
+class TestObservationLevelView:
+    def test_one_series_per_execution(self, two_servers):
+        d = two_servers
+        kbs = [t.kb for t in d.targets.values()]
+        view = observation_level_view(kbs, "MEM_INST_RETIRED:ALL_LOADS")
+        (panel,) = view.panels
+        assert len(panel.targets) == 4  # 2 servers x 2 orderings
+        aliases = {t[3] for t in panel.targets}
+        assert "icl:./spmv --order=rcm" in aliases
+        assert "csl:./spmv --order=none" in aliases
+
+    def test_command_filter(self, two_servers):
+        d = two_servers
+        kbs = [t.kb for t in d.targets.values()]
+        view = observation_level_view(kbs, "MEM_INST_RETIRED:ALL_LOADS",
+                                      command_filter="rcm")
+        assert len(view.panels[0].targets) == 2
+
+    def test_no_match_raises(self, two_servers):
+        d = two_servers
+        kbs = [t.kb for t in d.targets.values()]
+        with pytest.raises(ValueError, match="no observations"):
+            observation_level_view(kbs, "NOT_AN_EVENT")
+        with pytest.raises(ValueError):
+            observation_level_view([], "X")
+
+    def test_dashboard_renders_per_execution_series(self, two_servers):
+        d = two_servers
+        kbs = [t.kb for t in d.targets.values()]
+        view = observation_level_view(kbs, "MEM_INST_RETIRED:ALL_LOADS")
+        dash = generate_dashboard(view)
+        uid = d.grafana.register(dash)
+        series = d.grafana.execute_panel(d.grafana.get(uid).panel(1))
+        assert len(series) == 4
+        # Every execution's series is non-empty and tag-isolated.
+        for label, (times, values) in series.items():
+            assert values, label
+            assert ":" in label  # host:command alias
+
+    def test_tag_scoped_target_json_roundtrip(self):
+        t = Target(measurement="m", params="_cpu0", tag="abc", alias="icl:spmv")
+        back = Target.from_json(t.to_json())
+        assert back == t
+        # Tag-less targets keep the exact Listing 1 shape (no extra keys).
+        plain = Target(measurement="m", params="_cpu0")
+        assert set(plain.to_json()) == {"datasource", "measurement", "params"}

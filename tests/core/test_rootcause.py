@@ -1,0 +1,107 @@
+"""Tests for differential root-cause classification."""
+
+import pytest
+
+from repro.core import KnowledgeBase
+from repro.core.rootcause import Diagnosis, classify, diagnose, record_probe_baseline
+from repro.machine import (
+    CpuThrottle,
+    LoadImbalance,
+    MemoryContention,
+    SimulatedMachine,
+    icl,
+)
+from repro.probing import probe
+
+
+def healthy_kb_and_machine(seed=33):
+    machine = SimulatedMachine(icl(), seed=seed)
+    kb = KnowledgeBase.from_probe(probe(icl()))
+    record_probe_baseline(kb, machine)
+    return kb, machine
+
+
+class TestClassifySignatures:
+    def test_healthy(self):
+        d = classify(1.01, 1.02)
+        assert d.fault == "healthy"
+        assert d.confidence > 0.5
+
+    def test_throttle_signature(self):
+        # Compute hit 2x, memory mildly.
+        d = classify(2.0, 1.3)
+        assert d.fault == "cpu_throttle"
+
+    def test_contention_signature(self):
+        d = classify(1.05, 1.8)
+        assert d.fault == "memory_contention"
+
+    def test_imbalance_signature(self):
+        d = classify(1.5, 1.48)
+        assert d.fault == "load_imbalance"
+
+    def test_ambiguous_is_unknown(self):
+        d = classify(1.02, 1.10)
+        assert d.fault == "unknown"
+
+    def test_confidence_validation(self):
+        with pytest.raises(ValueError):
+            Diagnosis("healthy", 1.5, 1.0, 1.0)
+
+
+class TestEndToEndDiagnosis:
+    def test_healthy_machine(self):
+        kb, machine = healthy_kb_and_machine()
+        assert diagnose(kb, machine).fault == "healthy"
+
+    def test_cpu_throttle_diagnosed(self):
+        kb, machine = healthy_kb_and_machine(seed=34)
+        machine.inject_fault(
+            CpuThrottle(t0=machine.clock.now(), t1=1e9, freq_factor=0.5)
+        )
+        d = diagnose(kb, machine)
+        assert d.fault == "cpu_throttle"
+        assert d.compute_slowdown == pytest.approx(2.0, rel=0.05)
+        assert d.memory_slowdown < d.compute_slowdown
+
+    def test_memory_contention_diagnosed(self):
+        kb, machine = healthy_kb_and_machine(seed=35)
+        machine.inject_fault(
+            MemoryContention(t0=machine.clock.now(), t1=1e9, bw_factor=0.5)
+        )
+        d = diagnose(kb, machine)
+        assert d.fault == "memory_contention"
+        assert d.memory_slowdown == pytest.approx(2.0, rel=0.05)
+
+    def test_load_imbalance_diagnosed(self):
+        kb, machine = healthy_kb_and_machine(seed=36)
+        machine.inject_fault(
+            LoadImbalance(t0=machine.clock.now(), t1=1e9, straggler_factor=1.5)
+        )
+        d = diagnose(kb, machine)
+        assert d.fault == "load_imbalance"
+
+    def test_mild_throttle_still_separable(self):
+        kb, machine = healthy_kb_and_machine(seed=37)
+        machine.inject_fault(
+            CpuThrottle(t0=machine.clock.now(), t1=1e9, freq_factor=0.8)
+        )
+        assert diagnose(kb, machine).fault == "cpu_throttle"
+
+    def test_missing_baseline_raises(self):
+        machine = SimulatedMachine(icl(), seed=38)
+        kb = KnowledgeBase.from_probe(probe(icl()))
+        with pytest.raises(LookupError, match="baseline"):
+            diagnose(kb, machine)
+
+    def test_baseline_host_mismatch(self):
+        from repro.machine import csl
+
+        kb = KnowledgeBase.from_probe(probe(icl()))
+        with pytest.raises(ValueError, match="different hosts"):
+            record_probe_baseline(kb, SimulatedMachine(csl()))
+
+    def test_baseline_stored_in_kb(self):
+        kb, _ = healthy_kb_and_machine(seed=39)
+        entries = kb.entries_of_type("BenchmarkInterface")
+        assert any(e["name"] == "rootcause_probe_baseline" for e in entries)

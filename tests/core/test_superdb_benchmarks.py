@@ -1,0 +1,147 @@
+"""Tests for SUPERDB and the BenchmarkInterface runners."""
+
+import math
+
+import pytest
+
+from repro.core import PMoVE, SuperDB, run_benchmark
+from repro.machine import SimulatedMachine, csl, icl
+from repro.workloads import build_kernel
+
+
+def daemon_with_observation(seed=9):
+    d = PMoVE(seed=seed)
+    m = SimulatedMachine(icl(), seed=seed)
+    kb = d.attach_target(m)
+    desc = build_kernel("triad", 4_000_000, iterations=400)
+    obs, _ = d.scenario_b(
+        "icl", desc,
+        ["SCALAR_DOUBLE_INSTRUCTIONS", "AVX512_DOUBLE_INSTRUCTIONS",
+         "TOTAL_MEMORY_INSTRUCTIONS", "RAPL_POWER_PACKAGE"],
+        freq_hz=8, n_threads=8,
+    )
+    return d, kb, obs
+
+
+class TestSuperDB:
+    def test_agg_report(self):
+        d, kb, obs = daemon_with_observation()
+        sdb = SuperDB()
+        summary = sdb.report(kb, d.influx, mode="agg")
+        assert summary["observations"] == 1
+        assert summary["points"] > 0
+        assert sdb.systems() == ["icl"]
+        docs = sdb.observations("icl")
+        assert docs[0]["@type"] == "AGGObservationInterface"
+        aggs = docs[0]["aggregates"]
+        some = next(iter(aggs.values()))
+        field_agg = next(iter(some.values()))
+        assert set(field_agg) == {"min", "max", "mean", "count"}
+        assert field_agg["min"] <= field_agg["mean"] <= field_agg["max"]
+
+    def test_ts_report_copies_points(self):
+        d, kb, obs = daemon_with_observation(seed=10)
+        sdb = SuperDB()
+        summary = sdb.report(kb, d.influx, mode="ts")
+        doc = sdb.observations("icl")[0]
+        assert doc["@type"] == "TSObservationInterface"
+        assert doc["points_copied"] == summary["points"] > 0
+        # Raw series actually live in the superdb influx now.
+        meas = obs["metrics"][0]["measurement"]
+        assert sdb.influx.points("superdb", meas, tags={"tag": obs["tag"]})
+
+    def test_bad_mode(self):
+        d, kb, _ = daemon_with_observation(seed=11)
+        with pytest.raises(ValueError):
+            SuperDB().report(kb, d.influx, mode="raw")
+
+    def test_report_idempotent(self):
+        d, kb, _ = daemon_with_observation(seed=12)
+        sdb = SuperDB()
+        sdb.report(kb, d.influx)
+        sdb.report(kb, d.influx)
+        assert len(sdb.observations("icl")) == 1
+
+    def test_download_without_local_instance(self):
+        d, kb, _ = daemon_with_observation(seed=13)
+        sdb = SuperDB()
+        sdb.report(kb, d.influx)
+        docs = sdb.download("icl", command_filter="triad")
+        assert len(docs) == 1
+        assert sdb.download("icl", command_filter="gemm") == []
+
+    def test_kb_document(self):
+        d, kb, _ = daemon_with_observation(seed=14)
+        sdb = SuperDB()
+        sdb.report(kb, d.influx)
+        assert sdb.kb_document("icl")["hostname"] == "icl"
+        with pytest.raises(KeyError):
+            sdb.kb_document("ghost")
+
+    def test_compare_metric_across_systems(self):
+        sdb = SuperDB()
+        for mk, seed in ((icl, 20), (csl, 21)):
+            d = PMoVE(seed=seed)
+            m = SimulatedMachine(mk(), seed=seed)
+            kb = d.attach_target(m)
+            desc = build_kernel("triad", 4_000_000, iterations=400)
+            d.scenario_b(m.spec.hostname, desc, ["RAPL_POWER_PACKAGE"],
+                         freq_hz=8, n_threads=8)
+            sdb.report(kb, d.influx, mode="agg")
+        cmp = sdb.compare_metric(
+            "perfevent_hwcounters_RAPL_ENERGY_PKG_value", "_cpu0"
+        )
+        assert set(cmp) == {"icl", "csl"}
+        for host, agg in cmp.items():
+            assert agg["count"] > 0
+            assert math.isfinite(agg["mean"])
+
+
+class TestBenchmarkRunners:
+    def make(self, seed=30):
+        d = PMoVE(seed=seed)
+        m = SimulatedMachine(icl(), seed=seed)
+        kb = d.attach_target(m)
+        return kb, m
+
+    def test_stream_entry(self):
+        kb, m = self.make()
+        entries = run_benchmark(kb, m, "stream", n=2_000_000, ntimes=2)
+        assert entries[0]["name"] == "STREAM"
+        assert entries[0]["compiler"] == "icc"  # Intel target -> icc
+        metrics = {r["metric"] for r in entries[0]["results"]}
+        assert metrics == {"Copy_bandwidth", "Scale_bandwidth", "Add_bandwidth",
+                           "Triad_bandwidth"}
+
+    def test_hpcg_entry(self):
+        kb, m = self.make(31)
+        entries = run_benchmark(kb, m, "hpcg", nx=6, ny=6, nz=6, n_iterations=10)
+        res = {r["metric"]: r["value"] for r in entries[0]["results"]}
+        assert res["gflops"] > 0
+        assert res["residual"] < 1.0
+
+    def test_carm_entries_per_thread_count(self):
+        kb, m = self.make(32)
+        entries = run_benchmark(kb, m, "carm", thread_counts=[1, 8])
+        assert len(entries) == 2
+        assert {e["parameters"]["n_threads"] for e in entries} == {1, 8}
+
+    def test_unknown_benchmark(self):
+        kb, m = self.make(33)
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            run_benchmark(kb, m, "linpack")
+
+    def test_host_mismatch(self):
+        kb, _ = self.make(34)
+        other = SimulatedMachine(csl())
+        with pytest.raises(ValueError, match="different hosts"):
+            run_benchmark(kb, other, "stream")
+
+    def test_gcc_on_amd(self):
+        from repro.machine import zen3
+
+        d = PMoVE()
+        m = SimulatedMachine(zen3())
+        kb = d.attach_target(m)
+        entries = run_benchmark(kb, m, "stream", n=1_000_000, ntimes=2)
+        assert entries[0]["compiler"] == "gcc"

@@ -1,0 +1,186 @@
+"""Tests for the InfluxQL subset (Listing 3 query shapes)."""
+
+import pytest
+
+from repro.db import InfluxDB, InfluxError, Point, execute, parse_query
+
+
+def db_with_series():
+    db = InfluxDB()
+    db.create_database("pmove")
+    for i in range(10):
+        db.write(
+            "pmove",
+            Point(
+                "kernel_percpu_cpu_idle",
+                {"tag": "278e26c2-3fd3-45e4-862b-5646dc9e7aa0"},
+                {"_cpu0": float(i), "_cpu1": float(i * 10)},
+                float(i),
+            ),
+        )
+    # A second observation's series under a different tag.
+    db.write(
+        "kernel_percpu_cpu_idle" and "pmove",
+        Point("kernel_percpu_cpu_idle", {"tag": "other"}, {"_cpu0": 999.0}, 3.0),
+    )
+    return db
+
+
+class TestParse:
+    def test_listing3_query_parses(self):
+        """Verbatim query from the paper's Listing 3."""
+        q = parse_query(
+            'SELECT "_cpu0", "_cpu1", "_cpu22", "_cpu23" FROM '
+            '"kernel_percpu_cpu_idle" WHERE tag="278e26c2-3fd3-45e4-862b-5646dc9e7aa0"'
+        )
+        assert q.measurement == "kernel_percpu_cpu_idle"
+        assert q.columns == ("_cpu0", "_cpu1", "_cpu22", "_cpu23")
+        assert q.tag_filters == (("tag", "278e26c2-3fd3-45e4-862b-5646dc9e7aa0"),)
+
+    def test_star(self):
+        q = parse_query("SELECT * FROM m")
+        assert q.columns == ("*",)
+
+    def test_time_range(self):
+        q = parse_query("SELECT v FROM m WHERE time >= 1.5 AND time <= 9")
+        assert q.t0 == 1.5
+        assert q.t1 == 9.0
+
+    def test_aggregate(self):
+        q = parse_query('SELECT MEAN("_cpu0") FROM m')
+        assert q.aggregate == "MEAN"
+        assert q.columns == ("_cpu0",)
+
+    def test_group_by_time(self):
+        q = parse_query('SELECT SUM("v") FROM m GROUP BY time(2s)')
+        assert q.group_by_s == 2.0
+        assert q.aggregate == "SUM"
+
+    def test_group_by_without_agg_defaults_mean(self):
+        q = parse_query("SELECT v FROM m GROUP BY time(5s)")
+        assert q.aggregate == "MEAN"
+
+    def test_single_quoted_values(self):
+        q = parse_query("SELECT v FROM m WHERE host='icl'")
+        assert q.tag_filters == (("host", "icl"),)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(InfluxError):
+            parse_query("DELETE FROM m")
+
+    def test_bad_where_rejected(self):
+        with pytest.raises(InfluxError):
+            parse_query("SELECT v FROM m WHERE !!!")
+
+    def test_mixed_aggregates_rejected(self):
+        with pytest.raises(InfluxError, match="mixed"):
+            parse_query("SELECT MEAN(a), MAX(b) FROM m")
+
+
+class TestExecute:
+    def test_tag_filter_isolates_observation(self):
+        db = db_with_series()
+        rs = execute(
+            db,
+            "pmove",
+            'SELECT "_cpu0" FROM "kernel_percpu_cpu_idle" '
+            'WHERE tag="278e26c2-3fd3-45e4-862b-5646dc9e7aa0"',
+        )
+        assert len(rs) == 10
+        assert 999.0 not in rs.column("_cpu0")
+
+    def test_multi_column(self):
+        db = db_with_series()
+        rs = execute(db, "pmove", 'SELECT "_cpu0", "_cpu1" FROM "kernel_percpu_cpu_idle"')
+        assert rs.columns == ["_cpu0", "_cpu1"]
+
+    def test_star_collects_all_fields(self):
+        db = db_with_series()
+        rs = execute(db, "pmove", 'SELECT * FROM "kernel_percpu_cpu_idle"')
+        assert rs.columns == ["_cpu0", "_cpu1"]
+
+    def test_missing_field_is_none(self):
+        db = db_with_series()
+        rs = execute(
+            db, "pmove",
+            'SELECT "_cpu1" FROM "kernel_percpu_cpu_idle" WHERE tag="other"',
+        )
+        assert rs.rows[0][1] == [None]
+
+    def test_mean(self):
+        db = db_with_series()
+        rs = execute(
+            db, "pmove",
+            'SELECT MEAN("_cpu0") FROM "kernel_percpu_cpu_idle" '
+            'WHERE tag="278e26c2-3fd3-45e4-862b-5646dc9e7aa0"',
+        )
+        assert rs.rows[0][1][0] == pytest.approx(4.5)
+
+    def test_count_and_last(self):
+        db = db_with_series()
+        base = ('FROM "kernel_percpu_cpu_idle" '
+                'WHERE tag="278e26c2-3fd3-45e4-862b-5646dc9e7aa0"')
+        assert execute(db, "pmove", f'SELECT COUNT("_cpu0") {base}').rows[0][1] == [10.0]
+        assert execute(db, "pmove", f'SELECT LAST("_cpu0") {base}').rows[0][1] == [9.0]
+
+    def test_group_by_time_buckets(self):
+        db = db_with_series()
+        rs = execute(
+            db, "pmove",
+            'SELECT SUM("_cpu0") FROM "kernel_percpu_cpu_idle" '
+            'WHERE tag="278e26c2-3fd3-45e4-862b-5646dc9e7aa0" GROUP BY time(5s)',
+        )
+        assert rs.times() == [0.0, 5.0]
+        assert rs.rows[0][1] == [pytest.approx(0 + 1 + 2 + 3 + 4)]
+        assert rs.rows[1][1] == [pytest.approx(5 + 6 + 7 + 8 + 9)]
+
+    def test_time_window_execute(self):
+        db = db_with_series()
+        rs = execute(
+            db, "pmove",
+            'SELECT "_cpu0" FROM "kernel_percpu_cpu_idle" WHERE time >= 2 AND time <= 4 '
+            'AND tag="278e26c2-3fd3-45e4-862b-5646dc9e7aa0"',
+        )
+        assert rs.times() == [2.0, 3.0, 4.0]
+
+    def test_empty_result(self):
+        db = db_with_series()
+        rs = execute(db, "pmove", 'SELECT "v" FROM "no_such_measurement"')
+        assert len(rs) == 0
+
+    def test_aggregate_on_empty_is_none(self):
+        db = db_with_series()
+        rs = execute(db, "pmove", 'SELECT MEAN("v") FROM "no_such_measurement"')
+        assert rs.rows[0][1] == [None]
+
+
+class TestLimitAndShow:
+    def test_limit_truncates_rows(self):
+        db = db_with_series()
+        rs = execute(
+            db, "pmove",
+            'SELECT "_cpu0" FROM "kernel_percpu_cpu_idle" '
+            'WHERE tag="278e26c2-3fd3-45e4-862b-5646dc9e7aa0" LIMIT 3',
+        )
+        assert len(rs) == 3
+        assert rs.times() == [0.0, 1.0, 2.0]
+
+    def test_limit_with_group_by(self):
+        db = db_with_series()
+        rs = execute(
+            db, "pmove",
+            'SELECT SUM("_cpu0") FROM "kernel_percpu_cpu_idle" '
+            'WHERE tag="278e26c2-3fd3-45e4-862b-5646dc9e7aa0" '
+            "GROUP BY time(5s) LIMIT 1",
+        )
+        assert len(rs) == 1
+
+    def test_limit_validation(self):
+        with pytest.raises(InfluxError):
+            parse_query("SELECT v FROM m LIMIT 0")
+
+    def test_show_measurements(self):
+        from repro.db import show_measurements
+
+        db = db_with_series()
+        assert show_measurements(db, "pmove") == ["kernel_percpu_cpu_idle"]

@@ -1,0 +1,187 @@
+"""Tests for the MongoDB substrate."""
+
+import pytest
+
+from repro.db import MongoDB, MongoError
+
+
+def coll():
+    return MongoDB().collection("dt", "kb")
+
+
+class TestInsertFind:
+    def test_insert_assigns_id(self):
+        c = coll()
+        _id = c.insert_one({"a": 1})
+        assert _id
+        assert c.find_one({"a": 1})["_id"] == _id
+
+    def test_insert_non_dict_rejected(self):
+        with pytest.raises(MongoError):
+            coll().insert_one([1, 2])
+
+    def test_insert_is_deep_copy(self):
+        c = coll()
+        doc = {"nested": {"x": 1}}
+        c.insert_one(doc)
+        doc["nested"]["x"] = 99
+        assert c.find_one()["nested"]["x"] == 1
+
+    def test_find_returns_copies(self):
+        c = coll()
+        c.insert_one({"nested": {"x": 1}})
+        got = c.find_one()
+        got["nested"]["x"] = 99
+        assert c.find_one()["nested"]["x"] == 1
+
+    def test_find_all(self):
+        c = coll()
+        c.insert_many([{"i": i} for i in range(5)])
+        assert len(c.find()) == 5
+        assert len(c) == 5
+
+    def test_find_limit(self):
+        c = coll()
+        c.insert_many([{"i": i} for i in range(5)])
+        assert len(c.find({}, limit=2)) == 2
+
+    def test_dotted_path(self):
+        c = coll()
+        c.insert_one({"contents": {"name": "gpu0", "numa": 0}})
+        assert c.find_one({"contents.name": "gpu0"})
+
+    def test_dotted_path_through_array(self):
+        c = coll()
+        c.insert_one({"contents": [{"name": "p0"}, {"name": "t1"}]})
+        assert c.find_one({"contents.1.name": "t1"})
+
+    def test_array_contains(self):
+        c = coll()
+        c.insert_one({"tags": ["hw", "telemetry"]})
+        assert c.find_one({"tags": "hw"})
+
+
+class TestOperators:
+    def setup_method(self):
+        self.c = coll()
+        self.c.insert_many(
+            [
+                {"name": "skx", "threads": 88, "vendor": "intel"},
+                {"name": "icl", "threads": 16, "vendor": "intel"},
+                {"name": "zen3", "threads": 32, "vendor": "amd"},
+            ]
+        )
+
+    def test_gt_lt(self):
+        assert {d["name"] for d in self.c.find({"threads": {"$gt": 20}})} == {"skx", "zen3"}
+        assert {d["name"] for d in self.c.find({"threads": {"$lte": 32}})} == {"icl", "zen3"}
+
+    def test_ne(self):
+        assert len(self.c.find({"vendor": {"$ne": "intel"}})) == 1
+
+    def test_in_nin(self):
+        assert len(self.c.find({"name": {"$in": ["skx", "icl"]}})) == 2
+        assert len(self.c.find({"name": {"$nin": ["skx", "icl"]}})) == 1
+
+    def test_exists(self):
+        self.c.insert_one({"name": "gpu", "sms": 80})
+        assert len(self.c.find({"sms": {"$exists": True}})) == 1
+        assert len(self.c.find({"sms": {"$exists": False}})) == 3
+
+    def test_regex(self):
+        assert {d["name"] for d in self.c.find({"name": {"$regex": "^s"}})} == {"skx"}
+
+    def test_and_or(self):
+        got = self.c.find(
+            {"$or": [{"name": "skx"}, {"$and": [{"vendor": "amd"}, {"threads": 32}]}]}
+        )
+        assert {d["name"] for d in got} == {"skx", "zen3"}
+
+    def test_unsupported_operator(self):
+        with pytest.raises(MongoError):
+            self.c.find({"threads": {"$mod": [2, 0]}})
+
+    def test_unsupported_toplevel(self):
+        with pytest.raises(MongoError):
+            self.c.find({"$nor": []})
+
+    def test_type_mismatch_is_no_match(self):
+        assert self.c.find({"name": {"$gt": 5}}) == []
+
+    def test_count_and_distinct(self):
+        assert self.c.count_documents({"vendor": "intel"}) == 2
+        assert self.c.distinct("vendor") == ["intel", "amd"]
+
+
+class TestUpdates:
+    def test_set_creates_path(self):
+        c = coll()
+        c.insert_one({"name": "kb"})
+        assert c.update_one({"name": "kb"}, {"$set": {"meta.version": 2}}) == 1
+        assert c.find_one()["meta"]["version"] == 2
+
+    def test_push_appends(self):
+        c = coll()
+        c.insert_one({"name": "kb", "entries": []})
+        c.update_one({"name": "kb"}, {"$push": {"entries": {"id": 1}}})
+        c.update_one({"name": "kb"}, {"$push": {"entries": {"id": 2}}})
+        assert [e["id"] for e in c.find_one()["entries"]] == [1, 2]
+
+    def test_push_to_non_array_rejected(self):
+        c = coll()
+        c.insert_one({"entries": "not-a-list"})
+        with pytest.raises(MongoError):
+            c.update_one({}, {"$push": {"entries": 1}})
+
+    def test_update_no_match(self):
+        c = coll()
+        assert c.update_one({"x": 1}, {"$set": {"y": 2}}) == 0
+
+    def test_update_many(self):
+        c = coll()
+        c.insert_many([{"v": 1}, {"v": 1}, {"v": 2}])
+        assert c.update_many({"v": 1}, {"$set": {"seen": True}}) == 2
+
+    def test_unsupported_update_op(self):
+        c = coll()
+        c.insert_one({"v": 1})
+        with pytest.raises(MongoError):
+            c.update_one({}, {"$inc": {"v": 1}})
+
+    def test_replace_one_keeps_id(self):
+        c = coll()
+        _id = c.insert_one({"v": 1})
+        assert c.replace_one({"v": 1}, {"v": 2}) == 1
+        assert c.find_one({"v": 2})["_id"] == _id
+
+    def test_replace_upsert(self):
+        c = coll()
+        assert c.replace_one({"v": 1}, {"v": 1}, upsert=True) == 1
+        assert len(c) == 1
+
+    def test_delete_many(self):
+        c = coll()
+        c.insert_many([{"v": i} for i in range(5)])
+        assert c.delete_many({"v": {"$lt": 3}}) == 3
+        assert len(c) == 2
+
+
+class TestMongoDB:
+    def test_collections_listed(self):
+        m = MongoDB()
+        m.collection("dt", "kb")
+        m.collection("dt", "observations")
+        assert m.collections("dt") == ["kb", "observations"]
+        assert m.databases() == ["dt"]
+
+    def test_same_collection_returned(self):
+        m = MongoDB()
+        a = m.collection("dt", "kb")
+        b = m.collection("dt", "kb")
+        assert a is b
+
+    def test_drop_database(self):
+        m = MongoDB()
+        m.collection("dt", "kb").insert_one({"a": 1})
+        m.drop_database("dt")
+        assert m.databases() == []

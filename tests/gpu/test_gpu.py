@@ -1,0 +1,141 @@
+"""Tests for the simulated GPU, NVML sampler, and ncu wrapper."""
+
+import pytest
+
+from repro.gpu import (
+    GpuKernelDescriptor,
+    NvmlSampler,
+    SimulatedGpu,
+    build_wrapper_script,
+    parse_ncu_report,
+    run_ncu,
+)
+from repro.machine import VirtualClock, gpu_node
+
+
+def make_gpu():
+    clock = VirtualClock()
+    return SimulatedGpu(gpu_node().gpus[0], clock), clock
+
+
+def memcpy_like(n=10**8):
+    return GpuKernelDescriptor("memcpy_like", dram_bytes=2.0 * n, l2_bytes=2.0 * n)
+
+
+def gemm_like(n=512):
+    return GpuKernelDescriptor(
+        "gemm_like",
+        flops_sp=2.0 * n**3,
+        dram_bytes=3.0 * 4 * n**2,
+        l2_bytes=12.0 * 4 * n**2,
+        occupancy=0.9,
+    )
+
+
+class TestDescriptor:
+    def test_bad_occupancy(self):
+        with pytest.raises(ValueError):
+            GpuKernelDescriptor("k", occupancy=0.0)
+
+    def test_negative_counts(self):
+        with pytest.raises(ValueError):
+            GpuKernelDescriptor("k", dram_bytes=-1)
+
+
+class TestSimulatedGpu:
+    def test_peak_ratio_dp_sp(self):
+        gpu, _ = make_gpu()
+        assert gpu.peak_gflops_dp == pytest.approx(gpu.peak_gflops_sp / 2)
+
+    def test_launch_advances_clock(self):
+        gpu, clock = make_gpu()
+        launch = gpu.launch(memcpy_like())
+        assert clock.now() == pytest.approx(launch.t_end)
+        assert launch.runtime_s > 0
+
+    def test_memory_bound_kernel_high_mem_pct(self):
+        gpu, _ = make_gpu()
+        m = gpu.launch(memcpy_like()).metrics
+        assert (
+            m["gpu__compute_memory_access_throughput.avg.pct_of_peak_sustained_elapsed"]
+            > m["sm__throughput.avg.pct_of_peak_sustained_elapsed"]
+        )
+
+    def test_compute_bound_kernel_high_sm_pct(self):
+        gpu, _ = make_gpu()
+        m = gpu.launch(gemm_like()).metrics
+        assert (
+            m["sm__throughput.avg.pct_of_peak_sustained_elapsed"]
+            > m["gpu__compute_memory_access_throughput.avg.pct_of_peak_sustained_elapsed"]
+        )
+
+    def test_utilization_during_launch(self):
+        gpu, _ = make_gpu()
+        launch = gpu.launch(memcpy_like())
+        mid = (launch.t_start + launch.t_end) / 2
+        assert gpu.utilization(mid) == 1.0
+        assert gpu.utilization(launch.t_end + 1.0) == 0.0
+
+    def test_mem_capped_at_device_total(self):
+        gpu, _ = make_gpu()
+        launch = gpu.launch(GpuKernelDescriptor("big", dram_bytes=1e14))
+        mid = (launch.t_start + launch.t_end) / 2
+        assert gpu.mem_used_mb(mid) <= gpu.spec.memory_mb
+
+    def test_power_rises_under_load(self):
+        gpu, _ = make_gpu()
+        launch = gpu.launch(memcpy_like())
+        mid = (launch.t_start + launch.t_end) / 2
+        assert gpu.power_watts(mid) > gpu.power_watts(launch.t_end + 1)
+
+
+class TestNvmlSampler:
+    def test_all_metrics_readable(self):
+        gpu, _ = make_gpu()
+        s = NvmlSampler(gpu)
+        for metric in s.metrics():
+            assert s.value(metric, 0.0) >= 0.0
+
+    def test_memused_includes_baseline(self):
+        gpu, _ = make_gpu()
+        assert NvmlSampler(gpu).value("nvidia.memused", 0.0) > 0
+
+    def test_memtotal_is_listing4_value(self):
+        gpu, _ = make_gpu()
+        assert NvmlSampler(gpu).value("nvidia.memtotal", 0.0) == 34359
+
+    def test_unknown_metric(self):
+        gpu, _ = make_gpu()
+        with pytest.raises(KeyError):
+            NvmlSampler(gpu).value("nvidia.bogus", 0.0)
+
+
+class TestNcu:
+    def test_wrapper_script_contains_metrics_and_cmd(self):
+        script = build_wrapper_script("./spmv", ["matrix.mtx"], ["dram__bytes.sum"])
+        assert "ncu --metrics dram__bytes.sum" in script
+        assert "./spmv matrix.mtx" in script
+        assert script.startswith("#!/bin/sh")
+
+    def test_wrapper_needs_executable(self):
+        with pytest.raises(ValueError):
+            build_wrapper_script("", [], [])
+
+    def test_report_roundtrip(self):
+        gpu, _ = make_gpu()
+        report = run_ncu(gpu, gemm_like())
+        parsed = parse_ncu_report(report)
+        assert parsed["kernel"] == "gemm_like"
+        assert parsed["device"] == 0
+        assert parsed["metrics"]["dram__bytes.sum"] == pytest.approx(
+            3.0 * 4 * 512**2, rel=1e-3
+        )
+        assert "sm__throughput.avg.pct_of_peak_sustained_elapsed" in parsed["metrics"]
+
+    def test_non_report_rejected(self):
+        with pytest.raises(ValueError, match="PROF"):
+            parse_ncu_report("hello world")
+
+    def test_report_without_metrics_rejected(self):
+        with pytest.raises(ValueError, match="no metrics"):
+            parse_ncu_report('==PROF== Profiling "k" - 0: done\n')

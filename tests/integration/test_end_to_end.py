@@ -1,0 +1,200 @@
+"""Integration tests: the full probe → KB → scenario → dashboard →
+recall pipelines of Fig 3, SUPERDB promotion, and the GPU path."""
+
+import json
+
+import pytest
+
+from repro.carm import live_carm_points, load_from_kb, render_carm_svg
+from repro.core import (
+    KnowledgeBase,
+    PMoVE,
+    SuperDB,
+    focus_view,
+    level_view,
+    run_benchmark,
+)
+from repro.gpu import GpuKernelDescriptor, parse_ncu_report, run_ncu
+from repro.machine import SimulatedMachine, csl, gpu_node, icl, skx
+from repro.viz import Dashboard, generate_dashboard
+from repro.workloads import build_kernel
+
+
+class TestFig3Pipelines:
+    def test_probe_to_dashboard_to_render(self):
+        """Fig 3 steps 0-3 plus Scenario A, ending at rendered pixels."""
+        d = PMoVE(env={"GRAFANA_TOKEN": "tok"}, seed=6)
+        m = SimulatedMachine(icl(), seed=6)
+        kb = d.attach_target(m)
+
+        # The KB round-trips through the document store (step 3).
+        loaded = KnowledgeBase.load(d.mongo, "icl")
+        assert len(loaded) == len(kb)
+
+        stats, uid = d.scenario_a("icl", duration_s=6.0, freq_hz=2.0)
+        assert stats.loss_plus_zero_pct < 25
+        svg = d.grafana.render_panel_svg(uid, 1)
+        assert svg.startswith("<svg")
+
+    def test_scenario_b_to_live_carm_svg(self):
+        """Scenario B → ObservationInterface → recall → live-CARM plot."""
+        d = PMoVE(seed=7)
+        m = SimulatedMachine(csl(), seed=7)
+        kb = d.attach_target(m)
+        run_benchmark(kb, m, "carm", thread_counts=[28])
+        model = load_from_kb(kb, 28)
+
+        desc = build_kernel("ddot", 2048, iterations=40_000_000)
+        obs, run = d.scenario_b(
+            "csl", desc,
+            ["SCALAR_DOUBLE_INSTRUCTIONS", "SSE_DOUBLE_INSTRUCTIONS",
+             "AVX2_DOUBLE_INSTRUCTIONS", "AVX512_DOUBLE_INSTRUCTIONS",
+             "TOTAL_MEMORY_INSTRUCTIONS"],
+            freq_hz=16, n_threads=28,
+        )
+        pts = [p for p in live_carm_points(d.influx, "pmove", obs, "cascadelake")
+               if p.flops > 0]
+        assert pts
+        svg = render_carm_svg(model, pts)
+        assert "<svg" in svg
+
+        # DDOT fits L1 and surpasses the L2 roof (Fig 9's reading).
+        import statistics
+
+        ai = statistics.median(p.ai for p in pts)
+        gf = statistics.median(p.gflops for p in pts)
+        assert ai == pytest.approx(0.125, rel=0.05)
+        assert model.bounding_level(ai, gf) in ("L1", "L2")
+
+    def test_dashboard_json_share_between_instances(self):
+        """A dashboard saved by one instance renders on another (§III-B)."""
+        d1 = PMoVE(seed=8)
+        m1 = SimulatedMachine(icl(), seed=8)
+        kb1 = d1.attach_target(m1)
+        view = focus_view(kb1, kb1.find_by_name("cpu0").id, hw=False)
+        dash = generate_dashboard(view)
+        shared = dash.dumps()
+
+        d2 = PMoVE(seed=9)
+        m2 = SimulatedMachine(icl(), seed=9)
+        d2.attach_target(m2)
+        d2.scenario_a("icl", duration_s=4.0, freq_hz=2.0)
+        uid = d2.grafana.register_json(shared)
+        text = d2.grafana.render_dashboard_text(uid)
+        assert "kernel_percpu_cpu_idle" in text
+
+    def test_multi_machine_level_view_and_superdb(self):
+        """Two servers, one comparison dashboard, one global database."""
+        d = PMoVE(seed=10)
+        specs = [icl, csl]
+        sdb = SuperDB()
+        for mk in specs:
+            m = SimulatedMachine(mk(), seed=10)
+            kb = d.attach_target(m)
+            desc = build_kernel("triad", 4_000_000, iterations=300)
+            d.scenario_b(m.spec.hostname, desc, ["TOTAL_MEMORY_INSTRUCTIONS"],
+                         freq_hz=8, n_threads=4)
+            sdb.report(kb, d.influx, mode="agg")
+        uid = d.compare_targets("thread", metric="kernel.percpu.cpu.idle")
+        dash = d.grafana.get(uid)
+        assert len(dash.panels[0].targets) == 16 + 56
+        assert sdb.systems() == ["csl", "icl"]
+
+    def test_gpu_path_end_to_end(self):
+        """§III-D: probe GPU → KB twin → NVML telemetry → ncu observation."""
+        d = PMoVE(seed=11)
+        m = SimulatedMachine(gpu_node(), seed=11)
+        kb = d.attach_target(m)
+        g = kb.find_by_name("gpu0")
+        assert g.property_value("model") == "NVIDIA Quadro GV100"
+
+        t = d.target("cn1")
+        stats, _ = d.scenario_a(
+            "cn1", duration_s=3.0,
+            metrics=["nvidia.memused", "nvidia.power", "kernel.all.load"],
+        )
+        pts = d.influx.points("pmove", "nvidia_memused")
+        assert pts and pts[0].fields["_gpu0"] >= 420.0
+
+        # ncu wrapper profiling -> parsed metrics become an observation.
+        gpu = t.gpus[0]
+        report = run_ncu(gpu, GpuKernelDescriptor("spmv_gpu", flops_sp=1e9,
+                                                  dram_bytes=5e8, l2_bytes=1e9))
+        parsed = parse_ncu_report(report)
+        kb.append_entry({
+            "@type": "ObservationInterface",
+            "@id": "dtmi:dt:cn1:gpuobs1;1",
+            "tag": "gpu-obs",
+            "command": "ncu ./spmv_gpu",
+            "affinity": [],
+            "metrics": [],
+            "pinning": "n/a",
+            "time": {"start": 0, "end": gpu.launches[-1].t_end},
+            "report": parsed["metrics"],
+            "queries": [],
+        })
+        kb.save(d.mongo)
+        loaded = KnowledgeBase.load(d.mongo, "cn1")
+        assert loaded.entries_of_type("ObservationInterface")
+
+    def test_kb_is_json_all_the_way(self):
+        """The whole KB (interfaces + entries) survives a JSON round trip —
+        linked data must stay plain documents."""
+        d = PMoVE(seed=12)
+        m = SimulatedMachine(icl(), seed=12)
+        kb = d.attach_target(m)
+        desc = build_kernel("sum", 1_000_000, iterations=200)
+        d.scenario_b("icl", desc, ["TOTAL_MEMORY_INSTRUCTIONS"], n_threads=2)
+        doc = json.loads(json.dumps(kb.to_jsonld()))
+        back = KnowledgeBase.from_jsonld(doc)
+        assert len(back) == len(kb)
+        assert back.entries == kb.entries
+
+
+class TestFailureInjection:
+    def test_lossy_transport_still_functional(self):
+        from repro.pcp import TransportModel
+
+        slow = TransportModel(net_bw_mbit=1.0, insert_per_point_s=5e-4)
+        d = PMoVE(seed=13)
+        m = SimulatedMachine(skx(), seed=13)
+        d.attach_target(m, transport=slow)
+        stats, _ = d.scenario_a("skx", duration_s=5.0, freq_hz=8.0)
+        assert stats.loss_pct > 30  # heavy loss...
+        assert stats.inserted_points > 0  # ...but the pipeline survives
+
+    def test_malformed_dashboard_rejected(self):
+        d = PMoVE()
+        with pytest.raises(Exception):
+            d.grafana.register_json("{not json")
+        with pytest.raises(Exception):
+            d.grafana.register_json('{"id": 1}')
+
+    def test_corrupt_probe_fails_loudly(self):
+        from repro.probing import collect_raw_probe, parse_probe
+
+        raw = collect_raw_probe(icl())
+        raw["likwid_topology"] = "garbage\n"
+        with pytest.raises(ValueError):
+            parse_probe(raw)
+
+    def test_unknown_generic_event_in_scenario_b(self):
+        d = PMoVE(seed=14)
+        m = SimulatedMachine(icl(), seed=14)
+        d.attach_target(m)
+        from repro.pmu import UnsupportedEventError
+
+        with pytest.raises(UnsupportedEventError):
+            d.scenario_b("icl", build_kernel("sum", 1000), ["L3_HIT"])
+
+    def test_retention_bounds_growth(self):
+        """§V-B: 'we rely on the retention policy of InfluxDB'."""
+        d = PMoVE(seed=15)
+        m = SimulatedMachine(icl(), seed=15)
+        d.attach_target(m)
+        d.influx.set_retention_policy("pmove", duration_s=2.0)
+        d.scenario_a("icl", duration_s=6.0, freq_hz=4.0)
+        dropped = d.influx.enforce_retention("pmove", now=m.clock.now())
+        assert dropped > 0
+        remaining = d.influx.points("pmove", "kernel_all_load")
+        assert all(p.time >= m.clock.now() - 2.0 for p in remaining)

@@ -1,0 +1,111 @@
+"""Tests for fault injection (the intro's performance-variation causes)."""
+
+import pytest
+
+from repro.machine import (
+    CpuThrottle,
+    FaultSet,
+    LoadImbalance,
+    MemoryContention,
+    SimulatedMachine,
+    icl,
+)
+from repro.workloads import build_kernel
+
+
+def compute_kernel():
+    return build_kernel("peakflops", 2048, iterations=1_000_000)
+
+
+def memory_kernel():
+    return build_kernel("triad", 8_000_000, iterations=20)
+
+
+class TestFaultValidation:
+    def test_window_positive(self):
+        with pytest.raises(ValueError):
+            CpuThrottle(t0=5.0, t1=5.0)
+
+    def test_throttle_factor_range(self):
+        with pytest.raises(ValueError):
+            CpuThrottle(t0=0, t1=1, freq_factor=0.0)
+        with pytest.raises(ValueError):
+            CpuThrottle(t0=0, t1=1, freq_factor=1.5)
+
+    def test_contention_factor_range(self):
+        with pytest.raises(ValueError):
+            MemoryContention(t0=0, t1=1, bw_factor=0.0)
+
+    def test_straggler_range(self):
+        with pytest.raises(ValueError):
+            LoadImbalance(t0=0, t1=1, straggler_factor=0.5)
+
+    def test_active_window(self):
+        f = CpuThrottle(t0=1.0, t1=2.0)
+        assert not f.active(0.5)
+        assert f.active(1.0)
+        assert not f.active(2.0)
+
+
+class TestFaultEffects:
+    def run_pair(self, fault, desc, cpus=None):
+        base = SimulatedMachine(icl(), seed=9)
+        r1 = base.run_kernel(desc, cpus, runtime_noise_std=0.0)
+        faulty = SimulatedMachine(icl(), seed=9)
+        faulty.inject_fault(fault)
+        r2 = faulty.run_kernel(desc, cpus, runtime_noise_std=0.0)
+        return r2.runtime_s / r1.runtime_s
+
+    def test_throttle_halves_compute_speed(self):
+        dilation = self.run_pair(CpuThrottle(t0=0, t1=1e9, freq_factor=0.5),
+                                 compute_kernel())
+        assert dilation == pytest.approx(2.0, rel=0.01)
+
+    def test_throttle_mild_on_memory_bound(self):
+        dilation = self.run_pair(CpuThrottle(t0=0, t1=1e9, freq_factor=0.5),
+                                 memory_kernel())
+        assert 1.1 < dilation < 1.6  # partially insulated
+
+    def test_throttle_scoped_to_cpus(self):
+        fault = CpuThrottle(t0=0, t1=1e9, freq_factor=0.5, cpus=(7,))
+        assert self.run_pair(fault, compute_kernel(), cpus=[0, 1]) == pytest.approx(1.0)
+        assert self.run_pair(fault, compute_kernel(), cpus=[6, 7]) > 1.5
+
+    def test_contention_hits_memory_bound(self):
+        fault = MemoryContention(t0=0, t1=1e9, bw_factor=0.5)
+        assert self.run_pair(fault, memory_kernel()) == pytest.approx(2.0, rel=0.01)
+        assert self.run_pair(fault, compute_kernel()) < 1.2
+
+    def test_straggler_drags_run(self):
+        fault = LoadImbalance(t0=0, t1=1e9, straggler_factor=1.4, cpus=(0,))
+        assert self.run_pair(fault, compute_kernel(), cpus=[0, 1, 2]) == pytest.approx(1.4)
+
+    def test_expired_fault_no_effect(self):
+        m = SimulatedMachine(icl(), seed=9)
+        m.inject_fault(CpuThrottle(t0=0.0, t1=0.001, freq_factor=0.5))
+        m.advance(1.0)
+        r = m.run_kernel(compute_kernel(), runtime_noise_std=0.0)
+        clean = SimulatedMachine(icl(), seed=9)
+        clean.advance(1.0)
+        r0 = clean.run_kernel(compute_kernel(), runtime_noise_std=0.0)
+        assert r.runtime_s == pytest.approx(r0.runtime_s)
+
+    def test_faults_compose(self):
+        fs = FaultSet()
+        fs.inject(CpuThrottle(t0=0, t1=10, freq_factor=0.5))
+        fs.inject(LoadImbalance(t0=0, t1=10, straggler_factor=1.5))
+        assert fs.slowdown(5.0, (0,), memory_bound=False) == pytest.approx(3.0)
+        fs.clear()
+        assert fs.slowdown(5.0, (0,), memory_bound=False) == 1.0
+
+    def test_counters_reflect_dilation(self):
+        """A throttled run accrues the same event totals over more time —
+        lower rates, which is what the monitor detects."""
+        m = SimulatedMachine(icl(), seed=9)
+        m.inject_fault(CpuThrottle(t0=0, t1=1e9, freq_factor=0.5))
+        r = m.run_kernel(compute_kernel(), [0], runtime_noise_std=0.0)
+        flops_rate = r.ground_truth("fp_dp_avx512") / r.runtime_s
+        clean = SimulatedMachine(icl(), seed=9)
+        r0 = clean.run_kernel(compute_kernel(), [0], runtime_noise_std=0.0)
+        clean_rate = r0.ground_truth("fp_dp_avx512") / r0.runtime_s
+        assert flops_rate == pytest.approx(clean_rate / 2, rel=0.01)

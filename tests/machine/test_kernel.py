@@ -1,0 +1,107 @@
+"""Tests for kernel descriptors and the FP_ARITH counting convention."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import ISA, KernelDescriptor, fp_quantity, skx
+
+
+class TestFpQuantity:
+    def test_names(self):
+        assert fp_quantity(ISA.AVX512) == "fp_dp_avx512"
+        assert fp_quantity(ISA.SCALAR, "sp") == "fp_sp_scalar"
+
+    def test_bad_precision(self):
+        with pytest.raises(ValueError):
+            fp_quantity(ISA.SSE, "quad")
+
+
+class TestDescriptorValidation:
+    def test_negative_mem_counts(self):
+        with pytest.raises(ValueError):
+            KernelDescriptor("k", loads=-1)
+
+    def test_fma_fraction_range(self):
+        with pytest.raises(ValueError):
+            KernelDescriptor("k", fma_fraction=1.5)
+
+    def test_locality_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            KernelDescriptor("k", locality={"L1": 0.5})
+
+    def test_locality_unknown_level(self):
+        with pytest.raises(ValueError, match="unknown memory level"):
+            KernelDescriptor("k", locality={"L7": 1.0})
+
+
+class TestCounts:
+    def test_bytes_total_uses_isa_width(self):
+        d = KernelDescriptor("k", loads=100, stores=50, mem_isa=ISA.AVX512)
+        assert d.bytes_total == 150 * 64
+
+    def test_arithmetic_intensity(self):
+        d = KernelDescriptor(
+            "k", flops_dp={ISA.SCALAR: 800.0}, loads=100, stores=0, mem_isa=ISA.SCALAR
+        )
+        assert d.arithmetic_intensity == pytest.approx(1.0)
+
+    def test_ai_infinite_without_memory(self):
+        d = KernelDescriptor("k", flops_dp={ISA.SCALAR: 1.0})
+        assert d.arithmetic_intensity == float("inf")
+
+    def test_fp_instructions_scalar_no_fma(self):
+        d = KernelDescriptor("k", flops_dp={ISA.SCALAR: 1000.0}, fma_fraction=0.0)
+        assert d.fp_instructions(ISA.SCALAR) == pytest.approx(1000.0)
+
+    def test_fp_instructions_avx512_fma(self):
+        # 1600 FLOPs via AVX512 FMA: each instr is 8 lanes * 2 ops = 16 FLOPs.
+        d = KernelDescriptor("k", flops_dp={ISA.AVX512: 1600.0}, fma_fraction=1.0)
+        assert d.fp_instructions(ISA.AVX512) == pytest.approx(100.0)
+
+    def test_total_instructions_includes_overhead(self):
+        d = KernelDescriptor(
+            "k",
+            flops_dp={ISA.SCALAR: 100.0},
+            loads=100,
+            stores=0,
+            overhead_instr_ratio=0.5,
+        )
+        assert d.total_instructions == pytest.approx(300.0)
+
+    def test_scaled(self):
+        d = KernelDescriptor("k", flops_dp={ISA.SSE: 10.0}, loads=4, stores=2)
+        s = d.scaled(3.0)
+        assert s.flops_dp[ISA.SSE] == 30.0
+        assert s.loads == 12 and s.stores == 6
+        assert s.name == d.name
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            KernelDescriptor("k").scaled(-1)
+
+
+class TestResolveLocality:
+    def test_explicit_locality_passed_through(self):
+        loc = {"L1": 0.5, "DRAM": 0.5}
+        d = KernelDescriptor("k", locality=loc)
+        assert d.resolve_locality(skx(), 1) == loc
+
+    def test_derived_sums_to_one(self):
+        d = KernelDescriptor("k", working_set_bytes=16 * 1024)
+        split = d.resolve_locality(skx(), 1)
+        assert sum(split.values()) == pytest.approx(1.0)
+        assert split["L1"] == pytest.approx(0.85)
+
+    def test_dram_working_set_fully_dram(self):
+        d = KernelDescriptor("k", working_set_bytes=8 * 1024**3)
+        split = d.resolve_locality(skx(), 1)
+        assert split == {"DRAM": 1.0}
+
+    @given(st.integers(1, 2**34), st.integers(1, 88))
+    @settings(max_examples=50)
+    def test_derived_locality_always_normalized(self, ws, threads):
+        d = KernelDescriptor("k", working_set_bytes=ws)
+        split = d.resolve_locality(skx(), threads)
+        assert sum(split.values()) == pytest.approx(1.0)
+        assert all(0 <= v <= 1 for v in split.values())

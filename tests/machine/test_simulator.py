@@ -1,0 +1,300 @@
+"""Tests for the execution simulator, timing model, clock and software state."""
+
+import pytest
+
+from repro.machine import (
+    ISA,
+    KernelDescriptor,
+    SimulatedMachine,
+    SoftwareState,
+    TimeStampCounter,
+    VirtualClock,
+    estimate_execution,
+    icl,
+    skx,
+    zen3,
+)
+
+
+def triad(n: int = 10_000_000) -> KernelDescriptor:
+    """STREAM-triad-like kernel: a[i] = b[i] + s*c[i], AVX512."""
+    return KernelDescriptor(
+        "triad",
+        flops_dp={ISA.AVX512: 2.0 * n},
+        fma_fraction=1.0,
+        loads=2 * n / 8,
+        stores=n / 8,
+        mem_isa=ISA.AVX512,
+        working_set_bytes=3 * 8 * n,
+    )
+
+
+def peakflops(n: int = 10_000_000) -> KernelDescriptor:
+    return KernelDescriptor(
+        "peakflops",
+        flops_dp={ISA.AVX512: 32.0 * n},
+        fma_fraction=1.0,
+        loads=n / 8,
+        stores=0,
+        mem_isa=ISA.AVX512,
+        working_set_bytes=16 * 1024,
+        locality={"L1": 1.0},
+    )
+
+
+class TestClockAndTsc:
+    def test_clock_monotonic(self):
+        c = VirtualClock()
+        c.advance(1.5)
+        assert c.now() == 1.5
+        c.advance_to(1.0)  # no-op backwards
+        assert c.now() == 1.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(start=-1)
+
+    def test_tsc_counts_base_frequency(self):
+        c = VirtualClock()
+        tsc = TimeStampCounter(c, base_freq_ghz=2.0)
+        t0 = tsc.rdtsc()
+        c.advance(0.5)
+        t1 = tsc.rdtsc()
+        assert t1 - t0 == int(0.5 * 2.0e9)
+        assert tsc.measure(t0, t1) == pytest.approx(0.5)
+
+    def test_tsc_backwards_rejected(self):
+        tsc = TimeStampCounter(VirtualClock(), 1.0)
+        with pytest.raises(ValueError):
+            tsc.measure(10, 5)
+
+
+class TestEstimateExecution:
+    def test_memory_bound_triad(self):
+        prof = estimate_execution(triad(), skx(), list(range(44)))
+        assert prof.bound == "memory"
+
+    def test_compute_bound_peakflops(self):
+        prof = estimate_execution(peakflops(), skx(), list(range(44)))
+        assert prof.bound == "compute"
+
+    def test_peakflops_hits_peak(self):
+        m = skx()
+        n = 10_000_000
+        prof = estimate_execution(peakflops(n), m, list(range(44)))
+        gflops = 32.0 * n / prof.runtime_s / 1e9
+        peak = m.peak_gflops(ISA.AVX512, 44)
+        assert gflops == pytest.approx(peak, rel=0.05)
+
+    def test_triad_hits_dram_bandwidth(self):
+        m = skx()
+        d = triad(200_000_000)  # 4.8 GB working set -> DRAM
+        prof = estimate_execution(d, m, list(range(44)))
+        gbs = d.bytes_total / prof.runtime_s / 1e9
+        # ~85 % of traffic at DRAM speed; achieved bw must be below roof.
+        assert gbs < m.bandwidth_gbs("DRAM", 44) * 1.3
+        assert gbs > m.bandwidth_gbs("DRAM", 44) * 0.5
+
+    def test_empty_threads_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_execution(triad(), skx(), [])
+
+    def test_out_of_range_cpu_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            estimate_execution(triad(), icl(), [99])
+
+    def test_scalar_slower_than_avx512(self):
+        m = skx()
+        n = 1_000_000
+        vec = KernelDescriptor(
+            "v",
+            flops_dp={ISA.AVX512: 2.0 * n},
+            loads=n // 8,
+            stores=0,
+            mem_isa=ISA.AVX512,
+            locality={"L1": 1.0},
+        )
+        sca = KernelDescriptor(
+            "s",
+            flops_dp={ISA.SCALAR: 2.0 * n},
+            loads=n,
+            stores=0,
+            mem_isa=ISA.SCALAR,
+            locality={"L1": 1.0},
+        )
+        tv = estimate_execution(vec, m, [0]).runtime_s
+        ts = estimate_execution(sca, m, [0]).runtime_s
+        assert ts > 4 * tv
+
+    def test_scalar_code_burns_more_power(self):
+        """The Fig 7 effect: scalar (Merge-style) code draws more package
+        power than SIMD code doing the same FLOPs."""
+        m = skx()
+        n = 50_000_000
+        vec = triad(n)
+        sca = KernelDescriptor(
+            "striad",
+            flops_dp={ISA.SCALAR: 2.0 * n},
+            loads=2 * n,
+            stores=n,
+            mem_isa=ISA.SCALAR,
+            working_set_bytes=3 * 8 * n,
+        )
+        pv = estimate_execution(vec, m, list(range(44))).power_watts
+        ps = estimate_execution(sca, m, list(range(44))).power_watts
+        assert ps > pv
+
+    def test_miss_chain_consistent(self):
+        prof = estimate_execution(triad(200_000_000), skx(), list(range(44)))
+        pt = prof.per_thread
+        assert pt["l1d_miss"] >= pt["l2_miss"] >= pt["l3_miss"]
+        assert pt["l3_hit"] == pytest.approx(pt["l3_access"] - pt["l3_miss"])
+
+
+class TestSimulatedMachine:
+    def test_run_advances_clock(self):
+        m = SimulatedMachine(skx(), seed=3)
+        t0 = m.clock.now()
+        run = m.run_kernel(triad())
+        assert m.clock.now() == pytest.approx(run.t_end)
+        assert run.t_end > t0
+
+    def test_ground_truth_matches_descriptor(self):
+        m = SimulatedMachine(skx(), seed=3)
+        d = triad()
+        run = m.run_kernel(d, list(range(44)))
+        assert run.ground_truth("loads") == pytest.approx(d.loads)
+        assert run.ground_truth("fp_dp_avx512") == pytest.approx(
+            d.flops_dp[ISA.AVX512] / 8
+        )
+
+    def test_timeline_integral_matches_ground_truth(self):
+        m = SimulatedMachine(icl(), seed=3)
+        d = triad(1_000_000)
+        run = m.run_kernel(d, [0, 1, 2, 3])
+        total = sum(
+            m.read_cpu(c, "loads", run.t_start, run.t_end) for c in run.cpu_ids
+        )
+        assert total == pytest.approx(d.loads, rel=1e-9)
+
+    def test_duplicate_pins_rejected(self):
+        m = SimulatedMachine(icl(), seed=0)
+        with pytest.raises(ValueError, match="duplicate"):
+            m.run_kernel(triad(), [0, 0])
+
+    def test_sampling_overhead_dilates_runtime(self):
+        m1 = SimulatedMachine(icl(), seed=7)
+        m2 = SimulatedMachine(icl(), seed=7)
+        r1 = m1.run_kernel(triad(), [0], sampling_overhead=0.0, runtime_noise_std=0.0)
+        r2 = m2.run_kernel(triad(), [0], sampling_overhead=0.10, runtime_noise_std=0.0)
+        assert r2.runtime_s == pytest.approx(r1.runtime_s * 1.10)
+
+    def test_idle_energy_accrues(self):
+        m = SimulatedMachine(skx(), seed=0)
+        m.advance(10.0)
+        joules = m.read_socket(0, "energy_pkg", 0.0, 10.0)
+        assert joules == pytest.approx(10.0 * m.spec.envelope.rapl_idle_watts)
+
+    def test_kernel_raises_power_above_idle(self):
+        m = SimulatedMachine(skx(), seed=0)
+        run = m.run_kernel(triad(100_000_000))
+        joules = m.read_socket(0, "energy_pkg", run.t_start, run.t_end)
+        idle = run.runtime_s * m.spec.envelope.rapl_idle_watts
+        assert joules > idle
+
+    def test_read_bad_cpu(self):
+        m = SimulatedMachine(icl(), seed=0)
+        with pytest.raises(IndexError):
+            m.read_cpu(100, "cycles", 0, 1)
+        with pytest.raises(IndexError):
+            m.read_socket(5, "energy_pkg", 0, 1)
+
+    def test_busy_fraction_bounds(self):
+        m = SimulatedMachine(icl(), seed=0)
+        run = m.run_kernel(triad(), [0])
+        assert 0.9 <= m.busy_fraction(0, run.t_start, run.t_end) <= 1.0
+        assert m.busy_fraction(5, run.t_start, run.t_end) < 0.05
+
+    def test_active_runs(self):
+        m = SimulatedMachine(icl(), seed=0)
+        run = m.run_kernel(triad(), [0])
+        mid = (run.t_start + run.t_end) / 2
+        assert m.active_runs(mid) == [run]
+        assert m.active_runs(run.t_end + 1) == []
+
+    def test_determinism_across_instances(self):
+        r1 = SimulatedMachine(zen3(), seed=42).run_kernel(
+            KernelDescriptor("k", flops_dp={ISA.AVX2: 1e8}, loads=1e7, working_set_bytes=10**8)
+        )
+        r2 = SimulatedMachine(zen3(), seed=42).run_kernel(
+            KernelDescriptor("k", flops_dp={ISA.AVX2: 1e8}, loads=1e7, working_set_bytes=10**8)
+        )
+        assert r1.runtime_s == r2.runtime_s
+
+
+class TestSoftwareState:
+    def make(self):
+        m = SimulatedMachine(icl(), seed=5)
+        return m, SoftwareState(m)
+
+    def test_idle_counter_on_idle_system(self):
+        m, ss = self.make()
+        m.advance(10.0)
+        idle_ms = ss.value("kernel.percpu.cpu.idle", "cpu0", 10.0)
+        assert idle_ms == pytest.approx(10_000, rel=0.01)
+
+    def test_busy_kernel_reduces_idle(self):
+        m, ss = self.make()
+        run = m.run_kernel(triad(50_000_000), [0])
+        idle_ms = ss.value("kernel.percpu.cpu.idle", "cpu0", run.t_end)
+        assert idle_ms < run.t_end * 1000 * 0.2
+
+    def test_load_tracks_active_threads(self):
+        m, ss = self.make()
+        run = m.run_kernel(triad(50_000_000), [0, 1, 2, 3])
+        load = ss.value("kernel.all.load", "", run.t_end)
+        assert 3.5 < load < 5.0
+
+    def test_mem_used_grows_with_run(self):
+        m, ss = self.make()
+        base = ss.value("mem.util.used", "", 0.0)
+        run = m.run_kernel(triad(50_000_000), [0])
+        mid = (run.t_start + run.t_end) / 2
+        assert ss.value("mem.util.used", "", mid) > base
+
+    def test_used_plus_free_is_total(self):
+        m, ss = self.make()
+        m.advance(1.0)
+        used = ss.value("mem.util.used", "", 1.0)
+        free = ss.value("mem.util.free", "", 1.0)
+        assert used + free == pytest.approx(m.spec.memory_bytes / 1024)
+
+    def test_counters_monotonic(self):
+        m, ss = self.make()
+        m.run_kernel(triad(10_000_000), [0])
+        m.advance(5.0)
+        t_end = m.clock.now()
+        for metric in ("kernel.all.pswitch", "mem.numa.alloc.hit", "kernel.percpu.cpu.user"):
+            inst = ss.instances(metric)[0]
+            v1 = ss.value(metric, inst, t_end / 2)
+            v2 = ss.value(metric, inst, t_end)
+            assert v2 >= v1, metric
+
+    def test_instances(self):
+        m, ss = self.make()
+        assert ss.instances("kernel.percpu.cpu.idle") == [f"cpu{i}" for i in range(16)]
+        assert ss.instances("mem.numa.alloc.hit") == ["node0"]
+        assert ss.instances("kernel.all.load") == [""]
+
+    def test_unknown_metric(self):
+        _, ss = self.make()
+        with pytest.raises(KeyError):
+            ss.value("no.such.metric", "", 1.0)
+
+    def test_hinv_ncpu(self):
+        m, ss = self.make()
+        assert ss.value("hinv.ncpu", "", 0.0) == 16

@@ -1,0 +1,142 @@
+"""Unit + property tests for the event-rate timeline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Timeline
+
+
+class TestTimelineBasics:
+    def test_empty_integrates_zero(self):
+        tl = Timeline()
+        assert tl.integrate(("cpu", 0), "cycles", 0.0, 10.0) == 0.0
+
+    def test_full_window(self):
+        tl = Timeline()
+        tl.add_rate(("cpu", 0), "cycles", 1.0, 3.0, 100.0)
+        assert tl.integrate(("cpu", 0), "cycles", 0.0, 10.0) == pytest.approx(200.0)
+
+    def test_partial_overlap(self):
+        tl = Timeline()
+        tl.add_rate(("cpu", 0), "cycles", 0.0, 10.0, 10.0)
+        assert tl.integrate(("cpu", 0), "cycles", 5.0, 7.0) == pytest.approx(20.0)
+
+    def test_disjoint_window(self):
+        tl = Timeline()
+        tl.add_rate(("cpu", 0), "cycles", 0.0, 1.0, 10.0)
+        assert tl.integrate(("cpu", 0), "cycles", 2.0, 3.0) == 0.0
+
+    def test_overlapping_segments_sum(self):
+        tl = Timeline()
+        tl.add_rate(("cpu", 0), "x", 0.0, 10.0, 1.0)
+        tl.add_rate(("cpu", 0), "x", 5.0, 10.0, 2.0)
+        assert tl.integrate(("cpu", 0), "x", 0.0, 10.0) == pytest.approx(20.0)
+
+    def test_scopes_isolated(self):
+        tl = Timeline()
+        tl.add_rate(("cpu", 0), "x", 0.0, 1.0, 5.0)
+        assert tl.integrate(("cpu", 1), "x", 0.0, 1.0) == 0.0
+        assert tl.integrate(("socket", 0), "x", 0.0, 1.0) == 0.0
+
+    def test_quantities_isolated(self):
+        tl = Timeline()
+        tl.add_rate(("cpu", 0), "x", 0.0, 1.0, 5.0)
+        assert tl.integrate(("cpu", 0), "y", 0.0, 1.0) == 0.0
+
+    def test_add_total(self):
+        tl = Timeline()
+        tl.add_total(("cpu", 0), "x", 0.0, 4.0, 100.0)
+        assert tl.integrate(("cpu", 0), "x", 0.0, 2.0) == pytest.approx(50.0)
+
+    def test_add_total_empty_interval_nonzero_raises(self):
+        tl = Timeline()
+        with pytest.raises(ValueError):
+            tl.add_total(("cpu", 0), "x", 1.0, 1.0, 5.0)
+
+    def test_add_total_empty_interval_zero_ok(self):
+        tl = Timeline()
+        tl.add_total(("cpu", 0), "x", 1.0, 1.0, 0.0)
+
+    def test_reversed_segment_rejected(self):
+        tl = Timeline()
+        with pytest.raises(ValueError):
+            tl.add_rate(("cpu", 0), "x", 2.0, 1.0, 1.0)
+
+    def test_reversed_window_rejected(self):
+        tl = Timeline()
+        with pytest.raises(ValueError):
+            tl.integrate(("cpu", 0), "x", 2.0, 1.0)
+
+    def test_rate_at(self):
+        tl = Timeline()
+        tl.add_rate(("cpu", 0), "x", 0.0, 10.0, 3.0)
+        tl.add_rate(("cpu", 0), "x", 5.0, 6.0, 4.0)
+        assert tl.rate_at(("cpu", 0), "x", 5.5) == pytest.approx(7.0)
+        assert tl.rate_at(("cpu", 0), "x", 9.0) == pytest.approx(3.0)
+        assert tl.rate_at(("cpu", 0), "x", 11.0) == 0.0
+
+    def test_integrate_many(self):
+        tl = Timeline()
+        tl.add_rate(("cpu", 0), "x", 0.0, 1.0, 1.0)
+        tl.add_rate(("cpu", 1), "x", 0.0, 1.0, 2.0)
+        assert tl.integrate_many([("cpu", 0), ("cpu", 1)], "x", 0.0, 1.0) == pytest.approx(3.0)
+
+    def test_quantities_listing(self):
+        tl = Timeline()
+        tl.add_rate(("cpu", 0), "x", 0.0, 1.0, 1.0)
+        tl.add_rate(("cpu", 0), "y", 0.0, 1.0, 1.0)
+        assert tl.quantities(("cpu", 0)) == {"x", "y"}
+
+    def test_bulk_add_skips_zero(self):
+        tl = Timeline()
+        tl.bulk_add(("cpu", 0), {"x": 10.0, "y": 0.0}, 0.0, 1.0)
+        assert tl.quantities(("cpu", 0)) == {"x"}
+
+
+segments = st.lists(
+    st.tuples(
+        st.floats(0, 100),
+        st.floats(0.01, 50),
+        st.floats(0.1, 1e6),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+class TestTimelineProperties:
+    @given(segments, st.floats(0, 100), st.floats(0, 60))
+    @settings(max_examples=60)
+    def test_window_additivity(self, segs, w0, dw):
+        """integral([a,b]) + integral([b,c]) == integral([a,c])."""
+        tl = Timeline()
+        for t0, dur, rate in segs:
+            tl.add_rate(("cpu", 0), "x", t0, t0 + dur, rate)
+        a, b, c = w0, w0 + dw / 2, w0 + dw
+        left = tl.integrate(("cpu", 0), "x", a, b)
+        right = tl.integrate(("cpu", 0), "x", b, c)
+        whole = tl.integrate(("cpu", 0), "x", a, c)
+        assert left + right == pytest.approx(whole, rel=1e-9, abs=1e-6)
+
+    @given(segments)
+    @settings(max_examples=60)
+    def test_total_equals_sum_of_segments(self, segs):
+        tl = Timeline()
+        expected = 0.0
+        for t0, dur, rate in segs:
+            tl.add_rate(("cpu", 0), "x", t0, t0 + dur, rate)
+            expected += dur * rate
+        got = tl.integrate(("cpu", 0), "x", 0.0, 200.0)
+        assert got == pytest.approx(expected, rel=1e-9)
+
+    @given(segments, st.floats(0, 100), st.floats(0, 60))
+    @settings(max_examples=60)
+    def test_monotone_in_window(self, segs, w0, dw):
+        """Widening the window never decreases the integral (rates >= 0)."""
+        tl = Timeline()
+        for t0, dur, rate in segs:
+            tl.add_rate(("cpu", 0), "x", t0, t0 + dur, rate)
+        inner = tl.integrate(("cpu", 0), "x", w0, w0 + dw)
+        outer = tl.integrate(("cpu", 0), "x", max(0, w0 - 1), w0 + dw + 1)
+        assert outer >= inner - 1e-9

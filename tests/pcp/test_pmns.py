@@ -1,0 +1,53 @@
+"""Tests for PMNS naming conventions."""
+
+import pytest
+
+from repro.pcp import (
+    instance_field,
+    measurement_to_metric,
+    metric_to_measurement,
+    perfevent_metric,
+    sanitize_event,
+)
+
+
+class TestNaming:
+    def test_sanitize_event(self):
+        assert sanitize_event("FP_ARITH:SCALAR_DOUBLE") == "FP_ARITH_SCALAR_DOUBLE"
+
+    def test_sanitize_empty(self):
+        with pytest.raises(ValueError):
+            sanitize_event("")
+
+    def test_perfevent_metric(self):
+        assert (
+            perfevent_metric("FP_ARITH:SCALAR_SINGLE")
+            == "perfevent.hwcounters.FP_ARITH_SCALAR_SINGLE.value"
+        )
+
+    def test_listing1_measurement_name(self):
+        """The exact measurement name in the paper's Listing 1."""
+        metric = perfevent_metric("FP_ARITH:SCALAR_SINGLE")
+        assert (
+            metric_to_measurement(metric)
+            == "perfevent_hwcounters_FP_ARITH_SCALAR_SINGLE_value"
+        )
+
+    def test_metric_to_measurement_plain(self):
+        assert metric_to_measurement("kernel.percpu.cpu.idle") == "kernel_percpu_cpu_idle"
+
+    def test_measurement_roundtrip_perfevent(self):
+        m = "perfevent_hwcounters_FP_ARITH_SCALAR_DOUBLE_value"
+        assert measurement_to_metric(m) == "perfevent.hwcounters.FP_ARITH_SCALAR_DOUBLE.value"
+
+    def test_measurement_roundtrip_kernel(self):
+        assert measurement_to_metric("mem_numa_alloc_hit") == "mem.numa.alloc.hit"
+
+    def test_empty_metric(self):
+        with pytest.raises(ValueError):
+            metric_to_measurement("")
+
+    def test_instance_field(self):
+        assert instance_field("cpu0") == "_cpu0"
+        assert instance_field("node1") == "_node1"
+        assert instance_field("") == "_value"

@@ -1,0 +1,160 @@
+"""Tests for the transport model and the unbuffered sampling loop."""
+
+import numpy as np
+import pytest
+
+from repro.db import InfluxDB
+from repro.machine import SimulatedMachine, SoftwareState, icl, skx
+from repro.pcp import (
+    Pmcd,
+    PmdaLinux,
+    PmdaPerfevent,
+    Sampler,
+    TransportModel,
+    perfevent_metric,
+)
+from repro.pmu import PMU
+
+EVENTS = [
+    "UNHALTED_CORE_CYCLES",
+    "INSTRUCTION_RETIRED",
+    "UOPS_DISPATCHED",
+    "BRANCH_INSTRUCTIONS_RETIRED",
+]
+
+
+def make_sampler(mk=icl, seed=7, duration=10.0, n_events=2, transport=None):
+    m = SimulatedMachine(mk(), seed=seed)
+    m.advance(duration + 1)
+    pmu = PMU(m, seed=seed)
+    pe = PmdaPerfevent(pmu)
+    pe.configure(EVENTS[:n_events])
+    pmcd = Pmcd([pe, PmdaLinux(SoftwareState(m))])
+    influx = InfluxDB()
+    s = Sampler(pmcd, influx, transport=transport, seed=seed)
+    metrics = [perfevent_metric(e) for e in EVENTS[:n_events]]
+    return s, influx, metrics, m
+
+
+class TestTransportModel:
+    def test_mean_ship_time_grows_with_points(self):
+        t = TransportModel()
+        assert t.mean_ship_time(500) > t.mean_ship_time(50)
+
+    def test_zero_probability_shape(self):
+        t = TransportModel()
+        assert t.zero_batch_probability(0.5) == 0.0  # 2 Hz
+        assert t.zero_batch_probability(0.125) == 0.0  # 8 Hz
+        assert 0.2 < t.zero_batch_probability(1 / 32) < 0.5  # 32 Hz
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            TransportModel(net_bw_mbit=0)
+        with pytest.raises(ValueError):
+            TransportModel(insert_base_s=-1)
+        with pytest.raises(ValueError):
+            TransportModel().zero_batch_probability(0)
+        with pytest.raises(ValueError):
+            TransportModel().ship_time(-1, np.random.default_rng(0))
+
+    def test_ship_time_jitters_around_mean(self):
+        t = TransportModel()
+        rng = np.random.default_rng(0)
+        times = [t.ship_time(100, rng) for _ in range(500)]
+        assert np.mean(times) == pytest.approx(t.mean_ship_time(100), rel=0.1)
+
+
+class TestSampler:
+    def test_bad_args(self):
+        s, _, metrics, _ = make_sampler()
+        with pytest.raises(ValueError):
+            s.run(metrics, 0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            s.run(metrics, 2, 5.0, 5.0)
+
+    def test_expected_point_count_formula(self):
+        """expected = freq * duration * n_metrics * n_threads — the
+        structure of Table III's Expected column."""
+        s, _, metrics, m = make_sampler(icl, n_events=2)
+        st = s.run(metrics, 2.0, 0.0, 10.0)
+        assert st.expected_points == 2 * 10 * 2 * 16
+
+    def test_low_frequency_low_loss(self):
+        s, _, metrics, _ = make_sampler(icl, n_events=2)
+        st = s.run(metrics, 2.0, 0.0, 10.0)
+        assert st.loss_plus_zero_pct < 10.0
+
+    def test_high_frequency_produces_zeros(self):
+        s, _, metrics, _ = make_sampler(icl, n_events=2)
+        st = s.run(metrics, 32.0, 0.0, 10.0)
+        assert st.zero_points > 0
+        assert 20.0 < st.loss_plus_zero_pct < 60.0
+
+    def test_large_domain_loses_more(self):
+        """The paper's key observation: loss correlates with instance-domain
+        size — skx (88 threads) suffers far more at 32 Hz than icl (16)."""
+        s_icl, _, m_icl, _ = make_sampler(icl, n_events=4, seed=3)
+        s_skx, _, m_skx, _ = make_sampler(skx, n_events=4, seed=3)
+        st_icl = s_icl.run(m_icl, 32.0, 0.0, 10.0)
+        st_skx = s_skx.run(m_skx, 32.0, 0.0, 10.0)
+        assert st_skx.loss_pct > st_icl.loss_pct + 5.0
+        assert st_skx.loss_plus_zero_pct > 45.0
+        assert st_icl.loss_pct < 10.0
+
+    def test_values_land_in_influx_with_tag(self):
+        s, influx, metrics, _ = make_sampler(icl, n_events=1)
+        st = s.run(metrics, 2.0, 0.0, 5.0, tag="obs-123")
+        meas = "perfevent_hwcounters_UNHALTED_CORE_CYCLES_value"
+        pts = influx.points("pmove", meas, tags={"tag": "obs-123"})
+        assert len(pts) == st.inserted_reports
+        assert set(pts[0].fields) == {f"_cpu{i}" for i in range(16)}
+
+    def test_auto_tag_is_uuid(self):
+        s, _, metrics, _ = make_sampler(icl, n_events=1)
+        st = s.run(metrics, 2.0, 0.0, 2.0)
+        assert len(st.tag) == 36
+
+    def test_stats_identities(self):
+        s, _, metrics, _ = make_sampler(icl, n_events=2, seed=11)
+        st = s.run(metrics, 32.0, 0.0, 10.0)
+        assert st.inserted_reports + st.lost_reports == st.expected_reports
+        assert st.zero_points <= st.inserted_points
+        assert st.throughput == pytest.approx(st.inserted_points / 10.0)
+        assert st.actual_throughput <= st.throughput
+
+    def test_perfect_transport_no_loss(self):
+        fast = TransportModel(
+            net_bw_mbit=10_000,
+            insert_base_s=0.0,
+            insert_per_point_s=0.0,
+            jitter_rel_std=0.0,
+            zero_floor_s=1e-6,
+            hiccup_rate_max=0.0,
+        )
+        s, _, metrics, _ = make_sampler(icl, n_events=2, transport=fast)
+        st = s.run(metrics, 32.0, 0.0, 10.0)
+        assert st.loss_pct == 0.0
+        assert st.zero_points == 0
+
+    def test_deterministic_given_seed(self):
+        a = make_sampler(icl, seed=21)[0].run(
+            [perfevent_metric("UNHALTED_CORE_CYCLES")], 32.0, 0.0, 5.0, tag="t"
+        )
+        b = make_sampler(icl, seed=21)[0].run(
+            [perfevent_metric("UNHALTED_CORE_CYCLES")], 32.0, 0.0, 5.0, tag="t"
+        )
+        assert a.inserted_points == b.inserted_points
+        assert a.zero_points == b.zero_points
+
+    def test_sampling_overhead_scales_with_freq(self):
+        s, _, _, _ = make_sampler()
+        assert s.sampling_overhead(32) == pytest.approx(4 * s.sampling_overhead(8))
+        assert s.sampling_overhead(32) < 0.001  # sub-0.1 % (Fig 5 magnitude)
+        with pytest.raises(ValueError):
+            s.sampling_overhead(-1)
+
+    def test_sw_and_hw_metrics_in_one_run(self):
+        s, influx, metrics, _ = make_sampler(icl, n_events=1)
+        st = s.run(metrics + ["kernel.percpu.cpu.idle"], 2.0, 0.0, 5.0, tag="x")
+        assert influx.points("pmove", "kernel_percpu_cpu_idle", tags={"tag": "x"})
+        assert st.expected_points == 2 * 5 * (16 + 16)

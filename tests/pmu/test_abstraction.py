@@ -1,0 +1,164 @@
+"""Tests for the Abstraction Layer: config parsing, lookup, Table I."""
+
+import pytest
+
+from repro.pmu import (
+    COMMON_EVENTS,
+    TABLE1_EVENTS,
+    AbstractionLayer,
+    FormulaError,
+    UnsupportedEventError,
+    pmu_utils,
+)
+
+
+class TestConfigParsing:
+    def test_minimal_config(self):
+        layer = AbstractionLayer()
+        name = layer.register_config("[mypmu]\nCYCLES: SOME_EVENT\n")
+        assert name == "mypmu"
+        assert layer.get("mypmu", "CYCLES") == ["SOME_EVENT"]
+
+    def test_aliases(self):
+        layer = AbstractionLayer()
+        layer.register_config("[a | b c]\nX: E\n")
+        assert layer.get("b", "X") == ["E"]
+        assert layer.get("c", "X") == ["E"]
+
+    def test_comments_and_blanks_skipped(self):
+        layer = AbstractionLayer()
+        layer.register_config("# hdr\n\n[p]\n# c\nX: E + F\n")
+        assert layer.get("p", "X") == ["E", "+", "F"]
+
+    def test_mapping_before_header_rejected(self):
+        with pytest.raises(FormulaError, match="before"):
+            AbstractionLayer().register_config("X: E\n[p]\n")
+
+    def test_double_header_rejected(self):
+        with pytest.raises(FormulaError, match="second"):
+            AbstractionLayer().register_config("[a]\n[b]\nX: E\n")
+
+    def test_unterminated_header(self):
+        with pytest.raises(FormulaError):
+            AbstractionLayer().register_config("[a\nX: E\n")
+
+    def test_missing_colon(self):
+        with pytest.raises(FormulaError):
+            AbstractionLayer().register_config("[a]\nJUSTANAME\n")
+
+    def test_no_header_at_all(self):
+        with pytest.raises(FormulaError, match="no \\[header\\]"):
+            AbstractionLayer().register_config("# nothing\n")
+
+    def test_not_supported_marker(self):
+        layer = AbstractionLayer()
+        layer.register_config("[p]\nX: NOT_SUPPORTED\n")
+        assert not layer.supported("p", "X")
+        with pytest.raises(UnsupportedEventError, match="NOT_SUPPORTED"):
+            layer.get("p", "X")
+
+    def test_hw_event_with_mask_in_formula(self):
+        layer = AbstractionLayer()
+        layer.register_config("[p]\nM: EV:MASK_A + EV:MASK_B * 64\n")
+        assert layer.get("p", "M") == ["EV:MASK_A", "+", "EV:MASK_B", "*", "64"]
+
+
+class TestDefaultConfigs:
+    def test_paper_example_verbatim(self):
+        """The exact API call from §IV-A of the paper."""
+        assert pmu_utils.get("skl", "TOTAL_MEMORY_OPERATIONS") == [
+            "MEM_INST_RETIRED:ALL_LOADS",
+            "+",
+            "MEM_INST_RETIRED:ALL_STORES",
+        ]
+
+    def test_four_platforms_registered(self):
+        assert set(pmu_utils.pmus()) == {"skl", "clx", "icx", "zen3"}
+
+    def test_table2_hostname_aliases(self):
+        for alias in ("skx", "csl", "icl", "zen3"):
+            assert pmu_utils.get(alias, "CYCLES")
+
+    def test_common_events_resolvable_or_declared(self):
+        """Every common event is either mapped or explicitly NOT_SUPPORTED
+        on every platform — never silently missing."""
+        for pmu in ("skl", "clx", "icx", "zen3"):
+            available = pmu_utils.generic_events(pmu)
+            for ev in COMMON_EVENTS:
+                assert ev in available, (pmu, ev)
+
+    def test_l3_hit_intel_unsupported_amd_supported(self):
+        """Table I's exclusive row."""
+        with pytest.raises(UnsupportedEventError):
+            pmu_utils.get("clx", "L3_HIT")
+        assert pmu_utils.get("zen3", "L3_HIT") == [
+            "LONGEST_LAT_CACHE:MISS",
+            "+",
+            "LONGEST_LAT_CACHE:RETIRED",
+        ]
+
+    def test_tot_mem_op_differs_between_vendors(self):
+        """Table I's 'different' row."""
+        intel = pmu_utils.get("clx", "TOTAL_MEMORY_OPERATIONS")
+        amd = pmu_utils.get("zen3", "TOTAL_MEMORY_OPERATIONS")
+        assert intel != amd
+        assert "LS_DISPATCH:LD_DISPATCH" in amd
+
+    def test_energy_same_event_name_both_vendors(self):
+        """Table I's 'same' row."""
+        assert pmu_utils.get("clx", "RAPL_ENERGY_PKG") == ["RAPL_ENERGY_PKG"]
+        assert pmu_utils.get("zen3", "RAPL_ENERGY_PKG") == ["RAPL_ENERGY_PKG"]
+
+    def test_all_configs_valid_against_catalogs(self):
+        """Every hardware event referenced by the built-in configs exists
+        in the corresponding microarchitecture catalog."""
+        for pmu, uarch in (
+            ("skl", "skylakex"),
+            ("clx", "cascadelake"),
+            ("icx", "icelake"),
+            ("zen3", "zen3"),
+        ):
+            assert pmu_utils.validate_against_catalog(pmu, uarch) == []
+
+    def test_unknown_pmu(self):
+        with pytest.raises(KeyError, match="no PMU config"):
+            pmu_utils.get("power9", "CYCLES")
+
+    def test_unmapped_generic_event(self):
+        with pytest.raises(UnsupportedEventError, match="not mapped"):
+            pmu_utils.get("skl", "NO_SUCH_GENERIC")
+
+    def test_hw_events_needed_dedup(self):
+        needed = pmu_utils.hw_events_needed(
+            "skl", ["TOTAL_MEMORY_OPERATIONS", "DATA_VOLUME_BYTES"]
+        )
+        assert needed == [
+            "MEM_INST_RETIRED:ALL_LOADS",
+            "MEM_INST_RETIRED:ALL_STORES",
+        ]
+
+    def test_evaluate_flops(self):
+        vals = {
+            "FP_ARITH:SCALAR_DOUBLE": 100.0,
+            "FP_ARITH:128B_PACKED_DOUBLE": 0.0,
+            "FP_ARITH:256B_PACKED_DOUBLE": 0.0,
+            "FP_ARITH:512B_PACKED_DOUBLE": 10.0,
+        }
+        got = pmu_utils.evaluate("skl", "FLOPS_DP", lambda e: vals[e])
+        assert got == 100.0 + 80.0
+
+
+class TestTable1Structure:
+    def test_relations_present(self):
+        assert {v["relation"] for v in TABLE1_EVENTS.values()} == {
+            "same",
+            "similar",
+            "different",
+            "exclusive",
+        }
+
+    def test_intel_l3hit_none(self):
+        assert TABLE1_EVENTS["L3 Hit"]["intel"] is None
+
+    def test_rows_match_paper(self):
+        assert set(TABLE1_EVENTS) == {"Energy", "Instructions", "Tot. Mem. Op.", "L3 Hit"}

@@ -1,0 +1,232 @@
+"""Tests for PMU counter programming, reading, multiplexing, and noise."""
+
+import pytest
+
+from repro.machine import ISA, KernelDescriptor, SimulatedMachine, csl, icl, zen3
+from repro.machine.spec import PMUSpec
+from repro.pmu import PMU, CounterAllocationError, NoiseModel, UnknownEventError
+
+
+def kernel(n=10_000_000):
+    return KernelDescriptor(
+        "k",
+        flops_dp={ISA.AVX512: 2.0 * n},
+        fma_fraction=1.0,
+        loads=2 * n / 8,
+        stores=n / 8,
+        mem_isa=ISA.AVX512,
+        working_set_bytes=3 * 8 * n,
+    )
+
+
+def zen_kernel(n=10_000_000):
+    return KernelDescriptor(
+        "zk",
+        flops_dp={ISA.AVX2: 2.0 * n},
+        fma_fraction=1.0,
+        loads=2 * n / 4,
+        stores=n / 4,
+        mem_isa=ISA.AVX2,
+        working_set_bytes=3 * 8 * n,
+    )
+
+
+class TestProgramming:
+    def test_unknown_event_rejected_at_program_time(self):
+        pmu = PMU(SimulatedMachine(icl()))
+        with pytest.raises(UnknownEventError):
+            pmu.program(["BOGUS_EVENT"])
+
+    def test_duplicate_events_rejected(self):
+        pmu = PMU(SimulatedMachine(icl()))
+        with pytest.raises(ValueError, match="duplicate"):
+            pmu.program(["L1D:REPLACEMENT", "L1D:REPLACEMENT"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PMU(SimulatedMachine(icl())).program([])
+
+    def test_bad_cpu_rejected(self):
+        pmu = PMU(SimulatedMachine(icl()))
+        with pytest.raises(ValueError, match="out of range"):
+            pmu.program(["L1D:REPLACEMENT"], cpus=[99])
+
+    def test_four_core_events_fit_on_intel(self):
+        pmu = PMU(SimulatedMachine(icl()))
+        sess = pmu.program(
+            ["L1D:REPLACEMENT", "L2_RQSTS:MISS", "FP_ARITH:SCALAR_DOUBLE",
+             "MEM_INST_RETIRED:ALL_LOADS"]
+        )
+        assert sess.mux_groups == 1
+
+    def test_fixed_and_socket_events_free(self):
+        """Fixed counters (cycles/instructions) and RAPL don't use slots."""
+        pmu = PMU(SimulatedMachine(icl()))
+        sess = pmu.program(
+            ["UNHALTED_CORE_CYCLES", "INSTRUCTION_RETIRED", "RAPL_ENERGY_PKG",
+             "L1D:REPLACEMENT", "L2_RQSTS:MISS", "FP_ARITH:SCALAR_DOUBLE",
+             "MEM_INST_RETIRED:ALL_LOADS"]
+        )
+        assert sess.mux_groups == 1
+
+    def test_fifth_event_multiplexes_on_intel(self):
+        pmu = PMU(SimulatedMachine(icl()))
+        sess = pmu.program(
+            ["L1D:REPLACEMENT", "L2_RQSTS:MISS", "FP_ARITH:SCALAR_DOUBLE",
+             "MEM_INST_RETIRED:ALL_LOADS", "MEM_INST_RETIRED:ALL_STORES"]
+        )
+        assert sess.mux_groups == 2
+
+    def test_multiplexing_can_be_refused(self):
+        pmu = PMU(SimulatedMachine(icl()))
+        with pytest.raises(CounterAllocationError):
+            pmu.program(
+                ["L1D:REPLACEMENT", "L2_RQSTS:MISS", "FP_ARITH:SCALAR_DOUBLE",
+                 "MEM_INST_RETIRED:ALL_LOADS", "MEM_INST_RETIRED:ALL_STORES"],
+                allow_multiplexing=False,
+            )
+
+    def test_smt_idle_doubles_intel_slots(self):
+        pmu = PMU(SimulatedMachine(icl()))
+        assert pmu.slots_available() == 4
+        assert pmu.slots_available(smt_sibling_idle=True) == 8
+
+    def test_amd_two_slots_no_smt_doubling(self):
+        pmu = PMU(SimulatedMachine(zen3()))
+        assert pmu.slots_available() == 2
+        assert pmu.slots_available(smt_sibling_idle=True) == 2
+
+    def test_amd_three_events_multiplex(self):
+        """The paper's Fig 4 event set on zen3 (FLOPs + loads + stores)
+        exceeds the 2 counters and must multiplex."""
+        pmu = PMU(SimulatedMachine(zen3()))
+        sess = pmu.program(
+            ["RETIRED_SSE_AVX_FLOPS:ANY", "MEM_UOPS:LOADS", "MEM_UOPS:STORES"]
+        )
+        assert sess.mux_groups == 2
+
+    def test_stop_clears_session(self):
+        pmu = PMU(SimulatedMachine(icl()))
+        pmu.program(["L1D:REPLACEMENT"])
+        pmu.stop()
+        with pytest.raises(RuntimeError):
+            _ = pmu.session
+
+
+class TestReading:
+    def test_read_requires_programming(self):
+        pmu = PMU(SimulatedMachine(icl()))
+        with pytest.raises(RuntimeError, match="not been programmed"):
+            pmu.read("L1D:REPLACEMENT", 0)
+
+    def test_unprogrammed_event_read_rejected(self):
+        pmu = PMU(SimulatedMachine(icl()))
+        pmu.program(["L1D:REPLACEMENT"])
+        with pytest.raises(KeyError, match="not programmed"):
+            pmu.read("L2_RQSTS:MISS", 0)
+
+    def test_uncovered_cpu_read_rejected(self):
+        pmu = PMU(SimulatedMachine(icl()))
+        pmu.program(["L1D:REPLACEMENT"], cpus=[0, 1])
+        with pytest.raises(KeyError, match="not covered"):
+            pmu.read("L1D:REPLACEMENT", 5)
+
+    def test_read_close_to_ground_truth(self):
+        m = SimulatedMachine(csl(), seed=9)
+        pmu = PMU(m, seed=9)
+        pmu.program(["FP_ARITH:512B_PACKED_DOUBLE"], cpus=list(range(28)))
+        run = m.run_kernel(kernel(), list(range(28)))
+        total = sum(pmu.read("FP_ARITH:512B_PACKED_DOUBLE", c) for c in range(28))
+        true = run.ground_truth("fp_dp_avx512")
+        assert total == pytest.approx(true, rel=0.005)
+
+    def test_rapl_same_for_same_socket_cpus(self):
+        m = SimulatedMachine(csl(), seed=9)
+        pmu = PMU(m, seed=9)
+        pmu.program(["RAPL_ENERGY_PKG"], cpus=[0, 1])
+        m.run_kernel(kernel(), [0, 1])
+        t0, t1 = 0.0, m.clock.now()
+        # True value identical per socket; noise differs per-cpu read but
+        # stays within noise bounds.
+        a = pmu.read_interval("RAPL_ENERGY_PKG", 0, t0, t1)
+        b = pmu.read_interval("RAPL_ENERGY_PKG", 1, t0, t1)
+        assert a == pytest.approx(b, rel=0.01)
+        assert a > 0
+
+    def test_multiplexed_read_noisier(self):
+        """Multiplexed sessions must show larger mean relative error than
+        dedicated-counter sessions for the same workload (statistical over
+        several seeds — individual reads can go either way)."""
+        def run(events, seed):
+            m = SimulatedMachine(zen3(), seed=seed)
+            pmu = PMU(m, seed=seed)
+            pmu.program(events, cpus=list(range(16)))
+            r = m.run_kernel(zen_kernel(), list(range(16)))
+            meas = sum(pmu.read("MEM_UOPS:LOADS", c) for c in range(16))
+            true = r.ground_truth("loads")
+            return abs(meas - true) / true
+
+        seeds = range(40, 52)
+        err_clean = sum(run(["MEM_UOPS:LOADS"], s) for s in seeds)
+        err_mux = sum(
+            run(
+                ["MEM_UOPS:LOADS", "MEM_UOPS:STORES", "RETIRED_SSE_AVX_FLOPS:ANY",
+                 "CYCLES_NOT_IN_HALT", "RETIRED_INSTRUCTIONS"],
+                s,
+            )
+            for s in seeds
+        )
+        assert err_mux > err_clean
+
+    def test_read_all_cpus(self):
+        m = SimulatedMachine(icl(), seed=1)
+        pmu = PMU(m, seed=1)
+        pmu.program(["MEM_INST_RETIRED:ALL_LOADS"], cpus=[0, 1, 2])
+        m.run_kernel(kernel(1_000_000), [0, 1, 2])
+        vals = pmu.read_all_cpus("MEM_INST_RETIRED:ALL_LOADS", 0.0, m.clock.now())
+        assert set(vals) == {0, 1, 2}
+        assert all(v > 0 for v in vals.values())
+
+
+class TestNoiseModel:
+    def spec(self, **kw):
+        defaults = dict(n_programmable=4, n_fixed=3, uarch="skylakex")
+        defaults.update(kw)
+        return PMUSpec(**defaults)
+
+    def test_zero_stays_zero(self):
+        nm = NoiseModel(self.spec())
+        assert nm.measure(0.0, 0, "E", 0.0, 1.0) == 0.0
+
+    def test_negative_rejected(self):
+        nm = NoiseModel(self.spec())
+        with pytest.raises(ValueError):
+            nm.measure(-1.0, 0, "E", 0.0, 1.0)
+
+    def test_bad_mux_rejected(self):
+        nm = NoiseModel(self.spec())
+        with pytest.raises(ValueError):
+            nm.measure(1.0, 0, "E", 0.0, 1.0, mux_groups=0)
+
+    def test_deterministic_per_identity(self):
+        nm = NoiseModel(self.spec(), machine_seed=5)
+        a = nm.measure(1e9, 3, "EV", 0.0, 1.0)
+        b = nm.measure(1e9, 3, "EV", 0.0, 1.0)
+        assert a == b
+
+    def test_different_windows_differ(self):
+        nm = NoiseModel(self.spec(), machine_seed=5)
+        a = nm.measure(1e9, 3, "EV", 0.0, 1.0)
+        b = nm.measure(1e9, 3, "EV", 1.0, 2.0)
+        assert a != b
+
+    def test_systematic_overcount_visible_in_mean(self):
+        nm = NoiseModel(self.spec(overcount_ppm=500.0, jitter_ppm=100.0))
+        vals = [nm.measure(1e9, c, "EV", 0.0, 1.0) for c in range(200)]
+        mean_rel = (sum(vals) / len(vals) - 1e9) / 1e9
+        assert 3e-4 < mean_rel < 7e-4
+
+    def test_error_small_in_relative_terms(self):
+        nm = NoiseModel(self.spec())
+        v = nm.measure(1e9, 0, "EV", 0.0, 1.0)
+        assert abs(v - 1e9) / 1e9 < 0.01

@@ -1,0 +1,74 @@
+"""Tests for PMU event catalogs."""
+
+import pytest
+
+from repro.pmu import CATALOGS, EventDef, UnknownEventError, catalog_for
+
+
+class TestEventDef:
+    def test_bad_scope(self):
+        with pytest.raises(ValueError):
+            EventDef("X", {"cycles": 1.0}, scope="core")
+
+    def test_empty_terms(self):
+        with pytest.raises(ValueError):
+            EventDef("X", {})
+
+
+class TestCatalogs:
+    def test_all_uarches_present(self):
+        assert set(CATALOGS) == {"skylakex", "cascadelake", "icelake", "zen3"}
+
+    def test_unknown_uarch(self):
+        with pytest.raises(UnknownEventError, match="no PMU catalog"):
+            catalog_for("power9")
+
+    def test_unknown_event(self):
+        with pytest.raises(UnknownEventError):
+            catalog_for("skylakex").get("NO_SUCH_EVENT")
+
+    def test_contains(self):
+        cat = catalog_for("skylakex")
+        assert "FP_ARITH:SCALAR_DOUBLE" in cat
+        assert "RETIRED_SSE_AVX_FLOPS:ANY" not in cat
+
+    def test_intel_has_fp_arith_amd_does_not(self):
+        assert "FP_ARITH:512B_PACKED_DOUBLE" in catalog_for("cascadelake")
+        assert "FP_ARITH:512B_PACKED_DOUBLE" not in catalog_for("zen3")
+        assert "RETIRED_SSE_AVX_FLOPS:ANY" in catalog_for("zen3")
+
+    def test_rapl_is_socket_scope_everywhere(self):
+        for uarch in CATALOGS:
+            e = catalog_for(uarch).get("RAPL_ENERGY_PKG")
+            assert e.scope == "socket", uarch
+
+    def test_intel_fixed_counters(self):
+        cat = catalog_for("skylakex")
+        assert cat.get("INSTRUCTION_RETIRED").fixed
+        assert cat.get("UNHALTED_CORE_CYCLES").fixed
+        assert not cat.get("FP_ARITH:SCALAR_DOUBLE").fixed
+
+    def test_zen3_has_no_fixed_counters(self):
+        cat = catalog_for("zen3")
+        assert all(not cat.get(n).fixed for n in cat.names())
+
+    def test_zen3_flops_any_terms_are_lane_scaled(self):
+        terms = catalog_for("zen3").get("RETIRED_SSE_AVX_FLOPS:ANY").terms
+        assert terms["fp_dp_scalar"] == 1.0
+        assert terms["fp_dp_sse"] == 2.0
+        assert terms["fp_dp_avx2"] == 4.0
+        assert "fp_dp_avx512" not in terms  # Zen3 has no AVX-512
+
+    def test_core_socket_partition(self):
+        cat = catalog_for("icelake")
+        core, socket = set(cat.core_events()), set(cat.socket_events())
+        assert core.isdisjoint(socket)
+        assert core | socket == set(cat.names())
+
+    def test_terms_reference_known_quantities(self):
+        from repro.machine import QUANTITIES
+
+        for uarch, cat in CATALOGS.items():
+            for name in cat.names():
+                for q in cat.get(name).terms:
+                    assert q in QUANTITIES, f"{uarch}:{name} -> {q}"

@@ -1,0 +1,157 @@
+"""Unit + property tests for formula parsing and evaluation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pmu import Formula, FormulaError, evaluate, tokenize
+
+
+class TestTokenize:
+    def test_simple_sum(self):
+        assert tokenize("A + B") == ["A", "+", "B"]
+
+    def test_no_spaces(self):
+        assert tokenize("A+B*2") == ["A", "+", "B", "*", "2"]
+
+    def test_event_with_mask(self):
+        toks = tokenize("MEM_INST_RETIRED:ALL_LOADS + MEM_INST_RETIRED:ALL_STORES")
+        assert toks == [
+            "MEM_INST_RETIRED:ALL_LOADS",
+            "+",
+            "MEM_INST_RETIRED:ALL_STORES",
+        ]
+
+    def test_empty(self):
+        with pytest.raises(FormulaError):
+            tokenize("   ")
+
+
+class TestFormulaValidation:
+    def test_single_event(self):
+        f = Formula.parse("RAPL_ENERGY_PKG")
+        assert f.tokens == ["RAPL_ENERGY_PKG"]
+
+    def test_even_token_count_rejected(self):
+        with pytest.raises(FormulaError):
+            Formula(["A", "+"])
+
+    def test_operator_in_operand_slot(self):
+        with pytest.raises(FormulaError):
+            Formula(["+", "A", "B"])
+
+    def test_operand_in_operator_slot(self):
+        with pytest.raises(FormulaError):
+            Formula(["A", "B", "C"])
+
+    def test_bad_operand_name(self):
+        with pytest.raises(FormulaError):
+            Formula(["9bad:name", "+", "A"])
+
+    def test_events_dedup_ordered(self):
+        f = Formula.parse("A + B * 2 + A")
+        assert f.events == ["A", "B"]
+        assert f.constants == [2.0]
+
+    def test_equality_and_text(self):
+        f = Formula.parse("A + B")
+        assert f == Formula(["A", "+", "B"])
+        assert f.text() == "A + B"
+        assert "A + B" in repr(f)
+
+
+class TestEvaluate:
+    def resolve(self, values):
+        return lambda e: values[e]
+
+    def test_sum(self):
+        assert evaluate(["A", "+", "B"], self.resolve({"A": 2, "B": 3})) == 5
+
+    def test_precedence(self):
+        # A + B * 2 with standard precedence = A + (B*2)
+        assert evaluate(["A", "+", "B", "*", "2"], self.resolve({"A": 1, "B": 3})) == 7
+
+    def test_subtraction_chain_left_assoc(self):
+        assert evaluate(["A", "-", "B", "-", "C"], self.resolve({"A": 10, "B": 3, "C": 2})) == 5
+
+    def test_division(self):
+        assert evaluate(["A", "/", "4"], self.resolve({"A": 8})) == 2
+
+    def test_divide_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            evaluate(["A", "/", "0"], self.resolve({"A": 8}))
+
+    def test_constant_only(self):
+        assert evaluate(["42"], self.resolve({})) == 42.0
+
+    def test_paper_example(self):
+        """The paper's pmu_utils.get output evaluates to loads + stores."""
+        toks = ["MEM_INST_RETIRED:ALL_LOADS", "+", "MEM_INST_RETIRED:ALL_STORES"]
+        val = evaluate(
+            toks,
+            self.resolve(
+                {"MEM_INST_RETIRED:ALL_LOADS": 100, "MEM_INST_RETIRED:ALL_STORES": 50}
+            ),
+        )
+        assert val == 150
+
+    def test_flops_formula(self):
+        vals = {
+            "FP_ARITH:SCALAR_DOUBLE": 10,
+            "FP_ARITH:128B_PACKED_DOUBLE": 5,
+            "FP_ARITH:256B_PACKED_DOUBLE": 2,
+            "FP_ARITH:512B_PACKED_DOUBLE": 1,
+        }
+        toks = tokenize(
+            "FP_ARITH:SCALAR_DOUBLE + FP_ARITH:128B_PACKED_DOUBLE * 2 "
+            "+ FP_ARITH:256B_PACKED_DOUBLE * 4 + FP_ARITH:512B_PACKED_DOUBLE * 8"
+        )
+        assert evaluate(toks, self.resolve(vals)) == 10 + 10 + 8 + 8
+
+
+# ---------------------------------------------------------------------------
+# Property tests: parse/serialize round-trip and evaluation sanity.
+# ---------------------------------------------------------------------------
+event_names = st.from_regex(r"[A-Z][A-Z0-9_]{0,10}(:[A-Z0-9_]{1,8})?", fullmatch=True)
+constants = st.integers(1, 1000).map(str)
+operands = st.one_of(event_names, constants)
+ops = st.sampled_from(["+", "-", "*", "/"])
+
+
+@st.composite
+def token_chains(draw):
+    n = draw(st.integers(0, 5))
+    toks = [draw(operands)]
+    for _ in range(n):
+        toks.append(draw(ops))
+        toks.append(draw(operands))
+    return toks
+
+
+class TestFormulaProperties:
+    @given(token_chains())
+    @settings(max_examples=80)
+    def test_roundtrip_text(self, toks):
+        f = Formula(toks)
+        assert Formula.parse(f.text()).tokens == toks
+
+    @given(token_chains())
+    @settings(max_examples=80)
+    def test_evaluation_total_is_finite_with_positive_resolver(self, toks):
+        f = Formula(toks)
+        try:
+            v = f.evaluate(lambda e: 7.0)
+        except ZeroDivisionError:
+            return
+        assert v == v  # not NaN
+
+    @given(st.lists(event_names, min_size=1, max_size=6, unique=True))
+    @settings(max_examples=50)
+    def test_sum_formula_evaluates_to_sum(self, names):
+        toks = []
+        for n in names:
+            if toks:
+                toks.append("+")
+            toks.append(n)
+        vals = {n: float(i + 1) for i, n in enumerate(names)}
+        assert evaluate(toks, lambda e: vals[e]) == pytest.approx(sum(vals.values()))

@@ -1,0 +1,145 @@
+"""Tests for the per-tool renderers and parsers."""
+
+import pytest
+
+from repro.machine import csl, icl, skx, zen3
+from repro.probing import (
+    parse_cpuid,
+    parse_likwid_topology,
+    parse_lshw,
+    parse_smart,
+    parse_sys_block,
+    render_cpuid,
+    render_likwid_topology,
+    render_lshw,
+    render_smart,
+    render_sys_block,
+)
+
+ALL = [skx, icl, csl, zen3]
+
+
+class TestLikwidTopology:
+    @pytest.mark.parametrize("mk", ALL)
+    def test_roundtrip_counts(self, mk):
+        spec = mk()
+        topo = parse_likwid_topology(render_likwid_topology(spec))
+        assert topo["sockets"] == spec.n_sockets
+        assert topo["cores_per_socket"] == spec.sockets[0].n_cores
+        assert topo["threads_per_core"] == spec.smt
+        assert len(topo["hwthreads"]) == spec.n_threads
+
+    def test_cache_sizes_roundtrip(self):
+        spec = skx()
+        topo = parse_likwid_topology(render_likwid_topology(spec))
+        sizes = {c["level"]: c["size_bytes"] for c in topo["caches"]}
+        assert sizes[1] == 32 * 1024
+        assert sizes[2] == 1024 * 1024
+        assert sizes[3] == int(30.25 * 1024 * 1024)
+
+    def test_numa_domains_roundtrip(self):
+        topo = parse_likwid_topology(render_likwid_topology(skx()))
+        assert len(topo["numa_domains"]) == 2
+        d0 = topo["numa_domains"][0]
+        # Socket 0's cores 0-21 plus SMT siblings 44-65.
+        assert set(d0["processors"]) == set(range(22)) | set(range(44, 66))
+        assert d0["memory_mb"] == pytest.approx(512 * 1024)
+
+    def test_hwthread_socket_mapping(self):
+        spec = skx()
+        topo = parse_likwid_topology(render_likwid_topology(spec))
+        for hwthread, _thread, core, socket in topo["hwthreads"]:
+            assert spec.core_of_thread(hwthread) == core
+            assert spec.socket_of_core(core) == socket
+
+    def test_truncated_output_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            parse_likwid_topology("CPU name:\tFake CPU\n")
+
+    def test_bad_cache_size_rejected(self):
+        text = render_likwid_topology(icl()).replace("48 kB", "weird units")
+        with pytest.raises(ValueError, match="unparseable cache size"):
+            parse_likwid_topology(text)
+
+
+class TestLshw:
+    @pytest.mark.parametrize("mk", ALL)
+    def test_roundtrip(self, mk):
+        spec = mk()
+        parsed = parse_lshw(render_lshw(spec))
+        assert parsed["hostname"] == spec.hostname
+        assert parsed["memory_bytes"] == spec.memory_bytes
+        assert len(parsed["processors"]) == spec.n_sockets
+        assert parsed["processors"][0]["cores"] == spec.sockets[0].n_cores
+
+    def test_mem_clock(self):
+        parsed = parse_lshw(render_lshw(csl()))
+        assert parsed["mem_clock_hz"] == 3200 * 1_000_000
+
+    def test_network_capacity(self):
+        parsed = parse_lshw(render_lshw(skx()))
+        assert parsed["networks"][0]["capacity_bps"] == 100_000_000
+
+    def test_storage_listed(self):
+        parsed = parse_lshw(render_lshw(skx()))
+        assert len(parsed["storage"]) == 4
+
+    def test_capabilities_include_isas(self):
+        parsed = parse_lshw(render_lshw(skx()))
+        assert "avx512" in parsed["processors"][0]["capabilities"]
+
+    def test_non_system_root_rejected(self):
+        with pytest.raises(ValueError, match="class 'system'"):
+            parse_lshw({"class": "bus"})
+
+    def test_no_processor_rejected(self):
+        with pytest.raises(ValueError, match="no processor"):
+            parse_lshw({"class": "system", "children": []})
+
+
+class TestCpuid:
+    @pytest.mark.parametrize("mk", ALL)
+    def test_roundtrip_vendor_brand(self, mk):
+        spec = mk()
+        parsed = parse_cpuid(render_cpuid(spec))
+        assert parsed["vendor"] == spec.vendor.value
+        assert parsed["brand"] == spec.cpu_model
+        assert parsed["uarch"] == spec.uarch
+
+    def test_isas_roundtrip(self):
+        parsed = parse_cpuid(render_cpuid(zen3()))
+        assert set(parsed["isas"]) == {"scalar", "sse", "avx2"}
+        parsed = parse_cpuid(render_cpuid(icl()))
+        assert "avx512" in parsed["isas"]
+
+    def test_missing_vendor_rejected(self):
+        with pytest.raises(ValueError, match="vendor"):
+            parse_cpuid("   brand = \"X\"\n")
+
+
+class TestSysBlockSmart:
+    def test_sys_block_roundtrip(self):
+        spec = skx()
+        disks = parse_sys_block(render_sys_block(spec))
+        assert [d["name"] for d in disks] == ["sda", "sdb", "sdc", "sdd"]
+        by_name = {d["name"]: d for d in disks}
+        assert by_name["sda"]["rotational"] is False
+        assert by_name["sdb"]["rotational"] is True
+        # Sector rounding loses <512 bytes.
+        assert abs(by_name["sda"]["size_bytes"] - spec.disks[0].size_bytes) < 512
+
+    def test_smart_roundtrip(self):
+        spec = skx()
+        reports = render_smart(spec)
+        parsed = parse_smart(reports["sda"])
+        assert parsed["health"] == "PASSED"
+        assert parsed["model"] == spec.disks[0].model
+        assert parsed["power_on_hours"] == 12000
+        assert parsed["rotational"] is False
+
+    def test_smart_missing_health_rejected(self):
+        with pytest.raises(ValueError, match="health"):
+            parse_smart("Device Model: X\n")
+
+    def test_empty_sys_block(self):
+        assert parse_sys_block({}) == []

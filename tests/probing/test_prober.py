@@ -1,0 +1,70 @@
+"""Tests for the full probe round-trip (Fig 3 steps 1-2)."""
+
+import json
+
+import pytest
+
+from repro.machine import PRESETS, get_preset, gpu_node, skx
+from repro.probing import collect_raw_probe, parse_probe, probe
+
+
+class TestCollectRawProbe:
+    def test_bundle_is_json_serializable(self):
+        for name in PRESETS:
+            raw = collect_raw_probe(get_preset(name))
+            json.loads(json.dumps(raw))  # must round-trip
+
+    def test_gpu_sections_only_on_gpu_nodes(self):
+        assert "nvidia_smi" not in collect_raw_probe(skx())
+        assert "nvidia_smi" in collect_raw_probe(gpu_node())
+
+    def test_libpfm4_enumeration(self):
+        raw = collect_raw_probe(skx())
+        assert raw["libpfm4"]["uarch"] == "skylakex"
+        assert raw["libpfm4"]["n_programmable"] == 4
+        assert "FP_ARITH:512B_PACKED_DOUBLE" in raw["libpfm4"]["events"]
+        assert "RAPL_ENERGY_PKG" in raw["libpfm4"]["socket_events"]
+
+    def test_pcp_namespace(self):
+        raw = collect_raw_probe(skx())
+        assert raw["pcp"]["version"] == "5.3.6-1"
+        assert raw["pcp"]["metrics"]["kernel.percpu.cpu.idle"]["domain"] == "percpu"
+
+
+class TestParseProbe:
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_roundtrip_identity(self, name):
+        spec = get_preset(name)
+        parsed = probe(spec)
+        assert parsed["hostname"] == spec.hostname
+        assert parsed["os"] == spec.os_name
+        assert parsed["kernel"] == spec.kernel
+        assert parsed["topology"]["sockets"] == spec.n_sockets
+        assert parsed["system"]["memory_bytes"] == spec.memory_bytes
+        assert parsed["cpu"]["vendor"] == spec.vendor.value
+
+    def test_gpu_probe_merges_three_sources(self):
+        parsed = probe(gpu_node())
+        g = parsed["gpus"][0]
+        assert g["model"] == "NVIDIA Quadro GV100"  # nvidia-smi
+        assert g["n_sms"] == 80  # DeviceQuery
+        assert g["numa_node"] == 0  # /sys/class/drm
+        assert g["memory_mb"] == 34359
+        assert "nvidia.memused" in parsed["nvml_metrics"]
+
+    def test_missing_mandatory_tool_rejected(self):
+        raw = collect_raw_probe(skx())
+        del raw["likwid_topology"]
+        with pytest.raises(ValueError, match="mandatory"):
+            parse_probe(raw)
+
+    def test_disks_carry_smart(self):
+        parsed = probe(skx())
+        assert parsed["disks"][0]["smart"]["health"] == "PASSED"
+
+    def test_host_side_only_uses_bundle(self):
+        """The parse side must work from a JSON round-tripped bundle (no
+        live objects smuggled through)."""
+        raw = json.loads(json.dumps(collect_raw_probe(gpu_node())))
+        parsed = parse_probe(raw)
+        assert parsed["gpus"][0]["n_sms"] == 80

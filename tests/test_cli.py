@@ -1,0 +1,95 @@
+"""Tests for the pmove command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["probe", "power9"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_presets(self, capsys):
+        code, out, _ = run(capsys, "presets")
+        assert code == 0
+        for name in ("skx", "icl", "csl", "zen3"):
+            assert name in out
+
+    def test_probe_json(self, capsys):
+        code, out, _ = run(capsys, "probe", "icl")
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["hostname"] == "icl"
+        assert doc["topology"]["cores_per_socket"] == 8
+
+    def test_probe_raw(self, capsys):
+        code, out, _ = run(capsys, "probe", "icl", "--raw")
+        assert code == 0
+        doc = json.loads(out)
+        assert "likwid_topology" in doc
+
+    def test_kb_tree(self, capsys):
+        code, out, _ = run(capsys, "kb", "icl", "--depth", "1")
+        assert code == 0
+        assert "twins" in out
+        assert "socket0" in out
+
+    def test_monitor(self, capsys):
+        code, out, _ = run(capsys, "monitor", "icl", "--duration", "4", "--freq", "2")
+        assert code == 0
+        assert "sampled" in out
+        assert "kernel_all_load" in out
+
+    def test_observe(self, capsys):
+        code, out, _ = run(capsys, "observe", "icl", "--kernel", "triad",
+                           "--elements", "1000000", "--iterations", "100",
+                           "--threads", "4")
+        assert code == 0
+        assert "auto-generated queries" in out
+        assert 'WHERE tag=' in out
+        assert "recalled series totals" in out
+
+    def test_observe_zen3_skips_avx512(self, capsys):
+        code, out, _ = run(capsys, "observe", "zen3", "--kernel", "sum",
+                           "--elements", "100000", "--iterations", "50",
+                           "--threads", "4")
+        assert code == 0
+        assert "skipped" in out
+
+    def test_carm_with_svg(self, capsys, tmp_path):
+        svg = tmp_path / "roofs.svg"
+        code, out, _ = run(capsys, "carm", "icl", "--threads", "4",
+                           "--svg", str(svg))
+        assert code == 0
+        assert "GFLOP/s" in out
+        assert svg.read_text().startswith("<svg")
+
+    def test_bench_stream(self, capsys):
+        code, out, _ = run(capsys, "bench", "icl", "stream")
+        assert code == 0
+        assert "Triad_bandwidth" in out
+
+    def test_cluster(self, capsys):
+        code, out, _ = run(capsys, "cluster", "--nodes", "2", "--job-nodes", "2",
+                           "--iterations", "30")
+        assert code == 0
+        assert "GB shipped" in out

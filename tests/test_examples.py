@@ -1,0 +1,73 @@
+"""Smoke tests: every shipped example must run end to end.
+
+The examples are the public face of the library; these tests import each
+one and execute its ``main()`` in-process, asserting on the landmark lines
+of its output so a regression in any layer surfaces here too.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "Knowledge Base for icl" in out
+        assert "Scenario A:" in out
+        assert "Auto-generated recall queries" in out
+        assert "perfevent_hwcounters_RAPL_ENERGY_PKG_value" in out
+
+    def test_spmv_live_monitoring(self, capsys):
+        out = run_example("spmv_live_monitoring", capsys)
+        assert "merge SpMV verified against reference" in out
+        assert "RCM reordering speeds up mkl SpMV" in out
+        assert "MKL (AVX-512) outruns merge" in out
+
+    def test_live_carm_demo(self, capsys):
+        out = run_example("live_carm_demo", capsys)
+        assert "CARM roofs for csl" in out
+        assert "bounded by the" in out
+        svg = EXAMPLES_DIR / "out" / "live_carm.svg"
+        assert svg.exists() and svg.read_text().startswith("<svg")
+
+    def test_multi_system_comparison(self, capsys):
+        out = run_example("multi_system_comparison", capsys)
+        assert "SUPERDB now holds 3 systems" in out
+        assert "cross-machine level-view dashboard" in out
+
+    def test_gpu_monitoring(self, capsys):
+        out = run_example("gpu_monitoring", capsys)
+        assert "NVIDIA Quadro GV100" in out
+        assert "ncu profile of 'spmv_gpu'" in out
+        assert "folded into the KB" in out
+
+    def test_cluster_monitoring(self, capsys):
+        out = run_example("cluster_monitoring", capsys)
+        assert "fleet dashboard" in out
+        assert "comm telemetry" in out
+        assert "node utilization" in out
+
+    def test_anomaly_and_prediction(self, capsys):
+        out = run_example("anomaly_and_prediction", capsys)
+        assert "z-score flags" in out
+        assert "upgrade suggestion: skx" in out
+        assert "diagnosed: cpu_throttle" in out
+        assert "diagnosed: memory_contention" in out

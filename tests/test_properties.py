@@ -1,0 +1,191 @@
+"""Cross-module property-based tests (hypothesis).
+
+Module-local properties live with their modules; this suite checks the
+invariants that hold *across* layers — conservation between the simulator
+and the samplers, round-trips through serialization boundaries, and
+structural invariants of the orchestration primitives.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import generate_queries, make_observation
+from repro.db import InfluxDB, Point, execute, parse_query
+from repro.machine import ISA, KernelDescriptor, SimulatedMachine, icl
+from repro.pmu import Formula
+from repro.workloads import merge_path_search, pin_threads
+
+# ----------------------------------------------------------------------
+# Simulator conservation: whatever a kernel deposits, windowed reads
+# recover exactly, regardless of how the window is partitioned.
+# ----------------------------------------------------------------------
+kernel_descs = st.builds(
+    KernelDescriptor,
+    name=st.just("prop"),
+    flops_dp=st.fixed_dictionaries({ISA.AVX2: st.floats(1e6, 1e9)}),
+    loads=st.floats(1e4, 1e8),
+    stores=st.floats(0, 1e7),
+    working_set_bytes=st.integers(1024, 2**30),
+)
+
+
+class TestSimulatorConservation:
+    @given(kernel_descs, st.integers(2, 10), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_partitioned_reads_sum_to_ground_truth(self, desc, n_windows, seed):
+        m = SimulatedMachine(icl(), seed=seed)
+        run = m.run_kernel(desc, [0, 1], runtime_noise_std=0.0)
+        edges = np.linspace(run.t_start, run.t_end, n_windows + 1)
+        total = sum(
+            m.read_cpu(c, "loads", a, b)
+            for c in run.cpu_ids
+            for a, b in zip(edges, edges[1:])
+        )
+        assert total == pytest.approx(desc.loads, rel=1e-9)
+
+    @given(kernel_descs, st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_energy_monotone(self, desc, seed):
+        m = SimulatedMachine(icl(), seed=seed)
+        run = m.run_kernel(desc, [0], runtime_noise_std=0.0)
+        t = run.t_end
+        e_half = m.read_socket(0, "energy_pkg", 0.0, t / 2)
+        e_full = m.read_socket(0, "energy_pkg", 0.0, t)
+        assert 0 <= e_half <= e_full
+
+
+# ----------------------------------------------------------------------
+# Pinning: every strategy yields a valid, duplicate-free placement with
+# one-thread-per-core-first semantics for the balanced family.
+# ----------------------------------------------------------------------
+class TestPinningProperties:
+    @given(
+        st.sampled_from(["balanced", "compact", "numa_balanced", "numa_compact"]),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=60)
+    def test_valid_placement(self, strategy, n):
+        spec = icl()
+        cpus = pin_threads(spec, n, strategy)
+        assert len(cpus) == n
+        assert len(set(cpus)) == n
+        assert all(0 <= c < spec.n_threads for c in cpus)
+
+    @given(st.integers(1, 8))
+    @settings(max_examples=20)
+    def test_balanced_prefix_is_physical_cores(self, n):
+        spec = icl()
+        cpus = pin_threads(spec, n, "balanced")
+        cores = [spec.core_of_thread(c) for c in cpus]
+        assert len(set(cores)) == n  # no SMT sharing below core count
+
+
+# ----------------------------------------------------------------------
+# Merge path: the coordinates of any diagonal split the merge grid
+# consistently for arbitrary row structures.
+# ----------------------------------------------------------------------
+class TestMergePathProperties:
+    @given(st.lists(st.integers(0, 8), min_size=1, max_size=30))
+    @settings(max_examples=60)
+    def test_monotone_consistent_coordinates(self, row_lens):
+        row_end = np.cumsum(row_lens)
+        nnz = int(row_end[-1])
+        total = len(row_lens) + nnz
+        prev = (0, 0)
+        for d in range(total + 1):
+            i, j = merge_path_search(d, row_end, nnz)
+            assert i + j == d
+            assert i >= prev[0] and j >= prev[1]  # path only moves forward
+            if i > 0:
+                assert row_end[i - 1] <= j  # consumed rows are complete
+            prev = (i, j)
+
+
+# ----------------------------------------------------------------------
+# Observation -> queries -> execution round trip: for arbitrary metric
+# layouts, every generated query parses and recalls exactly the rows
+# written under the observation's tag.
+# ----------------------------------------------------------------------
+metric_names = st.from_regex(r"[a-z]{2,8}(\.[a-z]{2,8}){1,2}", fullmatch=True)
+fields = st.lists(
+    st.from_regex(r"_cpu[0-9]{1,2}", fullmatch=True), min_size=1, max_size=4,
+    unique=True,
+)
+
+
+class TestObservationQueryRoundTrip:
+    @given(
+        st.lists(st.tuples(metric_names, fields), min_size=1, max_size=4,
+                 unique_by=lambda t: t[0]),
+        st.integers(1, 12),
+    )
+    @settings(max_examples=40)
+    def test_generated_queries_recall_written_rows(self, metric_layout, n_rows):
+        obs = make_observation(
+            host_seg="h", index=1, tag="prop-tag", command="cmd",
+            cpu_ids=[0], pinning="compact",
+            metrics=[{"metric": m, "fields": list(fs)} for m, fs in metric_layout],
+            t_start=0.0, t_end=10.0,
+        )
+        influx = InfluxDB()
+        influx.create_database("pmove")
+        for m_entry in obs["metrics"]:
+            for k in range(n_rows):
+                influx.write("pmove", Point(
+                    m_entry["measurement"], {"tag": "prop-tag"},
+                    {f: float(k) for f in m_entry["fields"]}, float(k),
+                ))
+                # Decoy rows under another tag must never be recalled.
+                influx.write("pmove", Point(
+                    m_entry["measurement"], {"tag": "other"},
+                    {f: 999.0 for f in m_entry["fields"]}, float(k),
+                ))
+        for q, m_entry in zip(generate_queries(obs), obs["metrics"]):
+            parsed = parse_query(q)  # must parse
+            rs = execute(influx, "pmove", parsed)
+            assert len(rs) == n_rows
+            for f in m_entry["fields"]:
+                assert 999.0 not in rs.column(f)
+
+
+# ----------------------------------------------------------------------
+# Formula algebra: evaluation is linear in the resolver for +/- chains.
+# ----------------------------------------------------------------------
+class TestFormulaLinearity:
+    @given(
+        st.lists(st.sampled_from(["EV_A", "EV_B", "EV_C"]), min_size=1, max_size=5),
+        st.lists(st.sampled_from(["+", "-"]), min_size=0, max_size=4),
+        st.floats(0.1, 10.0),
+    )
+    @settings(max_examples=60)
+    def test_scaling_resolver_scales_result(self, operands, ops, scale):
+        tokens = [operands[0]]
+        for i, op in enumerate(ops):
+            tokens.append(op)
+            tokens.append(operands[(i + 1) % len(operands)])
+        f = Formula(tokens)
+        base = {"EV_A": 3.0, "EV_B": 5.0, "EV_C": 7.0}
+        v1 = f.evaluate(lambda e: base[e])
+        v2 = f.evaluate(lambda e: base[e] * scale)
+        assert v2 == pytest.approx(v1 * scale, rel=1e-9, abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# SpMV permutation invariance: reordering never changes the result
+# (P A P^T)(P x) = P (A x) for arbitrary permutations.
+# ----------------------------------------------------------------------
+class TestSpmvPermutationInvariance:
+    @given(st.integers(3, 40), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_permutation_commutes(self, n, seed):
+        from repro.workloads import apply_ordering, spmv_csr
+
+        rng = np.random.default_rng(seed)
+        a = sp.random(n, n, density=0.3, random_state=seed, format="csr")
+        x = rng.normal(size=n)
+        perm = rng.permutation(n)
+        ap = apply_ordering(a, perm)
+        assert np.allclose(spmv_csr(ap, x[perm]), spmv_csr(a, x)[perm], atol=1e-10)

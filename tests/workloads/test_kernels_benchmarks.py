@@ -1,0 +1,192 @@
+"""Tests for likwid-bench kernels, pinning, STREAM, and HPCG."""
+
+import numpy as np
+import pytest
+
+from repro.machine import ISA, SimulatedMachine, csl, icl, skx
+from repro.workloads import (
+    LIKWID_KERNELS,
+    STRATEGIES,
+    build_kernel,
+    build_stencil,
+    kernel_ground_truth,
+    parse_hpcg_output,
+    parse_likwid_output,
+    parse_stream_output,
+    pin_threads,
+    pinning_script,
+    render_likwid_output,
+    run_hpcg,
+    run_stream,
+)
+from repro.workloads.hpcg import _cg
+
+
+class TestLikwidKernels:
+    def test_all_six_kernels_exist(self):
+        assert set(LIKWID_KERNELS) == {"sum", "stream", "triad", "peakflops", "ddot", "daxpy"}
+
+    def test_triad_counts(self):
+        d = build_kernel("triad", 1_000_000, isa=ISA.AVX512)
+        assert d.total_flops == 2_000_000
+        assert d.loads == pytest.approx(2_000_000 / 8)
+        assert d.stores == pytest.approx(1_000_000 / 8)
+        assert d.bytes_total == pytest.approx(24 * 1_000_000)
+
+    def test_ddot_ai_is_eighth(self):
+        """DDOT's theoretical AI of 0.125 (Fig 9)."""
+        d = build_kernel("ddot", 4096)
+        assert d.arithmetic_intensity == pytest.approx(0.125)
+
+    def test_peakflops_ai(self):
+        """PeakFlops hits high AI (the paper quotes AI=2 for its variant)."""
+        d = build_kernel("peakflops", 4096)
+        assert d.arithmetic_intensity >= 2.0
+
+    def test_iterations_scale_ops_not_ws(self):
+        d1 = build_kernel("sum", 1000, iterations=1)
+        d5 = build_kernel("sum", 1000, iterations=5)
+        assert d5.total_flops == 5 * d1.total_flops
+        assert d5.working_set_bytes == d1.working_set_bytes
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError, match="unknown likwid kernel"):
+            build_kernel("copy", 100)
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            build_kernel("sum", 0)
+
+    def test_ground_truth_matches_descriptor(self):
+        d = build_kernel("daxpy", 10_000)
+        gt = kernel_ground_truth(d)
+        assert gt["flops"] == 20_000
+        assert gt["data_volume_bytes"] == pytest.approx(24 * 10_000)
+
+    def test_output_roundtrip(self):
+        m = SimulatedMachine(icl(), seed=0)
+        d = build_kernel("triad", 1_000_000)
+        run = m.run_kernel(d, [0, 1])
+        text = render_likwid_output(d, run, m.spec)
+        parsed = parse_likwid_output(text)
+        assert parsed["flops"] == pytest.approx(d.total_flops)
+        assert parsed["time_s"] == pytest.approx(run.runtime_s, rel=1e-4)
+        assert parsed["data_volume_bytes"] == pytest.approx(d.bytes_total)
+
+    def test_parse_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_likwid_output("nothing here")
+
+
+class TestPinning:
+    def test_balanced_spreads_sockets(self):
+        spec = skx()
+        cpus = pin_threads(spec, 4, "balanced")
+        sockets = [spec.socket_of_core(spec.core_of_thread(c)) for c in cpus]
+        assert sockets == [0, 1, 0, 1]
+
+    def test_compact_fills_first_core(self):
+        spec = skx()
+        cpus = pin_threads(spec, 4, "compact")
+        # Core 0 both threads, then core 1 both threads.
+        assert cpus == [0, 44, 1, 45]
+
+    def test_numa_compact_stays_on_node0(self):
+        spec = skx()
+        cpus = pin_threads(spec, 44, "numa_compact")
+        nodes = {spec.numa_of_core(spec.core_of_thread(c)) for c in cpus}
+        assert nodes == {0}
+
+    def test_numa_balanced_alternates(self):
+        spec = skx()
+        cpus = pin_threads(spec, 2, "numa_balanced")
+        nodes = [spec.numa_of_core(spec.core_of_thread(c)) for c in cpus]
+        assert nodes == [0, 1]
+
+    def test_full_machine_every_strategy(self):
+        spec = skx()
+        for strat in STRATEGIES:
+            cpus = pin_threads(spec, spec.n_threads, strat)
+            assert sorted(cpus) == list(range(spec.n_threads)), strat
+
+    def test_balanced_one_thread_per_core_first(self):
+        spec = icl()
+        cpus = pin_threads(spec, 8, "balanced")
+        assert sorted(spec.core_of_thread(c) for c in cpus) == list(range(8))
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            pin_threads(icl(), 0)
+        with pytest.raises(ValueError):
+            pin_threads(icl(), 17)
+        with pytest.raises(ValueError, match="unknown strategy"):
+            pin_threads(icl(), 2, "scatter")
+
+    def test_script_contents(self):
+        script = pinning_script(icl(), "./spmv", ["m.mtx"], 4, "compact")
+        assert "taskset -c 0,8,1,9 ./spmv m.mtx" in script
+        assert "OMP_NUM_THREADS=4" in script
+
+    def test_script_needs_executable(self):
+        with pytest.raises(ValueError):
+            pinning_script(icl(), "", [], 2)
+
+
+class TestStream:
+    def test_bandwidth_ordering(self):
+        m = SimulatedMachine(csl(), seed=2)
+        best, text = run_stream(m, n=30_000_000, ntimes=3)
+        assert set(best) == {"Copy", "Scale", "Add", "Triad"}
+        # Big arrays: all kernels near DRAM bandwidth.
+        dram = m.spec.bandwidth_gbs("DRAM", 28) * 1e3  # MB/s
+        for rate in best.values():
+            assert 0.4 * dram < rate < 1.4 * dram
+
+    def test_output_parse_roundtrip(self):
+        m = SimulatedMachine(icl(), seed=2)
+        best, text = run_stream(m, n=5_000_000, ntimes=2)
+        parsed = parse_stream_output(text)
+        for k in best:
+            assert parsed[k] == pytest.approx(best[k], rel=0.01)
+
+    def test_ntimes_minimum(self):
+        with pytest.raises(ValueError):
+            run_stream(SimulatedMachine(icl()), ntimes=1)
+
+    def test_parse_garbage(self):
+        with pytest.raises(ValueError):
+            parse_stream_output("no stream here")
+
+
+class TestHpcg:
+    def test_stencil_structure(self):
+        a = build_stencil(4, 4, 4)
+        assert a.shape == (64, 64)
+        # Interior points have 27 neighbours.
+        row_nnz = a.indptr[1:] - a.indptr[:-1]
+        assert row_nnz.max() == 27
+        assert (abs(a - a.T) > 1e-12).nnz == 0
+
+    def test_stencil_too_small(self):
+        with pytest.raises(ValueError):
+            build_stencil(1, 4, 4)
+
+    def test_cg_reduces_residual(self):
+        a = build_stencil(6, 6, 6)
+        b = np.ones(a.shape[0])
+        _, res2 = _cg(a, b, 2)
+        _, res60 = _cg(a, b, 60)
+        assert res60 < res2 < 1.0
+        assert res60 < 1e-8
+
+    def test_run_and_parse(self):
+        m = SimulatedMachine(icl(), seed=3)
+        results, text = run_hpcg(m, nx=6, ny=6, nz=6, n_iterations=20)
+        parsed = parse_hpcg_output(text)
+        assert parsed["gflops"] == pytest.approx(results["gflops"], rel=1e-3)
+        assert results["residual"] < 0.5
+        assert results["gflops"] > 0
+
+    def test_parse_garbage(self):
+        with pytest.raises(ValueError):
+            parse_hpcg_output("nope")

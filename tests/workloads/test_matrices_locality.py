@@ -1,0 +1,143 @@
+"""Tests for Table IV matrix generators and the reuse-distance estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import csl
+from repro.workloads import (
+    TABLE4,
+    bandwidth,
+    expected_stack_distances,
+    generate,
+    line_reuse_gaps,
+    reorder,
+    x_gather_locality,
+)
+
+
+class TestTable4:
+    def test_paper_rows(self):
+        assert set(TABLE4) == {
+            "adaptive", "audikw_1", "dielFilterV3real", "hugetrace-00020", "human_gene1",
+        }
+        assert TABLE4["hugetrace-00020"].rows == 16_002_413
+        assert TABLE4["human_gene1"].group == "Belcastro"
+
+    @pytest.mark.parametrize("name", sorted(TABLE4))
+    def test_generators_structurally_plausible(self, name):
+        a = generate(name, scale=0.003 if name != "human_gene1" else 0.2, seed=0)
+        info = TABLE4[name]
+        real_density = info.nnz / info.rows  # nnz per row
+        got_density = a.nnz / a.shape[0]
+        # nnz/row within a factor ~3 of the real matrix's.
+        assert got_density == pytest.approx(real_density, rel=2.0), name
+        # Structurally symmetric (SpMV + RCM assume it).
+        assert (abs(a - a.T) > 1e-12).nnz == 0
+
+    def test_unknown_matrix(self):
+        with pytest.raises(KeyError):
+            generate("bcsstk01")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            generate("adaptive", scale=0.0)
+
+    def test_seed_determinism(self):
+        a = generate("adaptive", scale=0.002, seed=4)
+        b = generate("adaptive", scale=0.002, seed=4)
+        assert (a != b).nnz == 0
+
+    def test_random_starting_order(self):
+        """Generators must not hand out banded matrices (SuiteSparse
+        orderings aren't), or the RCM story would be trivial."""
+        a = generate("hugetrace-00020", scale=0.002, seed=0)
+        assert bandwidth(a) > a.shape[0] // 10
+
+
+class TestReuseGaps:
+    def test_cold_accesses_marked(self):
+        gaps = line_reuse_gaps(np.array([0, 100, 200]))
+        assert (gaps == -1).all()
+
+    def test_immediate_reuse(self):
+        gaps = line_reuse_gaps(np.array([0, 0, 0]))
+        assert gaps[0] == -1
+        assert gaps[1] == 1 and gaps[2] == 1
+
+    def test_line_granularity(self):
+        # Columns 0..7 share a 64-byte line.
+        gaps = line_reuse_gaps(np.array([0, 7, 3]))
+        assert gaps[0] == -1
+        assert gaps[1] == 1 and gaps[2] == 1
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            line_reuse_gaps(np.zeros((2, 2), dtype=int))
+
+    @given(st.lists(st.integers(0, 500), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_property_gap_bounds(self, cols):
+        cols = np.array(cols)
+        gaps = line_reuse_gaps(cols)
+        for i, g in enumerate(gaps):
+            if g >= 0:
+                assert 1 <= g <= i
+                assert cols[i - g] // 8 == cols[i] // 8
+
+
+class TestStackDistances:
+    def test_cold_is_inf(self):
+        d = expected_stack_distances(np.array([-1, 5]), 100)
+        assert np.isinf(d[0])
+        assert np.isfinite(d[1])
+
+    def test_monotone_in_gap(self):
+        d = expected_stack_distances(np.array([1, 10, 100]), 50)
+        assert d[0] < d[1] < d[2]
+
+    def test_bounded_by_unique(self):
+        d = expected_stack_distances(np.array([10_000_000]), 40)
+        assert d[0] <= 40 + 1e-9
+
+    def test_bad_unique(self):
+        with pytest.raises(ValueError):
+            expected_stack_distances(np.array([1]), 0)
+
+
+class TestXGatherLocality:
+    def test_fractions_normalized(self):
+        a = generate("adaptive", scale=0.002, seed=1)
+        loc = x_gather_locality(a, csl())
+        assert sum(loc.values()) == pytest.approx(1.0)
+        assert set(loc) == {"L1", "L2", "L3", "DRAM"}
+
+    def test_rcm_improves_locality(self):
+        """The core Fig 7/8 mechanism."""
+        a = generate("hugetrace-00020", scale=0.002, seed=1)
+        spec = csl()
+        before = x_gather_locality(a, spec, distance_scale=300)
+        after = x_gather_locality(reorder(a, "rcm"), spec, distance_scale=300)
+        inner = lambda loc: loc["L1"] + loc["L2"]
+        assert inner(after) > inner(before) + 0.2
+
+    def test_distance_scale_pushes_outward(self):
+        a = generate("adaptive", scale=0.002, seed=1)
+        spec = csl()
+        near = x_gather_locality(a, spec, distance_scale=1.0)
+        far = x_gather_locality(a, spec, distance_scale=1000.0)
+        assert far["DRAM"] + far["L3"] >= near["DRAM"] + near["L3"] - 1e-9
+
+    def test_empty_matrix_rejected(self):
+        import scipy.sparse as sp
+
+        with pytest.raises(ValueError):
+            x_gather_locality(sp.csr_matrix((5, 5)), csl())
+
+    def test_bad_params(self):
+        a = generate("adaptive", scale=0.002, seed=1)
+        with pytest.raises(ValueError):
+            x_gather_locality(a, csl(), x_cache_share=0.0)
+        with pytest.raises(ValueError):
+            x_gather_locality(a, csl(), distance_scale=-1)

@@ -1,0 +1,122 @@
+"""Tests for reorderings: RCM correctness (vs SciPy), bandwidth effects."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.sparse.csgraph import reverse_cuthill_mckee
+
+from repro.workloads import (
+    apply_ordering,
+    bandwidth,
+    degree_order,
+    random_order,
+    rcm,
+    reorder,
+)
+from repro.workloads.matrices import mesh_like, trace_like
+
+
+def is_permutation(perm, n):
+    return sorted(perm.tolist()) == list(range(n))
+
+
+class TestRcm:
+    def test_is_permutation(self):
+        a = mesh_like(400, seed=1)
+        assert is_permutation(rcm(a), a.shape[0])
+
+    def test_reduces_bandwidth_on_trace(self):
+        a = trace_like(3000, seed=2)
+        before = bandwidth(a)
+        after = bandwidth(apply_ordering(a, rcm(a)))
+        assert after < before / 20
+
+    def test_reduces_bandwidth_on_mesh(self):
+        a = mesh_like(2000, seed=3)
+        assert bandwidth(apply_ordering(a, rcm(a))) < bandwidth(a) / 3
+
+    def test_comparable_to_scipy(self):
+        """Our RCM must land in the same bandwidth class as SciPy's."""
+        a = mesh_like(1500, seed=4)
+        ours = bandwidth(apply_ordering(a, rcm(a)))
+        sperm = np.asarray(reverse_cuthill_mckee(a, symmetric_mode=True))
+        theirs = bandwidth(apply_ordering(a, sperm))
+        assert ours <= theirs * 2 + 8
+
+    def test_disconnected_components(self):
+        blocks = sp.block_diag(
+            [mesh_like(100, seed=5), mesh_like(81, seed=6)], format="csr"
+        )
+        perm = rcm(blocks)
+        assert is_permutation(perm, blocks.shape[0])
+
+    def test_spmv_value_preserved(self):
+        a = mesh_like(500, seed=7)
+        x = np.random.default_rng(0).normal(size=a.shape[0])
+        perm = rcm(a)
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(perm.size)
+        ap = apply_ordering(a, perm)
+        # y' = P A P^T (P x) must equal P (A x).
+        y_perm = ap @ x[perm]
+        assert np.allclose(y_perm, (a @ x)[perm])
+
+    @given(st.integers(2, 30), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_property_permutation_and_symmetric(self, n, seed):
+        a = sp.random(n, n, density=0.3, random_state=seed, format="csr")
+        perm = rcm(a)
+        assert is_permutation(perm, n)
+        b = apply_ordering(a + a.T, perm)
+        assert (abs(b - b.T) > 1e-12).nnz == 0  # symmetry preserved
+
+
+class TestOtherOrderings:
+    def test_degree_is_permutation(self):
+        a = mesh_like(300, seed=8)
+        assert is_permutation(degree_order(a), a.shape[0])
+
+    def test_degree_sorted(self):
+        a = mesh_like(300, seed=8)
+        pattern = a + a.T
+        degs = (pattern.indptr[1:] - pattern.indptr[:-1])[degree_order(a)]
+        assert all(degs[i] <= degs[i + 1] for i in range(len(degs) - 1))
+
+    def test_random_is_permutation_and_seeded(self):
+        a = mesh_like(300, seed=9)
+        p1, p2 = random_order(a, 5), random_order(a, 5)
+        assert is_permutation(p1, 300 // 1 if False else a.shape[0])
+        assert np.array_equal(p1, p2)
+        assert not np.array_equal(p1, random_order(a, 6))
+
+    def test_reorder_by_name(self):
+        a = mesh_like(300, seed=10)
+        for name in ("none", "rcm", "degree", "random"):
+            b = reorder(a, name)
+            assert b.nnz == a.nnz
+        with pytest.raises(ValueError, match="unknown ordering"):
+            reorder(a, "amd")
+
+    def test_none_identity(self):
+        a = mesh_like(200, seed=11)
+        assert (reorder(a, "none") != a).nnz == 0
+
+
+class TestApplyOrdering:
+    def test_rejects_non_permutation(self):
+        a = mesh_like(100, seed=12)
+        with pytest.raises(ValueError, match="not a permutation"):
+            apply_ordering(a, np.zeros(a.shape[0], dtype=np.int64))
+
+    def test_bandwidth_empty(self):
+        assert bandwidth(sp.csr_matrix((5, 5))) == 0
+
+    def test_roundtrip_identity(self):
+        a = mesh_like(150, seed=13)
+        perm = rcm(a)
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(perm.size)
+        back = apply_ordering(apply_ordering(a, perm), inv)
+        assert (abs(back - a) > 1e-12).nnz == 0

@@ -1,0 +1,163 @@
+"""Tests for the SpMV kernels: reference, merge-based, and descriptors."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import ISA, csl, zen3
+from repro.workloads import (
+    merge_path_search,
+    merge_spmv,
+    spmv_csr,
+    spmv_descriptor,
+)
+from repro.workloads.matrices import mesh_like
+
+
+def random_csr(n, density, seed):
+    return sp.random(n, n, density=density, random_state=seed, format="csr")
+
+
+class TestSpmvCsr:
+    def test_matches_scipy(self):
+        a = random_csr(50, 0.1, 3)
+        x = np.arange(50, dtype=float)
+        assert np.allclose(spmv_csr(a, x), a @ x)
+
+    def test_empty_rows_handled(self):
+        a = sp.csr_matrix((np.array([1.0]), (np.array([3]), np.array([2]))), shape=(6, 6))
+        x = np.ones(6)
+        y = spmv_csr(a, x)
+        assert y[3] == 1.0
+        assert np.count_nonzero(y) == 1
+
+    def test_wrong_x_length(self):
+        with pytest.raises(ValueError):
+            spmv_csr(random_csr(5, 0.5, 0), np.ones(6))
+
+
+class TestMergePathSearch:
+    def test_endpoints(self):
+        row_end = np.array([2, 5, 5, 9])
+        assert merge_path_search(0, row_end, 9) == (0, 0)
+        assert merge_path_search(13, row_end, 9) == (4, 9)
+
+    def test_out_of_grid(self):
+        with pytest.raises(ValueError):
+            merge_path_search(99, np.array([1]), 1)
+
+    def test_coordinates_consistent(self):
+        row_end = np.array([2, 5, 5, 9])
+        for d in range(14):
+            i, j = merge_path_search(d, row_end, 9)
+            assert i + j == d
+            assert 0 <= i <= 4 and 0 <= j <= 9
+
+
+class TestMergeSpmv:
+    def test_matches_reference(self):
+        a = random_csr(80, 0.08, 5)
+        x = np.random.default_rng(1).normal(size=80)
+        y, _ = merge_spmv(a, x, n_threads=5)
+        assert np.allclose(y, a @ x, atol=1e-12)
+
+    def test_skewed_rows_balanced(self):
+        """One huge row plus many empty rows: merge path must split the
+        heavy row across threads (the algorithm's raison d'etre)."""
+        n = 64
+        rows = np.concatenate([np.zeros(200, dtype=int), np.arange(n)])
+        cols = np.concatenate([np.arange(200) % n, np.arange(n)])
+        vals = np.ones(rows.size)
+        a = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+        x = np.random.default_rng(2).normal(size=n)
+        y, stats = merge_spmv(a, x, n_threads=8)
+        assert np.allclose(y, a @ x, atol=1e-12)
+        assert stats.balance < 1.5  # near-even split despite the skew
+        assert stats.carries >= 1  # the big row was cut
+
+    def test_more_threads_than_work(self):
+        a = random_csr(4, 0.5, 7)
+        x = np.ones(4)
+        y, _ = merge_spmv(a, x, n_threads=32)
+        assert np.allclose(y, a @ x, atol=1e-12)
+
+    def test_single_thread(self):
+        a = random_csr(30, 0.2, 9)
+        x = np.random.default_rng(3).normal(size=30)
+        y, stats = merge_spmv(a, x, n_threads=1)
+        assert np.allclose(y, a @ x, atol=1e-12)
+        assert stats.carries == 0
+
+    def test_bad_args(self):
+        a = random_csr(5, 0.5, 0)
+        with pytest.raises(ValueError):
+            merge_spmv(a, np.ones(9))
+        with pytest.raises(ValueError):
+            merge_spmv(a, np.ones(5), n_threads=0)
+
+    @given(
+        st.integers(2, 40),
+        st.floats(0.02, 0.5),
+        st.integers(1, 9),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_equivalence(self, n, density, threads, seed):
+        a = sp.random(n, n, density=density, random_state=seed, format="csr")
+        x = np.random.default_rng(seed).normal(size=n)
+        y, _ = merge_spmv(a, x, n_threads=threads)
+        assert np.allclose(y, a @ x, atol=1e-10)
+
+
+class TestSpmvDescriptor:
+    def make(self):
+        return mesh_like(4000, seed=2), csl()
+
+    def test_mkl_uses_avx512_on_intel(self):
+        a, spec = self.make()
+        d = spmv_descriptor(a, spec, "mkl")
+        assert ISA.AVX512 in d.flops_dp
+        assert d.flops_dp[ISA.AVX512] == pytest.approx(2.0 * a.nnz)
+
+    def test_mkl_uses_avx2_on_zen3(self):
+        a, _ = self.make()
+        d = spmv_descriptor(a, zen3(), "mkl")
+        assert ISA.AVX2 in d.flops_dp
+
+    def test_merge_is_scalar(self):
+        a, spec = self.make()
+        d = spmv_descriptor(a, spec, "merge")
+        assert list(d.flops_dp) == [ISA.SCALAR]
+        assert d.mem_isa is ISA.SCALAR
+
+    def test_merge_has_more_memory_instructions(self):
+        """The Fig 7 effect: TOTAL_MEMORY_INSTR higher under Merge."""
+        a, spec = self.make()
+        mkl = spmv_descriptor(a, spec, "mkl")
+        merge = spmv_descriptor(a, spec, "merge")
+        assert merge.loads + merge.stores > 4 * (mkl.loads + mkl.stores)
+
+    def test_locality_normalized(self):
+        a, spec = self.make()
+        for alg in ("mkl", "merge"):
+            d = spmv_descriptor(a, spec, alg)
+            assert sum(d.locality.values()) == pytest.approx(1.0)
+
+    def test_nnz_scale_scales_counts_not_structure(self):
+        a, spec = self.make()
+        d1 = spmv_descriptor(a, spec, "mkl", nnz_scale=1.0)
+        d10 = spmv_descriptor(a, spec, "mkl", nnz_scale=10.0)
+        assert d10.loads == pytest.approx(10 * d1.loads)
+        assert d10.total_flops == pytest.approx(10 * d1.total_flops)
+
+    def test_bad_algorithm(self):
+        a, spec = self.make()
+        with pytest.raises(ValueError, match="unknown SpMV algorithm"):
+            spmv_descriptor(a, spec, "cusparse")
+
+    def test_bad_scale(self):
+        a, spec = self.make()
+        with pytest.raises(ValueError):
+            spmv_descriptor(a, spec, "mkl", nnz_scale=0)
