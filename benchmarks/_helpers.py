@@ -10,6 +10,8 @@ compares against the paper.
 
 from __future__ import annotations
 
+import json
+import statistics
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -23,6 +25,31 @@ def emit(name: str, text: str) -> Path:
     print(f"\n===== {name} =====")
     print(text)
     return path
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable result (perf trajectories, CI gates).
+
+    Written with sorted keys and a trailing newline so successive PRs diff
+    cleanly under version control."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    path.write_text(text)
+    print(f"\n===== {name} =====")
+    print(text)
+    return path
+
+
+def latency_stats(samples_s: list[float]) -> dict[str, float]:
+    """p50/p95/mean of a latency sample set, in milliseconds."""
+    ordered = sorted(samples_s)
+    return {
+        "p50_ms": 1e3 * statistics.median(ordered),
+        "p95_ms": 1e3 * ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))],
+        "mean_ms": 1e3 * statistics.fmean(ordered),
+        "n": len(ordered),
+    }
 
 
 def fmt_table(headers: list[str], rows: list[list[str]]) -> str:

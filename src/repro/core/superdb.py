@@ -84,9 +84,8 @@ class SuperDB:
                     pts = local_influx.points(
                         local_database, m["measurement"], tags={"tag": obs["tag"]}
                     )
-                    for p in pts:
-                        self.influx.write("superdb", p)
-                        copied += len(p.fields)
+                    self.influx.write_many("superdb", pts)
+                    copied += sum(len(p.fields) for p in pts)
                 doc["points_copied"] = copied
                 n_points += copied
             else:

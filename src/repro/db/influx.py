@@ -1,4 +1,4 @@
-"""In-memory InfluxDB 1.8 substitute.
+"""In-memory InfluxDB 1.8 substitute — series-sharded storage engine.
 
 P-MoVE stores *SWTelemetry* and *HWTelemetry* samples in InfluxDB (§III-A),
 keyed by measurement name, tagged with observation UUIDs, with one field per
@@ -7,6 +7,15 @@ the framework exercises: line-protocol ingest, per-database measurement
 stores, retention policies (the paper's answer to long-term disk pressure,
 §V-B), and the InfluxQL subset executed by :mod:`repro.db.influxql`.
 
+Storage layout (mirroring what production ODA stacks such as DCDB sit on):
+each measurement is sharded into **series**, one per distinct tag set.  A
+series holds columnar arrays — a sorted time array, a parallel write-sequence
+array, and one value array per field — so the dominant dashboard query shape
+(``WHERE tag="<uuid>" AND time >= a AND time <= b``) resolves via an inverted
+tag index (``tag=value → series``) plus two ``bisect`` calls instead of a
+full scan.  Writes take an O(1) append fast path when they arrive in time
+order (the sampler's case) and a bisect-based insertion otherwise.
+
 Timestamps are virtual-clock seconds stored at nanosecond resolution, as
 Influx line protocol does.
 """
@@ -14,8 +23,8 @@ Influx line protocol does.
 from __future__ import annotations
 
 import re
-from collections import defaultdict
-from dataclasses import dataclass, field
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
 
 __all__ = ["Point", "InfluxError", "RetentionPolicy", "InfluxDB"]
 
@@ -33,6 +42,18 @@ def _escape(s: str) -> str:
 
 def _unescape(s: str) -> str:
     return re.sub(r"\\([,= ])", r"\1", s)
+
+
+# Escaped-length memo for field names: sampler field names (``_cpu0`` …)
+# repeat millions of times, so byte accounting never re-escapes them.
+_ESC_LEN: dict[str, int] = {}
+
+
+def _esc_len(s: str) -> int:
+    n = _ESC_LEN.get(s)
+    if n is None:
+        n = _ESC_LEN[s] = len(_escape(s))
+    return n
 
 
 def _split_unescaped(s: str, sep: str) -> list[str]:
@@ -54,6 +75,20 @@ def _split_unescaped(s: str, sep: str) -> list[str]:
     return out
 
 
+def _parse_field_value(v: str) -> float:
+    """Parse one line-protocol field value.
+
+    Influx writes integer-typed fields with an ``i`` suffix (``value=42i``);
+    we store everything as floats, so the suffix is stripped on ingest.
+    """
+    try:
+        if len(v) > 1 and v[-1] == "i":
+            return float(int(v[:-1]))
+        return float(v)
+    except ValueError:
+        raise InfluxError(f"non-numeric field value {v!r}") from None
+
+
 @dataclass(frozen=True)
 class Point:
     """One time-series sample."""
@@ -70,7 +105,7 @@ class Point:
             raise InfluxError("point needs at least one field")
 
     def to_line(self) -> str:
-        """Serialize to Influx line protocol (ns timestamp)."""
+        """Serialize to Influx line protocol (ns timestamp, float fields)."""
         key = _escape(self.measurement)
         if self.tags:
             key += "," + ",".join(
@@ -102,10 +137,7 @@ class Point:
             k, _, v = kv.partition("=")
             if not k or v == "":
                 raise InfluxError(f"malformed field {kv!r}")
-            try:
-                fields[_unescape(k)] = float(v)
-            except ValueError:
-                raise InfluxError(f"non-numeric field value {v!r}") from None
+            fields[_unescape(k)] = _parse_field_value(v)
         return cls(measurement=measurement, tags=tags, fields=fields, time=ts)
 
 
@@ -117,10 +149,145 @@ class RetentionPolicy:
     name: str = "autogen"
 
 
-class _Database:
+class _Series:
+    """One (measurement, tag set): columnar time/seq/field arrays.
+
+    ``times`` is kept sorted; ``seqs`` carries the per-measurement write
+    sequence so equal timestamps preserve global insertion order across
+    series (matching a stable sort over a flat point list).  ``cols`` maps
+    field name → value array aligned with ``times`` (``None`` = field absent
+    in that row).
+    """
+
+    __slots__ = ("tags", "key_len", "times", "seqs", "cols")
+
+    def __init__(self, tags: dict[str, str], key_len: int) -> None:
+        self.tags = tags
+        self.key_len = key_len  # len of the escaped "measurement,tag=…" prefix
+        self.times: list[float] = []
+        self.seqs: list[int] = []
+        self.cols: dict[str, list[float | None]] = {}
+
+    def add(self, time: float, seq: int, fields: dict[str, float]) -> None:
+        times = self.times
+        if not times or time >= times[-1]:
+            idx = len(times)  # append fast path (in-order ingest)
+            times.append(time)
+            self.seqs.append(seq)
+            for col in self.cols.values():
+                col.append(None)
+        else:
+            idx = bisect_right(times, time)
+            times.insert(idx, time)
+            self.seqs.insert(idx, seq)
+            for col in self.cols.values():
+                col.insert(idx, None)
+        n = len(times)
+        cols = self.cols
+        for name, v in fields.items():
+            col = cols.get(name)
+            if col is None:
+                col = cols[name] = [None] * n
+            col[idx] = v
+
+    def time_slice(
+        self,
+        t0: float | None,
+        t1: float | None,
+        t0_exclusive: bool,
+        t1_exclusive: bool,
+    ) -> tuple[int, int]:
+        """Resolve a time range to array indices with two bisects."""
+        times = self.times
+        if t0 is None:
+            lo = 0
+        elif t0_exclusive:
+            lo = bisect_right(times, t0)
+        else:
+            lo = bisect_left(times, t0)
+        if t1 is None:
+            hi = len(times)
+        elif t1_exclusive:
+            hi = bisect_left(times, t1)
+        else:
+            hi = bisect_right(times, t1)
+        return lo, hi
+
+    def drop_before(self, horizon: float) -> int:
+        """Retention: slice off rows with ``time < horizon``; returns #dropped."""
+        idx = bisect_left(self.times, horizon)
+        if idx:
+            del self.times[:idx]
+            del self.seqs[:idx]
+            for col in self.cols.values():
+                del col[:idx]
+        return idx
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+class _Measurement:
+    """All series of one measurement plus the inverted tag index."""
+
+    __slots__ = ("name", "key_base_len", "series", "by_tags", "tag_index", "seq")
+
     def __init__(self, name: str) -> None:
         self.name = name
-        self.measurements: dict[str, list[Point]] = defaultdict(list)
+        self.key_base_len = _esc_len(name)
+        self.series: dict[int, _Series] = {}
+        self.by_tags: dict[tuple[tuple[str, str], ...], int] = {}
+        self.tag_index: dict[tuple[str, str], set[int]] = {}
+        self.seq = 0  # monotonically increasing write sequence
+
+    def series_for(self, tags: dict[str, str]) -> _Series:
+        key = tuple(sorted(tags.items()))
+        sid = self.by_tags.get(key)
+        if sid is None:
+            sid = len(self.by_tags)
+            key_len = self.key_base_len + sum(
+                2 + _esc_len(k) + _esc_len(v) for k, v in key
+            )
+            s = _Series(dict(tags), key_len)
+            self.series[sid] = s
+            self.by_tags[key] = sid
+            for kv in key:
+                self.tag_index.setdefault(kv, set()).add(sid)
+            return s
+        return self.series[sid]
+
+    def match_ids(self, tags: dict[str, str] | None):
+        """Series ids whose tag set contains every requested (key, value)."""
+        if not tags:
+            return list(self.series)
+        ids: set[int] | None = None
+        for kv in tags.items():
+            hit = self.tag_index.get(kv)
+            if not hit:
+                return []
+            ids = set(hit) if ids is None else ids & hit
+            if not ids:
+                return []
+        return ids or []
+
+    def remove_series(self, sid: int) -> None:
+        s = self.series.pop(sid)
+        key = tuple(sorted(s.tags.items()))
+        del self.by_tags[key]
+        for kv in key:
+            bucket = self.tag_index.get(kv)
+            if bucket is not None:
+                bucket.discard(sid)
+                if not bucket:
+                    del self.tag_index[kv]
+
+
+class _Database:
+    __slots__ = ("name", "meas", "retention", "points_written", "bytes_written")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.meas: dict[str, _Measurement] = {}
         self.retention = RetentionPolicy()
         self.points_written = 0
         self.bytes_written = 0
@@ -158,31 +325,83 @@ class InfluxDB:
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
-    def write(self, db: str, point: Point) -> None:
-        d = self._db(db)
-        d.measurements[point.measurement].append(point)
+    @staticmethod
+    def _append(d: _Database, point: Point) -> None:
+        m = d.meas.get(point.measurement)
+        if m is None:
+            m = d.meas[point.measurement] = _Measurement(point.measurement)
+        s = m.series_for(point.tags)
+        s.add(point.time, m.seq, point.fields)
+        m.seq += 1
         d.points_written += len(point.fields)
-        d.bytes_written += len(point.to_line()) + 1
+        # Line-protocol byte accounting, computed arithmetically: the series
+        # key prefix length is cached, so only field values and the ns
+        # timestamp are formatted.  Matches len(point.to_line()) + 1 exactly.
+        nf = len(point.fields)
+        d.bytes_written += (
+            s.key_len
+            + sum(_esc_len(k) + 1 + len(repr(v)) for k, v in point.fields.items())
+            + (nf - 1)
+            + len(str(int(point.time * 1e9)))
+            + 3  # two separating spaces + trailing newline
+        )
+
+    def write(self, db: str, point: Point) -> None:
+        self._append(self._db(db), point)
 
     def write_many(self, db: str, points: list[Point]) -> int:
+        """Bulk write: one database lookup, then straight appends."""
+        d = self._db(db)
+        append = self._append
         for p in points:
-            self.write(db, p)
+            append(d, p)
         return len(points)
 
     def write_lines(self, db: str, lines: str) -> int:
-        """Ingest a line-protocol batch; returns points written."""
-        n = 0
-        for line in lines.splitlines():
-            if line.strip() and not line.lstrip().startswith("#"):
-                self.write(db, Point.from_line(line))
-                n += 1
-        return n
+        """Ingest a line-protocol batch; returns points written.
+
+        The whole batch is parsed (and therefore validated) before any
+        point lands, so a malformed line rejects the batch atomically.
+        """
+        d = self._db(db)
+        batch = [
+            Point.from_line(line)
+            for line in lines.splitlines()
+            if line.strip() and not line.lstrip().startswith("#")
+        ]
+        append = self._append
+        for p in batch:
+            append(d, p)
+        return len(batch)
 
     # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
     def measurements(self, db: str) -> list[str]:
-        return sorted(self._db(db).measurements)
+        return sorted(self._db(db).meas)
+
+    def _matched_slices(
+        self,
+        d: _Database,
+        measurement: str,
+        tags: dict[str, str] | None,
+        t0: float | None,
+        t1: float | None,
+        t0_exclusive: bool,
+        t1_exclusive: bool,
+    ) -> list[tuple[_Series, int, int]]:
+        """(series, lo, hi) for every series matching the tag filter with a
+        non-empty time-range slice."""
+        m = d.meas.get(measurement)
+        if m is None:
+            return []
+        out = []
+        for sid in m.match_ids(tags):
+            s = m.series[sid]
+            lo, hi = s.time_slice(t0, t1, t0_exclusive, t1_exclusive)
+            if lo < hi:
+                out.append((s, lo, hi))
+        return out
 
     def points(
         self,
@@ -191,44 +410,122 @@ class InfluxDB:
         tags: dict[str, str] | None = None,
         t0: float | None = None,
         t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
     ) -> list[Point]:
-        """Raw point scan with optional tag-equality and time filters."""
-        pts = self._db(db).measurements.get(measurement, [])
-        out = []
-        for p in pts:
-            if tags and any(p.tags.get(k) != v for k, v in tags.items()):
-                continue
-            if t0 is not None and p.time < t0:
-                continue
-            if t1 is not None and p.time > t1:
-                continue
-            out.append(p)
-        return sorted(out, key=lambda p: p.time)
+        """Point scan with optional tag-equality and time filters.
+
+        Tag filters resolve through the inverted index; time bounds resolve
+        via bisect.  Results are ordered by (time, write order), identical
+        to a stable time-sort over a flat insertion-ordered list.
+        """
+        matched = self._matched_slices(
+            self._db(db), measurement, tags, t0, t1, t0_exclusive, t1_exclusive
+        )
+        out: list[tuple[float, int, Point]] = []
+        for s, lo, hi in matched:
+            names = list(s.cols)
+            cols = [s.cols[n] for n in names]
+            times, seqs, stags = s.times, s.seqs, s.tags
+            for i in range(lo, hi):
+                fields = {
+                    nm: col[i] for nm, col in zip(names, cols) if col[i] is not None
+                }
+                out.append(
+                    (times[i], seqs[i], Point(measurement, dict(stags), fields, times[i]))
+                )
+        if len(matched) > 1:
+            out.sort(key=lambda r: (r[0], r[1]))
+        return [p for _, _, p in out]
+
+    def scan_columns(
+        self,
+        db: str,
+        measurement: str,
+        columns: list[str] | None = None,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> tuple[list[str], list[tuple[float, list[float | None]]]]:
+        """Columnar read used by the query engine: no Point materialization.
+
+        Returns ``(columns, rows)`` where each row is ``(time, values)``
+        aligned with ``columns``.  ``columns=None`` selects every field with
+        at least one value among the matched rows (the ``SELECT *`` shape),
+        sorted by name.  Row order matches :meth:`points`.
+        """
+        matched = self._matched_slices(
+            self._db(db), measurement, tags, t0, t1, t0_exclusive, t1_exclusive
+        )
+        if columns is None:
+            names: set[str] = set()
+            for s, lo, hi in matched:
+                for nm, col in s.cols.items():
+                    if nm not in names and any(
+                        col[i] is not None for i in range(lo, hi)
+                    ):
+                        names.add(nm)
+            cols = sorted(names)
+        else:
+            cols = list(columns)
+        if not matched:
+            return cols, []
+        if len(matched) == 1:
+            s, lo, hi = matched[0]
+            sel = [s.cols.get(c) for c in cols]
+            times = s.times
+            rows = [
+                (times[i], [c[i] if c is not None else None for c in sel])
+                for i in range(lo, hi)
+            ]
+            return cols, rows
+        tmp: list[tuple[float, int, list[float | None]]] = []
+        for s, lo, hi in matched:
+            sel = [s.cols.get(c) for c in cols]
+            times, seqs = s.times, s.seqs
+            for i in range(lo, hi):
+                tmp.append(
+                    (times[i], seqs[i], [c[i] if c is not None else None for c in sel])
+                )
+        tmp.sort(key=lambda r: (r[0], r[1]))
+        return cols, [(t, vals) for t, _, vals in tmp]
 
     # ------------------------------------------------------------------
     # Retention & stats
     # ------------------------------------------------------------------
     def enforce_retention(self, db: str, now: float) -> int:
-        """Drop points older than the retention horizon; returns #dropped."""
+        """Drop points older than the retention horizon; returns #dropped.
+
+        Per series this is one bisect plus a slice — no list rebuilding."""
         d = self._db(db)
         if d.retention.duration_s is None:
             return 0
         horizon = now - d.retention.duration_s
         dropped = 0
-        for name in list(d.measurements):
-            kept = [p for p in d.measurements[name] if p.time >= horizon]
-            dropped += len(d.measurements[name]) - len(kept)
-            if kept:
-                d.measurements[name] = kept
-            else:
-                del d.measurements[name]
+        for name in list(d.meas):
+            m = d.meas[name]
+            for sid in list(m.series):
+                s = m.series[sid]
+                dropped += s.drop_before(horizon)
+                if not s.times:
+                    m.remove_series(sid)
+            if not m.series:
+                del d.meas[name]
         return dropped
 
     def stats(self, db: str) -> dict[str, int]:
         d = self._db(db)
-        stored = sum(len(v) for v in d.measurements.values())
+        stored = sum(
+            len(s) for m in d.meas.values() for s in m.series.values()
+        )
+        n_series = sum(len(m.series) for m in d.meas.values())
         return {
             "points_written": d.points_written,
             "bytes_written": d.bytes_written,
             "series_stored": stored,
+            "series_count": n_series,
         }

@@ -19,14 +19,20 @@ The paper's generated queries (Listing 3) are exactly this shape::
         WHERE tag="278e26c2-3fd3-45e4-862b-5646dc9e7aa0"
 
 Results come back as a :class:`ResultSet` of (time, values-per-column).
+
+Execution reads the storage engine's columnar arrays directly
+(:meth:`InfluxDB.scan_columns`) — no :class:`Point` materialization — and
+parsed statements are LRU-cached, since dashboards re-issue the same
+auto-generated query text on every refresh.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 
-from .influx import InfluxDB, InfluxError, Point
+from .influx import InfluxDB, InfluxError
 
 __all__ = ["Query", "ResultSet", "parse_query", "execute", "show_measurements"]
 
@@ -45,6 +51,8 @@ class Query:
     t1: float | None
     group_by_s: float | None
     limit: int | None = None
+    t0_exclusive: bool = False  # strict time >  (vs >=)
+    t1_exclusive: bool = False  # strict time <  (vs <=)
 
 
 @dataclass
@@ -78,7 +86,18 @@ def show_measurements(db: InfluxDB, database: str) -> list[str]:
 
 
 def parse_query(text: str) -> Query:
-    """Parse one InfluxQL statement (raises :class:`InfluxError`)."""
+    """Parse one InfluxQL statement (raises :class:`InfluxError`).
+
+    Parses are LRU-cached on the statement text: auto-generated dashboard
+    queries (Listing 3) are re-executed verbatim on every panel refresh, so
+    the regex work is paid once per distinct statement.  The returned
+    :class:`Query` is frozen, so sharing the cached instance is safe.
+    """
+    return _parse_query_cached(text)
+
+
+@lru_cache(maxsize=512)
+def _parse_query_cached(text: str) -> Query:
     src = text.strip().rstrip(";")
     m = re.match(
         r"SELECT\s+(?P<sel>.+?)\s+FROM\s+(?P<meas>\"[^\"]+\"|\S+)"
@@ -111,6 +130,7 @@ def parse_query(text: str) -> Query:
 
     tag_filters: list[tuple[str, str]] = []
     t0 = t1 = None
+    t0_exclusive = t1_exclusive = False
     if m.group("where"):
         for cond in re.split(r"\s+AND\s+", m.group("where"), flags=re.IGNORECASE):
             cond = cond.strip()
@@ -118,9 +138,9 @@ def parse_query(text: str) -> Query:
             if tm:
                 op, val = tm.group(1), float(tm.group(2))
                 if op in (">=", ">"):
-                    t0 = val
+                    t0, t0_exclusive = val, op == ">"
                 else:
-                    t1 = val
+                    t1, t1_exclusive = val, op == "<"
                 continue
             em = re.match(r"(\"?[\w.]+\"?)\s*=\s*(\"[^\"]*\"|'[^']*'|\S+)", cond)
             if not em:
@@ -142,6 +162,8 @@ def parse_query(text: str) -> Query:
         t1=t1,
         group_by_s=gb,
         limit=limit,
+        t0_exclusive=t0_exclusive,
+        t1_exclusive=t1_exclusive,
     )
 
 
@@ -164,40 +186,49 @@ def _agg(name: str, values: list[float]) -> float | None:
 
 
 def execute(db: InfluxDB, database: str, query: Query | str) -> ResultSet:
-    """Execute a query against one database."""
+    """Execute a query against one database.
+
+    All shapes run off one columnar scan: raw selects return the scan rows
+    directly, aggregates fold the per-column arrays, and GROUP BY time
+    buckets rows in scan order (which is time order).
+    """
     q = parse_query(query) if isinstance(query, str) else query
-    pts: list[Point] = db.points(
-        database, q.measurement, tags=dict(q.tag_filters), t0=q.t0, t1=q.t1
+    cols, rows = db.scan_columns(
+        database,
+        q.measurement,
+        columns=None if q.columns == ("*",) else list(q.columns),
+        tags=dict(q.tag_filters),
+        t0=q.t0,
+        t1=q.t1,
+        t0_exclusive=q.t0_exclusive,
+        t1_exclusive=q.t1_exclusive,
     )
-    if q.columns == ("*",):
-        cols: list[str] = sorted({f for p in pts for f in p.fields})
-    else:
-        cols = list(q.columns)
 
     if q.aggregate is None:
-        rows = [(p.time, [p.fields.get(c) for c in cols]) for p in pts]
         if q.limit is not None:
             rows = rows[: q.limit]
         return ResultSet(columns=cols, rows=rows)
 
     if q.group_by_s is None:
-        values = {c: [p.fields[c] for p in pts if c in p.fields] for c in cols}
-        row = [_agg(q.aggregate, values[c]) for c in cols]
-        t = pts[0].time if pts else 0.0
+        row = []
+        for i in range(len(cols)):
+            vals = [r[i] for _, r in rows if r[i] is not None]
+            row.append(_agg(q.aggregate, vals))
+        t = rows[0][0] if rows else 0.0
         return ResultSet(columns=cols, rows=[(t, row)])
 
     # GROUP BY time(Ns): bucket on floor(time / N) * N.
-    buckets: dict[float, dict[str, list[float]]] = {}
-    for p in pts:
-        b = (p.time // q.group_by_s) * q.group_by_s
-        slot = buckets.setdefault(b, {c: [] for c in cols})
-        for c in cols:
-            if c in p.fields:
-                slot[c].append(p.fields[c])
-    rows = [
-        (b, [_agg(q.aggregate, buckets[b][c]) for c in cols])
+    buckets: dict[float, list[list[float]]] = {}
+    for t, vals in rows:
+        b = (t // q.group_by_s) * q.group_by_s
+        slot = buckets.setdefault(b, [[] for _ in cols])
+        for i, v in enumerate(vals):
+            if v is not None:
+                slot[i].append(v)
+    out = [
+        (b, [_agg(q.aggregate, bucket) for bucket in buckets[b]])
         for b in sorted(buckets)
     ]
     if q.limit is not None:
-        rows = rows[: q.limit]
-    return ResultSet(columns=cols, rows=rows)
+        out = out[: q.limit]
+    return ResultSet(columns=cols, rows=out)

@@ -1,0 +1,128 @@
+"""Indexed engine ≡ naive scan: randomized equivalence proofs.
+
+The series-sharded, time-indexed engine (:class:`repro.db.influx.InfluxDB`)
+must return *byte-identical* results to the flat-list reference
+(:class:`repro.db.naive.NaiveInfluxDB`) — same points, same order, same
+query output, same retention drops, same byte accounting — for arbitrary
+workloads including out-of-order writes, duplicate timestamps, multi-series
+tag sets, and sparse field sets.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.influx import InfluxDB, Point
+from repro.db.influxql import Query, execute
+from repro.db.naive import NaiveInfluxDB
+
+MEASUREMENTS = ["cpu_idle", "mem_used"]
+TAG_KEYS = ["tag", "host"]
+TAG_VALUES = ["a", "b", "c"]
+FIELD_NAMES = ["_cpu0", "_cpu1", "v"]
+
+# Mix a coarse grid (forcing duplicate and boundary timestamps) with
+# arbitrary floats (forcing out-of-order insertion paths).
+times = st.one_of(
+    st.integers(0, 8).map(float),
+    st.floats(0, 100, allow_nan=False, allow_infinity=False),
+)
+
+points = st.builds(
+    Point,
+    measurement=st.sampled_from(MEASUREMENTS),
+    tags=st.dictionaries(st.sampled_from(TAG_KEYS), st.sampled_from(TAG_VALUES), max_size=2),
+    fields=st.dictionaries(
+        st.sampled_from(FIELD_NAMES),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        min_size=1,
+        max_size=3,
+    ),
+    time=times,
+)
+
+workloads = st.lists(points, max_size=60)
+
+tag_filter = st.one_of(
+    st.none(),
+    st.dictionaries(st.sampled_from(TAG_KEYS), st.sampled_from(TAG_VALUES), max_size=2),
+)
+time_bound = st.one_of(st.none(), st.integers(0, 8).map(float), st.floats(0, 100))
+
+
+def mk_pair(pts):
+    indexed, naive = InfluxDB(), NaiveInfluxDB()
+    for d in (indexed, naive):
+        d.create_database("pmove")
+    indexed.write_many("pmove", list(pts))
+    naive.write_many("pmove", list(pts))
+    return indexed, naive
+
+
+class TestScanEquivalence:
+    @given(workloads, tag_filter, time_bound, time_bound, st.booleans(), st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_points_identical(self, pts, tags, t0, t1, x0, x1):
+        indexed, naive = mk_pair(pts)
+        for meas in MEASUREMENTS:
+            got = indexed.points(
+                "pmove", meas, tags, t0, t1, t0_exclusive=x0, t1_exclusive=x1
+            )
+            want = naive.points(
+                "pmove", meas, tags, t0, t1, t0_exclusive=x0, t1_exclusive=x1
+            )
+            assert got == want
+
+    @given(workloads)
+    @settings(max_examples=60, deadline=None)
+    def test_measurements_and_stats_identical(self, pts):
+        indexed, naive = mk_pair(pts)
+        assert indexed.measurements("pmove") == naive.measurements("pmove")
+        si, sn = indexed.stats("pmove"), naive.stats("pmove")
+        for key in ("points_written", "bytes_written", "series_stored"):
+            assert si[key] == sn[key]
+
+    @given(workloads, st.floats(1, 50), st.floats(0, 120))
+    @settings(max_examples=60, deadline=None)
+    def test_retention_identical(self, pts, duration, now):
+        indexed, naive = mk_pair(pts)
+        indexed.set_retention_policy("pmove", duration)
+        naive.set_retention_policy("pmove", duration)
+        assert indexed.enforce_retention("pmove", now) == naive.enforce_retention(
+            "pmove", now
+        )
+        assert indexed.measurements("pmove") == naive.measurements("pmove")
+        for meas in MEASUREMENTS:
+            assert indexed.points("pmove", meas) == naive.points("pmove", meas)
+
+
+queries = st.builds(
+    Query,
+    measurement=st.sampled_from(MEASUREMENTS),
+    columns=st.one_of(
+        st.just(("*",)),
+        st.lists(st.sampled_from(FIELD_NAMES), min_size=1, max_size=3, unique=True).map(tuple),
+    ),
+    aggregate=st.sampled_from([None, "MEAN", "MAX", "MIN", "SUM", "COUNT", "LAST"]),
+    tag_filters=st.lists(
+        st.tuples(st.sampled_from(TAG_KEYS), st.sampled_from(TAG_VALUES)), max_size=2
+    ).map(tuple),
+    t0=time_bound,
+    t1=time_bound,
+    group_by_s=st.one_of(st.none(), st.sampled_from([2.0, 5.0])),
+    limit=st.one_of(st.none(), st.integers(1, 5)),
+    t0_exclusive=st.booleans(),
+    t1_exclusive=st.booleans(),
+)
+
+
+class TestQueryEquivalence:
+    @given(workloads, queries)
+    @settings(max_examples=120, deadline=None)
+    def test_execute_identical(self, pts, q):
+        if q.group_by_s is not None and q.aggregate is None:
+            q = Query(**{**q.__dict__, "aggregate": "MEAN"})
+        indexed, naive = mk_pair(pts)
+        got = execute(indexed, "pmove", q)
+        want = execute(naive, "pmove", q)
+        assert got.columns == want.columns
+        assert got.rows == want.rows

@@ -54,6 +54,24 @@ class TestPoint:
         with pytest.raises(InfluxError, match="malformed tag"):
             Point.from_line("m,badtag v=1 0")
 
+    def test_integer_typed_field_value(self):
+        """Influx integer fields carry an ``i`` suffix: ``value=42i``."""
+        p = Point.from_line("m value=42i 3000000000")
+        assert p.fields == {"value": 42.0}
+        assert p.time == 3.0
+
+    def test_integer_field_roundtrip_emits_float(self):
+        p = Point.from_line("m,tag=a value=-7i 1000000000")
+        line = p.to_line()
+        assert "value=-7.0" in line  # stored and re-emitted as float
+        assert Point.from_line(line) == p
+
+    def test_integer_suffix_malformed_still_rejected(self):
+        with pytest.raises(InfluxError, match="non-numeric"):
+            Point.from_line("m v=4.5i 0")
+        with pytest.raises(InfluxError, match="non-numeric"):
+            Point.from_line("m v=i 0")
+
 
 class TestWriteRead:
     def test_unknown_database(self):
@@ -85,10 +103,65 @@ class TestWriteRead:
             db.write("pmove", Point("m", {}, {"v": t}, t))
         assert [p.time for p in db.points("pmove", "m")] == [1.0, 3.0, 5.0]
 
+    def test_exclusive_time_bounds(self):
+        """Boundary timestamps: strict > / < must exclude exact matches."""
+        db = mk_db()
+        for i in range(10):
+            db.write("pmove", Point("m", {}, {"v": float(i)}, float(i)))
+        pts = db.points("pmove", "m", t0=3.0, t1=6.0, t0_exclusive=True)
+        assert [p.time for p in pts] == [4.0, 5.0, 6.0]
+        pts = db.points("pmove", "m", t0=3.0, t1=6.0, t1_exclusive=True)
+        assert [p.time for p in pts] == [3.0, 4.0, 5.0]
+        pts = db.points(
+            "pmove", "m", t0=3.0, t1=6.0, t0_exclusive=True, t1_exclusive=True
+        )
+        assert [p.time for p in pts] == [4.0, 5.0]
+
+    def test_exclusive_bounds_with_duplicate_timestamps(self):
+        db = mk_db()
+        for v in (1.0, 2.0, 3.0):
+            db.write("pmove", Point("m", {}, {"v": v}, 5.0))
+        assert db.points("pmove", "m", t0=5.0, t0_exclusive=True) == []
+        assert db.points("pmove", "m", t1=5.0, t1_exclusive=True) == []
+        assert len(db.points("pmove", "m", t0=5.0, t1=5.0)) == 3
+
     def test_write_lines_batch(self):
         db = mk_db()
         batch = "m v=1.0 1000000000\nm v=2.0 2000000000\n# comment\n\n"
         assert db.write_lines("pmove", batch) == 2
+
+    def test_write_lines_rejects_batch_atomically(self):
+        db = mk_db()
+        with pytest.raises(InfluxError):
+            db.write_lines("pmove", "m v=1.0 1000000000\nm v=notanumber 0\n")
+        assert db.points("pmove", "m") == []  # nothing landed
+
+    def test_write_many_matches_sequential_writes(self):
+        a, b = mk_db(), mk_db()
+        pts = [
+            Point("m", {"t": "x"}, {"v": float(i)}, float(9 - i)) for i in range(10)
+        ]
+        assert a.write_many("pmove", pts) == 10
+        for p in pts:
+            b.write("pmove", p)
+        assert a.points("pmove", "m") == b.points("pmove", "m")
+        assert a.stats("pmove") == b.stats("pmove")
+
+    def test_out_of_order_writes_come_back_sorted(self):
+        db = mk_db()
+        for t in (7.0, 1.0, 4.0, 4.0, 0.5):
+            db.write("pmove", Point("m", {"t": "x"}, {"v": t}, t))
+        assert [p.time for p in db.points("pmove", "m")] == [0.5, 1.0, 4.0, 4.0, 7.0]
+
+    def test_tag_index_isolates_series(self):
+        db = mk_db()
+        for i in range(5):
+            db.write("pmove", Point("m", {"tag": "a"}, {"v": 1.0}, float(i)))
+            db.write("pmove", Point("m", {"tag": "b", "host": "n1"}, {"v": 2.0}, float(i)))
+        assert len(db.points("pmove", "m", tags={"tag": "a"})) == 5
+        assert len(db.points("pmove", "m", tags={"tag": "b", "host": "n1"})) == 5
+        assert db.points("pmove", "m", tags={"tag": "b", "host": "n2"}) == []
+        assert db.stats("pmove")["series_count"] == 2
 
     def test_measurement_listing(self):
         db = mk_db()

@@ -45,6 +45,20 @@ class TestParse:
         q = parse_query("SELECT v FROM m WHERE time >= 1.5 AND time <= 9")
         assert q.t0 == 1.5
         assert q.t1 == 9.0
+        assert not q.t0_exclusive
+        assert not q.t1_exclusive
+
+    def test_strict_time_bounds_parse_as_exclusive(self):
+        """Regression: ``time >`` / ``time <`` used to collapse to >= / <=."""
+        q = parse_query("SELECT v FROM m WHERE time > 1.5 AND time < 9")
+        assert q.t0 == 1.5
+        assert q.t1 == 9.0
+        assert q.t0_exclusive
+        assert q.t1_exclusive
+
+    def test_parse_cache_returns_equal_query(self):
+        text = 'SELECT "_cpu0" FROM "m" WHERE tag="x" AND time > 3'
+        assert parse_query(text) is parse_query(text)  # LRU-cached, frozen
 
     def test_aggregate(self):
         q = parse_query('SELECT MEAN("_cpu0") FROM m')
@@ -133,6 +147,34 @@ class TestExecute:
         assert rs.times() == [0.0, 5.0]
         assert rs.rows[0][1] == [pytest.approx(0 + 1 + 2 + 3 + 4)]
         assert rs.rows[1][1] == [pytest.approx(5 + 6 + 7 + 8 + 9)]
+
+    def test_strict_time_window_excludes_boundary_points(self):
+        """Regression: points at exactly t0/t1 must not appear under > / <."""
+        db = db_with_series()
+        rs = execute(
+            db, "pmove",
+            'SELECT "_cpu0" FROM "kernel_percpu_cpu_idle" WHERE time > 2 AND time < 4 '
+            'AND tag="278e26c2-3fd3-45e4-862b-5646dc9e7aa0"',
+        )
+        assert rs.times() == [3.0]
+
+    def test_mixed_strict_and_inclusive_bounds(self):
+        db = db_with_series()
+        base = ('FROM "kernel_percpu_cpu_idle" '
+                'WHERE tag="278e26c2-3fd3-45e4-862b-5646dc9e7aa0"')
+        rs = execute(db, "pmove", f'SELECT "_cpu0" {base} AND time > 2 AND time <= 4')
+        assert rs.times() == [3.0, 4.0]
+        rs = execute(db, "pmove", f'SELECT "_cpu0" {base} AND time >= 2 AND time < 4')
+        assert rs.times() == [2.0, 3.0]
+
+    def test_strict_bounds_feed_aggregates(self):
+        db = db_with_series()
+        rs = execute(
+            db, "pmove",
+            'SELECT COUNT("_cpu0") FROM "kernel_percpu_cpu_idle" '
+            'WHERE tag="278e26c2-3fd3-45e4-862b-5646dc9e7aa0" AND time > 0 AND time < 9',
+        )
+        assert rs.rows[0][1] == [8.0]
 
     def test_time_window_execute(self):
         db = db_with_series()
