@@ -5,6 +5,7 @@ Usage (also available as ``python -m repro.cli``)::
     pmove probe skx                  # probe a preset, print the summary
     pmove kb csl --depth 2           # build + render the Knowledge Base
     pmove monitor icl --duration 10  # Scenario A with a rendered dashboard
+    pmove chaos icl --outage 5 10    # Scenario A surviving a scripted DB outage
     pmove observe csl --kernel triad # Scenario B + auto-generated queries
     pmove carm csl --threads 28      # CARM roofs (optionally --svg out.svg)
     pmove bench icl stream           # BenchmarkInterface runners
@@ -54,6 +55,32 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("preset", choices=sorted(PRESETS))
     s.add_argument("--duration", type=float, default=10.0)
     s.add_argument("--freq", type=float, default=1.0)
+    s.add_argument("--buffered", action="store_true",
+                   help="ship through the resilient queue/retry/breaker layer")
+    s.add_argument("--capacity", type=int, default=64, help="report queue capacity")
+    s.add_argument("--policy", default="drop_oldest",
+                   choices=("drop_oldest", "drop_newest", "spill"))
+
+    s = sub.add_parser(
+        "chaos",
+        help="Scenario A under scripted service faults: prove the shipper survives",
+    )
+    s.add_argument("preset", choices=sorted(PRESETS))
+    s.add_argument("--duration", type=float, default=20.0)
+    s.add_argument("--freq", type=float, default=2.0)
+    s.add_argument("--capacity", type=int, default=64)
+    s.add_argument("--policy", default="drop_oldest",
+                   choices=("drop_oldest", "drop_newest", "spill"))
+    s.add_argument("--outage", nargs=2, type=float, metavar=("T0", "T1"),
+                   help="DB outage window (virtual seconds)")
+    s.add_argument("--partition", nargs=2, type=float, metavar=("T0", "T1"),
+                   help="network partition window")
+    s.add_argument("--latency-spike", nargs=3, type=float, metavar=("T0", "T1", "FACTOR"),
+                   help="insert latency multiplied by FACTOR during the window")
+    s.add_argument("--flaky", nargs=3, type=float, metavar=("T0", "T1", "P"),
+                   help="each insert in the window fails with probability P")
+    s.add_argument("--unbuffered", action="store_true",
+                   help="run the paper's unbuffered pipeline instead (shows the damage)")
 
     s = sub.add_parser("observe", help="Scenario B: profile a kernel execution")
     s.add_argument("preset", choices=sorted(PRESETS))
@@ -114,14 +141,77 @@ def _cmd_kb(args) -> int:
 
 def _cmd_monitor(args) -> int:
     from repro.core import PMoVE
+    from repro.pcp import ShipperConfig
 
     daemon = PMoVE()
     daemon.attach_target(SimulatedMachine(get_preset(args.preset)))
+    mode = "buffered" if args.buffered else "unbuffered"
+    config = ShipperConfig(capacity=args.capacity, policy=args.policy)
     stats, uid = daemon.scenario_a(args.preset, duration_s=args.duration,
-                                   freq_hz=args.freq)
+                                   freq_hz=args.freq, mode=mode,
+                                   shipper_config=config)
     print(f"sampled {stats.inserted_points} points "
           f"({stats.loss_pct:.1f}% lost, {stats.zero_points} zeros)")
+    if args.buffered:
+        print(f"buffered: max queue depth {stats.max_queue_depth}, "
+              f"{stats.retried_reports} retried, {stats.recovered_reports} recovered")
     print(daemon.grafana.render_dashboard_text(uid))
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.core import PMoVE
+    from repro.faults import (
+        DbOutage,
+        FlakyWrites,
+        InsertLatencySpike,
+        NetworkPartition,
+        ServiceFaultSet,
+    )
+    from repro.pcp import ShipperConfig
+
+    faults = ServiceFaultSet()
+    if args.outage:
+        faults.inject(DbOutage(t0=args.outage[0], t1=args.outage[1]))
+    if args.partition:
+        faults.inject(NetworkPartition(t0=args.partition[0], t1=args.partition[1]))
+    if args.latency_spike:
+        t0, t1, factor = args.latency_spike
+        faults.inject(InsertLatencySpike(t0=t0, t1=t1, factor=factor))
+    if args.flaky:
+        t0, t1, p = args.flaky
+        faults.inject(FlakyWrites(t0=t0, t1=t1, p_fail=p))
+    if not faults.faults:
+        faults.inject(DbOutage(t0=args.duration / 4, t1=args.duration / 2))
+
+    daemon = PMoVE(service_faults=faults)
+    daemon.attach_target(SimulatedMachine(get_preset(args.preset)))
+    mode = "unbuffered" if args.unbuffered else "buffered"
+    config = ShipperConfig(capacity=args.capacity, policy=args.policy)
+    stats, _ = daemon.scenario_a(args.preset, duration_s=args.duration,
+                                 freq_hz=args.freq, mode=mode,
+                                 shipper_config=config)
+
+    print(f"chaos run ({mode}) on {args.preset}: "
+          f"{len(faults.faults)} fault(s) installed")
+    for f in faults.faults:
+        print(f"  {f!r}")
+    print(f"expected {stats.expected_points} points, inserted {stats.inserted_points} "
+          f"({stats.loss_pct:.1f}% lost)")
+    if mode == "buffered":
+        print(f"retried {stats.retried_reports}, recovered {stats.recovered_reports}, "
+              f"dropped by policy {stats.dropped_by_policy}, "
+              f"spilled {stats.spilled_reports}")
+        print(f"breaker open {stats.breaker_open_s:.2f}s, "
+              f"max queue depth {stats.max_queue_depth}, "
+              f"max staleness {stats.max_staleness_s:.2f}s")
+        sampler = daemon.target(args.preset).sampler
+        if sampler.last_shipper is not None:
+            for t, state in sampler.last_shipper.breaker.transitions:
+                print(f"  breaker -> {state:<9} at t={t:.3f}s")
+    health = daemon.health()
+    print(f"writes: {health['writes']['accepted']} accepted, "
+          f"{health['writes']['rejected']} rejected")
     return 0
 
 
@@ -214,6 +304,7 @@ _COMMANDS = {
     "probe": _cmd_probe,
     "kb": _cmd_kb,
     "monitor": _cmd_monitor,
+    "chaos": _cmd_chaos,
     "observe": _cmd_observe,
     "carm": _cmd_carm,
     "bench": _cmd_bench,

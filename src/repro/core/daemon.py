@@ -24,9 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.db.faulty import FaultyInfluxDB
 from repro.db.influx import InfluxDB
 from repro.db.influxql import ResultSet
 from repro.db.mongo import MongoDB
+from repro.faults.services import ServiceFault, ServiceFaultSet
 from repro.gpu.device import SimulatedGpu
 from repro.gpu.nvml import NvmlSampler
 from repro.machine.activity import SoftwareState
@@ -36,6 +38,7 @@ from repro.pcp.agents import PmdaLinux, PmdaNvidia, PmdaPerfevent, PmdaProc
 from repro.pcp.pmcd import Pmcd
 from repro.pcp.pmns import instance_field, metric_to_measurement, perfevent_metric
 from repro.pcp.sampler import Sampler, SamplingStats
+from repro.pcp.shipper import ShipperConfig
 from repro.pcp.transport import TransportModel
 from repro.pmu.abstraction import AbstractionLayer, UnsupportedEventError, pmu_utils
 from repro.pmu.counters import PMU
@@ -88,11 +91,21 @@ class Target:
 class PMoVE:
     """The daemon: owns host-side services and attached targets."""
 
-    def __init__(self, env: dict[str, str] | None = None, seed: int = 0) -> None:
+    def __init__(
+        self,
+        env: dict[str, str] | None = None,
+        seed: int = 0,
+        service_faults: ServiceFaultSet | None = None,
+    ) -> None:
         self.env = {**DEFAULT_ENV, **(env or {})}
         self.database = self.env["PMOVE_DB"]
         self.influx = InfluxDB()
         self.influx.create_database(self.database)
+        # Samplers write through a failure-injectable proxy so chaos (DB
+        # outages, partitions, flaky writes) can be scripted against a live
+        # daemon; reads and dashboards keep using the raw engine.
+        self.service_faults = service_faults or ServiceFaultSet()
+        self._write_influx = FaultyInfluxDB(self.influx, self.service_faults)
         self.mongo = MongoDB()
         self.grafana = GrafanaServer(
             self.influx, database=self.database, api_token=self.env["GRAFANA_TOKEN"]
@@ -125,7 +138,7 @@ class PMoVE:
             agents.append(PmdaNvidia(NvmlSampler(g)))
         pmcd = Pmcd(agents)
         sampler = Sampler(
-            pmcd, self.influx, transport=transport, database=self.database,
+            pmcd, self._write_influx, transport=transport, database=self.database,
             seed=self._seed, host=spec.hostname,
         )
         self.targets[spec.hostname] = Target(
@@ -151,6 +164,8 @@ class PMoVE:
         duration_s: float,
         freq_hz: float = 1.0,
         metrics: list[str] | None = None,
+        mode: str = "unbuffered",
+        shipper_config: ShipperConfig | None = None,
     ) -> tuple[SamplingStats, str]:
         """Monitor system state; returns (sampling stats, dashboard uid).
 
@@ -179,7 +194,10 @@ class PMoVE:
         # A1/A3: configure collectors and sample.
         t0 = t.machine.clock.now()
         t.machine.advance(duration_s)
-        stats = t.sampler.run(metrics, freq_hz, t0, t0 + duration_s, tag=f"sysstate-{hostname}")
+        stats = t.sampler.run(
+            metrics, freq_hz, t0, t0 + duration_s, tag=f"sysstate-{hostname}",
+            mode=mode, shipper_config=shipper_config,
+        )
         return stats, uid
 
     # ==================================================================
@@ -214,6 +232,8 @@ class PMoVE:
         n_threads: int | None = None,
         pinning: str = "balanced",
         command: str | None = None,
+        mode: str = "unbuffered",
+        shipper_config: ShipperConfig | None = None,
     ) -> tuple[dict[str, Any], KernelRun]:
         """Profile one kernel execution; returns (observation entry, run).
 
@@ -242,7 +262,8 @@ class PMoVE:
         # Sample the execution window and stop as the kernel halts.
         tag = new_tag()
         metrics = [perfevent_metric(e) for e in hw_events]
-        stats = t.sampler.run(metrics, freq_hz, t0, run.t_end, tag=tag, final_fetch=True)
+        stats = t.sampler.run(metrics, freq_hz, t0, run.t_end, tag=tag, final_fetch=True,
+                              mode=mode, shipper_config=shipper_config)
 
         fields = observation_fields(cpu_ids)
         metric_entries = [
@@ -286,6 +307,50 @@ class PMoVE:
         )
         t.kb.save(self.mongo, self.database)  # step 3 re-occurs on KB change
         return obs, run
+
+    # ==================================================================
+    # Resilience: chaos injection & health surface
+    # ==================================================================
+    def inject_service_fault(self, fault: ServiceFault) -> ServiceFault:
+        """Install a host-side fault (DB outage, partition, …) that the
+        samplers' write path will hit in virtual time."""
+        return self.service_faults.inject(fault)
+
+    def health(self) -> dict[str, Any]:
+        """Operational snapshot of the telemetry path — what a liveness
+        probe against the daemon would report."""
+        targets: dict[str, Any] = {}
+        for name, t in self.targets.items():
+            stats = t.sampler.last_stats
+            shipper = t.sampler.last_shipper
+            entry: dict[str, Any] = {
+                "observations": t.observation_count,
+                "last_run": None,
+            }
+            if stats is not None:
+                entry["last_run"] = {
+                    "mode": stats.mode,
+                    "loss_pct": stats.loss_pct,
+                    "inserted_points": stats.inserted_points,
+                    "retried_reports": stats.retried_reports,
+                    "recovered_reports": stats.recovered_reports,
+                    "dropped_by_policy": stats.dropped_by_policy,
+                    "breaker_open_s": stats.breaker_open_s,
+                    "max_queue_depth": stats.max_queue_depth,
+                }
+            if shipper is not None:
+                entry["breaker_state"] = shipper.breaker.state
+                entry["queue_depth"] = len(shipper)
+                entry["wal_entries"] = len(shipper.wal)
+            targets[name] = entry
+        return {
+            "active_faults": [repr(f) for f in self.service_faults.faults],
+            "writes": {
+                "accepted": self._write_influx.accepted_writes,
+                "rejected": self._write_influx.rejected_writes,
+            },
+            "targets": targets,
+        }
 
     # ==================================================================
     # Recall & dashboards

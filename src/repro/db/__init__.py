@@ -2,12 +2,14 @@
 protocol, retention policies and an InfluxQL subset) and the MongoDB-like
 document store the Knowledge Base lives in (§III-A)."""
 
+from .faulty import FaultyInfluxDB, ServiceUnavailable
 from .influx import InfluxDB, InfluxError, Point, RetentionPolicy
 from .influxql import Query, ResultSet, execute, parse_query, show_measurements
 from .mongo import Collection, MongoDB, MongoError
 
 __all__ = [
     "Collection",
+    "FaultyInfluxDB",
     "InfluxDB",
     "InfluxError",
     "MongoDB",
@@ -16,6 +18,7 @@ __all__ = [
     "Query",
     "ResultSet",
     "RetentionPolicy",
+    "ServiceUnavailable",
     "execute",
     "show_measurements",
     "parse_query",

@@ -1,0 +1,64 @@
+"""Failure-injectable wrapper around :class:`repro.db.influx.InfluxDB`.
+
+The storage engine itself never fails; production InfluxDB does.  This
+wrapper interposes on the write path and consults a
+:class:`~repro.faults.services.ServiceFaultSet` in *virtual time* — the
+caller stamps ``now`` (or uses :meth:`at`) before each attempt, mirroring
+how the sampler's virtual clock drives everything else in the substrate.
+Reads and admin calls delegate untouched, so dashboards keep rendering
+whatever data did make it in during an outage.
+"""
+
+from __future__ import annotations
+
+from repro.faults.services import ServiceFaultSet, ServiceUnavailable
+
+from .influx import InfluxDB, Point
+
+__all__ = ["FaultyInfluxDB", "ServiceUnavailable"]
+
+
+class FaultyInfluxDB:
+    """InfluxDB proxy whose writes fail per an installed service-fault set."""
+
+    def __init__(self, inner: InfluxDB, faults: ServiceFaultSet | None = None) -> None:
+        self.inner = inner
+        self.faults = faults or ServiceFaultSet()
+        #: Virtual time of the next write attempt (stamped by the caller).
+        self.now = 0.0
+        self.accepted_writes = 0
+        self.rejected_writes = 0
+
+    def at(self, t: float) -> "FaultyInfluxDB":
+        """Stamp the virtual time of the next attempt; returns self."""
+        self.now = t
+        return self
+
+    # ------------------------------------------------------------------
+    def _check(self) -> None:
+        reason = self.faults.write_error(self.now)
+        if reason is not None:
+            self.rejected_writes += 1
+            raise ServiceUnavailable(reason, self.now)
+
+    def write(self, db: str, point: Point) -> None:
+        self._check()
+        self.inner.write(db, point)
+        self.accepted_writes += 1
+
+    def write_many(self, db: str, points: list[Point]) -> int:
+        self._check()
+        n = self.inner.write_many(db, points)
+        self.accepted_writes += 1
+        return n
+
+    def write_lines(self, db: str, lines: str) -> int:
+        self._check()
+        n = self.inner.write_lines(db, lines)
+        self.accepted_writes += 1
+        return n
+
+    # ------------------------------------------------------------------
+    def __getattr__(self, name: str):
+        # Reads, admin, retention — everything else passes straight through.
+        return getattr(self.inner, name)

@@ -1,0 +1,28 @@
+"""Service-level fault injection: host-side failures in virtual time.
+
+Where :mod:`repro.machine.faults` degrades the *target* (throttling,
+contention, stragglers), this package breaks the *host-side services* the
+telemetry path depends on — the InfluxDB endpoint, the host link, the
+insert path — so the resilient shipping layer has something real to
+survive.
+"""
+
+from .services import (
+    DbOutage,
+    FlakyWrites,
+    InsertLatencySpike,
+    NetworkPartition,
+    ServiceFault,
+    ServiceFaultSet,
+    ServiceUnavailable,
+)
+
+__all__ = [
+    "DbOutage",
+    "FlakyWrites",
+    "InsertLatencySpike",
+    "NetworkPartition",
+    "ServiceFault",
+    "ServiceFaultSet",
+    "ServiceUnavailable",
+]

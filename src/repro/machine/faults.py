@@ -14,7 +14,9 @@ dilation factor for a given execution placement.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 __all__ = ["Fault", "CpuThrottle", "MemoryContention", "LoadImbalance", "FaultSet"]
 
@@ -105,6 +107,23 @@ class FaultSet:
     def inject(self, fault: Fault) -> Fault:
         self.faults.append(fault)
         return fault
+
+    def remove(self, fault: Fault) -> bool:
+        """Remove one installed fault; returns whether it was present."""
+        try:
+            self.faults.remove(fault)
+            return True
+        except ValueError:
+            return False
+
+    @contextmanager
+    def scoped(self, fault: Fault) -> Iterator[Fault]:
+        """Inject on enter, remove on exit — tests leak no fault state."""
+        self.inject(fault)
+        try:
+            yield fault
+        finally:
+            self.remove(fault)
 
     def active_at(self, t: float) -> list[Fault]:
         return [f for f in self.faults if f.active(t)]

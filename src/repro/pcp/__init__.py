@@ -12,11 +12,13 @@ from .pmns import (
     sanitize_event,
 )
 from .sampler import Sampler, SamplingStats
+from .shipper import CircuitBreaker, Shipper, ShipperConfig, WalEntry
 from .transport import TransportModel
 
 __all__ = [
     "Agent",
     "AgentCosts",
+    "CircuitBreaker",
     "Pmcd",
     "PmdaLinux",
     "PmdaNvidia",
@@ -25,7 +27,10 @@ __all__ = [
     "Report",
     "Sampler",
     "SamplingStats",
+    "Shipper",
+    "ShipperConfig",
     "TransportModel",
+    "WalEntry",
     "instance_field",
     "measurement_to_metric",
     "metric_to_measurement",

@@ -7,6 +7,13 @@ behind Figs 4 and 7–9.  The crucial design property, straight from §V-A:
 fires, the tick is lost; and below the perfevent refresh floor, delivered
 reports may be batched zeros.
 
+That paper-faithful unbuffered loop stays the default.  ``mode="buffered"``
+routes reports through :class:`repro.pcp.shipper.Shipper` instead — the
+bounded queue / retry / circuit-breaker layer §V-A wishes PCP had — and
+additionally degrades adaptively: under sustained backpressure the sampler
+halves its effective frequency (recorded in the stats) rather than letting
+the queue policy shed load, and restores it once the queue drains.
+
 Everything runs in virtual time against an already-populated machine
 timeline, so sampling a 10-second window takes microseconds of wall time
 and is bit-for-bit reproducible.
@@ -20,18 +27,30 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.db.faulty import ServiceUnavailable
 from repro.db.influx import InfluxDB, Point
 
 from .pmcd import Pmcd, Report
 from .pmns import metric_to_measurement
+from .shipper import Shipper, ShipperConfig
 from .transport import TransportModel
 
 __all__ = ["SamplingStats", "Sampler"]
 
+#: Queue-depth fractions (of capacity) that trigger / clear degradation.
+_BACKPRESSURE_HIGH = 0.75
+_BACKPRESSURE_LOW = 0.25
+#: Deepest frequency-halving allowed: freq / 8.
+_MAX_STRIDE = 8
+
 
 @dataclass
 class SamplingStats:
-    """Outcome of one sampling run — the columns of Table III."""
+    """Outcome of one sampling run — the columns of Table III.
+
+    The trailing defaulted fields only move off their defaults in buffered
+    mode; unbuffered runs produce stats identical to the pre-shipper code.
+    """
 
     freq_hz: float
     n_metrics: int
@@ -44,6 +63,26 @@ class SamplingStats:
     lost_reports: int
     zero_reports: int
     tag: str
+    mode: str = "unbuffered"
+    #: Reports that needed at least one retry after a failed insert.
+    retried_reports: int = 0
+    #: Retried reports that eventually made it into the DB.
+    recovered_reports: int = 0
+    #: Reports shed by the queue policy (incl. retry-cap give-ups).
+    dropped_by_policy: int = 0
+    #: Reports evicted to the write-ahead log (policy="spill").
+    spilled_reports: int = 0
+    #: Reports still queued when the drain deadline passed.
+    unshipped_reports: int = 0
+    #: Ticks skipped by adaptive degradation (not sampler losses).
+    degraded_ticks: int = 0
+    #: Total virtual time the circuit breaker spent open.
+    breaker_open_s: float = 0.0
+    max_queue_depth: int = 0
+    #: Worst insert-time lag behind the sample's timestamp.
+    max_staleness_s: float = 0.0
+    #: Lowest effective sampling frequency reached under backpressure.
+    effective_freq_hz: float | None = None
 
     @property
     def loss_pct(self) -> float:
@@ -93,20 +132,24 @@ class Sampler:
         if database not in influx.databases():
             influx.create_database(database)
         self._rng = np.random.default_rng(seed)
+        #: Shipper of the most recent buffered run (breaker trace, WAL, …).
+        self.last_shipper: Shipper | None = None
+        #: Stats of the most recent run, whichever mode (health surface).
+        self.last_stats: SamplingStats | None = None
+        #: (tick time, stride) trace of the most recent buffered run.
+        self.last_degradation: list[tuple[float, int]] = []
 
     # ------------------------------------------------------------------
-    def _insert(self, report: Report, tag: str) -> int:
-        """Write one report into Influx as one batch; returns points inserted.
+    def _batch(self, report: Report, tag: str) -> list[Point]:
+        """Build the Influx point batch for one report.
 
         The tags dict is built once and shared across the report's points
-        (Point is frozen and the engine copies what it stores), and the whole
-        report ships through :meth:`InfluxDB.write_many` — one database
-        lookup per report instead of one ``write()`` per metric."""
+        (Point is frozen and the engine copies what it stores)."""
         tags = {"tag": tag}
         if self.host:
             tags["host"] = self.host
         t = report.time
-        batch = [
+        return [
             Point(
                 measurement=metric_to_measurement(metric),
                 tags=tags,
@@ -116,6 +159,13 @@ class Sampler:
             for metric, fields in report.values.items()
             if fields
         ]
+
+    def _insert(self, report: Report, tag: str) -> int:
+        """Write one report into Influx as one batch; returns points inserted.
+
+        The whole report ships through :meth:`InfluxDB.write_many` — one
+        database lookup per report instead of one ``write()`` per metric."""
+        batch = self._batch(report, tag)
         self.influx.write_many(self.database, batch)
         return sum(len(p.fields) for p in batch)
 
@@ -128,16 +178,21 @@ class Sampler:
         t_end: float,
         tag: str | None = None,
         final_fetch: bool = False,
+        mode: str = "unbuffered",
+        shipper_config: ShipperConfig | None = None,
     ) -> SamplingStats:
         """Sample ``metrics`` at ``freq_hz`` over ``[t_start, t_end]``.
 
         Each tick fetches the window since the previous *successful* tick
-        (counter deltas), ships it, and inserts it under ``tag``.  Ticks
-        that fire while the pipeline is busy are lost; high-frequency runs
-        additionally deliver zero batches (§V-A) — stale snapshot reads
-        that insert zeros *without* advancing the counter cursor, so the
-        next good fetch recovers the counts (this is why Fig 4's summed
-        errors stay small even when Table III shows batched zeros).
+        (counter deltas), ships it, and inserts it under ``tag``.  In the
+        default unbuffered mode, ticks that fire while the pipeline is busy
+        are lost; high-frequency runs additionally deliver zero batches
+        (§V-A) — stale snapshot reads that insert zeros *without* advancing
+        the counter cursor, so the next good fetch recovers the counts
+        (this is why Fig 4's summed errors stay small even when Table III
+        shows batched zeros).  ``mode="buffered"`` decouples fetch from
+        insert through a :class:`Shipper` — no busy-losses; queue, retry
+        and breaker behaviour per ``shipper_config``.
 
         ``final_fetch=True`` adds one closing fetch at ``t_end`` — what PCP
         does when P-MoVE "stops the sampling as the kernel is halted"
@@ -148,7 +203,31 @@ class Sampler:
             raise ValueError("sampling frequency must be positive")
         if t_end <= t_start:
             raise ValueError("empty sampling window")
+        if mode not in ("unbuffered", "buffered"):
+            raise ValueError(f"unknown sampling mode {mode!r}")
         tag = tag or str(uuid.uuid4())
+        if mode == "buffered":
+            stats = self._run_buffered(
+                metrics, freq_hz, t_start, t_end, tag, final_fetch,
+                shipper_config or ShipperConfig(),
+            )
+        else:
+            stats = self._run_unbuffered(
+                metrics, freq_hz, t_start, t_end, tag, final_fetch
+            )
+        self.last_stats = stats
+        return stats
+
+    # ------------------------------------------------------------------
+    def _run_unbuffered(
+        self,
+        metrics: list[str],
+        freq_hz: float,
+        t_start: float,
+        t_end: float,
+        tag: str,
+        final_fetch: bool,
+    ) -> SamplingStats:
         period = 1.0 / freq_hz
         n_ticks = int(round((t_end - t_start) * freq_hz))
         p_zero = self.transport.zero_batch_probability(period)
@@ -177,7 +256,17 @@ class Sampler:
             if points_per_report is None:
                 points_per_report = report.n_points
             busy_until = tick + self.transport.ship_time(report.n_points, self._rng)
-            n = self._insert(report, tag)
+            if hasattr(self.influx, "at"):  # failure-injectable proxy
+                self.influx.at(busy_until)
+            try:
+                n = self._insert(report, tag)
+            except ServiceUnavailable:
+                # No buffer, no retry: an insert rejected by a service fault
+                # is simply gone — the paper's §V-A failure mode.
+                lost += 1
+                if is_zero:
+                    zero_reports -= 1
+                continue
             inserted_points += n
             inserted_reports += 1
             if is_zero:
@@ -185,8 +274,13 @@ class Sampler:
 
         if final_fetch and last_fetch_t < t_end:
             report = self.pmcd.fetch(metrics, last_fetch_t, t_end)
-            inserted_points += self._insert(report, tag)
-            inserted_reports += 1
+            if hasattr(self.influx, "at"):
+                self.influx.at(t_end)
+            try:
+                inserted_points += self._insert(report, tag)
+                inserted_reports += 1
+            except ServiceUnavailable:
+                lost += 1
             if points_per_report is None:
                 points_per_report = report.n_points
 
@@ -206,6 +300,107 @@ class Sampler:
             lost_reports=lost,
             zero_reports=zero_reports,
             tag=tag,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_buffered(
+        self,
+        metrics: list[str],
+        freq_hz: float,
+        t_start: float,
+        t_end: float,
+        tag: str,
+        final_fetch: bool,
+        config: ShipperConfig,
+    ) -> SamplingStats:
+        period = 1.0 / freq_hz
+        n_ticks = int(round((t_end - t_start) * freq_hz))
+        p_zero = self.transport.zero_batch_probability(period)
+        # pmcd-side physics is unchanged by buffering: scheduling hiccups
+        # still lose ticks and sub-floor periods still go stale.
+        hiccup = self.transport.hiccup_rate(self._rng)
+        shipper = Shipper(
+            self.influx, self.database, self.transport, config, rng=self._rng
+        )
+        self.last_shipper = shipper
+        self.last_degradation = [(t_start, 1)]
+
+        high_wm = max(1, int(math.ceil(_BACKPRESSURE_HIGH * config.capacity)))
+        low_wm = int(_BACKPRESSURE_LOW * config.capacity)
+        stride = 1
+        degraded = 0
+        min_eff_freq = freq_hz
+        points_per_report: int | None = None
+        last_fetch_t = t_start
+        lost = 0
+
+        for k in range(1, n_ticks + 1):
+            tick = t_start + k * period
+            shipper.advance(tick)
+            depth = len(shipper)
+            if not config.adaptive_degradation:
+                new_stride = 1
+            elif depth >= high_wm:
+                new_stride = min(stride * 2, _MAX_STRIDE)
+            elif depth <= low_wm:
+                new_stride = 1
+            else:
+                new_stride = stride
+            if new_stride != stride:
+                stride = new_stride
+                self.last_degradation.append((tick, stride))
+            min_eff_freq = min(min_eff_freq, freq_hz / stride)
+            if k % stride:
+                degraded += 1
+                continue
+            if self._rng.random() < hiccup:
+                lost += 1  # pmcd scheduling hiccup: the fetch never happens
+                continue
+            is_zero = self._rng.random() < p_zero
+            if is_zero:
+                report = self.pmcd.fetch(metrics, tick, tick).zeroed()
+            else:
+                report = self.pmcd.fetch(metrics, last_fetch_t, tick)
+                last_fetch_t = tick
+            if points_per_report is None:
+                points_per_report = report.n_points
+            shipper.offer(tick, tick, self._batch(report, tag),
+                          report.n_points, is_zero, tag)
+
+        if final_fetch and last_fetch_t < t_end:
+            report = self.pmcd.fetch(metrics, last_fetch_t, t_end)
+            if points_per_report is None:
+                points_per_report = report.n_points
+            shipper.offer(t_end, t_end, self._batch(report, tag),
+                          report.n_points, False, tag)
+
+        end_t = shipper.drain(t_end + config.drain_grace_s)
+        if points_per_report is None:
+            points_per_report = self.pmcd.fetch(metrics, t_start, t_end).n_points
+
+        return SamplingStats(
+            freq_hz=freq_hz,
+            n_metrics=len(metrics),
+            duration_s=t_end - t_start,
+            expected_points=n_ticks * points_per_report,
+            inserted_points=shipper.inserted_points,
+            zero_points=shipper.zero_points,
+            expected_reports=n_ticks,
+            inserted_reports=shipper.inserted_reports,
+            lost_reports=lost,
+            zero_reports=shipper.zero_reports,
+            tag=tag,
+            mode="buffered",
+            retried_reports=shipper.retried_reports,
+            recovered_reports=shipper.recovered_reports,
+            dropped_by_policy=shipper.dropped_by_policy,
+            spilled_reports=shipper.spilled_reports,
+            unshipped_reports=shipper.unshipped_reports,
+            degraded_ticks=degraded,
+            breaker_open_s=shipper.breaker.open_seconds(max(end_t, t_end)),
+            max_queue_depth=shipper.max_queue_depth,
+            max_staleness_s=shipper.max_staleness_s,
+            effective_freq_hz=min_eff_freq,
         )
 
     # ------------------------------------------------------------------

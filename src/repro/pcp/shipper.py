@@ -1,0 +1,322 @@
+"""Resilient telemetry shipping: the buffer PCP lacks.
+
+§V-A pins Table III's losses on PCP having "no buffer or queue mechanism to
+keep data points until their insertion into the DB".  This module is that
+mechanism, built the way production ODA ingest paths (DCDB-style) are:
+
+- a **bounded report queue** decouples fetch from insert.  When full, a
+  configurable policy applies: ``drop_oldest`` (ring-buffer semantics),
+  ``drop_newest`` (reject the arrival), or ``spill`` (evict the oldest
+  report to an in-memory write-ahead log for later replay);
+- **retry with exponential backoff and decorrelated jitter** — a failed
+  insert stays at the head of the queue and is retried after
+  ``min(cap, uniform(base, 3 * previous_sleep))``;
+- a **circuit breaker** opens after ``breaker_threshold`` consecutive
+  failures, stops hammering the dead endpoint for ``breaker_open_s``, then
+  half-opens to let a single probe through; probe success closes it, probe
+  failure re-opens it.
+
+Everything runs in virtual time: a single worker services the queue, its
+availability tracked as a timestamp (``free_at``), so shipping a minute of
+outage-and-recovery costs microseconds of wall time and is bit-for-bit
+reproducible under a seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db.faulty import ServiceUnavailable
+from repro.db.influx import InfluxDB, Point
+from repro.faults.services import ServiceFaultSet
+
+from .transport import TransportModel
+
+__all__ = ["ShipperConfig", "CircuitBreaker", "WalEntry", "Shipper"]
+
+_POLICIES = ("drop_oldest", "drop_newest", "spill")
+
+
+@dataclass
+class ShipperConfig:
+    """Tuning knobs for the resilient shipping layer."""
+
+    capacity: int = 64
+    policy: str = "drop_oldest"
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    breaker_threshold: int = 5
+    breaker_open_s: float = 1.0
+    #: Per-report attempt cap; None = retry until the drain deadline.
+    max_attempts: int | None = None
+    #: Virtual seconds past t_end the final drain may keep retrying.
+    drain_grace_s: float = 60.0
+    #: Let the buffered sampler halve its frequency under backpressure.
+    adaptive_degradation: bool = True
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        if self.policy not in _POLICIES:
+            raise ValueError(f"unknown queue policy {self.policy!r}; pick from {_POLICIES}")
+        if self.backoff_base_s <= 0 or self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError("need 0 < backoff_base_s <= backoff_cap_s")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        if self.breaker_open_s <= 0:
+            raise ValueError("breaker open window must be positive")
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1 (or None)")
+        if self.drain_grace_s < 0:
+            raise ValueError("drain grace must be >= 0")
+
+
+class CircuitBreaker:
+    """Closed → open → half-open state machine over virtual time."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, threshold: int, open_s: float) -> None:
+        self.threshold = threshold
+        self.open_s = open_s
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self._open_accum_s = 0.0
+        #: (virtual time, new state) — the observable state machine trace.
+        self.transitions: list[tuple[float, str]] = []
+
+    def _set(self, t: float, state: str) -> None:
+        if state != self.OPEN and self.state == self.OPEN:
+            self._open_accum_s += t - self.opened_at
+        if state == self.OPEN:
+            self.opened_at = t
+        self.state = state
+        self.transitions.append((t, state))
+
+    # ------------------------------------------------------------------
+    def earliest_attempt(self, t: float) -> float:
+        """Soonest virtual time ≥ ``t`` an attempt may start."""
+        if self.state == self.OPEN:
+            return max(t, self.opened_at + self.open_s)
+        return t
+
+    def on_attempt(self, t: float) -> None:
+        """An attempt is starting at ``t`` (open → half-open when due)."""
+        if self.state == self.OPEN and t >= self.opened_at + self.open_s:
+            self._set(t, self.HALF_OPEN)
+
+    def record_success(self, t: float) -> None:
+        self.consecutive_failures = 0
+        if self.state != self.CLOSED:
+            self._set(t, self.CLOSED)
+
+    def record_failure(self, t: float) -> None:
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN or (
+            self.state == self.CLOSED and self.consecutive_failures >= self.threshold
+        ):
+            self._set(t, self.OPEN)
+
+    def open_seconds(self, until: float) -> float:
+        """Total virtual time spent open, up to ``until``."""
+        extra = max(0.0, until - self.opened_at) if self.state == self.OPEN else 0.0
+        return self._open_accum_s + extra
+
+
+@dataclass
+class WalEntry:
+    """One spilled report, serialized to line protocol for replay."""
+
+    time: float
+    tag: str
+    lines: str
+    n_fields: int
+
+
+@dataclass
+class _Item:
+    enqueued_at: float
+    report_time: float
+    batch: list[Point]
+    n_points: int  # report size, what the transport prices
+    n_fields: int  # what lands in the DB on success
+    is_zero: bool
+    tag: str
+    attempts: int = 0
+    not_before: float = -np.inf
+    prev_sleep: float = 0.0
+
+
+class Shipper:
+    """Virtual-time worker draining a bounded report queue into Influx."""
+
+    def __init__(
+        self,
+        influx: InfluxDB,
+        database: str,
+        transport: TransportModel,
+        config: ShipperConfig | None = None,
+        faults: ServiceFaultSet | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.influx = influx
+        self.database = database
+        self.transport = transport
+        self.config = config or ShipperConfig()
+        # A FaultyInfluxDB carries its own fault set; use it unless overridden.
+        self.faults = faults if faults is not None else getattr(influx, "faults", None)
+        self._rng = rng or np.random.default_rng(0)
+        self.breaker = CircuitBreaker(self.config.breaker_threshold, self.config.breaker_open_s)
+        self.queue: deque[_Item] = deque()
+        self.wal: list[WalEntry] = []
+        self.free_at = -np.inf
+        self.last_event_t = 0.0
+
+        # Counters surfaced into SamplingStats.
+        self.enqueued = 0
+        self.inserted_reports = 0
+        self.inserted_points = 0
+        self.zero_reports = 0
+        self.zero_points = 0
+        self.retried_reports = 0
+        self.recovered_reports = 0
+        self.dropped_by_policy = 0
+        self.spilled_reports = 0
+        self.unshipped_reports = 0
+        self.max_queue_depth = 0
+        self.max_staleness_s = 0.0
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    # ------------------------------------------------------------------
+    def offer(self, t: float, report_time: float, batch: list[Point],
+              n_points: int, is_zero: bool, tag: str) -> bool:
+        """Enqueue one report at virtual time ``t``; False if rejected."""
+        if len(self.queue) >= self.config.capacity:
+            if self.config.policy == "drop_newest":
+                self.dropped_by_policy += 1
+                return False
+            evicted = self.queue.popleft()
+            if self.config.policy == "spill":
+                self._spill(evicted)
+            else:  # drop_oldest
+                self.dropped_by_policy += 1
+        self.queue.append(
+            _Item(enqueued_at=t, report_time=report_time, batch=batch,
+                  n_points=n_points, n_fields=sum(len(p.fields) for p in batch),
+                  is_zero=is_zero, tag=tag)
+        )
+        self.enqueued += 1
+        self.max_queue_depth = max(self.max_queue_depth, len(self.queue))
+        return True
+
+    def _spill(self, item: _Item) -> None:
+        self.wal.append(
+            WalEntry(
+                time=item.report_time,
+                tag=item.tag,
+                lines="\n".join(p.to_line() for p in item.batch),
+                n_fields=item.n_fields,
+            )
+        )
+        self.spilled_reports += 1
+
+    def replay_wal(self) -> int:
+        """Backfill spilled reports into the DB; returns fields written.
+
+        Timestamps travel inside the line protocol, so replayed points land
+        at their original sample times — late, but not wrong.
+        """
+        written = 0
+        for entry in self.wal:
+            self.influx.write_lines(self.database, entry.lines)
+            written += entry.n_fields
+        self.wal.clear()
+        return written
+
+    # ------------------------------------------------------------------
+    def _try_insert(self, item: _Item, t: float) -> bool:
+        if hasattr(self.influx, "at"):  # FaultyInfluxDB: stamp virtual time
+            self.influx.at(t)
+            try:
+                self.influx.write_many(self.database, item.batch)
+            except ServiceUnavailable:
+                return False
+            return True
+        if self.faults is not None and self.faults.write_error(t) is not None:
+            return False
+        self.influx.write_many(self.database, item.batch)
+        return True
+
+    def _backoff(self, item: _Item) -> float:
+        base = self.config.backoff_base_s
+        hi = max(base, 3.0 * item.prev_sleep)
+        sleep = min(self.config.backoff_cap_s, float(self._rng.uniform(base, hi)))
+        item.prev_sleep = sleep
+        return sleep
+
+    def _give_up(self, item: _Item) -> None:
+        if self.config.policy == "spill":
+            self._spill(item)
+        else:
+            self.dropped_by_policy += 1
+
+    def advance(self, now: float) -> None:
+        """Service the queue: run every attempt that can *start* before
+        ``now``.  An attempt that completes past ``now`` just leaves the
+        worker busy into the future — exactly one report is ever in flight."""
+        while self.queue:
+            item = self.queue[0]
+            start = max(self.free_at, item.enqueued_at, item.not_before)
+            start = self.breaker.earliest_attempt(start)
+            if start >= now:
+                break
+            self.breaker.on_attempt(start)
+            duration = self.transport.ship_time(
+                item.n_points, self._rng, at=start, faults=self.faults
+            )
+            t_done = start + duration
+            self.free_at = t_done
+            self.last_event_t = t_done
+            item.attempts += 1
+            if self._try_insert(item, t_done):
+                self.breaker.record_success(t_done)
+                self.queue.popleft()
+                self.inserted_reports += 1
+                self.inserted_points += item.n_fields
+                if item.is_zero:
+                    self.zero_reports += 1
+                    self.zero_points += item.n_fields
+                if item.attempts > 1:
+                    self.recovered_reports += 1
+                self.max_staleness_s = max(self.max_staleness_s, t_done - item.report_time)
+            else:
+                self.breaker.record_failure(t_done)
+                if item.attempts == 1:
+                    self.retried_reports += 1
+                cap = self.config.max_attempts
+                if cap is not None and item.attempts >= cap:
+                    self.queue.popleft()
+                    self._give_up(item)
+                else:
+                    item.not_before = t_done + self._backoff(item)
+
+    def drain(self, deadline: float) -> float:
+        """Keep servicing until the queue empties or ``deadline`` passes;
+        leftovers count as unshipped.  Returns the last completion time."""
+        self.advance(deadline)
+        while self.queue:
+            item = self.queue.popleft()
+            self.unshipped_reports += 1
+            if self.config.policy == "spill":
+                # Unshipped != unsaved: the WAL still has them.
+                self.unshipped_reports -= 1
+                self._spill(item)
+        return self.last_event_t

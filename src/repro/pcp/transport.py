@@ -43,6 +43,14 @@ class TransportModel:
             raise ValueError("network bandwidth must be positive")
         if self.insert_per_point_s < 0 or self.insert_base_s < 0:
             raise ValueError("negative insert costs")
+        if self.net_latency_s < 0:
+            raise ValueError("negative network latency")
+        if self.jitter_rel_std < 0:
+            raise ValueError("negative jitter")
+        if self.zero_floor_s <= 0:
+            raise ValueError("zero floor must be positive")
+        if not 0.0 <= self.hiccup_rate_max <= 1.0:
+            raise ValueError("hiccup rate must be in [0, 1]")
 
     # ------------------------------------------------------------------
     def report_bytes(self, n_points: int) -> int:
@@ -54,11 +62,27 @@ class TransportModel:
         insert = self.insert_base_s + self.insert_per_point_s * n_points
         return net + insert
 
-    def ship_time(self, n_points: int, rng: np.random.Generator) -> float:
-        """One sampled busy time (lognormal jitter around the mean)."""
+    def ship_time(
+        self,
+        n_points: int,
+        rng: np.random.Generator,
+        at: float | None = None,
+        faults: "object | None" = None,
+    ) -> float:
+        """One sampled busy time (lognormal jitter around the mean).
+
+        With ``at``/``faults`` (a :class:`repro.faults.services.ServiceFaultSet`),
+        active insert-latency spikes dilate the DB-insert share of the time —
+        the network share is unaffected, matching a compaction-stalled DB.
+        """
         if n_points < 0:
             raise ValueError("negative point count")
         mean = self.mean_ship_time(n_points)
+        if faults is not None and at is not None:
+            factor = faults.latency_factor(at)
+            if factor != 1.0:
+                insert = self.insert_base_s + self.insert_per_point_s * n_points
+                mean += insert * (factor - 1.0)
         return mean * float(np.exp(rng.normal(0.0, self.jitter_rel_std)))
 
     def zero_batch_probability(self, period_s: float) -> float:

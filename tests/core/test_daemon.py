@@ -51,6 +51,35 @@ class TestAttachment:
         assert len(t.gpus) == 1
 
 
+class TestHealth:
+    def test_health_before_any_run(self, daemon):
+        h = daemon.health()
+        assert h["active_faults"] == []
+        assert h["writes"] == {"accepted": 0, "rejected": 0}
+        assert h["targets"]["icl"]["last_run"] is None
+        assert h["targets"]["icl"]["observations"] == 0
+
+    def test_health_after_scenario_a(self, daemon):
+        daemon.scenario_a("icl", duration_s=5.0, freq_hz=1.0)
+        h = daemon.health()
+        assert h["writes"]["accepted"] > 0
+        assert h["writes"]["rejected"] == 0
+        last = h["targets"]["icl"]["last_run"]
+        assert last["mode"] == "unbuffered"
+        assert last["inserted_points"] > 0
+
+    def test_inject_service_fault_surfaces(self, daemon):
+        from repro.faults import DbOutage
+
+        daemon.inject_service_fault(DbOutage(t0=1e6, t1=2e6))  # far future
+        h = daemon.health()
+        assert len(h["active_faults"]) == 1
+        assert "DbOutage" in h["active_faults"][0]
+        # Outage window not reached: sampling is unaffected.
+        stats, _ = daemon.scenario_a("icl", duration_s=5.0, freq_hz=1.0)
+        assert stats.inserted_points > 0
+
+
 class TestScenarioA:
     def test_dashboard_before_data(self, daemon):
         stats, uid = daemon.scenario_a("icl", duration_s=5.0, freq_hz=1.0)

@@ -1,0 +1,112 @@
+"""Tests for the service-level fault model (host-side chaos)."""
+
+import pytest
+
+from repro.faults import (
+    DbOutage,
+    FlakyWrites,
+    InsertLatencySpike,
+    NetworkPartition,
+    ServiceFaultSet,
+)
+
+
+class TestFaultValidation:
+    def test_window_positive(self):
+        with pytest.raises(ValueError):
+            DbOutage(t0=4.0, t1=4.0)
+        with pytest.raises(ValueError):
+            NetworkPartition(t0=5.0, t1=1.0)
+
+    def test_latency_factor_range(self):
+        with pytest.raises(ValueError):
+            InsertLatencySpike(t0=0, t1=1, factor=0.5)
+
+    def test_flaky_probability_range(self):
+        with pytest.raises(ValueError):
+            FlakyWrites(t0=0, t1=1, p_fail=1.5)
+        with pytest.raises(ValueError):
+            FlakyWrites(t0=0, t1=1, p_fail=-0.1)
+
+
+class TestWindows:
+    def test_half_open_interval(self):
+        f = DbOutage(t0=1.0, t1=2.0)
+        assert not f.fails_write(0.999)
+        assert f.fails_write(1.0)  # inclusive at t0
+        assert f.fails_write(1.999)
+        assert not f.fails_write(2.0)  # exclusive at t1
+
+    def test_latency_only_inside_window(self):
+        f = InsertLatencySpike(t0=1.0, t1=2.0, factor=4.0)
+        assert f.latency_factor(0.5) == 1.0
+        assert f.latency_factor(1.5) == 4.0
+        assert f.latency_factor(2.0) == 1.0
+        assert not f.fails_write(1.5)  # slow, not down
+
+
+class TestFlakyDeterminism:
+    def test_hash_draws_reproducible(self):
+        f = FlakyWrites(t0=0.0, t1=100.0, p_fail=0.5, seed=3)
+        draws = [f.fails_write(t / 7.0) for t in range(200)]
+        again = [f.fails_write(t / 7.0) for t in range(200)]
+        assert draws == again  # order-independent, stateless
+        assert any(draws) and not all(draws)  # actually flaky, not constant
+
+    def test_failure_rate_tracks_probability(self):
+        f = FlakyWrites(t0=0.0, t1=1e9, p_fail=0.3, seed=1)
+        n = 2000
+        rate = sum(f.fails_write(0.01 * k) for k in range(n)) / n
+        assert 0.25 < rate < 0.35
+
+    def test_never_and_always(self):
+        assert not FlakyWrites(t0=0, t1=10, p_fail=0.0).fails_write(5.0)
+        assert FlakyWrites(t0=0, t1=10, p_fail=1.0).fails_write(5.0)
+
+
+class TestServiceFaultSet:
+    def test_write_error_reports_reason(self):
+        fs = ServiceFaultSet()
+        fs.inject(DbOutage(t0=2.0, t1=4.0))
+        assert fs.write_error(1.0) is None
+        assert fs.write_error(3.0) == "db-outage"
+        fs.inject(NetworkPartition(t0=0.0, t1=10.0))
+        assert fs.write_error(3.0) in ("db-outage", "network-partition")
+
+    def test_latency_factors_compose(self):
+        fs = ServiceFaultSet()
+        fs.inject(InsertLatencySpike(t0=0, t1=10, factor=2.0))
+        fs.inject(InsertLatencySpike(t0=5, t1=10, factor=3.0))
+        assert fs.latency_factor(1.0) == 2.0
+        assert fs.latency_factor(7.0) == 6.0
+        assert fs.latency_factor(20.0) == 1.0
+
+    def test_remove(self):
+        fs = ServiceFaultSet()
+        f = fs.inject(DbOutage(t0=0, t1=1))
+        assert fs.remove(f)
+        assert not fs.remove(f)  # already gone
+        assert fs.write_error(0.5) is None
+
+    def test_scoped_installs_and_cleans_up(self):
+        fs = ServiceFaultSet()
+        with fs.scoped(DbOutage(t0=0, t1=1)) as f:
+            assert fs.write_error(0.5) == "db-outage"
+            assert f in fs.faults
+        assert fs.faults == []
+
+    def test_scoped_cleans_up_on_exception(self):
+        fs = ServiceFaultSet()
+        with pytest.raises(RuntimeError):
+            with fs.scoped(DbOutage(t0=0, t1=1)):
+                raise RuntimeError("test blew up")
+        assert fs.faults == []
+
+    def test_active_at_and_clear(self):
+        fs = ServiceFaultSet()
+        fs.inject(DbOutage(t0=0, t1=5))
+        fs.inject(FlakyWrites(t0=3, t1=8, p_fail=0.5))
+        assert len(fs.active_at(4.0)) == 2
+        assert len(fs.active_at(6.0)) == 1
+        fs.clear()
+        assert fs.active_at(4.0) == []

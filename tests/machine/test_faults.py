@@ -46,6 +46,80 @@ class TestFaultValidation:
         assert f.active(1.0)
         assert not f.active(2.0)
 
+    def test_active_boundaries_half_open(self):
+        """[t0, t1): inclusive start, exclusive end — for every fault kind."""
+        for f in (CpuThrottle(t0=3.0, t1=7.0),
+                  MemoryContention(t0=3.0, t1=7.0),
+                  LoadImbalance(t0=3.0, t1=7.0)):
+            assert not f.active(2.999999)
+            assert f.active(3.0)
+            assert f.active(6.999999)
+            assert not f.active(7.0)
+
+
+class TestFaultSet:
+    def test_overlapping_faults_compose_multiplicatively(self):
+        """Two faults overlapping only on [4, 6): outside the overlap each
+        acts alone, inside both multiply."""
+        fs = FaultSet()
+        fs.inject(CpuThrottle(t0=0, t1=6, freq_factor=0.5))       # 2x compute
+        fs.inject(LoadImbalance(t0=4, t1=10, straggler_factor=1.5))
+        assert fs.slowdown(2.0, (0,), memory_bound=False) == pytest.approx(2.0)
+        assert fs.slowdown(5.0, (0,), memory_bound=False) == pytest.approx(3.0)
+        assert fs.slowdown(8.0, (0,), memory_bound=False) == pytest.approx(1.5)
+        assert fs.slowdown(12.0, (0,), memory_bound=False) == 1.0
+
+    def test_empty_cpus_means_whole_machine(self):
+        """cpus=() scopes the fault to every placement, even disjoint ones."""
+        whole = CpuThrottle(t0=0, t1=10, freq_factor=0.5, cpus=())
+        scoped = CpuThrottle(t0=0, t1=10, freq_factor=0.5, cpus=(2, 3))
+        for placement in ((0,), (5, 6), tuple(range(16))):
+            assert whole.slowdown(placement, memory_bound=False) > 1.0
+        assert scoped.slowdown((0, 1), memory_bound=False) == 1.0
+        assert scoped.slowdown((3, 4), memory_bound=False) > 1.0
+        fs = FaultSet()
+        fs.inject(LoadImbalance(t0=0, t1=10, straggler_factor=1.4, cpus=()))
+        assert fs.slowdown(5.0, (11,), memory_bound=False) == pytest.approx(1.4)
+
+    def test_active_at_respects_boundaries(self):
+        fs = FaultSet()
+        f = fs.inject(CpuThrottle(t0=1.0, t1=2.0))
+        assert fs.active_at(0.999) == []
+        assert fs.active_at(1.0) == [f]
+        assert fs.active_at(1.999) == [f]
+        assert fs.active_at(2.0) == []
+
+    def test_remove(self):
+        fs = FaultSet()
+        f = fs.inject(CpuThrottle(t0=0, t1=10, freq_factor=0.5))
+        assert fs.remove(f)
+        assert fs.slowdown(5.0, (0,), memory_bound=False) == 1.0
+        assert not fs.remove(f)  # second removal is a no-op
+
+    def test_scoped_injects_and_cleans_up(self):
+        fs = FaultSet()
+        with fs.scoped(CpuThrottle(t0=0, t1=10, freq_factor=0.5)) as f:
+            assert fs.active_at(5.0) == [f]
+            assert fs.slowdown(5.0, (0,), memory_bound=False) == pytest.approx(2.0)
+        assert fs.faults == []
+
+    def test_scoped_cleans_up_on_exception(self):
+        fs = FaultSet()
+        with pytest.raises(RuntimeError):
+            with fs.scoped(CpuThrottle(t0=0, t1=10)):
+                raise RuntimeError("chaos test blew up")
+        assert fs.faults == []
+
+    def test_scoped_on_a_live_machine(self):
+        """The chaos-test idiom: a fault installed for one run only."""
+        m = SimulatedMachine(icl(), seed=9)
+        desc = compute_kernel()
+        with m.faults.scoped(CpuThrottle(t0=0, t1=1e9, freq_factor=0.5)):
+            slow = m.run_kernel(desc, [0], runtime_noise_std=0.0)
+        clean = m.run_kernel(desc, [0], runtime_noise_std=0.0)
+        assert slow.runtime_s > 1.8 * clean.runtime_s
+        assert m.faults.faults == []
+
 
 class TestFaultEffects:
     def run_pair(self, fault, desc, cpus=None):

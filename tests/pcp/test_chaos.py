@@ -1,0 +1,256 @@
+"""Chaos suite: Scenario A/B driven through scripted service faults.
+
+The acceptance bar for the resilient shipping layer: a DB outage shorter
+than queue capacity yields **zero** data loss in buffered mode, staleness
+stays bounded, recovery is monotonic (no holes in the stored series), the
+breaker trace is deterministic under a seed, and adaptive degradation backs
+off under sustained backpressure and restores nominal frequency once the
+queue drains.
+"""
+
+import pytest
+
+from repro.db import FaultyInfluxDB, InfluxDB
+from repro.machine import SimulatedMachine, SoftwareState, get_preset
+from repro.pcp import (
+    Pmcd,
+    PmdaLinux,
+    PmdaPerfevent,
+    Sampler,
+    ShipperConfig,
+    TransportModel,
+    perfevent_metric,
+)
+from repro.faults import (
+    DbOutage,
+    FlakyWrites,
+    InsertLatencySpike,
+    NetworkPartition,
+    ServiceFaultSet,
+)
+from repro.pmu import PMU
+
+EVENTS = ["UNHALTED_CORE_CYCLES", "INSTRUCTION_RETIRED"]
+MEAS = "perfevent_hwcounters_UNHALTED_CORE_CYCLES_value"
+
+
+def make_sampler(faults, seed=7, duration=30.0, hiccup_free=True):
+    """icl + 2 HW metrics, writing through a FaultyInfluxDB.
+
+    ``hiccup_free`` removes pmcd-side sporadic tick loss so DB-side loss
+    can be asserted exactly zero."""
+    m = SimulatedMachine(get_preset("icl"), seed=seed)
+    m.advance(duration + 1)
+    pmu = PMU(m, seed=seed)
+    pe = PmdaPerfevent(pmu)
+    pe.configure(EVENTS)
+    pmcd = Pmcd([pe, PmdaLinux(SoftwareState(m))])
+    influx = FaultyInfluxDB(InfluxDB(), faults)
+    transport = TransportModel(hiccup_rate_max=0.0) if hiccup_free else TransportModel()
+    sampler = Sampler(pmcd, influx, transport=transport, seed=seed)
+    metrics = [perfevent_metric(e) for e in EVENTS]
+    return sampler, influx, metrics
+
+
+class TestOutageZeroLoss:
+    def test_outage_shorter_than_queue_capacity(self):
+        """8 reports pile up during a 4 s outage at 2 Hz — capacity 32
+        absorbs them all, so buffered mode loses *nothing*."""
+        faults = ServiceFaultSet([DbOutage(t0=8.0, t1=12.0)])
+        s, influx, metrics = make_sampler(faults)
+        st = s.run(metrics, 2.0, 0.0, 20.0, tag="z", mode="buffered",
+                   shipper_config=ShipperConfig(capacity=32))
+        assert st.inserted_points == st.expected_points
+        assert st.loss_pct == 0.0
+        assert st.dropped_by_policy == 0
+        assert st.unshipped_reports == 0
+        assert st.retried_reports >= 1
+        assert st.recovered_reports == st.retried_reports
+        assert influx.rejected_writes > 0  # the outage really bit
+
+    def test_unbuffered_loses_the_outage_window(self):
+        """Control: the same outage through the paper pipeline is lossy."""
+        faults = ServiceFaultSet([DbOutage(t0=8.0, t1=12.0)])
+        s, _, metrics = make_sampler(faults)
+        st = s.run(metrics, 2.0, 0.0, 20.0, tag="u")
+        assert st.loss_pct > 15.0  # ~4 of 20 seconds gone
+        assert st.lost_reports >= 7
+
+    def test_network_partition_equivalent(self):
+        faults = ServiceFaultSet([NetworkPartition(t0=5.0, t1=8.0)])
+        s, _, metrics = make_sampler(faults)
+        st = s.run(metrics, 2.0, 0.0, 20.0, tag="p", mode="buffered",
+                   shipper_config=ShipperConfig(capacity=32))
+        assert st.loss_pct == 0.0
+        assert st.recovered_reports == st.retried_reports >= 1
+
+
+class TestRecoveryShape:
+    def test_monotonic_recovery_no_holes(self):
+        """Every tick's report lands in the DB at its own timestamp — the
+        stored series has no gap over the outage window."""
+        faults = ServiceFaultSet([DbOutage(t0=8.0, t1=12.0)])
+        s, influx, metrics = make_sampler(faults)
+        st = s.run(metrics, 2.0, 0.0, 20.0, tag="m", mode="buffered",
+                   shipper_config=ShipperConfig(capacity=32))
+        pts = influx.points("pmove", MEAS, tags={"tag": "m"})
+        times = sorted(p.time for p in pts)
+        expected_ticks = [0.5 * k for k in range(1, 41)]
+        assert times == pytest.approx(expected_ticks)
+        assert st.max_staleness_s > 1.0  # queued reports really were late
+
+    def test_bounded_staleness(self):
+        """Staleness is bounded by outage length + breaker cooldown + the
+        drain backlog — not by the run length."""
+        faults = ServiceFaultSet([DbOutage(t0=8.0, t1=12.0)])
+        s, _, metrics = make_sampler(faults)
+        st = s.run(metrics, 2.0, 0.0, 30.0, tag="s", mode="buffered",
+                   shipper_config=ShipperConfig(capacity=64))
+        outage = 4.0
+        cfg = ShipperConfig()
+        bound = outage + cfg.breaker_open_s + 2.0  # drain slack
+        assert st.max_staleness_s <= bound
+
+    def test_breaker_deterministic_under_seed(self):
+        def trace(seed):
+            faults = ServiceFaultSet([DbOutage(t0=8.0, t1=12.0)])
+            s, _, metrics = make_sampler(faults, seed=seed)
+            st = s.run(metrics, 2.0, 0.0, 20.0, tag="d", mode="buffered",
+                       shipper_config=ShipperConfig(capacity=32))
+            return st, s.last_shipper.breaker.transitions
+
+        st_a, tr_a = trace(21)
+        st_b, tr_b = trace(21)
+        assert st_a == st_b
+        assert tr_a == tr_b
+        states = [state for _, state in tr_a]
+        assert states[0] == "open"
+        assert "half_open" in states
+        assert states[-1] == "closed"
+        assert st_a.breaker_open_s > 0.0
+
+    def test_flaky_writes_all_recovered(self):
+        faults = ServiceFaultSet([FlakyWrites(t0=0.0, t1=30.0, p_fail=0.4, seed=5)])
+        s, _, metrics = make_sampler(faults)
+        st = s.run(metrics, 2.0, 0.0, 20.0, tag="f", mode="buffered",
+                   shipper_config=ShipperConfig(capacity=64))
+        assert st.retried_reports >= 3
+        assert st.recovered_reports == st.retried_reports
+        assert st.loss_pct == 0.0
+
+    def test_latency_spike_slows_but_loses_nothing(self):
+        faults = ServiceFaultSet([InsertLatencySpike(t0=5.0, t1=15.0, factor=60.0)])
+        s, _, metrics = make_sampler(faults)
+        st = s.run(metrics, 2.0, 0.0, 20.0, tag="l", mode="buffered",
+                   shipper_config=ShipperConfig(capacity=64))
+        assert st.loss_pct == 0.0
+        assert st.max_queue_depth > 1  # inserts fell behind the tick rate
+        assert st.max_staleness_s > 0.25
+
+
+class TestAdaptiveDegradation:
+    def test_backs_off_then_restores_nominal_frequency(self):
+        faults = ServiceFaultSet([DbOutage(t0=4.0, t1=10.0)])
+        s, _, metrics = make_sampler(faults, duration=40.0)
+        st = s.run(metrics, 8.0, 0.0, 40.0, tag="a", mode="buffered",
+                   shipper_config=ShipperConfig(capacity=12))
+        assert st.degraded_ticks > 0
+        assert st.effective_freq_hz < 8.0  # halved at least once
+        # The stride trace ends back at 1: nominal frequency restored
+        # after the queue drained.
+        assert s.last_degradation[-1][1] == 1
+        assert max(stride for _, stride in s.last_degradation) >= 2
+        # Degradation sheds load *instead of* the queue policy.
+        assert st.dropped_by_policy <= 2
+
+    def test_degradation_is_not_loss(self):
+        """Skipped ticks are recorded as degraded, not lost: the stats
+        identity over the tick budget still closes."""
+        faults = ServiceFaultSet([DbOutage(t0=4.0, t1=10.0)])
+        s, _, metrics = make_sampler(faults, duration=40.0)
+        st = s.run(metrics, 8.0, 0.0, 40.0, tag="i", mode="buffered",
+                   shipper_config=ShipperConfig(capacity=12))
+        accounted = (st.inserted_reports + st.lost_reports + st.degraded_ticks
+                     + st.dropped_by_policy + st.spilled_reports
+                     + st.unshipped_reports)
+        assert accounted == st.expected_reports
+
+    def test_no_degradation_when_healthy(self):
+        s, _, metrics = make_sampler(ServiceFaultSet())
+        st = s.run(metrics, 2.0, 0.0, 20.0, tag="h", mode="buffered")
+        assert st.degraded_ticks == 0
+        assert st.effective_freq_hz == 2.0
+        assert st.max_queue_depth <= 1
+
+
+class TestOverflow:
+    def test_long_outage_overflows_by_policy(self):
+        """An outage longer than the queue can absorb sheds the oldest
+        reports — bounded damage, not collapse."""
+        faults = ServiceFaultSet([DbOutage(t0=2.0, t1=18.0)])
+        s, _, metrics = make_sampler(faults)
+        st = s.run(metrics, 2.0, 0.0, 20.0, tag="o", mode="buffered",
+                   shipper_config=ShipperConfig(capacity=8,
+                                                adaptive_degradation=False))
+        assert st.dropped_by_policy > 0
+        assert st.inserted_points + st.dropped_by_policy * 32 == st.expected_points
+        # Bounded damage: the queue still saves ~capacity reports that the
+        # unbuffered pipeline would have thrown away.
+        faults_u = ServiceFaultSet([DbOutage(t0=2.0, t1=18.0)])
+        s_u, _, metrics_u = make_sampler(faults_u)
+        st_u = s_u.run(metrics_u, 2.0, 0.0, 20.0, tag="ou")
+        assert st.loss_pct < st_u.loss_pct
+
+    def test_spill_policy_saves_the_overflow(self):
+        """Same overload with policy="spill": evictions go to the WAL and a
+        replay makes the DB whole."""
+        faults = ServiceFaultSet([DbOutage(t0=2.0, t1=18.0)])
+        s, influx, metrics = make_sampler(faults)
+        st = s.run(metrics, 2.0, 0.0, 20.0, tag="w", mode="buffered",
+                   shipper_config=ShipperConfig(capacity=8, policy="spill",
+                                                adaptive_degradation=False))
+        assert st.spilled_reports > 0
+        assert st.dropped_by_policy == 0
+        replayed = s.last_shipper.replay_wal()
+        assert replayed == st.spilled_reports * 32
+        assert st.inserted_points + replayed == st.expected_points
+        pts = influx.points("pmove", MEAS, tags={"tag": "w"})
+        assert len(pts) == st.expected_reports
+
+
+class TestDaemonIntegration:
+    def test_scenario_a_survives_outage_and_reports_health(self):
+        from repro.core import PMoVE
+
+        faults = ServiceFaultSet([DbOutage(t0=5.0, t1=9.0)])
+        daemon = PMoVE(service_faults=faults)
+        daemon.attach_target(SimulatedMachine(get_preset("icl")))
+        stats, _ = daemon.scenario_a("icl", duration_s=20.0, freq_hz=2.0,
+                                     mode="buffered",
+                                     shipper_config=ShipperConfig(capacity=64))
+        assert stats.mode == "buffered"
+        assert stats.recovered_reports == stats.retried_reports >= 1
+        assert stats.dropped_by_policy == 0
+
+        health = daemon.health()
+        assert health["writes"]["rejected"] > 0
+        entry = health["targets"]["icl"]
+        assert entry["breaker_state"] == "closed"
+        assert entry["queue_depth"] == 0
+        assert entry["last_run"]["mode"] == "buffered"
+        assert entry["last_run"]["breaker_open_s"] > 0.0
+
+    def test_scenario_b_buffered_profile(self):
+        from repro.core import PMoVE
+        from repro.workloads import build_kernel
+
+        daemon = PMoVE()
+        daemon.attach_target(SimulatedMachine(get_preset("icl")))
+        desc = build_kernel("triad", 2_000_000, iterations=400)
+        obs, run = daemon.scenario_b(
+            "icl", desc, ["SCALAR_DOUBLE_INSTRUCTIONS"], freq_hz=8.0,
+            mode="buffered",
+        )
+        sampler = daemon.target("icl").sampler
+        assert sampler.last_stats.mode == "buffered"
+        assert obs["report"]["sampling"]["loss_pct"] <= 5.0

@@ -1,0 +1,78 @@
+"""Byte-identity regression for the paper-faithful unbuffered pipeline.
+
+The buffered shipping layer must not perturb the default path: Table III /
+Fig 7–9 derive from the unbuffered sampler's exact RNG draw sequence and the
+exact bytes landing in Influx.  The golden values below were captured from
+the pre-shipper code; any drift in stats *or* stored line protocol fails
+here before it can silently skew the paper artifacts.
+"""
+
+import hashlib
+
+from repro.db import InfluxDB
+from repro.machine import SimulatedMachine, get_preset
+from repro.pcp import Pmcd, PmdaPerfevent, Sampler, perfevent_metric
+from repro.pmu import PMU
+
+EVENTS = [
+    "UNHALTED_CORE_CYCLES",
+    "INSTRUCTION_RETIRED",
+    "UOPS_DISPATCHED",
+    "BRANCH_INSTRUCTIONS_RETIRED",
+    "MEM_INST_RETIRED:ALL_LOADS",
+    "MEM_INST_RETIRED:ALL_STORES",
+]
+
+#: (host, freq, n_metrics, seed) -> (inserted_points, zero_points,
+#: lost_reports, inserted_reports, zero_reports, sha256 of stored lines).
+GOLDEN = {
+    ("skx", 32, 4, 325): (83776, 27456, 82, 238, 78, "147ed975829ecdd1"),
+    ("icl", 32, 6, 326): (30720, 10368, 0, 320, 108, "9c88d5282562511b"),
+    ("icl", 2, 4, 24): (1280, 0, 0, 20, 0, "747202247b7ebfce"),
+    ("skx", 8, 5, 85): (35200, 0, 0, 80, 0, "0b4dc6e01e220202"),
+}
+
+
+def run_cell(host, freq, n_metrics, seed):
+    machine = SimulatedMachine(get_preset(host), seed=seed)
+    machine.advance(11.0)
+    pmu = PMU(machine, seed=seed)
+    perfevent = PmdaPerfevent(pmu)
+    perfevent.configure(EVENTS[:n_metrics])
+    influx = InfluxDB()
+    sampler = Sampler(Pmcd([perfevent]), influx, seed=seed)
+    metrics = [perfevent_metric(e) for e in EVENTS[:n_metrics]]
+    stats = sampler.run(metrics, float(freq), 0.0, 10.0, tag="gold")
+    lines = sorted(
+        p.to_line()
+        for meas in influx.measurements("pmove")
+        for p in influx.points("pmove", meas)
+    )
+    digest = hashlib.sha256("\n".join(lines).encode()).hexdigest()[:16]
+    return stats, digest
+
+
+class TestUnbufferedGolden:
+    def test_stats_and_stored_bytes_unchanged(self):
+        for (host, freq, mt, seed), want in GOLDEN.items():
+            stats, digest = run_cell(host, freq, mt, seed)
+            got = (
+                stats.inserted_points,
+                stats.zero_points,
+                stats.lost_reports,
+                stats.inserted_reports,
+                stats.zero_reports,
+                digest,
+            )
+            assert got == want, f"unbuffered drift in cell {(host, freq, mt)}"
+
+    def test_resilience_fields_stay_default(self):
+        """Unbuffered stats carry the buffered-only fields at defaults."""
+        stats, _ = run_cell("icl", 2, 4, 24)
+        assert stats.mode == "unbuffered"
+        assert stats.retried_reports == 0
+        assert stats.recovered_reports == 0
+        assert stats.dropped_by_policy == 0
+        assert stats.breaker_open_s == 0.0
+        assert stats.max_queue_depth == 0
+        assert stats.effective_freq_hz is None

@@ -63,6 +63,40 @@ class TestTransportModel:
         times = [t.ship_time(100, rng) for _ in range(500)]
         assert np.mean(times) == pytest.approx(t.mean_ship_time(100), rel=0.1)
 
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            TransportModel(net_latency_s=-1e-6)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            TransportModel(jitter_rel_std=-0.1)
+
+    def test_zero_floor_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TransportModel(zero_floor_s=0.0)
+        with pytest.raises(ValueError):
+            TransportModel(zero_floor_s=-0.047)
+
+    def test_hiccup_rate_must_be_a_probability(self):
+        with pytest.raises(ValueError):
+            TransportModel(hiccup_rate_max=-0.01)
+        with pytest.raises(ValueError):
+            TransportModel(hiccup_rate_max=1.5)
+        TransportModel(hiccup_rate_max=0.0)  # boundary values are fine
+        TransportModel(hiccup_rate_max=1.0)
+
+    def test_latency_spike_dilates_insert_share_only(self):
+        from repro.faults import InsertLatencySpike, ServiceFaultSet
+
+        t = TransportModel(jitter_rel_std=0.0)
+        rng = np.random.default_rng(0)
+        faults = ServiceFaultSet([InsertLatencySpike(t0=0, t1=10, factor=3.0)])
+        base = t.ship_time(100, rng, at=20.0, faults=faults)  # outside window
+        spiked = t.ship_time(100, rng, at=5.0, faults=faults)
+        insert = t.insert_base_s + t.insert_per_point_s * 100
+        assert base == pytest.approx(t.mean_ship_time(100))
+        assert spiked == pytest.approx(base + 2.0 * insert)
+
 
 class TestSampler:
     def test_bad_args(self):
@@ -179,6 +213,46 @@ class TestSampler:
             for _ in range(2)
         ]
         assert runs[0] == runs[1]
+
+    def test_loss_accounting_closes_across_seeds(self):
+        """Unbuffered invariant: every expected tick is either inserted or
+        lost — no third bucket, at any frequency, under any seed."""
+        for seed in (1, 7, 23, 99):
+            for freq in (2.0, 8.0, 32.0):
+                s, _, metrics, _ = make_sampler(icl, n_events=2, seed=seed)
+                st = s.run(metrics, freq, 0.0, 10.0)
+                assert st.lost_reports + st.inserted_reports == st.expected_reports
+                assert 0.0 <= st.loss_pct <= 100.0
+                assert st.zero_reports <= st.inserted_reports
+
+    def test_hiccup_draws_skipped_while_busy(self):
+        """The busy check short-circuits the hiccup draw: a tick that fires
+        while the pipeline is shipping consumes no randomness, so hiccups
+        only ever hit ticks that had a chance to fetch."""
+
+        class CountingRng:
+            def __init__(self, rng):
+                self._rng = rng
+                self.random_calls = 0
+
+            def random(self):
+                self.random_calls += 1
+                return self._rng.random()
+
+            def __getattr__(self, name):
+                return getattr(self._rng, name)
+
+        # Insert cost far beyond the window: only tick 1 is ever non-busy.
+        slow = TransportModel(insert_base_s=1e6, hiccup_rate_max=0.0)
+        s, _, metrics, _ = make_sampler(icl, n_events=1, transport=slow)
+        counter = CountingRng(np.random.default_rng(3))
+        s._rng = counter
+        st = s.run(metrics, 8.0, 0.0, 10.0)
+        assert st.inserted_reports == 1
+        assert st.lost_reports == st.expected_reports - 1
+        # Exactly two draws: tick 1's hiccup check and zero-batch check.
+        # 79 busy ticks drew nothing.
+        assert counter.random_calls == 2
 
     def test_sampling_overhead_scales_with_freq(self):
         s, _, _, _ = make_sampler()

@@ -59,6 +59,44 @@ class TestCommands:
         assert "sampled" in out
         assert "kernel_all_load" in out
 
+    def test_monitor_buffered(self, capsys):
+        code, out, _ = run(capsys, "monitor", "icl", "--duration", "4",
+                           "--freq", "2", "--buffered")
+        assert code == 0
+        assert "buffered: max queue depth" in out
+
+    def test_chaos_buffered_survives_outage(self, capsys):
+        code, out, _ = run(capsys, "chaos", "icl", "--duration", "20",
+                           "--freq", "2", "--outage", "5", "9")
+        assert code == 0
+        assert "DbOutage" in out
+        assert "breaker -> closed" in out
+        assert "recovered" in out
+        assert "rejected" in out
+
+    def test_chaos_unbuffered_shows_damage(self, capsys):
+        code, out, _ = run(capsys, "chaos", "icl", "--duration", "20",
+                           "--freq", "2", "--outage", "5", "9", "--unbuffered")
+        assert code == 0
+        assert "(unbuffered)" in out
+        # The outage window is gone: loss is well above the healthy ~0%.
+        loss = float(out.split("% lost")[0].rsplit("(", 1)[1])
+        assert loss > 10.0
+
+    def test_chaos_default_fault_injected(self, capsys):
+        code, out, _ = run(capsys, "chaos", "icl", "--duration", "12")
+        assert code == 0
+        assert "1 fault(s) installed" in out
+
+    def test_chaos_flaky_and_spike(self, capsys):
+        code, out, _ = run(capsys, "chaos", "icl", "--duration", "16",
+                           "--flaky", "2", "10", "0.5",
+                           "--latency-spike", "4", "8", "10",
+                           "--policy", "spill")
+        assert code == 0
+        assert "FlakyWrites" in out
+        assert "InsertLatencySpike" in out
+
     def test_observe(self, capsys):
         code, out, _ = run(capsys, "observe", "icl", "--kernel", "triad",
                            "--elements", "1000000", "--iterations", "100",

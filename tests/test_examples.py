@@ -35,6 +35,20 @@ class TestExamples:
         assert "Auto-generated recall queries" in out
         assert "perfevent_hwcounters_RAPL_ENERGY_PKG_value" in out
 
+    def test_resilient_shipping(self, capsys):
+        out = run_example("resilient_shipping", capsys)
+        assert "[unbuffered]" in out
+        assert "[buffered]" in out
+        assert "breaker trace:" in out
+        assert "rides out the outage" in out
+        # The buffered pipeline must beat the unbuffered one through the
+        # same outage.
+        unb = out.split("[unbuffered]")[1]
+        buf = out.split("[buffered]")[1]
+        unb_loss = float(unb.split("% lost")[0].rsplit("(", 1)[1])
+        buf_loss = float(buf.split("% lost")[0].rsplit("(", 1)[1])
+        assert buf_loss < unb_loss / 2
+
     def test_spmv_live_monitoring(self, capsys):
         out = run_example("spmv_live_monitoring", capsys)
         assert "merge SpMV verified against reference" in out
