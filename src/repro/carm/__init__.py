@@ -2,7 +2,7 @@
 construction and persistence, the live-CARM panel, and roofline rendering
 (§IV-B, Figs 8–9)."""
 
-from .live import LivePoint, assign_phases, live_carm_points
+from .live import LivePoint, assign_phases, live_carm_points, live_carm_points_from_pmu
 from .microbench import CarmMeasurements, CarmMicrobenchSuite, representative_thread_counts
 from .model import CarmModel, load_from_kb, save_to_kb
 from .plot import render_carm_svg
@@ -14,6 +14,7 @@ __all__ = [
     "LivePoint",
     "assign_phases",
     "live_carm_points",
+    "live_carm_points_from_pmu",
     "load_from_kb",
     "render_carm_svg",
     "representative_thread_counts",

@@ -24,8 +24,9 @@ from dataclasses import dataclass
 
 from repro.db.influx import InfluxDB
 from repro.pmu.abstraction import AbstractionLayer, UnsupportedEventError, pmu_utils
+from repro.pmu.counters import PMU
 
-__all__ = ["LivePoint", "live_carm_points", "assign_phases"]
+__all__ = ["LivePoint", "live_carm_points", "live_carm_points_from_pmu", "assign_phases"]
 
 _ISA_WIDTH_EVENTS = {
     # FP_ARITH-style event suffix -> access width in bytes.
@@ -125,6 +126,60 @@ def live_carm_points(
         points.append(
             LivePoint(t=t, window_s=window, flops=flops, bytes_moved=mem_ops * width)
         )
+    return points
+
+
+def live_carm_points_from_pmu(
+    pmu: PMU,
+    pmu_name: str,
+    t0: float,
+    t1: float,
+    freq_hz: float,
+    layer: AbstractionLayer = pmu_utils,
+) -> list[LivePoint]:
+    """Live-CARM dots straight off the programmed PMU, no DB round-trip.
+
+    The dashboard path (:func:`live_carm_points`) replays series the
+    sampler already shipped to Influx; this is the in-situ variant — the
+    panel observing the machine directly, window by window.  Each window
+    issues **one** batched counter read
+    (:meth:`~repro.pmu.counters.PMU.read_events_all_cpus`, a single
+    timeline pass) for every event the FLOPS/LOADS/STORES formulas need,
+    instead of events × cpus scalar reads per dot.
+    """
+    if freq_hz <= 0:
+        raise ValueError("live-CARM sampling frequency must be positive")
+    if t1 <= t0:
+        raise ValueError("empty live-CARM window")
+    flops_formula = layer.formula(pmu_name, "FLOPS_DP")
+    loads_formula = layer.formula(pmu_name, "LOADS")
+    stores_formula = layer.formula(pmu_name, "STORES")
+    events = [e for e in layer.hw_events_needed(
+        pmu_name, ["FLOPS_DP", "LOADS", "STORES"]
+    ) if e in pmu.session]
+
+    period = 1.0 / freq_hz
+    n_windows = max(1, int(round((t1 - t0) * freq_hz)))
+    points: list[LivePoint] = []
+    prev_t = t0
+    for k in range(1, n_windows + 1):
+        t = min(t0 + k * period, t1)
+        window = t - prev_t
+        if window <= 0:
+            continue
+        per_event = pmu.read_events_all_cpus(events, prev_t, t)
+        window_counts = {e: sum(vals.values()) for e, vals in per_event.items()}
+
+        def resolve(ev: str) -> float:
+            return window_counts.get(ev, 0.0)
+
+        flops = flops_formula.evaluate(resolve)
+        mem_ops = loads_formula.evaluate(resolve) + stores_formula.evaluate(resolve)
+        width = _infer_width_bytes(window_counts)
+        points.append(
+            LivePoint(t=t, window_s=window, flops=flops, bytes_moved=mem_ops * width)
+        )
+        prev_t = t
     return points
 
 

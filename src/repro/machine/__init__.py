@@ -7,6 +7,7 @@ from .activity import SW_METRICS, SoftwareState
 from .faults import CpuThrottle, Fault, FaultSet, LoadImbalance, MemoryContention
 from .kernel import QUANTITIES, KernelDescriptor, fp_quantity
 from .memory import ExecutionProfile, estimate_execution
+from .naive_timeline import NaiveTimeline
 from .presets import PRESETS, csl, get_preset, gpu_node, icl, skx, zen3
 from .simulator import KernelRun, SimulatedMachine
 from .spec import (
@@ -38,6 +39,7 @@ __all__ = [
     "FaultSet",
     "LoadImbalance",
     "MemoryContention",
+    "NaiveTimeline",
     "DiskSpec",
     "ExecutionProfile",
     "GpuSpec",

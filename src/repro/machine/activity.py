@@ -81,9 +81,8 @@ class SoftwareState:
             window = min(t, 60.0)
             if window <= 0:
                 return 0.0
-            return sum(
-                m.busy_fraction(c, t - window, t) for c in range(self.spec.n_threads)
-            )
+            # One batched timeline read for the whole thread set.
+            return sum(m.busy_fractions(range(self.spec.n_threads), t - window, t))
 
         if metric == "kernel.all.nprocs":
             return 220 + 2 * len(m.active_runs(t))
@@ -108,11 +107,17 @@ class SoftwareState:
         if metric.startswith("mem.numa.alloc."):
             node_id = int(instance.removeprefix("node"))
             node = self.spec.numa_nodes[node_id]
-            # Pages touched on this node ~ DRAM bytes pulled by its cores.
+            # Pages touched on this node ~ DRAM bytes pulled by its cores;
+            # all of the node's threads read in one batched pass.
+            cpus = [
+                cpu
+                for core in node.core_ids
+                for cpu in self.spec.threads_of_core(core)
+            ]
+            dram = m.read_batch([(("cpu", c), "dram_bytes") for c in cpus], 0.0, t)
             pages = 0.0
-            for core in node.core_ids:
-                for cpu in self.spec.threads_of_core(core):
-                    pages += m.read_cpu(cpu, "dram_bytes", 0.0, t) / 4096.0
+            for b in dram:
+                pages += b / 4096.0
             if metric.endswith(".hit"):
                 return pages * 0.97 + 500.0 * t  # steady OS allocation churn
             return pages * 0.03

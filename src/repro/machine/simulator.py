@@ -15,6 +15,7 @@ idle system.
 from __future__ import annotations
 
 import zlib
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 import numpy as np
@@ -156,6 +157,14 @@ class SimulatedMachine:
         self._extend_background(max(t1, self.clock.now()))
         return self.timeline.integrate(scope, quantity, t0, t1)
 
+    def read_batch(
+        self, pairs: list[tuple[Scope, str]], t0: float, t1: float
+    ) -> list[float]:
+        """Exact accumulations for many (scope, quantity) pairs over one
+        shared window — one background extension, one timeline pass."""
+        self._extend_background(max(t1, self.clock.now()))
+        return self.timeline.integrate_batch(pairs, t0, t1)
+
     def read_cpu(self, cpu: int, quantity: str, t0: float, t1: float) -> float:
         if not 0 <= cpu < self.spec.n_threads:
             raise IndexError(f"cpu {cpu} out of range")
@@ -174,6 +183,17 @@ class SimulatedMachine:
         cycles = self.read_cpu(cpu, "cycles", t0, t1)
         budget = (t1 - t0) * self.spec.sockets[0].core.max_freq_ghz * 1e9
         return min(1.0, cycles / budget)
+
+    def busy_fractions(
+        self, cpus: Iterable[int], t0: float, t1: float
+    ) -> list[float]:
+        """:meth:`busy_fraction` for many threads in one batched read."""
+        cpus = list(cpus)
+        if t1 <= t0:
+            return [0.0] * len(cpus)
+        cycles = self.read_batch([(("cpu", c), "cycles") for c in cpus], t0, t1)
+        budget = (t1 - t0) * self.spec.sockets[0].core.max_freq_ghz * 1e9
+        return [min(1.0, cyc / budget) for cyc in cycles]
 
     def active_runs(self, t: float) -> list[KernelRun]:
         return [r for r in self.runs if r.t_start <= t < r.t_end]

@@ -66,6 +66,17 @@ class Agent:
         self.costs.charge(len(values), self.cpu_per_fetch, self.cpu_per_value)
         return values
 
+    def fetch_batch(
+        self, metrics: list[str], t0: float, t1: float
+    ) -> dict[str, dict[str, float]]:
+        """Fetch several owned metrics over one shared window.
+
+        The base implementation just loops :meth:`fetch`; agents whose
+        backing store has a batched read path (perfevent → the timeline's
+        ``integrate_batch``) override it.  Cost accounting is per metric
+        either way, so Fig 6 numbers do not depend on the fetch shape."""
+        return {m: self.fetch(m, t0, t1) for m in metrics}
+
     def _fetch(self, metric: str, t0: float, t1: float) -> dict[str, float]:
         raise NotImplementedError
 
@@ -138,6 +149,25 @@ class PmdaPerfevent(Agent):
         event = self._event_for(metric)
         vals = self.pmu.read_all_cpus(event, t0, t1)
         return {instance_field(f"cpu{c}"): v for c, v in vals.items()}
+
+    def fetch_batch(
+        self, metrics: list[str], t0: float, t1: float
+    ) -> dict[str, dict[str, float]]:
+        """One batched PMU read for the whole metric set × cpu set.
+
+        A sampler tick lands here: instead of events × cpus scalar
+        ``integrate`` calls, the tick issues a single
+        :meth:`~repro.pmu.counters.PMU.read_events_all_cpus` (one timeline
+        pass).  Values and per-metric cost accounting are identical to the
+        scalar path."""
+        events = [self._event_for(m) for m in metrics]
+        vals = self.pmu.read_events_all_cpus(events, t0, t1)
+        out: dict[str, dict[str, float]] = {}
+        for metric, event in zip(metrics, events):
+            fields = {instance_field(f"cpu{c}"): v for c, v in vals[event].items()}
+            self.costs.charge(len(fields), self.cpu_per_fetch, self.cpu_per_value)
+            out[metric] = fields
+        return out
 
 
 class PmdaProc(Agent):

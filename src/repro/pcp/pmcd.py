@@ -72,14 +72,25 @@ class Pmcd:
         return sorted(out)
 
     def fetch(self, metrics: list[str], t0: float, t1: float) -> Report:
-        """Fetch a metric set over a window into one report."""
+        """Fetch a metric set over a window into one report.
+
+        Metrics are grouped by owning agent and fetched through each
+        agent's batched path — one round-trip per agent per tick, so a
+        perfevent fetch is a single batched timeline read instead of
+        events × cpus scalar reads.  The report lists metrics in request
+        order regardless of grouping."""
         if not metrics:
             raise ValueError("empty metric list")
         if t1 < t0:
             raise ValueError("fetch window reversed")
-        values: dict[str, dict[str, float]] = {}
+        by_agent: dict[int, tuple[Agent, list[str]]] = {}
         for m in metrics:
-            values[m] = self._route(m).fetch(m, t0, t1)
+            agent = self._route(m)
+            by_agent.setdefault(id(agent), (agent, []))[1].append(m)
+        fetched: dict[str, dict[str, float]] = {}
+        for agent, ms in by_agent.values():
+            fetched.update(agent.fetch_batch(ms, t0, t1))
+        values = {m: fetched[m] for m in metrics}
         report = Report(time=t1, window=(t0, t1), values=values)
         self.costs.charge(report.n_points, self.cpu_per_fetch, self.cpu_per_value)
         return report

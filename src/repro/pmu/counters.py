@@ -119,14 +119,16 @@ class PMU:
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
-    def _true_value(self, edef: EventDef, cpu: int, t0: float, t1: float) -> float:
+    def _scope_for(self, edef: EventDef, cpu: int) -> tuple[str, int]:
         if edef.scope == "socket":
             socket = self.machine.spec.socket_of_core(
                 self.machine.spec.core_of_thread(cpu)
             )
-            scope = ("socket", socket)
-        else:
-            scope = ("cpu", cpu)
+            return ("socket", socket)
+        return ("cpu", cpu)
+
+    def _true_value(self, edef: EventDef, cpu: int, t0: float, t1: float) -> float:
+        scope = self._scope_for(edef, cpu)
         return sum(
             scale * self.machine.read(scope, quantity, t0, t1)
             for quantity, scale in edef.terms.items()
@@ -156,5 +158,48 @@ class PMU:
         )
 
     def read_all_cpus(self, event: str, t0: float, t1: float) -> dict[int, float]:
-        """One window read for every cpu in the session (a perfevent fetch)."""
-        return {c: self.read_interval(event, c, t0, t1) for c in self.session.cpus}
+        """One window read for every cpu in the session (a perfevent fetch).
+
+        Routed through the batched path: one timeline pass for the whole
+        cpu set instead of a scalar integrate per cpu."""
+        return self.read_events_all_cpus([event], t0, t1)[event]
+
+    def read_events_all_cpus(
+        self, events: list[str], t0: float, t1: float
+    ) -> dict[str, dict[int, float]]:
+        """Window reads for many events × every session cpu, in one batched
+        timeline pass.
+
+        This is the whole-tick fetch of a PCP sampler: the true
+        accumulations for all (event term, cpu) pairs come back from a
+        single :meth:`SimulatedMachine.read_batch` call, then the
+        deterministic per-read noise is applied — measured values are
+        identical to scalar :meth:`read_interval` reads, only the number
+        of timeline traversals changes."""
+        sess = self.session
+        missing = [e for e in events if e not in sess]
+        if missing:
+            raise KeyError(f"events {missing} not programmed")
+        defs = [self.catalog.get(e) for e in events]
+        pairs: list[tuple[tuple[str, int], str]] = []
+        for edef in defs:
+            for cpu in sess.cpus:
+                scope = self._scope_for(edef, cpu)
+                for quantity in edef.terms:
+                    pairs.append((scope, quantity))
+        raw = self.machine.read_batch(pairs, t0, t1)
+        out: dict[str, dict[int, float]] = {}
+        k = 0
+        for event, edef in zip(events, defs):
+            mux = sess.mux_groups if (edef.scope == "cpu" and not edef.fixed) else 1
+            per_cpu: dict[int, float] = {}
+            for cpu in sess.cpus:
+                true = 0.0
+                for scale in edef.terms.values():
+                    true += scale * raw[k]
+                    k += 1
+                per_cpu[cpu] = self.noise.measure(
+                    true, cpu, event, t0, t1, mux_groups=mux
+                )
+            out[event] = per_cpu
+        return out

@@ -1,0 +1,74 @@
+"""The in-situ live-CARM path: dots straight off the PMU, batched reads."""
+
+import pytest
+
+from repro.carm import live_carm_points_from_pmu
+from repro.machine import ISA, SimulatedMachine, get_preset
+from repro.pmu import PMU
+from repro.pmu.abstraction import pmu_utils
+from repro.workloads import build_kernel
+
+FP_EVENTS = pmu_utils.hw_events_needed("skl", ["FLOPS_DP", "LOADS", "STORES"])
+
+
+@pytest.fixture(scope="module")
+def sampled_run():
+    machine = SimulatedMachine(get_preset("skx"), seed=5)
+    pmu = PMU(machine, seed=5)
+    cpus = list(range(machine.spec.n_cores))
+    events = [e for e in FP_EVENTS if e in pmu.catalog]
+    pmu.program(events, cpus=cpus)
+    desc = build_kernel("triad", 2_000_000, isa=ISA.AVX512, iterations=300)
+    t0 = machine.clock.now()
+    run = machine.run_kernel(desc, cpus)
+    return machine, pmu, t0, run
+
+
+class TestLiveCarmFromPmu:
+    def test_points_cover_the_run(self, sampled_run):
+        _, pmu, t0, run = sampled_run
+        pts = live_carm_points_from_pmu(pmu, "skl", t0, run.t_end, freq_hz=8.0)
+        assert len(pts) == pytest.approx((run.t_end - t0) * 8.0, abs=2)
+        assert pts[-1].t == pytest.approx(run.t_end)
+        assert sum(p.window_s for p in pts) == pytest.approx(run.t_end - t0)
+
+    def test_flops_roll_up_to_ground_truth(self, sampled_run):
+        _, pmu, t0, run = sampled_run
+        pts = live_carm_points_from_pmu(pmu, "skl", t0, run.t_end, freq_hz=8.0)
+        total_flops = sum(p.flops for p in pts)
+        # FLOPS_DP weights FP_ARITH:512B instruction counts by 8 lanes.
+        truth = run.ground_truth("fp_dp_avx512") * 8.0
+        # Windows tile the run exactly; only counter noise separates the sum
+        # from the exact deposit.
+        assert total_flops == pytest.approx(truth, rel=0.02)
+        assert all(p.gflops > 0 for p in pts)
+        assert all(p.ai > 0 for p in pts)
+
+    def test_one_batched_read_per_window(self, sampled_run):
+        machine, pmu, t0, run = sampled_run
+        counts = {"batch": 0, "scalar": 0}
+        tl = machine.timeline
+        orig_b, orig_s = tl.integrate_batch, tl.integrate
+
+        def batch(*a, **k):
+            counts["batch"] += 1
+            return orig_b(*a, **k)
+
+        def scalar(*a, **k):
+            counts["scalar"] += 1
+            return orig_s(*a, **k)
+
+        tl.integrate_batch, tl.integrate = batch, scalar
+        try:
+            pts = live_carm_points_from_pmu(pmu, "skl", t0, run.t_end, freq_hz=4.0)
+        finally:
+            tl.integrate_batch, tl.integrate = orig_b, orig_s
+        assert counts["scalar"] == 0
+        assert counts["batch"] == len(pts)
+
+    def test_rejects_bad_windows(self, sampled_run):
+        _, pmu, t0, run = sampled_run
+        with pytest.raises(ValueError):
+            live_carm_points_from_pmu(pmu, "skl", t0, t0, freq_hz=4.0)
+        with pytest.raises(ValueError):
+            live_carm_points_from_pmu(pmu, "skl", t0, run.t_end, freq_hz=0.0)

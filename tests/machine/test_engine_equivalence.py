@@ -1,0 +1,178 @@
+"""Indexed prefix-sum Timeline ≡ naive scan: randomized equivalence proofs.
+
+Mirrors ``tests/db/test_engine_equivalence.py`` for the simulation
+substrate: the compacted-breakpoint engine
+(:class:`repro.machine.Timeline`) must agree with the flat
+start-sorted-list reference (:class:`repro.machine.NaiveTimeline`) —
+integrate / rate_at / integrate_many / integrate_batch, within 1e-9
+relative of the workload's magnitude — over arbitrary segment soups:
+overlapping intervals, duplicate boundaries, negative-rate corrections,
+zero-width windows, reversed windows, and reads interleaved with writes
+(forcing repeated staging merges).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import NaiveTimeline, Timeline
+
+SCOPES = [("cpu", 0), ("cpu", 1), ("socket", 0), ("node", 0)]
+QUANTITIES = ["cycles", "flops", "energy"]
+
+# Mix a coarse grid (forcing duplicate and shared boundaries) with
+# arbitrary floats; durations include zero-ish and long spans; rates
+# include negative corrections.
+times = st.one_of(
+    st.integers(0, 10).map(float),
+    st.floats(0, 100, allow_nan=False, allow_infinity=False),
+)
+durations = st.one_of(
+    st.integers(0, 5).map(float),
+    st.floats(0, 50, allow_nan=False, allow_infinity=False),
+)
+rates = st.one_of(
+    st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+    st.integers(-100, 100).map(float),
+)
+
+segment = st.tuples(
+    st.sampled_from(SCOPES), st.sampled_from(QUANTITIES), times, durations, rates
+)
+soups = st.lists(segment, max_size=50)
+
+windows = st.tuples(times, durations)
+
+
+def build_pair(soup):
+    indexed, naive = Timeline(), NaiveTimeline()
+    scale = 0.0
+    for scope, quantity, t0, dur, rate in soup:
+        indexed.add_rate(scope, quantity, t0, t0 + dur, rate)
+        naive.add_rate(scope, quantity, t0, t0 + dur, rate)
+        scale += abs(rate) * dur
+    return indexed, naive, scale
+
+
+def assert_close(got, want, scale):
+    """1e-9-relative agreement, scaled to the soup's total magnitude so
+    cancellation-heavy (negative-rate) workloads stay meaningful."""
+    assert abs(got - want) <= 1e-9 * max(1.0, scale, abs(want))
+
+
+class TestReadEquivalence:
+    @given(soups, windows)
+    @settings(max_examples=150, deadline=None)
+    def test_integrate_identical(self, soup, window):
+        indexed, naive, scale = build_pair(soup)
+        w0, dw = window
+        for scope in SCOPES:
+            for q in QUANTITIES:
+                got = indexed.integrate(scope, q, w0, w0 + dw)
+                want = naive.integrate(scope, q, w0, w0 + dw)
+                assert_close(got, want, scale)
+
+    @given(soups)
+    @settings(max_examples=100, deadline=None)
+    def test_integrate_at_segment_boundaries(self, soup):
+        """Windows whose endpoints sit exactly on segment boundaries."""
+        indexed, naive, scale = build_pair(soup)
+        bounds = sorted({t0 for _, _, t0, _, _ in soup}
+                        | {t0 + d for _, _, t0, d, _ in soup})
+        for scope, q, *_ in soup[:10]:
+            for a, b in zip(bounds, bounds[1:]):
+                assert_close(
+                    indexed.integrate(scope, q, a, b),
+                    naive.integrate(scope, q, a, b),
+                    scale,
+                )
+
+    @given(soups, times)
+    @settings(max_examples=150, deadline=None)
+    def test_rate_at_identical(self, soup, t):
+        indexed, naive, _ = build_pair(soup)
+        rate_scale = sum(abs(r) for *_, r in soup)
+        probes = {t} | {t0 for _, _, t0, _, _ in soup} | {t0 + d for _, _, t0, d, _ in soup}
+        for scope in SCOPES:
+            for q in QUANTITIES:
+                for p in probes:
+                    got = indexed.rate_at(scope, q, p)
+                    want = naive.rate_at(scope, q, p)
+                    assert abs(got - want) <= 1e-9 * max(1.0, rate_scale, abs(want))
+
+    @given(soups, windows)
+    @settings(max_examples=100, deadline=None)
+    def test_integrate_many_and_batch_identical(self, soup, window):
+        indexed, naive, scale = build_pair(soup)
+        w0, dw = window
+        for q in QUANTITIES:
+            assert_close(
+                indexed.integrate_many(SCOPES, q, w0, w0 + dw),
+                naive.integrate_many(SCOPES, q, w0, w0 + dw),
+                scale,
+            )
+        pairs = [(s, q) for s in SCOPES for q in QUANTITIES]
+        got = indexed.integrate_batch(pairs, w0, w0 + dw)
+        want = naive.integrate_batch(pairs, w0, w0 + dw)
+        for g, w in zip(got, want):
+            assert_close(g, w, scale)
+
+    @given(soups)
+    @settings(max_examples=60, deadline=None)
+    def test_zero_width_windows(self, soup):
+        indexed, naive, _ = build_pair(soup)
+        for scope, q, t0, dur, _ in soup[:10]:
+            assert indexed.integrate(scope, q, t0, t0) == 0.0
+            assert naive.integrate(scope, q, t0, t0) == 0.0
+
+    @given(soups)
+    @settings(max_examples=30, deadline=None)
+    def test_reversed_windows_raise_in_both(self, soup):
+        indexed, naive, _ = build_pair(soup)
+        for engine in (indexed, naive):
+            with pytest.raises(ValueError):
+                engine.integrate(("cpu", 0), "cycles", 2.0, 1.0)
+            with pytest.raises(ValueError):
+                engine.integrate_batch([(("cpu", 0), "cycles")], 2.0, 1.0)
+
+    @given(soups)
+    @settings(max_examples=60, deadline=None)
+    def test_quantities_identical(self, soup):
+        indexed, naive, _ = build_pair(soup)
+        for scope in SCOPES:
+            assert indexed.quantities(scope) == naive.quantities(scope)
+
+
+class TestInterleavedEquivalence:
+    """Reads interleaved with writes force merge → stage → re-merge cycles
+    in the indexed engine; results must keep matching the reference."""
+
+    @given(st.lists(st.tuples(segment, windows), min_size=1, max_size=30))
+    @settings(max_examples=80, deadline=None)
+    def test_alternating_write_read(self, steps):
+        indexed, naive = Timeline(), NaiveTimeline()
+        scale = 1.0
+        for (scope, q, t0, dur, rate), (w0, dw) in steps:
+            indexed.add_rate(scope, q, t0, t0 + dur, rate)
+            naive.add_rate(scope, q, t0, t0 + dur, rate)
+            scale += abs(rate) * dur
+            got = indexed.integrate(scope, q, w0, w0 + dw)
+            want = naive.integrate(scope, q, w0, w0 + dw)
+            assert_close(got, want, scale)
+            assert indexed.rate_at(scope, q, w0) == pytest.approx(
+                naive.rate_at(scope, q, w0), rel=1e-9, abs=1e-6
+            )
+
+    @given(soups, windows, windows)
+    @settings(max_examples=60, deadline=None)
+    def test_bulk_add_then_sliding_windows(self, soup, wa, wb):
+        indexed, naive, scale = build_pair(soup)
+        indexed.bulk_add(("cpu", 0), {"cycles": 100.0, "flops": 50.0}, 0.0, 10.0)
+        naive.bulk_add(("cpu", 0), {"cycles": 100.0, "flops": 50.0}, 0.0, 10.0)
+        for w0, dw in (wa, wb):
+            for q in QUANTITIES:
+                assert_close(
+                    indexed.integrate(("cpu", 0), q, w0, w0 + dw),
+                    naive.integrate(("cpu", 0), q, w0, w0 + dw),
+                    scale + 150.0,
+                )

@@ -1,0 +1,94 @@
+"""Byte-identity regression for the timeline engine swap.
+
+Same pattern as ``tests/pcp/test_regression_unbuffered.py``: the indexed
+prefix-sum engine must not perturb the paper artifacts.  Two guards:
+
+1. The committed Fig 4 / Fig 5 / Fig 7 / Table III outputs under
+   ``benchmarks/results/`` carry the sha256 digests captured from the
+   pre-swap (naive scan) engine; regenerating them with the indexed
+   engine reproduced the same bytes, and this test pins the files so any
+   future engine change that drifts them fails tier-1 before it can skew
+   EXPERIMENTS.md.
+2. A kernel-under-sampling cell is run twice on the same seed — once on
+   the indexed engine, once with :class:`~repro.machine.NaiveTimeline`
+   swapped into the machine — and every stored Influx field must agree to
+   1e-9 relative (full-precision byte identity on multi-segment windows
+   is not promised; formatted artifact identity is, per guard 1).
+"""
+
+import hashlib
+from pathlib import Path
+
+import pytest
+
+from repro.db import InfluxDB
+from repro.machine import ISA, NaiveTimeline, SimulatedMachine, get_preset
+from repro.pcp import Pmcd, PmdaPerfevent, Sampler, perfevent_metric
+from repro.pmu import PMU
+from repro.workloads import build_kernel
+
+RESULTS = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+
+#: sha256 of the benchmark artifacts, captured with the pre-swap naive
+#: scan engine (and reproduced byte-identically by the indexed engine).
+GOLDEN_ARTIFACTS = {
+    "fig4_accuracy.txt": "7799bbd866c5d7c0efc5b3b04f5bb96a729baad833b119454a062fc50d20941a",
+    "fig5_overhead.txt": "d9709e1bbbb024c81b907441e0af133ad26c1eadce0b08bb203e88faff52b340",
+    "fig7_live_spmv.txt": "0b41019ea63e33998c225a32781142fa9f1159ad31744acd68f480ca77948853",
+    "table3_throughput.txt": "2d35b7078b34ed3bc46e9cf8bf4fe54752ad2930225000261b203e16b2d0cc0b",
+}
+
+EVENTS = [
+    "UNHALTED_CORE_CYCLES",
+    "INSTRUCTION_RETIRED",
+    "FP_ARITH:512B_PACKED_DOUBLE",
+    "MEM_INST_RETIRED:ALL_LOADS",
+]
+
+
+class TestArtifactsByteIdentical:
+    def test_benchmark_outputs_unchanged(self):
+        for name, want in GOLDEN_ARTIFACTS.items():
+            data = (RESULTS / name).read_bytes()
+            got = hashlib.sha256(data).hexdigest()
+            assert got == want, f"{name} drifted from the pre-swap golden"
+
+
+def run_cell(timeline=None, seed=42):
+    """One kernel under sampling; returns {(measurement, line key): fields}."""
+    machine = SimulatedMachine(get_preset("skx"), seed=seed)
+    if timeline is not None:
+        machine.timeline = timeline
+    pmu = PMU(machine, seed=seed)
+    perfevent = PmdaPerfevent(pmu)
+    cpus = list(range(machine.spec.n_cores))
+    perfevent.configure(EVENTS, cpus=cpus)
+    influx = InfluxDB()
+    sampler = Sampler(Pmcd([perfevent]), influx, seed=seed)
+
+    desc = build_kernel("triad", 2_000_000, isa=ISA.AVX512, iterations=200)
+    t0 = machine.clock.now()
+    run = machine.run_kernel(desc, cpus)
+    metrics = [perfevent_metric(e) for e in EVENTS]
+    sampler.run(metrics, 8.0, t0, run.t_end, tag="swap", final_fetch=True)
+
+    out = {}
+    for meas in influx.measurements("pmove"):
+        for p in influx.points("pmove", meas):
+            out[(meas, p.time)] = p.fields
+    return out
+
+
+class TestEnginesAgreeUnderSampling:
+    def test_stored_points_match_reference_engine(self):
+        indexed = run_cell()
+        naive = run_cell(timeline=NaiveTimeline())
+        assert indexed.keys() == naive.keys()
+        compared = 0
+        for key, fields in indexed.items():
+            want = naive[key]
+            assert fields.keys() == want.keys()
+            for f, v in fields.items():
+                assert v == pytest.approx(want[f], rel=1e-9, abs=1e-6)
+                compared += 1
+        assert compared > 100  # a real multi-window, multi-cpu workload
