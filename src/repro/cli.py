@@ -6,6 +6,8 @@ Usage (also available as ``python -m repro.cli``)::
     pmove kb csl --depth 2           # build + render the Knowledge Base
     pmove monitor icl --duration 10  # Scenario A with a rendered dashboard
     pmove chaos icl --outage 5 10    # Scenario A surviving a scripted DB outage
+    pmove chaos csl --node-crash 1 40  # node crash: requeue + fleet recovery
+    pmove superdb anti-entropy --wan-outage 0 2  # heal a partitioned report
     pmove observe csl --kernel triad # Scenario B + auto-generated queries
     pmove carm csl --threads 28      # CARM roofs (optionally --svg out.svg)
     pmove bench icl stream           # BenchmarkInterface runners
@@ -81,6 +83,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="each insert in the window fails with probability P")
     s.add_argument("--unbuffered", action="store_true",
                    help="run the paper's unbuffered pipeline instead (shows the damage)")
+    s.add_argument("--nodes", type=int, default=4,
+                   help="cluster size for node-fault chaos")
+    s.add_argument("--node-crash", nargs=2, type=float, metavar=("T0", "T1"),
+                   help="crash one node for the window: job fails, is requeued, "
+                        "recovers (switches to the cluster chaos story)")
+    s.add_argument("--node-hang", nargs=3, type=float, metavar=("T0", "T1", "FACTOR"),
+                   help="one node straggles by FACTOR during the window "
+                        "(switches to the cluster chaos story)")
+
+    s = sub.add_parser(
+        "superdb",
+        help="SUPERDB federation: report over a faulty WAN, inspect sync "
+             "state, repair with anti-entropy",
+    )
+    s.add_argument("action", choices=("report", "sync-status", "anti-entropy"))
+    s.add_argument("--preset", choices=sorted(PRESETS), default="icl")
+    s.add_argument("--mode", choices=("agg", "ts"), default="agg")
+    s.add_argument("--wan-outage", nargs=2, type=float, metavar=("T0", "T1"),
+                   help="WAN partition window on the federation link")
+    s.add_argument("--retry-budget", type=float, default=5.0,
+                   help="virtual seconds the link retries each push")
 
     s = sub.add_parser("observe", help="Scenario B: profile a kernel execution")
     s.add_argument("preset", choices=sorted(PRESETS))
@@ -159,6 +182,56 @@ def _cmd_monitor(args) -> int:
     return 0
 
 
+def _cmd_node_chaos(args) -> int:
+    """Cluster chaos story: a node fault kills/paces a job; the scheduler
+    requeues and the fleet recovers."""
+    from repro.cluster import ClusterMonitor, JobSpec, SimulatedCluster
+    from repro.faults import NodeCrash, NodeHang
+    from repro.workloads import build_kernel
+
+    cluster = SimulatedCluster(PRESETS[args.preset], n_nodes=args.nodes)
+    monitor = ClusterMonitor(cluster)
+    victim = cluster.node_names[0]
+    if args.node_crash:
+        cluster.inject_node_fault(victim, NodeCrash(t0=args.node_crash[0],
+                                                    t1=args.node_crash[1]))
+    if args.node_hang:
+        t0, t1, factor = args.node_hang
+        cluster.inject_node_fault(victim, NodeHang(t0=t0, t1=t1, factor=factor))
+    print(f"node chaos on {args.preset} x{args.nodes}, victim {victim}:")
+    for f in cluster.node_faults.faults_for(victim):
+        print(f"  {f!r}")
+
+    spec = get_preset(args.preset)
+    job = JobSpec(
+        name="chaos_job", n_nodes=min(2, args.nodes),
+        ranks_per_node=spec.n_cores,
+        rank_kernel=build_kernel("triad", 400_000, iterations=1),
+        iterations=200,
+        halo_bytes_per_neighbor=1e6, halo_neighbors=2, allreduce_bytes=8e3,
+    )
+    try:
+        doc, execution, _ = monitor.run_job(job, freq_hz=2.0)
+    except RuntimeError as e:
+        print(f"job gave up: {e}")
+        return 1
+    print(f"job {doc['job_id']} completed on {execution.nodes} "
+          f"after {doc['requeues']} requeue(s): {execution.runtime_s:.3f}s")
+    for att in doc["failed_attempts"]:
+        print(f"  attempt on {att['nodes']} killed by {att['failed_node']} "
+              f"at t={att['t_failed']:.3f}s")
+    health = monitor.fleet_health()
+    print(f"fleet degraded={health['degraded']}, down={health['nodes_down']}")
+    for name, h in health["nodes"].items():
+        stale = ("-" if h["staleness_s"] is None else f"{h['staleness_s']:.2f}s")
+        print(f"  {name}: {h['state']:<7} staleness={stale} "
+              f"failed_jobs={h['jobs_failed_here']}")
+    print("utilization (downtime excluded from denominator):")
+    for name, u in monitor.scheduler.utilization().items():
+        print(f"  {name}: {u:.3f}")
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     from repro.core import PMoVE
     from repro.faults import (
@@ -169,6 +242,9 @@ def _cmd_chaos(args) -> int:
         ServiceFaultSet,
     )
     from repro.pcp import ShipperConfig
+
+    if args.node_crash or args.node_hang:
+        return _cmd_node_chaos(args)
 
     faults = ServiceFaultSet()
     if args.outage:
@@ -212,6 +288,45 @@ def _cmd_chaos(args) -> int:
     health = daemon.health()
     print(f"writes: {health['writes']['accepted']} accepted, "
           f"{health['writes']['rejected']} rejected")
+    return 0
+
+
+def _cmd_superdb(args) -> int:
+    from repro.core import PMoVE, SuperDB
+    from repro.faults import NetworkPartition, ServiceFaultSet
+    from repro.pcp import RetryPolicy
+    from repro.workloads import build_kernel
+
+    wan = ServiceFaultSet()
+    if args.wan_outage:
+        wan.inject(NetworkPartition(t0=args.wan_outage[0], t1=args.wan_outage[1]))
+    sdb = SuperDB(faults=wan, retry=RetryPolicy(budget_s=args.retry_budget))
+
+    daemon = PMoVE()
+    daemon.attach_target(SimulatedMachine(get_preset(args.preset)))
+    desc = build_kernel("triad", 2_000_000, iterations=200)
+    daemon.scenario_b(args.preset, desc, ["RAPL_POWER_PACKAGE"], freq_hz=4)
+
+    summary = daemon.push_to_superdb(sdb, args.preset, mode=args.mode)
+    print(f"report ({args.mode}): {summary['observations']} observation(s), "
+          f"{summary['points']} points, {summary['pending']} pending "
+          f"(link t={summary['t']:.3f}s, "
+          f"{sdb.link.failed_attempts}/{sdb.link.attempts} attempts failed)")
+
+    if args.action == "anti-entropy":
+        kb = daemon.target(args.preset).kb
+        for i in (1, 2):
+            rep = sdb.anti_entropy(kb, daemon.influx, daemon.database,
+                                   mode=args.mode)
+            print(f"anti-entropy pass {i}: checked {rep['checked']}, "
+                  f"repaired {rep['repaired']}, pending {rep['pending']}")
+    state = sdb.sync_status(args.preset)
+    if state is None:
+        print("sync state: none recorded")
+    else:
+        print(f"sync state: complete={state['complete']} "
+              f"synced={len(state['synced'])} pending={len(state['pending'])} "
+              f"last_sync_t={state['last_sync_t']:.3f}s")
     return 0
 
 
@@ -305,6 +420,7 @@ _COMMANDS = {
     "kb": _cmd_kb,
     "monitor": _cmd_monitor,
     "chaos": _cmd_chaos,
+    "superdb": _cmd_superdb,
     "observe": _cmd_observe,
     "carm": _cmd_carm,
     "bench": _cmd_bench,

@@ -12,6 +12,14 @@ exactly the load-imbalance pathology the paper's intro motivates finding.
 Communication traffic is deposited as the node-scope ``net_out_bytes``
 quantity, so the existing ``network.interface.out.bytes`` SWTelemetry
 stream picks it up with no special cases.
+
+Nodes also have a *lifecycle*: an installed :class:`~repro.faults.nodes`
+fault can take a node down (crash/flap) or make it crawl (hang), and an
+operator can administratively drain it.  ``run_job`` consults this state —
+a participant going down mid-job kills the attempt at the crash instant
+(``status="failed"``; the scheduler requeues), and a hanging node paces the
+bulk-synchronous step for everyone.  With no node faults installed the
+execution path is byte-identical to the fault-free cluster.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Callable
 
+from repro.faults.nodes import NodeFault, NodeFaultSet
 from repro.machine.memory import estimate_execution
 from repro.machine.simulator import SimulatedMachine
 from repro.machine.spec import MachineSpec
@@ -50,11 +59,38 @@ class SimulatedCluster:
             spec = dataclasses.replace(base, hostname=f"{base.hostname}n{i:02d}")
             self.nodes[spec.hostname] = SimulatedMachine(spec, seed=seed + i)
         self.executions: list[JobExecution] = []
+        self.node_faults = NodeFaultSet()
+        self.drained: set[str] = set()
 
     # ------------------------------------------------------------------
     @property
     def node_names(self) -> list[str]:
         return list(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Node lifecycle
+    # ------------------------------------------------------------------
+    def inject_node_fault(self, node: str, fault: NodeFault) -> NodeFault:
+        """Install a lifecycle fault (crash/hang/flap) on one node."""
+        self.node(node)  # validate the name
+        return self.node_faults.inject(node, fault)
+
+    def drain(self, node: str) -> None:
+        """Administratively drain a node: no new placements land on it."""
+        self.node(node)
+        self.drained.add(node)
+
+    def undrain(self, node: str) -> None:
+        self.drained.discard(node)
+
+    def node_state(self, node: str, t: float | None = None) -> str:
+        """Lifecycle state of one node at ``t``: up | down | drained."""
+        self.node(node)
+        if self.node_faults.is_down(node, self.time() if t is None else t):
+            return "down"
+        if node in self.drained:
+            return "drained"
+        return "up"
 
     def node(self, name: str) -> SimulatedMachine:
         try:
@@ -120,6 +156,10 @@ class SimulatedCluster:
             prof = estimate_execution(node_desc, m.spec, cpu_ids, rng=None)
             dil = m.faults.slowdown(t_start, tuple(cpu_ids),
                                     memory_bound=(prof.bound == "memory"))
+            if self.node_faults:
+                # A hanging node crawls; being the slowest, it paces the
+                # whole bulk-synchronous iteration below.
+                dil *= self.node_faults.hang_factor(m.spec.hostname, t_start)
             per_node_t.append(prof.runtime_s * dil)
         t_comp_iter = max(per_node_t)
 
@@ -129,6 +169,10 @@ class SimulatedCluster:
             # Single-node ranks communicate through shared memory; the
             # fabric sees nothing and the "communication telemetry" is 0.
             compute_s = t_comp_iter * spec.iterations
+            est_end = t_start + compute_s * (1.0 + sampling_overhead)
+            failed = self._fail_job(spec, node_names, machines, t_start, est_end)
+            if failed is not None:
+                return failed
             for m in machines:
                 m.run_kernel(node_desc.scaled(float(spec.iterations)), cpu_ids,
                              sampling_overhead=sampling_overhead,
@@ -160,6 +204,11 @@ class SimulatedCluster:
         comm_s = t_comm_iter * spec.iterations
         bytes_per_node = (halo_bytes_iter + ring_bytes_iter) * spec.iterations
 
+        est_end = t_start + (compute_s + comm_s) * (1.0 + sampling_overhead)
+        failed = self._fail_job(spec, node_names, machines, t_start, est_end)
+        if failed is not None:
+            return failed
+
         # Execute: every node runs the whole job's compute, stretched so
         # that all participants span the same (slowest-paced) window; the
         # communication gap follows; traffic lands on the node scope.
@@ -187,6 +236,40 @@ class SimulatedCluster:
             compute_s=compute_s,
             comm_s=comm_s,
             comm_bytes_per_node=bytes_per_node,
+        )
+        self.executions.append(execution)
+        return execution
+
+    # ------------------------------------------------------------------
+    def _fail_job(
+        self,
+        spec: JobSpec,
+        node_names: list[str],
+        machines: list[SimulatedMachine],
+        t_start: float,
+        est_end: float,
+    ) -> JobExecution | None:
+        """Kill the attempt if any participant goes down before ``est_end``.
+
+        The job dies at the crash instant: every participant's clock is
+        advanced there (the bulk-synchronous peers notice the dead rank at
+        the next exchange) and the partial work is lost — no compute or
+        communication telemetry is deposited for the doomed attempt.
+        """
+        if not self.node_faults:
+            return None
+        failure = self.node_faults.first_failure(node_names, t_start, est_end)
+        if failure is None:
+            return None
+        node, t_fail = failure
+        t_fail = max(t_fail, t_start)
+        for m in machines:
+            m.clock.advance_to(t_fail)
+            m._extend_background(t_fail)
+        execution = JobExecution(
+            spec=spec, job_id=new_job_id(), nodes=list(node_names),
+            t_start=t_start, t_end=t_fail, compute_s=0.0, comm_s=0.0,
+            comm_bytes_per_node=0.0, status="failed", failed_node=node,
         )
         self.executions.append(execution)
         return execution

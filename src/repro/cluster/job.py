@@ -49,7 +49,7 @@ class JobSpec:
 
 @dataclass
 class JobExecution:
-    """Record of one completed job."""
+    """Record of one job attempt (completed, or killed by a node fault)."""
 
     spec: JobSpec
     job_id: str
@@ -60,6 +60,10 @@ class JobExecution:
     comm_s: float
     comm_bytes_per_node: float
     observation_ids: list[str] = field(default_factory=list)
+    #: "completed", or "failed" when a participant node went down mid-job.
+    status: str = "completed"
+    #: The node whose failure killed the attempt (status="failed").
+    failed_node: str | None = None
 
     @property
     def runtime_s(self) -> float:
@@ -84,6 +88,7 @@ def make_job_entry(cluster_name: str, index: int, execution: JobExecution) -> di
         "n_ranks": spec.n_ranks,
         "ranks_per_node": spec.ranks_per_node,
         "iterations": spec.iterations,
+        "status": execution.status,
         "time": {
             "start": execution.t_start,
             "end": execution.t_end,

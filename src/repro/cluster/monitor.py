@@ -11,6 +11,14 @@ telemetry and job-specific metadata emitted from HPC clusters."
 Relationships link to each node's KB root, stored alongside them in the
 document store — and records scheduler-run jobs as ``JobInterface`` entries
 with per-node telemetry sampled over the job window.
+
+It also supervises the fleet: :meth:`fleet_health` aggregates the daemon's
+telemetry-path health with per-node liveness (lifecycle state + staleness
+of the last successful sample), :meth:`supervise` quarantines flapping
+nodes (drains them) and reattaches them once they hold steady, and the
+cluster KB document degrades gracefully — down nodes are *marked* down in
+the twin instead of breaking it, so dashboards stay truthful under partial
+failure.
 """
 
 from __future__ import annotations
@@ -41,12 +49,28 @@ _JOB_METRICS = (
 class ClusterMonitor:
     """Monitoring facade over a simulated cluster."""
 
-    def __init__(self, cluster: SimulatedCluster, daemon: PMoVE | None = None,
-                 backfill: bool = False) -> None:
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        daemon: PMoVE | None = None,
+        backfill: bool = False,
+        flap_threshold: int = 3,
+        reattach_clear_s: float = 5.0,
+    ) -> None:
+        if flap_threshold < 1:
+            raise ValueError("flap_threshold must be >= 1")
         self.cluster = cluster
         self.daemon = daemon or PMoVE()
         self.scheduler = FifoScheduler(cluster, backfill=backfill)
         self.job_entries: list[dict[str, Any]] = []
+        #: Down events needed inside one supervision history to quarantine.
+        self.flap_threshold = flap_threshold
+        #: How long a quarantined node must look stable before reattach.
+        self.reattach_clear_s = reattach_clear_s
+        self.quarantined: set[str] = set()
+        self._down_events: dict[str, int] = {n: 0 for n in cluster.node_names}
+        self._last_supervise_t = 0.0
+        self._last_sample_t: dict[str, float] = {}
         for machine in cluster.nodes.values():
             self.daemon.attach_target(machine)
         self._save_cluster_kb()
@@ -55,20 +79,39 @@ class ClusterMonitor:
     # The cluster KB document
     # ------------------------------------------------------------------
     def cluster_kb_document(self) -> dict[str, Any]:
-        """The cluster twin: linked-data references to every node KB."""
+        """The cluster twin: linked-data references to every node KB.
+
+        Degraded mode: a node being down does not break the twin — its
+        Relationship stays (the KB root is still known) and a per-node
+        status Property marks it down/drained/quarantined, so a dashboard
+        built from this document renders the partial fleet truthfully.
+        """
         cname = self.cluster.name
+        now = self.cluster.time()
+        states = {n: self.node_state(n, now) for n in self.cluster.node_names}
         return {
             "@type": "Interface",
             "@id": make_dtmi(cname),
             "@context": "dtmi:dtdl:context;2",
             "kind": "system",
             "name": cname,
+            "degraded": any(s != "up" for s in states.values()),
             "contents": [
                 {
                     "@id": make_dtmi(cname, f"rel_{node}"),
                     "@type": "Relationship",
                     "name": "has_node",
                     "target": self.daemon.target(node).kb.root_id,
+                }
+                for node in self.cluster.node_names
+            ]
+            + [
+                {
+                    "@id": make_dtmi(cname, f"status_{node}"),
+                    "@type": "Property",
+                    "name": "node_status",
+                    "node": node,
+                    "description": states[node],
                 }
                 for node in self.cluster.node_names
             ]
@@ -89,6 +132,83 @@ class ClusterMonitor:
                         upsert=True)
 
     # ------------------------------------------------------------------
+    # Supervision: liveness, quarantine, fleet health
+    # ------------------------------------------------------------------
+    def node_state(self, node: str, t: float | None = None) -> str:
+        """Lifecycle state as the monitor reports it (adds "quarantined")."""
+        state = self.cluster.node_state(node, t)
+        if state == "drained" and node in self.quarantined:
+            return "quarantined"
+        return state
+
+    def supervise(self, t: float | None = None) -> dict[str, list[str]]:
+        """One supervision pass over ``(last pass, t]``.
+
+        Counts per-node down events in the window; a node crossing
+        ``flap_threshold`` is quarantined (drained — the scheduler stops
+        placing work on it).  A quarantined node that is up and has no
+        scheduled down window within ``reattach_clear_s`` is reattached.
+        The cluster KB document is re-saved so the twin reflects the pass.
+        """
+        t = self.cluster.time() if t is None else t
+        events: dict[str, list[str]] = {"quarantined": [], "reattached": []}
+        faults = self.cluster.node_faults
+        for node in self.cluster.node_names:
+            self._down_events[node] += len(
+                faults.down_intervals(node, self._last_supervise_t, t)
+            )
+            if node not in self.quarantined:
+                if self._down_events[node] >= self.flap_threshold:
+                    self.cluster.drain(node)
+                    self.quarantined.add(node)
+                    events["quarantined"].append(node)
+            else:
+                nxt = faults.next_down(node, t)
+                stable = not faults.is_down(node, t) and (
+                    nxt is None or nxt > t + self.reattach_clear_s
+                )
+                if stable:
+                    self.cluster.undrain(node)
+                    self.quarantined.discard(node)
+                    self._down_events[node] = 0
+                    events["reattached"].append(node)
+        self._last_supervise_t = t
+        self._save_cluster_kb()
+        return events
+
+    def fleet_health(self) -> dict[str, Any]:
+        """Cluster-wide health: the daemon's telemetry-path snapshot plus
+        per-node liveness derived from lifecycle state and the virtual time
+        of each node's last successful sample."""
+        now = self.cluster.time()
+        nodes: dict[str, Any] = {}
+        for name in self.cluster.node_names:
+            state = self.node_state(name, now)
+            sampler = self.daemon.target(name).sampler
+            last_t = sampler.last_success_t
+            if last_t is None:
+                last_t = self._last_sample_t.get(name)
+            nodes[name] = {
+                "state": state,
+                "live": state == "up",
+                "last_sample_t": last_t,
+                "staleness_s": (now - last_t) if last_t is not None else None,
+                "down_events": self._down_events[name],
+                "jobs_failed_here": sum(
+                    1 for e in self.cluster.executions
+                    if e.status == "failed" and e.failed_node == name
+                ),
+            }
+        down = [n for n, h in nodes.items() if not h["live"]]
+        return {
+            "time": now,
+            "degraded": bool(down),
+            "nodes_down": down,
+            "nodes": nodes,
+            "daemon": self.daemon.health(),
+        }
+
+    # ------------------------------------------------------------------
     # Monitored job execution
     # ------------------------------------------------------------------
     def run_job(
@@ -99,10 +219,20 @@ class ClusterMonitor:
         Returns (JobInterface entry, execution record, per-node sampling
         stats).  Telemetry for the job window is recorded per node under
         the job id as the observation tag, so job-centric queries work the
-        same way observation recall does.
+        same way observation recall does.  Attempts killed by node faults
+        are requeued by the scheduler; the sampled window is the final
+        successful execution's.
         """
         entry = self.scheduler.submit(spec)
-        (execution,) = self.scheduler.run_all()[-1:]
+        executions = self.scheduler.run_all()
+        if entry.execution is None:
+            self._save_cluster_kb()  # record the degraded fleet state
+            raise RuntimeError(
+                f"job {spec.name!r} failed after {entry.requeues} requeue(s); "
+                f"failed nodes: {[e.failed_node for e in entry.failures]}"
+            )
+        execution = entry.execution
+        del executions  # entry.execution is the final successful attempt
 
         stats: dict[str, SamplingStats] = {}
         for node in execution.nodes:
@@ -115,8 +245,16 @@ class ClusterMonitor:
                 tag=execution.job_id,
                 final_fetch=True,
             )
+            if stats[node].inserted_reports > 0:
+                self._last_sample_t[node] = execution.t_end
 
         job_doc = make_job_entry(self.cluster.name, entry.job_index, execution)
+        job_doc["requeues"] = entry.requeues
+        job_doc["failed_attempts"] = [
+            {"job_id": e.job_id, "nodes": list(e.nodes), "t_failed": e.t_end,
+             "failed_node": e.failed_node}
+            for e in entry.failures
+        ]
         self.job_entries.append(job_doc)
         self.daemon.mongo.collection(self.daemon.database, "jobs").insert_one(job_doc)
         # Attach the job to each participating node's KB history too.

@@ -13,6 +13,7 @@ from .anomaly import (
 from .benchmarks import BENCHMARKS, run_benchmark
 from .daemon import DEFAULT_ENV, PMoVE, Target
 from .dtmi import DtmiError, dtmi_parent, is_dtmi, make_dtmi, parse_dtmi
+from .federation import FederationLink
 from .kb import KBError, KnowledgeBase
 from .observation import (
     make_benchmark,
@@ -60,6 +61,7 @@ __all__ = [
     "DTDL_CONTEXT",
     "Command",
     "DtmiError",
+    "FederationLink",
     "HWTelemetry",
     "Interface",
     "KBError",

@@ -353,6 +353,21 @@ class PMoVE:
         }
 
     # ==================================================================
+    # SUPERDB federation (§III-E, user opt-in)
+    # ==================================================================
+    def push_to_superdb(
+        self,
+        superdb,
+        hostname: str,
+        mode: str = "agg",
+        at: float | None = None,
+    ) -> dict[str, int]:
+        """Report one target's KB + telemetry to a SUPERDB instance over
+        its federation link (retried under WAN faults; see SuperDB)."""
+        t = self.target(hostname)
+        return superdb.report(t.kb, self.influx, self.database, mode=mode, at=at)
+
+    # ==================================================================
     # Recall & dashboards
     # ==================================================================
     def recall_observation(self, hostname: str, observation: dict[str, Any]) -> dict[str, ResultSet]:

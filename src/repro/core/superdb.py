@@ -9,6 +9,14 @@ training.  Observations are promoted into one of two forms:
 - ``AGGObservationInterface`` — "statistically summarizes data using
   various aggregations, e.g., min, max, mean, to manage high data volumes".
 
+Reports travel over a :class:`~repro.core.federation.FederationLink`: the
+WAN between a local instance and the cloud can partition, so pushes retry
+with backoff behind a circuit breaker, per-host sync state is recorded, and
+:meth:`SuperDB.anti_entropy` repairs any divergence the link's retry budget
+could not hide.  Re-reports are idempotent in both modes — a raw-series
+re-push drops the observation's upstream series before copying, so syncing
+twice never duplicates points.
+
 Users *with* a local P-MoVE instance can recall and visualize; without one,
 they "can only download selected data for ML training" (:meth:`download`).
 """
@@ -20,6 +28,10 @@ from typing import Any
 
 from repro.db.influx import InfluxDB
 from repro.db.mongo import MongoDB
+from repro.faults.services import ServiceFaultSet
+from repro.pcp.retry import RetryPolicy
+
+from .federation import FederationLink
 
 __all__ = ["SuperDB"]
 
@@ -37,13 +49,37 @@ def _aggregate(values: list[float]) -> dict[str, float]:
     }
 
 
+def _finite_agg(agg: dict[str, float]) -> bool:
+    """Whether an aggregate is usable for cross-system math.
+
+    All-NaN series can yield aggregates whose count is nonzero but whose
+    min/max/mean are NaN (or inf, if a sensor glitched); folding those into
+    a running min/max seeded at ±inf leaks non-finite values into every
+    host's comparison row."""
+    return all(math.isfinite(agg[k]) for k in ("min", "max", "mean"))
+
+
 class SuperDB:
     """Cloud-side aggregation of many local P-MoVE instances."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        faults: ServiceFaultSet | None = None,
+        retry: RetryPolicy | None = None,
+        attempt_cost_s: float = 0.0,
+        seed: int = 0,
+    ) -> None:
         self.mongo = MongoDB()
         self.influx = InfluxDB()
         self.influx.create_database("superdb")
+        #: WAN leg between local instances and the cloud DBs.
+        self.link = FederationLink(
+            self,
+            faults=faults,
+            retry=retry,
+            attempt_cost_s=attempt_cost_s,
+            seed=seed,
+        )
 
     # ------------------------------------------------------------------
     # Reporting (user opt-in, §III-E)
@@ -54,56 +90,99 @@ class SuperDB:
         local_influx: InfluxDB,
         local_database: str = "pmove",
         mode: str = "agg",
+        at: float | None = None,
     ) -> dict[str, int]:
         """Push a local instance's KB + observation telemetry upstream.
 
         ``mode='ts'`` copies raw series (TSObservationInterface);
         ``mode='agg'`` stores per-field aggregates (AGGObservationInterface).
+        The push rides the federation link: under WAN faults it retries
+        within the link's budget, and whatever stays pending is recorded in
+        sync state (see :meth:`sync_status` / :meth:`anti_entropy`).
         """
         if mode not in ("ts", "agg"):
             raise ValueError("mode must be 'ts' or 'agg'")
+        return self.link.report(kb, local_influx, local_database, mode, at=at)
+
+    def anti_entropy(
+        self,
+        kb,
+        local_influx: InfluxDB,
+        local_database: str = "pmove",
+        mode: str = "agg",
+        at: float | None = None,
+    ) -> dict[str, Any]:
+        """Repair upstream divergence for one host (see the link docs)."""
+        if mode not in ("ts", "agg"):
+            raise ValueError("mode must be 'ts' or 'agg'")
+        return self.link.anti_entropy(kb, local_influx, local_database, mode,
+                                      at=at)
+
+    def sync_status(self, hostname: str) -> dict[str, Any] | None:
+        """Recorded sync state for one host (None = never reported)."""
+        return self.link.sync_status(hostname)
+
+    # ------------------------------------------------------------------
+    # Upstream writes (called by the federation link per round trip)
+    # ------------------------------------------------------------------
+    def _upsert_kb(self, kb) -> None:
         kbs = self.mongo.collection("superdb", "kbs")
         kbs.replace_one({"hostname": kb.hostname}, kb.to_jsonld(), upsert=True)
 
-        obs_col = self.mongo.collection("superdb", "observations")
-        n_obs = n_points = 0
-        for obs in kb.entries_of_type("ObservationInterface"):
-            doc: dict[str, Any] = {
-                "@type": "TSObservationInterface" if mode == "ts" else "AGGObservationInterface",
-                "@id": obs["@id"] + ":" + mode,
-                "hostname": kb.hostname,
-                "source": obs["@id"],
-                "tag": obs["tag"],
-                "command": obs["command"],
-                "affinity": obs["affinity"],
-                "time": obs["time"],
-            }
-            if mode == "ts":
-                copied = 0
-                for m in obs["metrics"]:
-                    pts = local_influx.points(
-                        local_database, m["measurement"], tags={"tag": obs["tag"]}
-                    )
-                    self.influx.write_many("superdb", pts)
-                    copied += sum(len(p.fields) for p in pts)
-                doc["points_copied"] = copied
-                n_points += copied
-            else:
-                aggregates: dict[str, dict[str, dict[str, float]]] = {}
-                for m in obs["metrics"]:
-                    pts = local_influx.points(
-                        local_database, m["measurement"], tags={"tag": obs["tag"]}
-                    )
-                    per_field: dict[str, dict[str, float]] = {}
-                    for f in m["fields"]:
-                        vals = [p.fields[f] for p in pts if f in p.fields]
-                        per_field[f] = _aggregate(vals)
-                        n_points += len(vals)
-                    aggregates[m["measurement"]] = per_field
-                doc["aggregates"] = aggregates
-            obs_col.replace_one({"@id": doc["@id"]}, doc, upsert=True)
-            n_obs += 1
-        return {"observations": n_obs, "points": n_points}
+    def _push_observation(
+        self,
+        obs: dict[str, Any],
+        local_influx: InfluxDB,
+        local_database: str,
+        mode: str,
+        hostname: str,
+    ) -> int:
+        """Upsert one observation upstream; returns raw points copied.
+
+        Idempotent: the Mongo doc is a replace_one upsert, and in ts mode
+        the observation's upstream series (keyed by its unique tag) are
+        dropped before re-copying, so a re-sync after a partial push never
+        duplicates raw points.
+        """
+        doc: dict[str, Any] = {
+            "@type": "TSObservationInterface" if mode == "ts" else "AGGObservationInterface",
+            "@id": obs["@id"] + ":" + mode,
+            "hostname": hostname,
+            "source": obs["@id"],
+            "tag": obs["tag"],
+            "command": obs["command"],
+            "affinity": obs["affinity"],
+            "time": obs["time"],
+        }
+        copied = 0
+        if mode == "ts":
+            for m in obs["metrics"]:
+                pts = local_influx.points(
+                    local_database, m["measurement"], tags={"tag": obs["tag"]}
+                )
+                self.influx.delete_series(
+                    "superdb", m["measurement"], tags={"tag": obs["tag"]}
+                )
+                self.influx.write_many("superdb", pts)
+                copied += sum(len(p.fields) for p in pts)
+            doc["points_copied"] = copied
+        else:
+            aggregates: dict[str, dict[str, dict[str, float]]] = {}
+            for m in obs["metrics"]:
+                pts = local_influx.points(
+                    local_database, m["measurement"], tags={"tag": obs["tag"]}
+                )
+                per_field: dict[str, dict[str, float]] = {}
+                for f in m["fields"]:
+                    vals = [p.fields[f] for p in pts if f in p.fields]
+                    per_field[f] = _aggregate(vals)
+                    copied += len(vals)
+                aggregates[m["measurement"]] = per_field
+            doc["aggregates"] = aggregates
+        self.mongo.collection("superdb", "observations").replace_one(
+            {"@id": doc["@id"]}, doc, upsert=True
+        )
+        return copied
 
     # ------------------------------------------------------------------
     # Global queries
@@ -133,18 +212,28 @@ class SuperDB:
 
     def compare_metric(self, measurement: str, field: str) -> dict[str, dict[str, float]]:
         """Cross-system aggregate comparison for one metric — the global
-        view that motivates SUPERDB."""
+        view that motivates SUPERDB.
+
+        Non-finite aggregates (all-NaN fields, sensor glitches) are skipped
+        so one bad series cannot poison a host's row.  A host whose last
+        sync left observations pending is flagged ``partial: True`` — its
+        numbers are real but may not cover everything the host measured.
+        """
         out: dict[str, dict[str, float]] = {}
         for doc in self.mongo.collection("superdb", "observations").find(
             {"@type": "AGGObservationInterface"}
         ):
             agg = doc.get("aggregates", {}).get(measurement, {}).get(field)
-            if agg and agg.get("count"):
-                host = doc["hostname"]
-                cur = out.setdefault(host, {"min": math.inf, "max": -math.inf, "mean": 0.0, "count": 0.0})
-                cur["min"] = min(cur["min"], agg["min"])
-                cur["max"] = max(cur["max"], agg["max"])
-                total = cur["count"] + agg["count"]
-                cur["mean"] = (cur["mean"] * cur["count"] + agg["mean"] * agg["count"]) / total
-                cur["count"] = total
+            if not agg or not agg.get("count") or not _finite_agg(agg):
+                continue
+            host = doc["hostname"]
+            cur = out.setdefault(host, {"min": math.inf, "max": -math.inf, "mean": 0.0, "count": 0.0})
+            cur["min"] = min(cur["min"], agg["min"])
+            cur["max"] = max(cur["max"], agg["max"])
+            total = cur["count"] + agg["count"]
+            cur["mean"] = (cur["mean"] * cur["count"] + agg["mean"] * agg["count"]) / total
+            cur["count"] = total
+        for host, cur in out.items():
+            state = self.sync_status(host)
+            cur["partial"] = bool(state is not None and not state.get("complete", True))
         return out

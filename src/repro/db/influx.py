@@ -230,7 +230,8 @@ class _Series:
 class _Measurement:
     """All series of one measurement plus the inverted tag index."""
 
-    __slots__ = ("name", "key_base_len", "series", "by_tags", "tag_index", "seq")
+    __slots__ = ("name", "key_base_len", "series", "by_tags", "tag_index",
+                 "seq", "next_sid")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -239,12 +240,17 @@ class _Measurement:
         self.by_tags: dict[tuple[tuple[str, str], ...], int] = {}
         self.tag_index: dict[tuple[str, str], set[int]] = {}
         self.seq = 0  # monotonically increasing write sequence
+        # Monotonic so a sid is never reused: sizing the id to the live
+        # series count would hand a dropped series' id to the next new one
+        # and silently alias it with a survivor.
+        self.next_sid = 0
 
     def series_for(self, tags: dict[str, str]) -> _Series:
         key = tuple(sorted(tags.items()))
         sid = self.by_tags.get(key)
         if sid is None:
-            sid = len(self.by_tags)
+            sid = self.next_sid
+            self.next_sid += 1
             key_len = self.key_base_len + sum(
                 2 + _esc_len(k) + _esc_len(v) for k, v in key
             )
@@ -493,6 +499,31 @@ class InfluxDB:
                 )
         tmp.sort(key=lambda r: (r[0], r[1]))
         return cols, [(t, vals) for t, _, vals in tmp]
+
+    # ------------------------------------------------------------------
+    # Series administration
+    # ------------------------------------------------------------------
+    def delete_series(self, db: str, measurement: str, tags: dict[str, str] | None = None) -> int:
+        """DROP SERIES: remove every series of ``measurement`` whose tag set
+        contains all of ``tags``; returns rows removed.
+
+        This is the idempotency primitive federation re-sync relies on —
+        re-copying an observation's raw points first drops the stale copy,
+        so repeated syncs converge instead of duplicating.  Cumulative
+        ingest counters (``points_written``/``bytes_written``) are *not*
+        rolled back, matching real InfluxDB's write statistics.
+        """
+        d = self._db(db)
+        m = d.meas.get(measurement)
+        if m is None:
+            return 0
+        removed = 0
+        for sid in list(m.match_ids(tags)):
+            removed += len(m.series[sid])
+            m.remove_series(sid)
+        if not m.series:
+            del d.meas[measurement]
+        return removed
 
     # ------------------------------------------------------------------
     # Retention & stats

@@ -1,12 +1,21 @@
-"""Service-level fault injection: host-side failures in virtual time.
+"""Service- and node-level fault injection in virtual time.
 
 Where :mod:`repro.machine.faults` degrades the *target* (throttling,
 contention, stragglers), this package breaks the *host-side services* the
 telemetry path depends on — the InfluxDB endpoint, the host link, the
-insert path — so the resilient shipping layer has something real to
-survive.
+insert path — and, one level up, the cluster's *nodes themselves* (crash,
+hang, flap), so the resilient shipping layer and the failure-aware
+scheduler both have something real to survive.
 """
 
+from .nodes import (
+    NodeCrash,
+    NodeFailure,
+    NodeFault,
+    NodeFaultSet,
+    NodeFlap,
+    NodeHang,
+)
 from .services import (
     DbOutage,
     FlakyWrites,
@@ -22,6 +31,12 @@ __all__ = [
     "FlakyWrites",
     "InsertLatencySpike",
     "NetworkPartition",
+    "NodeCrash",
+    "NodeFailure",
+    "NodeFault",
+    "NodeFaultSet",
+    "NodeFlap",
+    "NodeHang",
     "ServiceFault",
     "ServiceFaultSet",
     "ServiceUnavailable",

@@ -11,14 +11,16 @@ from .pmns import (
     perfevent_metric,
     sanitize_event,
 )
+from .retry import CircuitBreaker, RetryPolicy
 from .sampler import Sampler, SamplingStats
-from .shipper import CircuitBreaker, Shipper, ShipperConfig, WalEntry
+from .shipper import Shipper, ShipperConfig, WalEntry
 from .transport import TransportModel
 
 __all__ = [
     "Agent",
     "AgentCosts",
     "CircuitBreaker",
+    "RetryPolicy",
     "Pmcd",
     "PmdaLinux",
     "PmdaNvidia",

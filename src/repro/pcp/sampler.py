@@ -136,6 +136,9 @@ class Sampler:
         self.last_shipper: Shipper | None = None
         #: Stats of the most recent run, whichever mode (health surface).
         self.last_stats: SamplingStats | None = None
+        #: Virtual end time of the most recent run that landed any data —
+        #: the per-node liveness signal cluster supervision reads.
+        self.last_success_t: float | None = None
         #: (tick time, stride) trace of the most recent buffered run.
         self.last_degradation: list[tuple[float, int]] = []
 
@@ -216,6 +219,8 @@ class Sampler:
                 metrics, freq_hz, t_start, t_end, tag, final_fetch
             )
         self.last_stats = stats
+        if stats.inserted_reports > 0:
+            self.last_success_t = t_end
         return stats
 
     # ------------------------------------------------------------------

@@ -33,9 +33,10 @@ from repro.db.faulty import ServiceUnavailable
 from repro.db.influx import InfluxDB, Point
 from repro.faults.services import ServiceFaultSet
 
+from .retry import CircuitBreaker, RetryPolicy
 from .transport import TransportModel
 
-__all__ = ["ShipperConfig", "CircuitBreaker", "WalEntry", "Shipper"]
+__all__ = ["ShipperConfig", "CircuitBreaker", "RetryPolicy", "WalEntry", "Shipper"]
 
 _POLICIES = ("drop_oldest", "drop_newest", "spill")
 
@@ -72,61 +73,6 @@ class ShipperConfig:
             raise ValueError("max_attempts must be >= 1 (or None)")
         if self.drain_grace_s < 0:
             raise ValueError("drain grace must be >= 0")
-
-
-class CircuitBreaker:
-    """Closed → open → half-open state machine over virtual time."""
-
-    CLOSED = "closed"
-    OPEN = "open"
-    HALF_OPEN = "half_open"
-
-    def __init__(self, threshold: int, open_s: float) -> None:
-        self.threshold = threshold
-        self.open_s = open_s
-        self.state = self.CLOSED
-        self.consecutive_failures = 0
-        self.opened_at = 0.0
-        self._open_accum_s = 0.0
-        #: (virtual time, new state) — the observable state machine trace.
-        self.transitions: list[tuple[float, str]] = []
-
-    def _set(self, t: float, state: str) -> None:
-        if state != self.OPEN and self.state == self.OPEN:
-            self._open_accum_s += t - self.opened_at
-        if state == self.OPEN:
-            self.opened_at = t
-        self.state = state
-        self.transitions.append((t, state))
-
-    # ------------------------------------------------------------------
-    def earliest_attempt(self, t: float) -> float:
-        """Soonest virtual time ≥ ``t`` an attempt may start."""
-        if self.state == self.OPEN:
-            return max(t, self.opened_at + self.open_s)
-        return t
-
-    def on_attempt(self, t: float) -> None:
-        """An attempt is starting at ``t`` (open → half-open when due)."""
-        if self.state == self.OPEN and t >= self.opened_at + self.open_s:
-            self._set(t, self.HALF_OPEN)
-
-    def record_success(self, t: float) -> None:
-        self.consecutive_failures = 0
-        if self.state != self.CLOSED:
-            self._set(t, self.CLOSED)
-
-    def record_failure(self, t: float) -> None:
-        self.consecutive_failures += 1
-        if self.state == self.HALF_OPEN or (
-            self.state == self.CLOSED and self.consecutive_failures >= self.threshold
-        ):
-            self._set(t, self.OPEN)
-
-    def open_seconds(self, until: float) -> float:
-        """Total virtual time spent open, up to ``until``."""
-        extra = max(0.0, until - self.opened_at) if self.state == self.OPEN else 0.0
-        return self._open_accum_s + extra
 
 
 @dataclass
@@ -172,6 +118,11 @@ class Shipper:
         # A FaultyInfluxDB carries its own fault set; use it unless overridden.
         self.faults = faults if faults is not None else getattr(influx, "faults", None)
         self._rng = rng or np.random.default_rng(0)
+        self.retry = RetryPolicy(
+            base_s=self.config.backoff_base_s,
+            cap_s=self.config.backoff_cap_s,
+            max_attempts=self.config.max_attempts,
+        )
         self.breaker = CircuitBreaker(self.config.breaker_threshold, self.config.breaker_open_s)
         self.queue: deque[_Item] = deque()
         self.wal: list[WalEntry] = []
@@ -256,9 +207,7 @@ class Shipper:
         return True
 
     def _backoff(self, item: _Item) -> float:
-        base = self.config.backoff_base_s
-        hi = max(base, 3.0 * item.prev_sleep)
-        sleep = min(self.config.backoff_cap_s, float(self._rng.uniform(base, hi)))
+        sleep = self.retry.next_sleep(item.prev_sleep, self._rng)
         item.prev_sleep = sleep
         return sleep
 
@@ -301,8 +250,7 @@ class Shipper:
                 self.breaker.record_failure(t_done)
                 if item.attempts == 1:
                     self.retried_reports += 1
-                cap = self.config.max_attempts
-                if cap is not None and item.attempts >= cap:
+                if self.retry.exhausted(item.attempts):
                     self.queue.popleft()
                     self._give_up(item)
                 else:

@@ -1,0 +1,257 @@
+"""Failure-aware cluster behaviour: crash/hang/flap faults against the
+scheduler and the supervising monitor."""
+
+import math
+
+import pytest
+
+from repro.cluster import ClusterMonitor, FifoScheduler, JobSpec, SimulatedCluster
+from repro.faults import NodeCrash, NodeFlap, NodeHang
+from repro.machine import csl
+from repro.workloads import build_kernel
+
+pytestmark = pytest.mark.chaos
+
+
+def small_job(n_nodes=2, ranks=4, iterations=50, **kw):
+    defaults = dict(
+        name="testjob",
+        n_nodes=n_nodes,
+        ranks_per_node=ranks,
+        rank_kernel=build_kernel("triad", 200_000, iterations=1),
+        iterations=iterations,
+        halo_bytes_per_neighbor=1e5,
+        halo_neighbors=2,
+        allreduce_bytes=8e3,
+    )
+    defaults.update(kw)
+    return JobSpec(**defaults)
+
+
+def make_cluster(n_nodes=3, seed=5):
+    return SimulatedCluster(csl, n_nodes=n_nodes, seed=seed)
+
+
+class TestCrashSemantics:
+    def test_crash_kills_job_at_the_instant(self):
+        cluster = make_cluster()
+        victim = cluster.node_names[0]
+        cluster.inject_node_fault(victim, NodeCrash(t0=0.005, t1=10.0))
+        ex = cluster.run_job(small_job(), cluster.node_names[:2])
+        assert ex.status == "failed"
+        assert ex.failed_node == victim
+        assert ex.t_end == pytest.approx(0.005)
+        assert ex.compute_s == 0.0  # partial work is lost, not accounted
+
+    def test_crash_after_job_window_is_harmless(self):
+        cluster = make_cluster()
+        cluster.inject_node_fault(cluster.node_names[0],
+                                  NodeCrash(t0=1e6, t1=2e6))
+        ex = cluster.run_job(small_job(), cluster.node_names[:2])
+        assert ex.status == "completed"
+
+    def test_node_state_lifecycle(self):
+        cluster = make_cluster()
+        n0 = cluster.node_names[0]
+        cluster.inject_node_fault(n0, NodeCrash(t0=1.0, t1=2.0))
+        assert cluster.node_state(n0, 0.5) == "up"
+        assert cluster.node_state(n0, 1.5) == "down"
+        cluster.drain(n0)
+        assert cluster.node_state(n0, 0.5) == "drained"
+        assert cluster.node_state(n0, 1.5) == "down"  # down wins
+        cluster.undrain(n0)
+        assert cluster.node_state(n0, 0.5) == "up"
+
+    def test_failed_attempt_deposits_no_telemetry(self):
+        cluster = make_cluster()
+        victim = cluster.node_names[0]
+        cluster.inject_node_fault(victim, NodeCrash(t0=0.005, t1=10.0))
+        ex = cluster.run_job(small_job(), cluster.node_names[:2])
+        assert ex.status == "failed"
+        # The machines advanced exactly to the crash instant, no further.
+        for n in ex.nodes:
+            assert cluster.node(n).clock.now() == pytest.approx(0.005)
+
+
+class TestHangSemantics:
+    def test_hang_paces_the_bulk_synchronous_job(self):
+        base = make_cluster()
+        ex0 = base.run_job(small_job(), base.node_names[:2])
+        hung = make_cluster()
+        hung.inject_node_fault(hung.node_names[0],
+                               NodeHang(t0=0.0, t1=1e9, factor=3.0))
+        ex1 = hung.run_job(small_job(), hung.node_names[:2])
+        assert ex1.status == "completed"
+        assert ex1.runtime_s > 2.0 * ex0.runtime_s  # straggler paces all
+
+    def test_hang_outside_window_is_free(self):
+        base = make_cluster()
+        ex0 = base.run_job(small_job(), base.node_names[:2])
+        other = make_cluster()
+        other.inject_node_fault(other.node_names[0],
+                                NodeHang(t0=1e6, t1=2e6, factor=3.0))
+        ex1 = other.run_job(small_job(), other.node_names[:2])
+        assert ex1.runtime_s == ex0.runtime_s
+
+
+class TestSchedulerFailover:
+    def test_crash_requeues_and_completes_on_survivors(self):
+        cluster = make_cluster()
+        victim = cluster.node_names[0]
+        cluster.inject_node_fault(victim, NodeCrash(t0=0.005, t1=1e6))
+        sched = FifoScheduler(cluster)
+        entry = sched.submit(small_job())
+        done = sched.run_all()
+        assert len(done) == 1
+        assert entry.state == "completed"
+        assert entry.requeues == 1
+        assert victim not in entry.execution.nodes
+        assert entry.failures[0].failed_node == victim
+
+    def test_requeue_bound_gives_up(self):
+        cluster = make_cluster()
+        victim = cluster.node_names[0]
+        cluster.inject_node_fault(victim, NodeCrash(t0=0.005, t1=1e6))
+        # All other nodes crash too: every retry dies somewhere.
+        for n in cluster.node_names[1:]:
+            cluster.inject_node_fault(n, NodeCrash(t0=0.01, t1=1e6))
+        sched = FifoScheduler(cluster, max_requeues=0)
+        entry = sched.submit(small_job())
+        done = sched.run_all()
+        assert done == []
+        assert entry.state == "failed"
+        assert entry in sched.failed
+        assert entry.requeues == 1  # the one allowed attempt's failure
+
+    def test_down_node_not_picked_until_recovery(self):
+        cluster = make_cluster()
+        n0 = cluster.node_names[0]
+        cluster.inject_node_fault(n0, NodeCrash(t0=0.0, t1=50.0))
+        sched = FifoScheduler(cluster)
+        sched.submit(small_job())
+        done = sched.run_all()
+        assert done[0].status == "completed"
+        assert n0 not in done[0].nodes  # survivors were available earlier
+
+    def test_drained_node_takes_no_placements(self):
+        cluster = make_cluster()
+        n0 = cluster.node_names[0]
+        cluster.drain(n0)
+        sched = FifoScheduler(cluster)
+        sched.submit(small_job())
+        done = sched.run_all()
+        assert n0 not in done[0].nodes
+
+    def test_submit_counts_only_schedulable_nodes(self):
+        cluster = make_cluster()
+        cluster.drain(cluster.node_names[0])
+        sched = FifoScheduler(cluster)
+        with pytest.raises(ValueError, match="cluster has"):
+            sched.submit(small_job(n_nodes=3))
+
+    def test_utilization_excludes_downtime(self):
+        cluster = make_cluster(n_nodes=2)
+        sched = FifoScheduler(cluster)
+        sched.submit(small_job())
+        done = sched.run_all()
+        t_end = done[0].t_end
+        # The fleet goes dark between jobs; the second job waits it out.
+        for n in cluster.node_names:
+            cluster.inject_node_fault(n, NodeCrash(t0=t_end, t1=2 * t_end))
+        sched.submit(small_job())
+        sched.run_all()
+        now = cluster.time()
+        util = sched.utilization()
+        for n in cluster.node_names:
+            busy = sum(e.execution.runtime_s for e in sched.completed
+                       if n in e.execution.nodes)
+            down = cluster.node_faults.down_seconds(n, 0.0, now)
+            assert down == pytest.approx(t_end)
+            assert util[n] == pytest.approx(min(1.0, busy / (now - down)))
+            assert util[n] > busy / now  # exclusion raised the reading
+
+    def test_fault_free_schedule_identical_to_pre_fault_scheduler(self):
+        """Faults whose windows never intersect the run leave the schedule
+        byte-identical to a never-faulted cluster."""
+        def run(inject):
+            cluster = make_cluster(seed=9)
+            if inject:
+                cluster.inject_node_fault(cluster.node_names[0],
+                                          NodeCrash(t0=1e8, t1=2e8))
+            sched = FifoScheduler(cluster)
+            for name in ("a", "b", "c"):
+                sched.submit(small_job(name=name))
+            return [(e.nodes, e.t_start, e.t_end) for e in sched.run_all()]
+
+        assert run(False) == run(True)
+
+
+class TestSupervision:
+    def test_fleet_health_truthful_during_and_after(self):
+        cluster = make_cluster()
+        monitor = ClusterMonitor(cluster)
+        victim = cluster.node_names[0]
+        cluster.inject_node_fault(victim, NodeCrash(t0=0.005, t1=1e6))
+        doc, ex, _ = monitor.run_job(small_job(), freq_hz=2.0)
+        assert doc["requeues"] == 1
+        assert doc["failed_attempts"][0]["failed_node"] == victim
+        health = monitor.fleet_health()
+        assert health["degraded"]
+        assert health["nodes_down"] == [victim]
+        assert health["nodes"][victim]["jobs_failed_here"] == 1
+        for n in ex.nodes:
+            assert health["nodes"][n]["live"]
+            assert health["nodes"][n]["staleness_s"] == pytest.approx(0.0)
+
+    def test_job_gives_up_raises_with_context(self):
+        cluster = make_cluster()
+        for n in cluster.node_names:
+            cluster.inject_node_fault(n, NodeCrash(t0=0.005, t1=math.inf))
+        monitor = ClusterMonitor(cluster)
+        monitor.scheduler.max_requeues = 1
+        with pytest.raises(RuntimeError, match="failed after"):
+            monitor.run_job(small_job())
+
+    def test_flapping_node_quarantined_then_reattached(self):
+        cluster = make_cluster()
+        monitor = ClusterMonitor(cluster, flap_threshold=3)
+        flappy = cluster.node_names[1]
+        cluster.inject_node_fault(
+            flappy, NodeFlap(t0=0.0, t1=10.0, period_s=2.0, down_fraction=0.25)
+        )
+        events = monitor.supervise(t=7.0)  # 4 down events > threshold
+        assert events["quarantined"] == [flappy]
+        assert monitor.node_state(flappy, 7.5) == "quarantined"
+        assert flappy in cluster.drained
+        # Past the flap window plus the clearance period: reattach.
+        events = monitor.supervise(t=20.0)
+        assert events["reattached"] == [flappy]
+        assert monitor.node_state(flappy, 20.0) == "up"
+        assert flappy not in cluster.drained
+
+    def test_quarantine_visible_in_degraded_cluster_kb(self):
+        cluster = make_cluster()
+        monitor = ClusterMonitor(cluster, flap_threshold=1)
+        flappy = cluster.node_names[2]
+        # Window opens after t=0 so the twin's snapshot instant (cluster
+        # time 0) sees the node up-but-quarantined, not mid-outage.
+        cluster.inject_node_fault(
+            flappy, NodeFlap(t0=0.5, t1=4.0, period_s=2.0, down_fraction=0.5)
+        )
+        monitor.supervise(t=1.6)
+        doc = monitor.cluster_kb_document()
+        assert doc["degraded"]
+        status = {c["node"]: c["description"] for c in doc["contents"]
+                  if c.get("name") == "node_status"}
+        assert status[flappy] == "quarantined"
+        # Relationships to every node KB survive the degradation.
+        rels = [c for c in doc["contents"] if c["@type"] == "Relationship"]
+        assert len(rels) == len(cluster.node_names)
+
+    def test_healthy_fleet_not_degraded(self):
+        cluster = make_cluster()
+        monitor = ClusterMonitor(cluster)
+        doc = monitor.cluster_kb_document()
+        assert not doc["degraded"]
+        health = monitor.fleet_health()
+        assert not health["degraded"] and health["nodes_down"] == []

@@ -30,7 +30,9 @@ from repro.faults import (
 )
 from repro.pmu import PMU
 
-EVENTS = ["UNHALTED_CORE_CYCLES", "INSTRUCTION_RETIRED"]
+pytestmark = pytest.mark.chaos
+
+EVENTS =["UNHALTED_CORE_CYCLES", "INSTRUCTION_RETIRED"]
 MEAS = "perfevent_hwcounters_UNHALTED_CORE_CYCLES_value"
 
 

@@ -131,3 +131,35 @@ class TestCommands:
                            "--iterations", "30")
         assert code == 0
         assert "GB shipped" in out
+
+    def test_chaos_node_crash_requeues(self, capsys):
+        code, out, _ = run(capsys, "chaos", "csl", "--nodes", "3",
+                           "--node-crash", "0.5", "40")
+        assert code == 0
+        assert "NodeCrash" in out
+        assert "after 1 requeue(s)" in out
+        assert "killed by csln00" in out
+        assert "fleet degraded=True" in out
+        assert "utilization" in out
+
+    def test_chaos_node_hang_paces(self, capsys):
+        code, out, _ = run(capsys, "chaos", "csl", "--nodes", "3",
+                           "--node-hang", "0", "1e9", "3")
+        assert code == 0
+        assert "NodeHang" in out
+        assert "after 0 requeue(s)" in out
+        assert "fleet degraded=False" in out
+
+    def test_superdb_report(self, capsys):
+        code, out, _ = run(capsys, "superdb", "report", "--mode", "agg")
+        assert code == 0
+        assert "report (agg): 1 observation(s)" in out
+        assert "complete=True" in out
+
+    def test_superdb_anti_entropy_heals_partition(self, capsys):
+        code, out, _ = run(capsys, "superdb", "anti-entropy", "--mode", "ts",
+                           "--wan-outage", "0", "2", "--retry-budget", "1")
+        assert code == 0
+        assert "1 pending" in out
+        assert "anti-entropy pass 2" in out
+        assert "complete=True" in out

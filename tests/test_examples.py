@@ -79,6 +79,15 @@ class TestExamples:
         assert "comm telemetry" in out
         assert "node utilization" in out
 
+    def test_cluster_failover(self, capsys):
+        out = run_example("cluster_failover", capsys)
+        assert "crash: attempt on" in out
+        assert "requeued 1x, completed on" in out
+        assert "fleet health: degraded=True" in out
+        assert "utilization, downtime excluded" in out
+        assert "pending" in out
+        assert "sync state complete=True" in out
+
     def test_anomaly_and_prediction(self, capsys):
         out = run_example("anomaly_and_prediction", capsys)
         assert "z-score flags" in out
