@@ -1,0 +1,203 @@
+"""Query-serving perf: pushdown + rollups + result cache vs the seed path.
+
+The workload is the one P-MoVE actually serves — auto-generated Grafana
+dashboards re-issuing the same Listing-3 statements on every panel refresh
+over a long-lived host's series (1e5 points by default; crank
+``PMOVE_BENCH_QUERY_POINTS``).  Three layers are under test:
+
+- **aggregation pushdown**: ``execute`` folds aggregates/buckets straight
+  over the column arrays instead of materializing row tuples;
+- **write-through rollups**: tier-aligned GROUP BY queries read ~N/60
+  pre-folded buckets instead of N raw rows;
+- **the generation-stamped result cache**: an unchanged panel refresh is a
+  dict hit in ``GrafanaServer``.
+
+Two CI gates: the repeated dashboard-refresh workload must beat the seed
+(naive execute, no cache) by ≥5× at p50, and *cold* queries — cache miss
+AND rollup miss — must be no slower than the seed path.  Results land in
+``benchmarks/results/BENCH_query.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from _helpers import emit_json, latency_stats
+
+from repro.db.influx import InfluxDB, Point
+from repro.db.influxql import execute, naive_execute, parse_query
+from repro.viz.dashboard import Panel, Target
+from repro.viz.grafana import GrafanaServer
+
+N_POINTS = int(float(os.environ.get("PMOVE_BENCH_QUERY_POINTS", "100000")))
+N_SERIES = 20  # distinct observation tags sharing the measurement
+N_FIELDS = 2
+N_PANELS = 12  # dashboard width: panels re-queried on every refresh
+REFRESH_ITERS = 15
+NAIVE_REFRESH_ITERS = 4  # seed-path refreshes are slow; keep the run bounded
+COLD_ITERS = 20
+SPEEDUP_FLOOR = 5.0
+COLD_FLOOR = 0.9  # cold path must not regress vs seed (0.9 absorbs jitter)
+
+MEASUREMENT = "kernel_percpu_cpu_idle"
+
+
+def _workload(n: int) -> list[Point]:
+    pts = []
+    for i in range(n):
+        tag = f"obs-{i % N_SERIES:04d}"
+        t = float(i // N_SERIES)  # 1s cadence per series
+        pts.append(
+            Point(
+                MEASUREMENT,
+                {"tag": tag},
+                {f"_cpu{c}": float(i + c) for c in range(N_FIELDS)},
+                t,
+            )
+        )
+    return pts
+
+
+def _dashboard_panels(span: float) -> tuple[list[Panel], float, float]:
+    """A refresh workload: raw windowed panels + rollup-aligned coarse ones."""
+    t0, t1 = span * 0.25, span * 0.75
+    panels = []
+    for k in range(N_PANELS):
+        tag = f"obs-{k % N_SERIES:04d}"
+        if k % 2 == 0:
+            target = Target(MEASUREMENT, f"_cpu{k % N_FIELDS}", tag=tag)
+        else:
+            target = Target(
+                MEASUREMENT, f"_cpu{k % N_FIELDS}", tag=tag,
+                agg="MEAN", group_by_s=60.0,
+            )
+        panels.append(Panel(id=k + 1, title=f"panel {k}", targets=[target]))
+    return panels, t0, t1
+
+
+def _naive_refresh(influx, panels, t0, t1):
+    """The seed read path: every target re-executed via naive row folds,
+    no cache anywhere."""
+    out = {}
+    for panel in panels:
+        for target in panel.targets:
+            stmt = GrafanaServer.target_statement(target, t0, t1)
+            rs = naive_execute(influx, "pmove", stmt)
+            times, values = [], []
+            for t, row in rs.rows:
+                if row[0] is not None:
+                    times.append(t)
+                    values.append(row[0])
+            label = target.alias or f"{target.measurement}{target.params}"[-40:]
+            out[label] = (times, values)
+    return out
+
+
+def test_query_serving_speedup():
+    pts = _workload(N_POINTS)
+    influx = InfluxDB()  # default 10s/60s rollup tiers
+    influx.create_database("pmove")
+    influx.write_many("pmove", pts)
+
+    span = float(N_POINTS // N_SERIES)
+    panels, t0, t1 = _dashboard_panels(span)
+    server = GrafanaServer(influx)
+
+    def refresh():
+        out = {}
+        for panel in panels:
+            out.update(server.execute_panel(panel, t0=t0, t1=t1))
+        return out
+
+    # Identical output before timing anything: cached+pushdown refresh vs
+    # the seed path, and again on a warm cache.
+    want = _naive_refresh(influx, panels, t0, t1)
+    assert refresh() == want
+    assert refresh() == want
+    assert server.cache_hits > 0
+
+    lat_cached = []
+    for _ in range(REFRESH_ITERS):
+        start = time.perf_counter()
+        refresh()
+        lat_cached.append(time.perf_counter() - start)
+    lat_naive = []
+    for _ in range(NAIVE_REFRESH_ITERS):
+        start = time.perf_counter()
+        _naive_refresh(influx, panels, t0, t1)
+        lat_naive.append(time.perf_counter() - start)
+
+    stats_c, stats_n = latency_stats(lat_cached), latency_stats(lat_naive)
+    refresh_speedup = stats_n["p50_ms"] / stats_c["p50_ms"]
+
+    # Cold path: cache miss AND rollup miss.  7s divides neither tier, so
+    # GROUP BY time(7s) runs the raw bucket walk; the raw select window is
+    # a plain columnar scan.  Both must hold the line against the seed.
+    cold_gb = parse_query(
+        f'SELECT MEAN("_cpu0") FROM "{MEASUREMENT}" '
+        f'WHERE tag="obs-0003" AND time >= {t0} AND time <= {t1} '
+        f"GROUP BY time(7s)"
+    )
+    cold_raw = parse_query(
+        f'SELECT "_cpu0", "_cpu1" FROM "{MEASUREMENT}" '
+        f'WHERE tag="obs-0003" AND time >= {t0} AND time <= {t1}'
+    )
+    cold = {}
+    for name, q in (("groupby_7s", cold_gb), ("raw_window", cold_raw)):
+        got = execute(influx, "pmove", q)
+        want_rs = naive_execute(influx, "pmove", q)
+        assert got.columns == want_rs.columns and got.rows == want_rs.rows
+        # Time each path in its own warmed loop (interleaving makes the two
+        # paths pay for each other's allocation churn).
+        lat_new, lat_seed = [], []
+        for _ in range(COLD_ITERS):
+            start = time.perf_counter()
+            execute(influx, "pmove", q)
+            lat_new.append(time.perf_counter() - start)
+        for _ in range(COLD_ITERS):
+            start = time.perf_counter()
+            naive_execute(influx, "pmove", q)
+            lat_seed.append(time.perf_counter() - start)
+        s_new, s_seed = latency_stats(lat_new), latency_stats(lat_seed)
+        cold[name] = {
+            "pushdown": s_new,
+            "seed": s_seed,
+            "speedup_p50": s_seed["p50_ms"] / s_new["p50_ms"],
+        }
+
+    payload = {
+        "workload": {
+            "n_points": N_POINTS,
+            "n_series": N_SERIES,
+            "n_fields": N_FIELDS,
+            "n_panels": N_PANELS,
+            "measurement": MEASUREMENT,
+            "rollup_tiers": list(influx._rollup_tiers),
+        },
+        "dashboard_refresh": {
+            "cached": stats_c,
+            "naive": stats_n,
+            "speedup_p50": refresh_speedup,
+            "cache_hits": server.cache_hits,
+            "cache_misses": server.cache_misses,
+        },
+        "cold_queries": cold,
+        "gate": {
+            "speedup_floor": SPEEDUP_FLOOR,
+            "cold_floor": COLD_FLOOR,
+            "passed": refresh_speedup >= SPEEDUP_FLOOR
+            and all(c["speedup_p50"] >= COLD_FLOOR for c in cold.values()),
+        },
+    }
+    emit_json("BENCH_query.json", payload)
+
+    assert refresh_speedup >= SPEEDUP_FLOOR, (
+        f"dashboard refresh only {refresh_speedup:.1f}x faster than the seed "
+        f"path at {N_POINTS} points (floor {SPEEDUP_FLOOR}x)"
+    )
+    for name, c in cold.items():
+        assert c["speedup_p50"] >= COLD_FLOOR, (
+            f"cold {name} regressed vs seed: {c['speedup_p50']:.2f}x "
+            f"(floor {COLD_FLOOR}x)"
+        )

@@ -70,6 +70,14 @@ class ClusterMonitor:
         self.quarantined: set[str] = set()
         self._down_events: dict[str, int] = {n: 0 for n in cluster.node_names}
         self._last_supervise_t = 0.0
+        # Job-history lookups filter by user and by participating node
+        # (array containment); cluster_kb is fetched by name.
+        jobs = self.daemon.mongo.collection(self.daemon.database, "jobs")
+        jobs.create_index("user")
+        jobs.create_index("nodes")
+        self.daemon.mongo.collection(
+            self.daemon.database, "cluster_kb"
+        ).create_index("name")
         self._last_sample_t: dict[str, float] = {}
         for machine in cluster.nodes.values():
             self.daemon.attach_target(machine)

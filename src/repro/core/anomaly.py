@@ -145,10 +145,16 @@ def scan_observation(
         raise ValueError("need an ObservationInterface entry")
     out: list[Anomaly] = []
     for m in observation["metrics"]:
-        pts = influx.points(database, m["measurement"], tags={"tag": observation["tag"]})
-        for f in m["fields"]:
-            times = [p.time for p in pts if f in p.fields]
-            values = [p.fields[f] for p in pts if f in p.fields]
+        # One columnar scan per measurement (no Point materialization),
+        # then split per field; row order matches the Point scan.
+        fields = list(m["fields"])
+        _, rows = influx.scan_columns(
+            database, m["measurement"], columns=fields,
+            tags={"tag": observation["tag"]},
+        )
+        for i, f in enumerate(fields):
+            times = [t for t, r in rows if r[i] is not None]
+            values = [r[i] for _, r in rows if r[i] is not None]
             if as_rates:
                 times, values = _to_rates(times, values)
             out.extend(

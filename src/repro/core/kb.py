@@ -464,6 +464,7 @@ class KnowledgeBase:
     def save(self, mongo: MongoDB, database: str = "pmove") -> None:
         """Persist to the document store (Fig 3 step 3; re-run on change)."""
         col = mongo.collection(database, "kb")
+        col.create_index("hostname")  # idempotent; every load filters on it
         col.replace_one({"hostname": self.hostname}, self.to_jsonld(), upsert=True)
 
     @classmethod

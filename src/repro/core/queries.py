@@ -18,15 +18,33 @@ from repro.db.influxql import ResultSet, execute
 __all__ = ["generate_queries", "recall", "query_for_component"]
 
 
-def generate_queries(observation: dict[str, Any]) -> list[str]:
-    """InfluxQL statements recalling every series of one observation."""
+def generate_queries(
+    observation: dict[str, Any],
+    agg: str | None = None,
+    group_by_s: float | None = None,
+) -> list[str]:
+    """InfluxQL statements recalling every series of one observation.
+
+    The default is the verbatim Listing 3 raw select.  ``agg`` (and
+    optionally ``group_by_s``) generate the downsampled variant instead —
+    ``SELECT AGG("f") ... GROUP BY time(Ns)`` — which the engine serves
+    from its write-through rollup tiers when the bucket width allows.
+    """
     if observation.get("@type") != "ObservationInterface":
         raise ValueError("query generation needs an ObservationInterface entry")
+    if group_by_s is not None and agg is None:
+        agg = "MEAN"
     tag = observation["tag"]
     out: list[str] = []
     for m in observation["metrics"]:
-        fields = ", ".join(f'"{f}"' for f in m["fields"])
-        out.append(f'SELECT {fields} FROM "{m["measurement"]}" WHERE tag="{tag}"')
+        if agg is None:
+            fields = ", ".join(f'"{f}"' for f in m["fields"])
+        else:
+            fields = ", ".join(f'{agg}("{f}")' for f in m["fields"])
+        gb = f" GROUP BY time({group_by_s}s)" if group_by_s is not None else ""
+        out.append(
+            f'SELECT {fields} FROM "{m["measurement"]}" WHERE tag="{tag}"{gb}'
+        )
     return out
 
 

@@ -72,6 +72,15 @@ class SuperDB:
         self.mongo = MongoDB()
         self.influx = InfluxDB()
         self.influx.create_database("superdb")
+        # Secondary indexes on the global-query access paths: every lookup
+        # below filters on one of these, and SUPERDB accumulates docs from
+        # many hosts, so linear scans are the first thing to go at scale.
+        obs = self.mongo.collection("superdb", "observations")
+        obs.create_index("@id")
+        obs.create_index("hostname")
+        obs.create_index("@type")
+        self.mongo.collection("superdb", "kbs").create_index("hostname")
+        self.mongo.collection("superdb", "sync_state").create_index("hostname")
         #: WAN leg between local instances and the cloud DBs.
         self.link = FederationLink(
             self,
@@ -169,12 +178,16 @@ class SuperDB:
         else:
             aggregates: dict[str, dict[str, dict[str, float]]] = {}
             for m in obs["metrics"]:
-                pts = local_influx.points(
-                    local_database, m["measurement"], tags={"tag": obs["tag"]}
+                # One columnar scan per measurement; per-field value lists
+                # come out of the column arrays, no Point materialization.
+                fields = list(m["fields"])
+                _, rows = local_influx.scan_columns(
+                    local_database, m["measurement"], columns=fields,
+                    tags={"tag": obs["tag"]},
                 )
                 per_field: dict[str, dict[str, float]] = {}
-                for f in m["fields"]:
-                    vals = [p.fields[f] for p in pts if f in p.fields]
+                for i, f in enumerate(fields):
+                    vals = [r[i] for _, r in rows if r[i] is not None]
                     per_field[f] = _aggregate(vals)
                     copied += len(vals)
                 aggregates[m["measurement"]] = per_field

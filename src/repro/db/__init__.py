@@ -3,12 +3,27 @@ protocol, retention policies and an InfluxQL subset) and the MongoDB-like
 document store the Knowledge Base lives in (§III-A)."""
 
 from .faulty import FaultyInfluxDB, ServiceUnavailable
-from .influx import InfluxDB, InfluxError, Point, RetentionPolicy
-from .influxql import Query, ResultSet, execute, parse_query, show_measurements
+from .influx import (
+    DEFAULT_ROLLUP_TIERS,
+    InfluxDB,
+    InfluxError,
+    Point,
+    RetentionPolicy,
+    fold_values,
+)
+from .influxql import (
+    Query,
+    ResultSet,
+    execute,
+    naive_execute,
+    parse_query,
+    show_measurements,
+)
 from .mongo import Collection, MongoDB, MongoError
 
 __all__ = [
     "Collection",
+    "DEFAULT_ROLLUP_TIERS",
     "FaultyInfluxDB",
     "InfluxDB",
     "InfluxError",
@@ -20,6 +35,8 @@ __all__ = [
     "RetentionPolicy",
     "ServiceUnavailable",
     "execute",
+    "fold_values",
+    "naive_execute",
     "show_measurements",
     "parse_query",
 ]

@@ -16,6 +16,22 @@ tag index (``tag=value → series``) plus two ``bisect`` calls instead of a
 full scan.  Writes take an O(1) append fast path when they arrive in time
 order (the sampler's case) and a bisect-based insertion otherwise.
 
+The read path is columnar end to end.  Dashboards re-issue the same
+aggregate queries on every refresh, so three mechanisms serve them without
+per-row tuple materialization:
+
+- :meth:`InfluxDB.aggregate_columns` folds MEAN/MAX/MIN/SUM/COUNT/LAST
+  directly over the per-series value arrays;
+- :meth:`InfluxDB.scan_buckets` resolves ``GROUP BY time(N)`` buckets by
+  bisecting bucket edges, and serves fully covered buckets from
+  **write-through rollups** — per-series downsample shards (default tiers
+  10s/60s, the continuous-query pattern of production Influx stacks)
+  maintained incrementally on every write, with raw-point folds for the
+  unaligned head/tail so results stay exactly equal to raw aggregation;
+- per-measurement **generation counters** (:meth:`InfluxDB.generation`)
+  bumped on every mutation, so read layers (the Grafana panel cache) can
+  invalidate cached results with one integer compare.
+
 Timestamps are virtual-clock seconds stored at nanosecond resolution, as
 Influx line protocol does.
 """
@@ -23,10 +39,37 @@ Influx line protocol does.
 from __future__ import annotations
 
 import re
-from bisect import bisect_left, bisect_right
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
+from heapq import merge as _heap_merge
 
-__all__ = ["Point", "InfluxError", "RetentionPolicy", "InfluxDB"]
+__all__ = ["Point", "InfluxError", "RetentionPolicy", "InfluxDB",
+           "DEFAULT_ROLLUP_TIERS", "fold_values"]
+
+#: Downsample shard sizes maintained on the write path, seconds.
+DEFAULT_ROLLUP_TIERS = (10.0, 60.0)
+
+_FOLDABLE = frozenset({"MEAN", "MAX", "MIN", "SUM", "COUNT", "LAST"})
+
+
+def fold_values(agg: str, values: list[float]) -> float | None:
+    """Fold one aggregate over ``values`` exactly as a row-at-a-time
+    left fold would (the InfluxQL reference semantics)."""
+    if not values:
+        return None
+    if agg == "MEAN":
+        return sum(values) / len(values)
+    if agg == "MAX":
+        return max(values)
+    if agg == "MIN":
+        return min(values)
+    if agg == "SUM":
+        return sum(values)
+    if agg == "COUNT":
+        return float(len(values))
+    if agg == "LAST":
+        return values[-1]
+    raise InfluxError(f"unknown aggregate {agg}")
 
 
 class InfluxError(ValueError):
@@ -149,6 +192,72 @@ class RetentionPolicy:
     name: str = "autogen"
 
 
+class _RollupCol:
+    """Per-bucket fold state of one field, parallel with ``_Rollup.starts``.
+
+    A bucket with ``count == 0`` holds no value for this field.  ``total``,
+    ``vmin``, ``vmax`` and ``last`` are maintained as the *left fold* of the
+    raw values in (time, write-seq) order, so every stat is bit-identical to
+    folding the raw column slice of that bucket.
+    """
+
+    __slots__ = ("count", "total", "vmin", "vmax", "last")
+
+    def __init__(self, n: int) -> None:
+        self.count = [0] * n
+        self.total = [0.0] * n
+        self.vmin = [0.0] * n
+        self.vmax = [0.0] * n
+        self.last = [0.0] * n
+
+    def _arrays(self):
+        return (self.count, self.total, self.vmin, self.vmax, self.last)
+
+    def append_bucket(self) -> None:
+        for a in self._arrays():
+            a.append(0)
+
+    def insert_bucket(self, k: int) -> None:
+        for a in self._arrays():
+            a.insert(k, 0)
+
+    def drop_buckets(self, k: int) -> None:
+        for a in self._arrays():
+            del a[:k]
+
+    def remove_bucket(self, k: int) -> None:
+        for a in self._arrays():
+            del a[k]
+
+    def set_from(self, k: int, values: list[float]) -> None:
+        """Recompute bucket ``k`` from the raw in-order value list."""
+        self.count[k] = len(values)
+        if values:
+            self.total[k] = sum(values)
+            self.vmin[k] = min(values)
+            self.vmax[k] = max(values)
+            self.last[k] = values[-1]
+
+
+class _Rollup:
+    """One downsample shard of one series: per-bucket folds at tier ``T``.
+
+    ``starts`` is the sorted list of bucket starts ``(t // T) * T`` that
+    hold at least one raw row.  ``has_nan`` poisons MIN/MAX serving: NaN
+    makes min/max folds order-dependent, so the planner falls back to raw
+    folds for those aggregates once a NaN was ever ingested.
+    """
+
+    __slots__ = ("tier", "starts", "fields", "has_nan")
+
+    def __init__(self, tier: float) -> None:
+        self.tier = tier
+        self.starts: list[float] = []
+        self.fields: dict[str, _RollupCol] = {}
+
+        self.has_nan = False
+
+
 class _Series:
     """One (measurement, tag set): columnar time/seq/field arrays.
 
@@ -156,21 +265,26 @@ class _Series:
     sequence so equal timestamps preserve global insertion order across
     series (matching a stable sort over a flat point list).  ``cols`` maps
     field name → value array aligned with ``times`` (``None`` = field absent
-    in that row).
+    in that row).  ``rollups`` holds one write-through downsample shard per
+    configured tier.
     """
 
-    __slots__ = ("tags", "key_len", "times", "seqs", "cols")
+    __slots__ = ("tags", "key_len", "times", "seqs", "cols", "rollups")
 
-    def __init__(self, tags: dict[str, str], key_len: int) -> None:
+    def __init__(
+        self, tags: dict[str, str], key_len: int, tiers: tuple[float, ...] = ()
+    ) -> None:
         self.tags = tags
         self.key_len = key_len  # len of the escaped "measurement,tag=…" prefix
         self.times: list[float] = []
         self.seqs: list[int] = []
         self.cols: dict[str, list[float | None]] = {}
+        self.rollups: tuple[_Rollup, ...] = tuple(_Rollup(t) for t in tiers)
 
     def add(self, time: float, seq: int, fields: dict[str, float]) -> None:
         times = self.times
-        if not times or time >= times[-1]:
+        in_order = not times or time >= times[-1]
+        if in_order:
             idx = len(times)  # append fast path (in-order ingest)
             times.append(time)
             self.seqs.append(seq)
@@ -189,6 +303,71 @@ class _Series:
             if col is None:
                 col = cols[name] = [None] * n
             col[idx] = v
+        if in_order:
+            for r in self.rollups:
+                self._rollup_append(r, time, fields)
+        else:
+            for r in self.rollups:
+                self._rollup_recompute(r, (time // r.tier) * r.tier)
+
+    # -- write-through rollup maintenance ------------------------------
+    def _rollup_append(self, r: _Rollup, time: float, fields: dict[str, float]) -> None:
+        """In-order update: extend or amend the newest bucket in place."""
+        b = (time // r.tier) * r.tier
+        starts = r.starts
+        if not starts or starts[-1] != b:
+            starts.append(b)
+            for rc in r.fields.values():
+                rc.append_bucket()
+        k = len(starts) - 1
+        for name, v in fields.items():
+            rc = r.fields.get(name)
+            if rc is None:
+                rc = r.fields[name] = _RollupCol(len(starts))
+            if rc.count[k] == 0:
+                rc.total[k] = v
+                rc.vmin[k] = v
+                rc.vmax[k] = v
+            else:
+                rc.total[k] += v
+                if v < rc.vmin[k]:
+                    rc.vmin[k] = v
+                if v > rc.vmax[k]:
+                    rc.vmax[k] = v
+            rc.count[k] += 1
+            rc.last[k] = v
+            if v != v:
+                r.has_nan = True
+
+    def _rollup_recompute(self, r: _Rollup, b: float) -> None:
+        """Rebuild bucket ``b`` from raw rows (out-of-order insert, retention
+        trim).  The fold re-runs in storage order, so exactness survives any
+        write pattern."""
+        T = r.tier
+        times = self.times
+        key = lambda t: (t // T) * T  # noqa: E731
+        i = bisect_left(times, b, key=key)
+        j = bisect_right(times, b, key=key)
+        k = bisect_left(r.starts, b)
+        have = k < len(r.starts) and r.starts[k] == b
+        if i == j:  # bucket holds no raw rows any more
+            if have:
+                del r.starts[k]
+                for rc in r.fields.values():
+                    rc.remove_bucket(k)
+            return
+        if not have:
+            r.starts.insert(k, b)
+            for rc in r.fields.values():
+                rc.insert_bucket(k)
+        for name, col in self.cols.items():
+            rc = r.fields.get(name)
+            if rc is None:
+                rc = r.fields[name] = _RollupCol(len(r.starts))
+            vals = [v for v in col[i:j] if v is not None]
+            rc.set_from(k, vals)
+            if any(v != v for v in vals):
+                r.has_nan = True
 
     def time_slice(
         self,
@@ -221,6 +400,20 @@ class _Series:
             del self.seqs[:idx]
             for col in self.cols.values():
                 del col[:idx]
+            for r in self.rollups:
+                if not self.times:
+                    r.starts.clear()
+                    r.fields.clear()
+                    continue
+                # Drop fully expired buckets, then rebuild the boundary
+                # bucket the horizon may have cut through.
+                b0 = (self.times[0] // r.tier) * r.tier
+                k = bisect_left(r.starts, b0)
+                if k:
+                    del r.starts[:k]
+                    for rc in r.fields.values():
+                        rc.drop_buckets(k)
+                self._rollup_recompute(r, b0)
         return idx
 
     def __len__(self) -> int:
@@ -231,10 +424,11 @@ class _Measurement:
     """All series of one measurement plus the inverted tag index."""
 
     __slots__ = ("name", "key_base_len", "series", "by_tags", "tag_index",
-                 "seq", "next_sid")
+                 "seq", "next_sid", "tiers")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, tiers: tuple[float, ...] = ()) -> None:
         self.name = name
+        self.tiers = tiers
         self.key_base_len = _esc_len(name)
         self.series: dict[int, _Series] = {}
         self.by_tags: dict[tuple[tuple[str, str], ...], int] = {}
@@ -254,7 +448,7 @@ class _Measurement:
             key_len = self.key_base_len + sum(
                 2 + _esc_len(k) + _esc_len(v) for k, v in key
             )
-            s = _Series(dict(tags), key_len)
+            s = _Series(dict(tags), key_len, self.tiers)
             self.series[sid] = s
             self.by_tags[key] = sid
             for kv in key:
@@ -289,21 +483,39 @@ class _Measurement:
 
 
 class _Database:
-    __slots__ = ("name", "meas", "retention", "points_written", "bytes_written")
+    __slots__ = ("name", "meas", "retention", "points_written", "bytes_written",
+                 "tiers", "gens")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, tiers: tuple[float, ...] = ()) -> None:
         self.name = name
         self.meas: dict[str, _Measurement] = {}
         self.retention = RetentionPolicy()
         self.points_written = 0
         self.bytes_written = 0
+        self.tiers = tiers
+        #: Per-measurement generation stamps (see :meth:`InfluxDB.generation`).
+        self.gens: dict[str, int] = {}
 
 
 class InfluxDB:
-    """The time-series store: multiple databases, line-protocol ingest."""
+    """The time-series store: multiple databases, line-protocol ingest.
 
-    def __init__(self) -> None:
+    ``rollup_tiers`` configures the write-through downsample shards every
+    series maintains (seconds per bucket, ascending); ``()`` disables them.
+    """
+
+    def __init__(self, rollup_tiers: tuple[float, ...] = DEFAULT_ROLLUP_TIERS) -> None:
+        tiers = tuple(sorted(float(t) for t in rollup_tiers))
+        if any(t <= 0 for t in tiers):
+            raise InfluxError("rollup tiers must be positive durations")
+        if len(set(tiers)) != len(tiers):
+            raise InfluxError("rollup tiers must be distinct")
         self._dbs: dict[str, _Database] = {}
+        self._rollup_tiers = tiers
+        # Instance-global generation sequence: never reused, so a cached
+        # (statement → rows) entry can never collide with a post-drop
+        # recreation of the same database/measurement.
+        self._gen_seq = 0
 
     # ------------------------------------------------------------------
     # Admin
@@ -311,7 +523,7 @@ class InfluxDB:
     def create_database(self, name: str) -> None:
         if not name:
             raise InfluxError("database name cannot be empty")
-        self._dbs.setdefault(name, _Database(name))
+        self._dbs.setdefault(name, _Database(name, self._rollup_tiers))
 
     def drop_database(self, name: str) -> None:
         self._dbs.pop(name, None)
@@ -331,12 +543,16 @@ class InfluxDB:
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
-    @staticmethod
-    def _append(d: _Database, point: Point) -> None:
+    def _bump(self, d: _Database, measurement: str) -> None:
+        self._gen_seq += 1
+        d.gens[measurement] = self._gen_seq
+
+    def _append(self, d: _Database, point: Point) -> None:
         m = d.meas.get(point.measurement)
         if m is None:
-            m = d.meas[point.measurement] = _Measurement(point.measurement)
+            m = d.meas[point.measurement] = _Measurement(point.measurement, d.tiers)
         s = m.series_for(point.tags)
+        self._bump(d, point.measurement)
         s.add(point.time, m.seq, point.fields)
         m.seq += 1
         d.points_written += len(point.fields)
@@ -385,6 +601,18 @@ class InfluxDB:
     # ------------------------------------------------------------------
     def measurements(self, db: str) -> list[str]:
         return sorted(self._db(db).meas)
+
+    def generation(self, db: str, measurement: str) -> int:
+        """Monotonic mutation stamp of one measurement.
+
+        Any write, series drop, or retention trim touching the measurement
+        moves the stamp to a never-reused value, so a cached query result
+        taken at generation ``g`` is provably fresh iff the stamp still
+        equals ``g``.  Unknown databases/measurements report 0 (nothing to
+        invalidate against — they have no rows).
+        """
+        d = self._dbs.get(db)
+        return 0 if d is None else d.gens.get(measurement, 0)
 
     def _matched_slices(
         self,
@@ -445,6 +673,23 @@ class InfluxDB:
             out.sort(key=lambda r: (r[0], r[1]))
         return [p for _, _, p in out]
 
+    @staticmethod
+    def _resolve_columns(
+        matched: list[tuple[_Series, int, int]], columns: list[str] | None
+    ) -> list[str]:
+        """``SELECT *`` column discovery: every field with at least one
+        value among the matched rows, sorted by name."""
+        if columns is not None:
+            return list(columns)
+        names: set[str] = set()
+        for s, lo, hi in matched:
+            for nm, col in s.cols.items():
+                if nm not in names and any(
+                    col[i] is not None for i in range(lo, hi)
+                ):
+                    names.add(nm)
+        return sorted(names)
+
     def scan_columns(
         self,
         db: str,
@@ -456,38 +701,52 @@ class InfluxDB:
         *,
         t0_exclusive: bool = False,
         t1_exclusive: bool = False,
+        limit: int | None = None,
     ) -> tuple[list[str], list[tuple[float, list[float | None]]]]:
         """Columnar read used by the query engine: no Point materialization.
 
         Returns ``(columns, rows)`` where each row is ``(time, values)``
         aligned with ``columns``.  ``columns=None`` selects every field with
         at least one value among the matched rows (the ``SELECT *`` shape),
-        sorted by name.  Row order matches :meth:`points`.
+        sorted by name — discovery always covers the full matched range even
+        under ``limit``, so the column set is limit-invariant.  Row order
+        matches :meth:`points`.  ``limit`` is pushed into the scan: only the
+        first ``limit`` rows (in merged time order) are materialized.
         """
         matched = self._matched_slices(
             self._db(db), measurement, tags, t0, t1, t0_exclusive, t1_exclusive
         )
-        if columns is None:
-            names: set[str] = set()
-            for s, lo, hi in matched:
-                for nm, col in s.cols.items():
-                    if nm not in names and any(
-                        col[i] is not None for i in range(lo, hi)
-                    ):
-                        names.add(nm)
-            cols = sorted(names)
-        else:
-            cols = list(columns)
+        cols = self._resolve_columns(matched, columns)
         if not matched:
             return cols, []
         if len(matched) == 1:
             s, lo, hi = matched[0]
+            if limit is not None:
+                hi = min(hi, lo + limit)
             sel = [s.cols.get(c) for c in cols]
             times = s.times
             rows = [
                 (times[i], [c[i] if c is not None else None for c in sel])
                 for i in range(lo, hi)
             ]
+            return cols, rows
+        if limit is not None:
+            # K-way merge on (time, seq), stopping as soon as `limit` rows
+            # are out — no full-range materialization and no global sort.
+            def _iter(s: _Series, lo: int, hi: int):
+                sel = [s.cols.get(c) for c in cols]
+                times, seqs = s.times, s.seqs
+                for i in range(lo, hi):
+                    yield (times[i], seqs[i], i, sel)
+
+            rows = []
+            for t, _, i, sel in _heap_merge(
+                *(_iter(s, lo, hi) for s, lo, hi in matched),
+                key=lambda r: (r[0], r[1]),
+            ):
+                rows.append((t, [c[i] if c is not None else None for c in sel]))
+                if len(rows) >= limit:
+                    break
             return cols, rows
         tmp: list[tuple[float, int, list[float | None]]] = []
         for s, lo, hi in matched:
@@ -499,6 +758,297 @@ class InfluxDB:
                 )
         tmp.sort(key=lambda r: (r[0], r[1]))
         return cols, [(t, vals) for t, _, vals in tmp]
+
+    # ------------------------------------------------------------------
+    # Aggregation pushdown
+    # ------------------------------------------------------------------
+    def aggregate_columns(
+        self,
+        db: str,
+        measurement: str,
+        agg: str,
+        columns: list[str] | None = None,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> tuple[list[str], float | None, list[float | None]]:
+        """Fold one aggregate per column straight over the value arrays.
+
+        Returns ``(columns, first_row_time, aggregates)``; ``first_row_time``
+        is ``None`` when no row matches.  The result is exactly what folding
+        :meth:`scan_columns` rows in (time, seq) order yields — the
+        single-series fast path folds each column slice in storage order,
+        and the multi-series path merges values into that order first.
+        """
+        if agg not in _FOLDABLE:
+            raise InfluxError(f"unknown aggregate {agg}")
+        matched = self._matched_slices(
+            self._db(db), measurement, tags, t0, t1, t0_exclusive, t1_exclusive
+        )
+        cols = self._resolve_columns(matched, columns)
+        if not matched:
+            return cols, None, [None] * len(cols)
+        if len(matched) == 1:
+            s, lo, hi = matched[0]
+            out: list[float | None] = []
+            for c in cols:
+                col = s.cols.get(c)
+                if col is None:
+                    out.append(None)
+                    continue
+                vals = [v for v in col[lo:hi] if v is not None]
+                out.append(fold_values(agg, vals))
+            return cols, s.times[lo], out
+        first_t = min(s.times[lo] for s, lo, _ in matched)
+        out = []
+        for c in cols:
+            pairs: list[tuple[float, int, float]] = []
+            for s, lo, hi in matched:
+                col = s.cols.get(c)
+                if col is None:
+                    continue
+                times, seqs = s.times, s.seqs
+                pairs.extend(
+                    (times[i], seqs[i], col[i])
+                    for i in range(lo, hi)
+                    if col[i] is not None
+                )
+            pairs.sort(key=lambda p: (p[0], p[1]))
+            out.append(fold_values(agg, [v for _, _, v in pairs]))
+        return cols, first_t, out
+
+    def scan_buckets(
+        self,
+        db: str,
+        measurement: str,
+        agg: str,
+        group_by_s: float,
+        columns: list[str] | None = None,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> tuple[list[str], list[tuple[float, list[float | None]]]]:
+        """``GROUP BY time(N)`` without row materialization.
+
+        Single-series matches (the Listing 3 dashboard shape) resolve bucket
+        edges by bisect and, when a rollup tier divides ``N`` evenly, serve
+        fully covered buckets from the write-through rollup shard — raw
+        folds cover only the unaligned head/tail the time filter cut
+        through.  MEAN/SUM only ever ride a tier equal to ``N`` (summation
+        order must match the raw left fold exactly); COUNT/MIN/MAX/LAST
+        combine exactly across sub-buckets so any dividing tier works.
+        Output is exactly equal to bucketing :meth:`scan_columns` rows.
+        """
+        if agg not in _FOLDABLE:
+            raise InfluxError(f"unknown aggregate {agg}")
+        if group_by_s <= 0:
+            raise InfluxError("GROUP BY time() needs a positive bucket width")
+        matched = self._matched_slices(
+            self._db(db), measurement, tags, t0, t1, t0_exclusive, t1_exclusive
+        )
+        cols = self._resolve_columns(matched, columns)
+        if not matched:
+            return cols, []
+        if len(matched) == 1:
+            s, lo, hi = matched[0]
+            r = self._pick_rollup(s, agg, group_by_s)
+            if r is not None:
+                return cols, self._buckets_rollup(s, lo, hi, cols, agg,
+                                                  group_by_s, r)
+            return cols, self._buckets_raw(s, lo, hi, cols, agg, group_by_s)
+        # Multi-series: fold the merged scan in row order (rare shape —
+        # exactness over speed).
+        _, rows = self.scan_columns(
+            db, measurement, columns=cols, tags=tags, t0=t0, t1=t1,
+            t0_exclusive=t0_exclusive, t1_exclusive=t1_exclusive,
+        )
+        buckets: dict[float, list[list[float]]] = {}
+        for t, vals in rows:
+            b = (t // group_by_s) * group_by_s
+            slot = buckets.setdefault(b, [[] for _ in cols])
+            for i, v in enumerate(vals):
+                if v is not None:
+                    slot[i].append(v)
+        return cols, [
+            (b, [fold_values(agg, vs) for vs in buckets[b]])
+            for b in sorted(buckets)
+        ]
+
+    @staticmethod
+    def _pick_rollup(s: _Series, agg: str, group_by_s: float) -> _Rollup | None:
+        """Largest rollup tier that can serve ``GROUP BY time(N)`` exactly."""
+        best = None
+        for r in s.rollups:
+            k = group_by_s / r.tier
+            if k < 1.0 or k != k or not k.is_integer():
+                continue
+            if k != 1.0 and agg in ("MEAN", "SUM"):
+                continue  # cross-bucket float summation reorders the fold
+            if agg in ("MIN", "MAX") and r.has_nan:
+                continue  # NaN makes min/max folds order-dependent
+            if best is None or r.tier > best.tier:
+                best = r
+        return best
+
+    def _buckets_raw(
+        self,
+        s: _Series,
+        lo: int,
+        hi: int,
+        cols: list[str],
+        agg: str,
+        N: float,
+    ) -> list[tuple[float, list[float | None]]]:
+        """Pushdown bucket walk over raw arrays: per bucket, find the run
+        end (short linear probe, then bisect) and fold each column slice."""
+        times = s.times
+        keyq = lambda t: (t // N) * N  # noqa: E731
+        sel = [s.cols.get(c) for c in cols]
+        out: list[tuple[float, list[float | None]]] = []
+        i = lo
+        while i < hi:
+            b = keyq(times[i])
+            j = i + 1
+            stop = min(i + 32, hi)
+            while j < stop and keyq(times[j]) == b:
+                j += 1
+            if j == stop and j < hi and keyq(times[j]) == b:
+                j = bisect_right(times, b, j, hi, key=keyq)
+            row: list[float | None] = []
+            for col in sel:
+                if col is None:
+                    row.append(None)
+                    continue
+                vals = [v for v in col[i:j] if v is not None]
+                row.append(fold_values(agg, vals))
+            out.append((b, row))
+            i = j
+        return out
+
+    def _buckets_rollup(
+        self,
+        s: _Series,
+        lo: int,
+        hi: int,
+        cols: list[str],
+        agg: str,
+        N: float,
+        r: _Rollup,
+    ) -> list[tuple[float, list[float | None]]]:
+        """Serve ``GROUP BY time(N)`` from rollup tier ``r.tier``.
+
+        The time filter may cut through the first and last tier bucket; rows
+        of those two partial buckets are folded raw, every bucket in between
+        comes straight from the rollup arrays.  Segments are exact partial
+        folds, and segment combination (only ever needed for
+        COUNT/MIN/MAX/LAST, where it is exact) reproduces the raw left fold.
+        """
+        times = s.times
+        n = len(times)
+        T = r.tier
+        keyq = lambda t: (t // N) * N  # noqa: E731
+        keyt = lambda t: (t // T) * T  # noqa: E731
+        # [full_lo, full_hi): the maximal sub-range exactly tiled by whole
+        # tier buckets; [lo, full_lo) and [full_hi, hi) are the raw head/tail.
+        full_lo = lo
+        if lo > 0 and keyt(times[lo - 1]) == keyt(times[lo]):
+            full_lo = bisect_right(times, keyt(times[lo]), lo, hi, key=keyt)
+        full_hi = hi
+        if hi < n and keyt(times[hi]) == keyt(times[hi - 1]):
+            full_hi = bisect_left(times, keyt(times[hi - 1]), full_lo, hi,
+                                  key=keyt)
+        if full_hi < full_lo:
+            full_hi = full_lo
+
+        sel = [s.cols.get(c) for c in cols]
+
+        def _raw_stats(i: int, j: int) -> list[tuple]:
+            stats = []
+            for col in sel:
+                vals = (
+                    [v for v in col[i:j] if v is not None]
+                    if col is not None else []
+                )
+                if vals:
+                    stats.append(
+                        (len(vals), sum(vals), min(vals), max(vals), vals[-1])
+                    )
+                else:
+                    stats.append((0, 0.0, 0.0, 0.0, 0.0))
+            return stats
+
+        # (bucket, per-col (count, total, min, max, last)) segments in order.
+        segments: list[tuple[float, list[tuple]]] = []
+        if lo < full_lo:
+            segments.append((keyq(times[lo]), _raw_stats(lo, full_lo)))
+        if full_lo < full_hi:
+            ri0 = bisect_left(r.starts, keyt(times[full_lo]))
+            ri1 = bisect_right(r.starts, keyt(times[full_hi - 1]))
+            rsel = [r.fields.get(c) for c in cols]
+            for ri in range(ri0, ri1):
+                stats = []
+                for rc in rsel:
+                    if rc is None or rc.count[ri] == 0:
+                        stats.append((0, 0.0, 0.0, 0.0, 0.0))
+                    else:
+                        stats.append((rc.count[ri], rc.total[ri], rc.vmin[ri],
+                                      rc.vmax[ri], rc.last[ri]))
+                segments.append(((r.starts[ri] // N) * N, stats))
+        if full_hi < hi:
+            segments.append((keyq(times[full_hi]), _raw_stats(full_hi, hi)))
+
+        out: list[tuple[float, list[float | None]]] = []
+        cur_key: float | None = None
+        accs: list[list] = []
+
+        def _flush() -> None:
+            if cur_key is None:
+                return
+            row: list[float | None] = []
+            for acc in accs:
+                c = acc[0]
+                if c == 0:
+                    row.append(None)
+                elif agg == "MEAN":
+                    row.append(acc[1] / c)
+                elif agg == "SUM":
+                    row.append(acc[1])
+                elif agg == "COUNT":
+                    row.append(float(c))
+                elif agg == "MIN":
+                    row.append(acc[2])
+                elif agg == "MAX":
+                    row.append(acc[3])
+                else:  # LAST
+                    row.append(acc[4])
+            out.append((cur_key, row))
+
+        for qb, stats in segments:
+            if qb != cur_key:
+                _flush()
+                cur_key = qb
+                accs = [[0, 0.0, 0.0, 0.0, 0.0] for _ in cols]
+            for acc, (c1, t1_, m1, M1, l1) in zip(accs, stats):
+                if c1 == 0:
+                    continue
+                if acc[0] == 0:
+                    acc[0], acc[1], acc[2], acc[3], acc[4] = c1, t1_, m1, M1, l1
+                else:
+                    acc[0] += c1
+                    acc[1] += t1_
+                    if m1 < acc[2]:
+                        acc[2] = m1
+                    if M1 > acc[3]:
+                        acc[3] = M1
+                    acc[4] = l1
+        _flush()
+        return out
 
     # ------------------------------------------------------------------
     # Series administration
@@ -523,6 +1073,8 @@ class InfluxDB:
             m.remove_series(sid)
         if not m.series:
             del d.meas[measurement]
+        if removed:
+            self._bump(d, measurement)
         return removed
 
     # ------------------------------------------------------------------
@@ -539,13 +1091,17 @@ class InfluxDB:
         dropped = 0
         for name in list(d.meas):
             m = d.meas[name]
+            meas_dropped = 0
             for sid in list(m.series):
                 s = m.series[sid]
-                dropped += s.drop_before(horizon)
+                meas_dropped += s.drop_before(horizon)
                 if not s.times:
                     m.remove_series(sid)
             if not m.series:
                 del d.meas[name]
+            if meas_dropped:
+                self._bump(d, name)
+            dropped += meas_dropped
         return dropped
 
     def stats(self, db: str) -> dict[str, int]:

@@ -20,21 +20,32 @@ The paper's generated queries (Listing 3) are exactly this shape::
 
 Results come back as a :class:`ResultSet` of (time, values-per-column).
 
-Execution reads the storage engine's columnar arrays directly
-(:meth:`InfluxDB.scan_columns`) — no :class:`Point` materialization — and
-parsed statements are LRU-cached, since dashboards re-issue the same
-auto-generated query text on every refresh.
+Execution pushes work into the storage engine: raw selects ride
+:meth:`InfluxDB.scan_columns` (with LIMIT pushed into the scan),
+aggregates ride :meth:`InfluxDB.aggregate_columns`, and ``GROUP BY time``
+rides :meth:`InfluxDB.scan_buckets` — which serves coarse buckets from
+write-through rollup tiers when that is provably exact.  Parsed
+statements are LRU-cached, since dashboards re-issue the same
+auto-generated query text on every refresh.  :func:`naive_execute` keeps
+the original materialize-then-fold path as the equivalence reference.
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 
 from .influx import InfluxDB, InfluxError
 
-__all__ = ["Query", "ResultSet", "parse_query", "execute", "show_measurements"]
+__all__ = [
+    "Query",
+    "ResultSet",
+    "parse_query",
+    "execute",
+    "naive_execute",
+    "show_measurements",
+]
 
 _AGGS = ("MEAN", "MAX", "MIN", "SUM", "COUNT", "LAST")
 
@@ -61,10 +72,20 @@ class ResultSet:
 
     columns: list[str]
     rows: list[tuple[float, list[float | None]]]
+    _col_cache: dict[str, list[float | None]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def column(self, name: str) -> list[float | None]:
-        idx = self.columns.index(name)
-        return [row[idx] for _, row in self.rows]
+        """One column's values, memoized: dashboards extract the same
+        column per series per render, so the index lookup and list build
+        are paid once per name."""
+        cached = self._col_cache.get(name)
+        if cached is None:
+            idx = self.columns.index(name)
+            cached = [row[idx] for _, row in self.rows]
+            self._col_cache[name] = cached
+        return cached
 
     def times(self) -> list[float]:
         return [t for t, _ in self.rows]
@@ -188,9 +209,72 @@ def _agg(name: str, values: list[float]) -> float | None:
 def execute(db: InfluxDB, database: str, query: Query | str) -> ResultSet:
     """Execute a query against one database.
 
-    All shapes run off one columnar scan: raw selects return the scan rows
-    directly, aggregates fold the per-column arrays, and GROUP BY time
-    buckets rows in scan order (which is time order).
+    Each statement shape dispatches to the matching engine pushdown:
+
+    - raw select → ``scan_columns`` with LIMIT pushed into the scan;
+    - plain aggregate → ``aggregate_columns`` (column folds, no rows);
+    - GROUP BY time(N) → ``scan_buckets`` (bisected bucket edges, served
+      from a rollup tier when that is provably exact).
+
+    Results are exactly equal to :func:`naive_execute`.
+    """
+    q = parse_query(query) if isinstance(query, str) else query
+    columns = None if q.columns == ("*",) else list(q.columns)
+    tags = dict(q.tag_filters)
+
+    if q.aggregate is None:
+        cols, rows = db.scan_columns(
+            database,
+            q.measurement,
+            columns=columns,
+            tags=tags,
+            t0=q.t0,
+            t1=q.t1,
+            t0_exclusive=q.t0_exclusive,
+            t1_exclusive=q.t1_exclusive,
+            limit=q.limit,
+        )
+        return ResultSet(columns=cols, rows=rows)
+
+    if q.group_by_s is None:
+        cols, first_t, aggs = db.aggregate_columns(
+            database,
+            q.measurement,
+            q.aggregate,
+            columns=columns,
+            tags=tags,
+            t0=q.t0,
+            t1=q.t1,
+            t0_exclusive=q.t0_exclusive,
+            t1_exclusive=q.t1_exclusive,
+        )
+        return ResultSet(
+            columns=cols, rows=[(first_t if first_t is not None else 0.0, aggs)]
+        )
+
+    cols, out = db.scan_buckets(
+        database,
+        q.measurement,
+        q.aggregate,
+        q.group_by_s,
+        columns=columns,
+        tags=tags,
+        t0=q.t0,
+        t1=q.t1,
+        t0_exclusive=q.t0_exclusive,
+        t1_exclusive=q.t1_exclusive,
+    )
+    if q.limit is not None:
+        out = out[: q.limit]
+    return ResultSet(columns=cols, rows=out)
+
+
+def naive_execute(db, database: str, query: Query | str) -> ResultSet:
+    """The seed execute path: materialize scan rows, then fold in Python.
+
+    Kept as the equivalence reference (and benchmark baseline) for the
+    pushdown/rollup paths in :func:`execute`.  Works against any engine
+    exposing ``scan_columns`` — including :class:`~repro.db.naive.NaiveInfluxDB`.
     """
     q = parse_query(query) if isinstance(query, str) else query
     cols, rows = db.scan_columns(

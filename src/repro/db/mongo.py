@@ -9,13 +9,24 @@ logical ``$and $or``, plus ``$set``/``$push`` updates.
 Documents are deep-copied on insert and on return, so callers cannot mutate
 stored state by accident — the property that makes "the KB is given to each
 function as a parameter ... a snapshot" (§III) trustworthy.
+
+Collections support ordered secondary indexes (:meth:`Collection.create_index`).
+An index never changes results: the planner only narrows the scan to a
+candidate *superset* (hash buckets for equality/containment, bisected sorted
+runs for ranges), every candidate is re-verified by the full filter, and
+candidates are visited in insertion order — so ``find``/``count_documents``/
+``distinct`` stay byte-identical to the linear scan.  Indexes rebuild lazily
+(one dirty flag per collection), so write bursts cost one rebuild at the
+next read.
 """
 
 from __future__ import annotations
 
 import copy
 import itertools
+import numbers
 import re
+from bisect import bisect_left, bisect_right
 from typing import Any
 
 __all__ = ["MongoError", "Collection", "MongoDB"]
@@ -101,6 +112,111 @@ def _matches(doc: dict, flt: dict) -> bool:
     return True
 
 
+class _Index:
+    """Ordered secondary index over one dotted path.
+
+    Holds, per document position: hash buckets on the resolved value
+    (``eq``), hash buckets on hashable list elements (``contains`` — the
+    array-containment leg of plain equality), sorted numeric and string
+    runs for range operators, and the sorted positions where the path
+    resolves at all (``present``).  Lookups return candidate *supersets*;
+    the caller re-verifies every candidate against the full filter.
+    """
+
+    __slots__ = ("path", "eq", "contains", "num_vals", "num_pos",
+                 "str_vals", "str_pos", "present")
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.build([])
+
+    def build(self, docs: list[dict]) -> None:
+        self.eq: dict[Any, list[int]] = {}
+        self.contains: dict[Any, list[int]] = {}
+        self.present: list[int] = []
+        nums: list[tuple[Any, int]] = []
+        strs: list[tuple[str, int]] = []
+        for pos, d in enumerate(docs):
+            found, v = _resolve_path(d, self.path)
+            if not found:
+                continue
+            self.present.append(pos)
+            try:
+                self.eq.setdefault(v, []).append(pos)
+            except TypeError:
+                pass  # unhashable (list/dict): reachable via contains/linear
+            if isinstance(v, list):
+                for el in v:
+                    try:
+                        bucket = self.contains.setdefault(el, [])
+                    except TypeError:
+                        continue
+                    if not bucket or bucket[-1] != pos:
+                        bucket.append(pos)
+            elif isinstance(v, numbers.Real) and v == v:  # NaN never matches a range
+                nums.append((v, pos))
+            elif isinstance(v, str):
+                strs.append((v, pos))
+        nums.sort(key=lambda p: p[0])
+        strs.sort(key=lambda p: p[0])
+        self.num_vals = [v for v, _ in nums]
+        self.num_pos = [p for _, p in nums]
+        self.str_vals = [v for v, _ in strs]
+        self.str_pos = [p for _, p in strs]
+
+    # -- candidate lookups (None = index unusable for this condition) ----
+    def _range(self, op: str, arg: Any) -> list[int] | None:
+        if isinstance(arg, numbers.Real):
+            if arg != arg:  # NaN bound: bisect is meaningless
+                return None
+            vals, pos = self.num_vals, self.num_pos
+        elif isinstance(arg, str):
+            vals, pos = self.str_vals, self.str_pos
+        else:
+            return None
+        if op == "$gt":
+            return pos[bisect_right(vals, arg):]
+        if op == "$gte":
+            return pos[bisect_left(vals, arg):]
+        if op == "$lt":
+            return pos[:bisect_left(vals, arg)]
+        return pos[:bisect_right(vals, arg)]  # $lte
+
+    def _equality(self, arg: Any, containment: bool) -> list[int] | None:
+        try:
+            cands = list(self.eq.get(arg, ()))
+        except TypeError:
+            return None  # unhashable filter value (whole-list/dict equality)
+        if containment:
+            cands += self.contains.get(arg, ())
+        return cands
+
+    def candidates(self, cond: Any) -> list[int] | None:
+        """Positions that *could* satisfy ``cond`` (always a superset)."""
+        if isinstance(cond, dict) and any(k.startswith("$") for k in cond):
+            best: list[int] | None = None
+            for op, arg in cond.items():
+                c: list[int] | None = None
+                if op == "$eq":
+                    c = self._equality(arg, containment=False)
+                elif op in ("$gt", "$gte", "$lt", "$lte"):
+                    c = self._range(op, arg)
+                elif op == "$in" and isinstance(arg, (list, tuple)):
+                    c = []
+                    for el in arg:
+                        sub = self._equality(el, containment=False)
+                        if sub is None:
+                            c = None
+                            break
+                        c += sub
+                elif op == "$exists" and arg:
+                    c = self.present
+                if c is not None and (best is None or len(c) < len(best)):
+                    best = c
+            return best
+        return self._equality(cond, containment=True)
+
+
 class Collection:
     """One document collection."""
 
@@ -109,6 +225,83 @@ class Collection:
     def __init__(self, name: str) -> None:
         self.name = name
         self._docs: list[dict] = []
+        self._indexes: dict[str, _Index] = {}
+        self._dirty = False
+        #: Observability: reads served through an index vs full scans.
+        self.index_hits = 0
+        self.full_scans = 0
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def create_index(self, keys: str | list, **_kwargs: Any) -> str:
+        """Create ordered secondary index(es); pymongo-style signature.
+
+        Accepts ``"path"`` or ``[("path", direction), ...]`` — compound
+        specs index each component path separately (each narrows a scan
+        independently, and candidates are re-verified anyway).  Idempotent.
+        """
+        paths = [keys] if isinstance(keys, str) else [
+            k[0] if isinstance(k, (tuple, list)) else k for k in keys
+        ]
+        if not paths:
+            raise MongoError("create_index needs at least one key")
+        for path in paths:
+            if not isinstance(path, str) or not path:
+                raise MongoError(f"bad index key {path!r}")
+            if path not in self._indexes:
+                self._indexes[path] = _Index(path)
+                self._dirty = True
+        return "_".join(f"{p}_1" for p in paths)
+
+    def index_information(self) -> dict[str, dict]:
+        return {f"{p}_1": {"key": [(p, 1)]} for p in sorted(self._indexes)}
+
+    def _refresh_indexes(self) -> None:
+        if self._dirty:
+            for idx in self._indexes.values():
+                idx.build(self._docs)
+            self._dirty = False
+
+    def _candidates(self, flt: dict) -> list[int] | None:
+        """Smallest single-condition candidate set, or None (full scan).
+
+        Only top-level path conditions and ``$and`` branches can narrow
+        (every one must hold); any usable one yields a verified superset.
+        """
+        best: list[int] | None = None
+        for key, cond in flt.items():
+            c: list[int] | None = None
+            if key == "$and":
+                for sub in cond:
+                    sc = self._candidates(sub)
+                    if sc is not None and (c is None or len(sc) < len(c)):
+                        c = sc
+            elif not key.startswith("$"):
+                idx = self._indexes.get(key)
+                if idx is not None:
+                    c = idx.candidates(cond)
+            if c is not None and (best is None or len(c) < len(best)):
+                best = c
+        return best
+
+    def _scan(self, flt: dict):
+        """Yield matching stored docs in insertion order, via the planner."""
+        if self._indexes and flt:
+            self._refresh_indexes()
+            cands = self._candidates(flt)
+            if cands is not None:
+                self.index_hits += 1
+                docs = self._docs
+                for pos in sorted(set(cands)):
+                    d = docs[pos]
+                    if _matches(d, flt):
+                        yield d
+                return
+        self.full_scans += 1
+        for d in self._docs:
+            if _matches(d, flt):
+                yield d
 
     # ------------------------------------------------------------------
     def insert_one(self, doc: dict) -> Any:
@@ -117,6 +310,7 @@ class Collection:
         stored = copy.deepcopy(doc)
         stored.setdefault("_id", f"oid{next(self._ids):08d}")
         self._docs.append(stored)
+        self._dirty = True
         return stored["_id"]
 
     def insert_many(self, docs: list[dict]) -> list[Any]:
@@ -125,11 +319,10 @@ class Collection:
     def find(self, flt: dict | None = None, limit: int | None = None) -> list[dict]:
         flt = flt or {}
         out = []
-        for d in self._docs:
-            if _matches(d, flt):
-                out.append(copy.deepcopy(d))
-                if limit is not None and len(out) >= limit:
-                    break
+        for d in self._scan(flt):
+            out.append(copy.deepcopy(d))
+            if limit is not None and len(out) >= limit:
+                break
         return out
 
     def find_one(self, flt: dict | None = None) -> dict | None:
@@ -138,33 +331,49 @@ class Collection:
 
     def count_documents(self, flt: dict | None = None) -> int:
         flt = flt or {}
-        return sum(1 for d in self._docs if _matches(d, flt))
+        return sum(1 for _ in self._scan(flt))
 
     def distinct(self, path: str, flt: dict | None = None) -> list[Any]:
+        """Distinct resolved values among matching docs, first-seen order.
+
+        Hashable values dedup through a set (O(1) each); unhashable ones
+        (lists/dicts) fall back to list membership among themselves only —
+        the seed's O(n·k) scan over *every* prior value is gone.
+        """
         flt = flt or {}
-        seen = []
-        for d in self._docs:
-            if _matches(d, flt):
-                found, v = _resolve_path(d, path)
-                if found and v not in seen:
-                    seen.append(v)
-        return seen
+        seen_hashable: set[Any] = set()
+        seen_unhashable: list[Any] = []
+        out: list[Any] = []
+        for d in self._scan(flt):
+            found, v = _resolve_path(d, path)
+            if not found:
+                continue
+            try:
+                if v not in seen_hashable:
+                    seen_hashable.add(v)
+                    out.append(v)
+            except TypeError:
+                if v not in seen_unhashable:
+                    seen_unhashable.append(v)
+                    out.append(v)
+        return out
 
     # ------------------------------------------------------------------
     def update_one(self, flt: dict, update: dict) -> int:
         """Apply ``$set``/``$push`` to the first matching document."""
-        for d in self._docs:
-            if _matches(d, flt):
-                self._apply_update(d, update)
-                return 1
+        for d in self._scan(flt):
+            self._apply_update(d, update)
+            self._dirty = True
+            return 1
         return 0
 
     def update_many(self, flt: dict, update: dict) -> int:
         n = 0
-        for d in self._docs:
-            if _matches(d, flt):
-                self._apply_update(d, update)
-                n += 1
+        for d in self._scan(flt):
+            self._apply_update(d, update)
+            n += 1
+        if n:
+            self._dirty = True
         return n
 
     @staticmethod
@@ -196,6 +405,7 @@ class Collection:
                 stored = copy.deepcopy(doc)
                 stored.setdefault("_id", d["_id"])
                 self._docs[i] = stored
+                self._dirty = True
                 return 1
         if upsert:
             self.insert_one(doc)
@@ -205,7 +415,10 @@ class Collection:
     def delete_many(self, flt: dict) -> int:
         before = len(self._docs)
         self._docs = [d for d in self._docs if not _matches(d, flt)]
-        return before - len(self._docs)
+        removed = before - len(self._docs)
+        if removed:
+            self._dirty = True
+        return removed
 
     def __len__(self) -> int:
         return len(self._docs)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from .influx import InfluxError, Point, RetentionPolicy
+from .influx import InfluxError, Point, RetentionPolicy, fold_values
 
 __all__ = ["NaiveInfluxDB"]
 
@@ -106,8 +106,13 @@ class NaiveInfluxDB:
         *,
         t0_exclusive: bool = False,
         t1_exclusive: bool = False,
+        limit: int | None = None,
     ) -> tuple[list[str], list[tuple[float, list[float | None]]]]:
-        """Same contract as the indexed engine's scan, via Point scans."""
+        """Same contract as the indexed engine's scan, via Point scans.
+
+        ``limit`` truncates the materialized rows; column discovery stays
+        limit-invariant, matching the indexed engine.
+        """
         pts = self.points(
             db, measurement, tags, t0, t1,
             t0_exclusive=t0_exclusive, t1_exclusive=t1_exclusive,
@@ -116,7 +121,66 @@ class NaiveInfluxDB:
             cols = sorted({f for p in pts for f in p.fields})
         else:
             cols = list(columns)
+        if limit is not None:
+            pts = pts[:limit]
         return cols, [(p.time, [p.fields.get(c) for c in cols]) for p in pts]
+
+    def aggregate_columns(
+        self,
+        db: str,
+        measurement: str,
+        agg: str,
+        columns: list[str] | None = None,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> tuple[list[str], float | None, list[float | None]]:
+        """Reference aggregate: fold the materialized scan rows per column."""
+        cols, rows = self.scan_columns(
+            db, measurement, columns, tags, t0, t1,
+            t0_exclusive=t0_exclusive, t1_exclusive=t1_exclusive,
+        )
+        out = []
+        for i in range(len(cols)):
+            vals = [r[i] for _, r in rows if r[i] is not None]
+            out.append(fold_values(agg, vals))
+        return cols, (rows[0][0] if rows else None), out
+
+    def scan_buckets(
+        self,
+        db: str,
+        measurement: str,
+        agg: str,
+        group_by_s: float,
+        columns: list[str] | None = None,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> tuple[list[str], list[tuple[float, list[float | None]]]]:
+        """Reference GROUP BY time(N): bucket materialized rows in order."""
+        if group_by_s <= 0:
+            raise InfluxError("GROUP BY time() needs a positive bucket width")
+        cols, rows = self.scan_columns(
+            db, measurement, columns, tags, t0, t1,
+            t0_exclusive=t0_exclusive, t1_exclusive=t1_exclusive,
+        )
+        buckets: dict[float, list[list[float]]] = {}
+        for t, vals in rows:
+            b = (t // group_by_s) * group_by_s
+            slot = buckets.setdefault(b, [[] for _ in cols])
+            for i, v in enumerate(vals):
+                if v is not None:
+                    slot[i].append(v)
+        return cols, [
+            (b, [fold_values(agg, vs) for vs in buckets[b]])
+            for b in sorted(buckets)
+        ]
 
     def enforce_retention(self, db: str, now: float) -> int:
         d = self._db(db)

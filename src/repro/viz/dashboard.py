@@ -29,7 +29,11 @@ class Target:
 
     ``tag`` optionally pins the target to one observation's series (the
     WHERE tag=... scoping of Listing 3); process/observation-level views
-    (Fig 2 c/d) use it to draw one line per execution.
+    (Fig 2 c/d) use it to draw one line per execution.  ``agg`` and
+    ``group_by_s`` opt a target into a downsampled view (``AGG("field")
+    ... GROUP BY time(Ns)``) served from the engine's rollup tiers; both
+    default off and are omitted from the JSON, so legacy documents stay
+    byte-identical.
     """
 
     measurement: str
@@ -38,10 +42,14 @@ class Target:
     datasource_type: str = "influxdb"
     tag: str = ""
     alias: str = ""  # legend label override
+    agg: str = ""  # "" = raw select; else MEAN/MAX/MIN/SUM/COUNT/LAST
+    group_by_s: float = 0.0  # 0 = no GROUP BY time()
 
     def __post_init__(self) -> None:
         if not self.measurement:
             raise DashboardError("target needs a measurement")
+        if self.group_by_s < 0:
+            raise DashboardError("group_by_s must be >= 0")
 
     def to_json(self) -> dict[str, Any]:
         doc = {
@@ -53,6 +61,10 @@ class Target:
             doc["tag"] = self.tag
         if self.alias:
             doc["alias"] = self.alias
+        if self.agg:
+            doc["agg"] = self.agg
+        if self.group_by_s:
+            doc["groupBySeconds"] = self.group_by_s
         return doc
 
     @classmethod
@@ -66,6 +78,8 @@ class Target:
                 datasource_type=ds.get("type", "influxdb"),
                 tag=doc.get("tag", ""),
                 alias=doc.get("alias", ""),
+                agg=doc.get("agg", ""),
+                group_by_s=float(doc.get("groupBySeconds", 0.0)),
             )
         except KeyError as e:
             raise DashboardError(f"target missing {e}") from None

@@ -5,14 +5,26 @@ the streaming database that stores the performance data coming from P-MoVE
 telemetry agents and displays them" (§III-B).  :class:`GrafanaServer` keeps
 a registry of dashboards (by uid), resolves each panel target against the
 Influx substrate (the plugin role), and renders panels to text or SVG.
+
+Panel execution carries a write-invalidated result cache: each target's
+(database, statement) result is stored with the measurement's generation
+stamp (:meth:`~repro.db.influx.InfluxDB.generation`), read *before* the
+query runs.  An unchanged panel refresh — the dominant dashboard workload,
+since auto-generated statements are re-issued verbatim — is a dict hit;
+any write, series drop, or retention trim on the measurement moves the
+generation and the next refresh recomputes.  Staleness is impossible by
+construction: a stamp taken before execution can only under-report
+freshness, never over-report it.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.db.influx import InfluxDB
 from repro.db.influxql import execute
 
-from .dashboard import Dashboard, DashboardError, Panel
+from .dashboard import Dashboard, DashboardError, Panel, Target
 from .render import Series, render_series_svg, render_series_text
 
 __all__ = ["GrafanaServer"]
@@ -21,11 +33,24 @@ __all__ = ["GrafanaServer"]
 class GrafanaServer:
     """Dashboard registry + panel execution against InfluxDB."""
 
-    def __init__(self, influx: InfluxDB, database: str = "pmove", api_token: str = "") -> None:
+    def __init__(
+        self,
+        influx: InfluxDB,
+        database: str = "pmove",
+        api_token: str = "",
+        cache_size: int = 512,
+    ) -> None:
         self.influx = influx
         self.database = database
         self.api_token = api_token
         self._dashboards: dict[str, Dashboard] = {}
+        #: (database, statement) → (generation, times, values); LRU-bounded.
+        self._cache: OrderedDict[
+            tuple[str, str], tuple[int, list[float], list[float]]
+        ] = OrderedDict()
+        self.cache_size = cache_size
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------
     def register(self, dashboard: Dashboard) -> str:
@@ -49,6 +74,66 @@ class GrafanaServer:
             raise DashboardError(f"no dashboard {uid!r} registered") from None
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def target_statement(
+        target: Target,
+        t0: float | None = None,
+        t1: float | None = None,
+        tag: str | None = None,
+    ) -> str:
+        """The InfluxQL statement one target resolves to (Listing 3 shape)."""
+        where = []
+        effective_tag = target.tag or tag
+        if effective_tag is not None and effective_tag != "":
+            where.append(f'tag="{effective_tag}"')
+        if t0 is not None:
+            where.append(f"time >= {t0}")
+        if t1 is not None:
+            where.append(f"time <= {t1}")
+        clause = (" WHERE " + " AND ".join(where)) if where else ""
+        sel = f'"{target.params}"'
+        if target.agg:
+            sel = f'{target.agg}({sel})'
+        if target.group_by_s:
+            clause += f" GROUP BY time({target.group_by_s}s)"
+        return f'SELECT {sel} FROM "{target.measurement}"{clause}'
+
+    def _target_series(
+        self, target: Target, statement: str
+    ) -> tuple[list[float], list[float]]:
+        """One target's (times, values), through the generation cache.
+
+        The generation stamp is read *before* executing, so a write racing
+        the query can only make the cached entry look stale (recompute),
+        never fresh (stale serve).  Engines without generation support
+        (stamp ``None``) bypass the cache entirely.
+        """
+        key = (self.database, statement)
+        gen_of = getattr(self.influx, "generation", None)
+        gen = gen_of(self.database, target.measurement) if callable(gen_of) else None
+        hit = self._cache.get(key)
+        if hit is not None and gen is not None and hit[0] == gen:
+            self._cache.move_to_end(key)
+            self.cache_hits += 1
+            return list(hit[1]), list(hit[2])
+        self.cache_misses += 1
+        rs = execute(self.influx, self.database, statement)
+        times, values = [], []
+        for t, row in rs.rows:
+            if row[0] is not None:
+                times.append(t)
+                values.append(row[0])
+        if gen is not None:
+            self._cache[key] = (gen, list(times), list(values))
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        return times, values
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached panel result (e.g. after swapping engines)."""
+        self._cache.clear()
+
     def execute_panel(
         self,
         panel: Panel,
@@ -59,22 +144,8 @@ class GrafanaServer:
         """Run a panel's targets; returns label → (times, values)."""
         series: Series = {}
         for target in panel.targets:
-            where = []
-            effective_tag = target.tag or tag
-            if effective_tag is not None and effective_tag != "":
-                where.append(f'tag="{effective_tag}"')
-            if t0 is not None:
-                where.append(f"time >= {t0}")
-            if t1 is not None:
-                where.append(f"time <= {t1}")
-            clause = (" WHERE " + " AND ".join(where)) if where else ""
-            q = f'SELECT "{target.params}" FROM "{target.measurement}"{clause}'
-            rs = execute(self.influx, self.database, q)
-            times, values = [], []
-            for t, row in rs.rows:
-                if row[0] is not None:
-                    times.append(t)
-                    values.append(row[0])
+            statement = self.target_statement(target, t0, t1, tag)
+            times, values = self._target_series(target, statement)
             label = target.alias or f"{target.measurement}{target.params}"[-40:]
             series[label] = (times, values)
         return series

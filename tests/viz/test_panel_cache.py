@@ -1,0 +1,188 @@
+"""The dashboard result cache never serves stale rows.
+
+``GrafanaServer.execute_panel`` caches each target's result under the
+measurement's generation stamp.  The invariant under test: a refresh after
+*any* engine mutation (write, series drop, retention trim) returns exactly
+what an uncached server would return — the cache may only ever change how
+fast an answer arrives, never the answer.
+"""
+
+import random
+
+from repro.db.faulty import FaultyInfluxDB
+from repro.db.influx import InfluxDB, Point
+from repro.viz.dashboard import Dashboard, Panel, Target
+from repro.viz.grafana import GrafanaServer
+
+
+def _mk(n=50, tiers=(10.0, 60.0)):
+    influx = InfluxDB(rollup_tiers=tiers)
+    influx.create_database("pmove")
+    influx.write_many(
+        "pmove",
+        [Point("cpu", {"tag": "t1"}, {"_cpu0": float(i)}, float(i)) for i in range(n)],
+    )
+    server = GrafanaServer(influx)
+    panel = Panel(id=1, title="cpu", targets=[Target("cpu", "_cpu0", tag="t1")])
+    return influx, server, panel
+
+
+class TestCacheHits:
+    def test_repeat_refresh_is_a_hit_with_identical_result(self):
+        _, server, panel = _mk()
+        first = server.execute_panel(panel, t0=0.0, t1=100.0)
+        assert server.cache_misses == 1 and server.cache_hits == 0
+        second = server.execute_panel(panel, t0=0.0, t1=100.0)
+        assert server.cache_hits == 1
+        assert second == first
+
+    def test_different_time_range_is_a_different_key(self):
+        _, server, panel = _mk()
+        server.execute_panel(panel, t0=0.0, t1=100.0)
+        server.execute_panel(panel, t0=0.0, t1=50.0)
+        assert server.cache_misses == 2
+
+    def test_served_lists_are_copies(self):
+        """A caller mutating the returned series must not corrupt the cache."""
+        _, server, panel = _mk()
+        first = server.execute_panel(panel)
+        next(iter(first.values()))[1].append(1e9)
+        second = server.execute_panel(panel)
+        assert server.cache_hits == 1
+        assert 1e9 not in next(iter(second.values()))[1]
+
+    def test_lru_bound_holds(self):
+        influx, server, _ = _mk()
+        server.cache_size = 4
+        for i in range(10):
+            p = Panel(id=1, title="p", targets=[Target("cpu", "_cpu0", tag="t1")])
+            server.execute_panel(p, t0=float(i))
+        assert len(server._cache) <= 4
+
+    def test_engine_without_generation_bypasses_cache(self):
+        """A non-generational engine is never cached (and never stale)."""
+
+        class Legacy:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __getattr__(self, name):
+                if name == "generation":
+                    raise AttributeError(name)
+                return getattr(self._inner, name)
+
+        influx, _, panel = _mk()
+        server = GrafanaServer(Legacy(influx))
+        server.execute_panel(panel)
+        server.execute_panel(panel)
+        assert server.cache_hits == 0
+        assert not server._cache
+
+
+class TestInvalidation:
+    def test_write_between_refreshes_recomputes(self):
+        influx, server, panel = _mk()
+        first = server.execute_panel(panel)
+        influx.write("pmove", Point("cpu", {"tag": "t1"}, {"_cpu0": 999.0}, 12.5))
+        second = server.execute_panel(panel)
+        assert server.cache_hits == 0  # generation moved: forced recompute
+        assert second != first
+        assert 999.0 in next(iter(second.values()))[1]
+
+    def test_delete_series_between_refreshes_recomputes(self):
+        influx, server, panel = _mk()
+        server.execute_panel(panel)
+        influx.delete_series("pmove", "cpu", tags={"tag": "t1"})
+        times, values = next(iter(server.execute_panel(panel).values()))
+        assert times == [] and values == []
+
+    def test_retention_trim_between_refreshes_recomputes(self):
+        influx, server, panel = _mk()
+        server.execute_panel(panel)
+        influx.set_retention_policy("pmove", 10.0)
+        influx.enforce_retention("pmove", 49.0)
+        times, _ = next(iter(server.execute_panel(panel).values()))
+        assert times and min(times) >= 39.0
+
+    def test_write_to_other_measurement_keeps_hit(self):
+        influx, server, panel = _mk()
+        server.execute_panel(panel)
+        influx.write("pmove", Point("mem", {"tag": "t1"}, {"v": 1.0}, 3.0))
+        server.execute_panel(panel)
+        assert server.cache_hits == 1
+
+    def test_faulty_wrapper_passes_generations_through(self):
+        influx, _, panel = _mk()
+        wrapped = FaultyInfluxDB(influx)
+        server = GrafanaServer(wrapped)
+        first = server.execute_panel(panel)
+        server.execute_panel(panel)
+        assert server.cache_hits == 1
+        wrapped.write("pmove", Point("cpu", {"tag": "t1"}, {"_cpu0": -5.0}, 7.25))
+        second = server.execute_panel(panel)
+        assert -5.0 in next(iter(second.values()))[1]
+        assert second != first
+
+    def test_randomized_interleaving_never_stale(self):
+        """Random writes/drops interleaved with refreshes: every refresh
+        equals what a cache-cold server computes from the same engine."""
+        rng = random.Random(42)
+        influx, server, panel = _mk(n=20)
+        for step in range(120):
+            action = rng.random()
+            if action < 0.45:
+                influx.write(
+                    "pmove",
+                    Point("cpu", {"tag": "t1"}, {"_cpu0": rng.uniform(-10, 10)},
+                          rng.uniform(0, 100)),
+                )
+            elif action < 0.5:
+                influx.delete_series("pmove", "cpu", tags={"tag": "t1"})
+            t0 = rng.choice([None, rng.uniform(0, 50)])
+            t1 = rng.choice([None, rng.uniform(50, 100)])
+            got = server.execute_panel(panel, t0=t0, t1=t1)
+            cold = GrafanaServer(influx).execute_panel(panel, t0=t0, t1=t1)
+            assert got == cold, f"stale serve at step {step}"
+        assert server.cache_hits > 0  # the cache did actually engage
+
+
+class TestDownsampledTargets:
+    def test_agg_group_by_target_statement_and_json_roundtrip(self):
+        t = Target("cpu", "_cpu0", tag="t1", agg="MEAN", group_by_s=10.0)
+        stmt = GrafanaServer.target_statement(t, t0=0.0, t1=100.0)
+        assert stmt == (
+            'SELECT MEAN("_cpu0") FROM "cpu"'
+            ' WHERE tag="t1" AND time >= 0.0 AND time <= 100.0'
+            " GROUP BY time(10.0s)"
+        )
+        doc = t.to_json()
+        assert doc["agg"] == "MEAN" and doc["groupBySeconds"] == 10.0
+        assert Target.from_json(doc) == t
+
+    def test_plain_target_json_unchanged(self):
+        """Legacy documents stay byte-identical: no agg/groupBy keys."""
+        doc = Target("cpu", "_cpu0", tag="t1").to_json()
+        assert "agg" not in doc and "groupBySeconds" not in doc
+
+    def test_downsampled_panel_executes_and_caches(self):
+        influx, server, _ = _mk(n=200)
+        panel = Panel(
+            id=2,
+            title="coarse",
+            targets=[Target("cpu", "_cpu0", tag="t1", agg="MEAN", group_by_s=10.0)],
+        )
+        times, values = next(iter(server.execute_panel(panel).values()))
+        assert times == [float(b * 10) for b in range(20)]
+        assert values[0] == sum(range(10)) / 10.0
+        server.execute_panel(panel)
+        assert server.cache_hits == 1
+
+    def test_dashboard_roundtrip_with_downsampled_target(self):
+        dash = Dashboard(
+            id=7,
+            title="d",
+            panels=[Panel(id=1, title="p", targets=[
+                Target("cpu", "_cpu0", agg="MAX", group_by_s=60.0)
+            ])],
+        )
+        assert Dashboard.loads(dash.dumps()).panels[0].targets[0].agg == "MAX"
