@@ -27,6 +27,7 @@ from typing import Any
 from repro.db.faulty import FaultyInfluxDB
 from repro.db.influx import InfluxDB
 from repro.db.influxql import ResultSet
+from repro.db.sharded import ShardedInfluxDB
 from repro.db.mongo import MongoDB
 from repro.faults.services import ServiceFault, ServiceFaultSet
 from repro.gpu.device import SimulatedGpu
@@ -60,6 +61,9 @@ DEFAULT_ENV = {
     "GRAFANA_HOST": "127.0.0.1:3000",
     "GRAFANA_TOKEN": "pmove-token",
     "PMOVE_DB": "pmove",
+    # "0"/"1" → one in-process engine (the default, byte-identical to every
+    # prior PR); "N" ≥ 2 → a ShardedInfluxDB router over N shard engines.
+    "PMOVE_SHARDS": "0",
 }
 
 #: Default SWTelemetry set for Scenario A — "approximately 20 pmdalinux
@@ -99,7 +103,13 @@ class PMoVE:
     ) -> None:
         self.env = {**DEFAULT_ENV, **(env or {})}
         self.database = self.env["PMOVE_DB"]
-        self.influx = InfluxDB()
+        # Storage backend is a config switch: the single engine stays the
+        # default; PMOVE_SHARDS >= 2 swaps in the consistent-hash router
+        # (same surface, byte-identical query results).
+        n_shards = int(self.env.get("PMOVE_SHARDS", "0") or 0)
+        self.influx: InfluxDB | ShardedInfluxDB = (
+            ShardedInfluxDB(n_shards) if n_shards >= 2 else InfluxDB()
+        )
         self.influx.create_database(self.database)
         # Samplers write through a failure-injectable proxy so chaos (DB
         # outages, partitions, flaky writes) can be scripted against a live
@@ -343,7 +353,7 @@ class PMoVE:
                 entry["queue_depth"] = len(shipper)
                 entry["wal_entries"] = len(shipper.wal)
             targets[name] = entry
-        return {
+        out: dict[str, Any] = {
             "active_faults": [repr(f) for f in self.service_faults.faults],
             "writes": {
                 "accepted": self._write_influx.accepted_writes,
@@ -351,6 +361,13 @@ class PMoVE:
             },
             "targets": targets,
         }
+        if isinstance(self.influx, ShardedInfluxDB):
+            out["shards"] = {
+                "states": self.influx.shard_states(),
+                "partial_queries": self.influx.partial_queries,
+                "dropped_points": dict(self.influx.dropped_points),
+            }
+        return out
 
     # ==================================================================
     # SUPERDB federation (§III-E, user opt-in)

@@ -28,6 +28,7 @@ from typing import Any
 
 from repro.db.influx import InfluxDB
 from repro.db.mongo import MongoDB
+from repro.db.sharded import ShardedInfluxDB
 from repro.faults.services import ServiceFaultSet
 from repro.pcp.retry import RetryPolicy
 
@@ -68,9 +69,15 @@ class SuperDB:
         retry: RetryPolicy | None = None,
         attempt_cost_s: float = 0.0,
         seed: int = 0,
+        shards: int = 0,
     ) -> None:
         self.mongo = MongoDB()
-        self.influx = InfluxDB()
+        # SUPERDB accumulates series from *many* hosts, so its Influx side
+        # is the natural place to shard; ``shards >= 2`` swaps the single
+        # engine for the consistent-hash router (identical query results).
+        self.influx: InfluxDB | ShardedInfluxDB = (
+            ShardedInfluxDB(shards) if shards >= 2 else InfluxDB()
+        )
         self.influx.create_database("superdb")
         # Secondary indexes on the global-query access paths: every lookup
         # below filters on one of these, and SUPERDB accumulates docs from

@@ -20,11 +20,13 @@ from .influxql import (
     show_measurements,
 )
 from .mongo import Collection, MongoDB, MongoError
+from .sharded import HashRing, ShardedInfluxDB, series_key
 
 __all__ = [
     "Collection",
     "DEFAULT_ROLLUP_TIERS",
     "FaultyInfluxDB",
+    "HashRing",
     "InfluxDB",
     "InfluxError",
     "MongoDB",
@@ -34,9 +36,11 @@ __all__ = [
     "ResultSet",
     "RetentionPolicy",
     "ServiceUnavailable",
+    "ShardedInfluxDB",
     "execute",
     "fold_values",
     "naive_execute",
+    "series_key",
     "show_measurements",
     "parse_query",
 ]

@@ -30,8 +30,16 @@ class FaultyInfluxDB:
         self.rejected_writes = 0
 
     def at(self, t: float) -> "FaultyInfluxDB":
-        """Stamp the virtual time of the next attempt; returns self."""
+        """Stamp the virtual time of the next attempt; returns self.
+
+        The stamp propagates to a clock-aware inner engine (the sharded
+        router), so shard-level node faults tick on the same virtual
+        clock as the service faults interposed here.
+        """
         self.now = t
+        inner_at = getattr(self.inner, "at", None)
+        if inner_at is not None:
+            inner_at(t)
         return self
 
     # ------------------------------------------------------------------

@@ -547,14 +547,18 @@ class InfluxDB:
         self._gen_seq += 1
         d.gens[measurement] = self._gen_seq
 
-    def _append(self, d: _Database, point: Point) -> None:
+    def _append(self, d: _Database, point: Point, seq: int | None = None) -> None:
         m = d.meas.get(point.measurement)
         if m is None:
             m = d.meas[point.measurement] = _Measurement(point.measurement, d.tiers)
         s = m.series_for(point.tags)
         self._bump(d, point.measurement)
-        s.add(point.time, m.seq, point.fields)
-        m.seq += 1
+        if seq is None:
+            seq = m.seq
+            m.seq += 1
+        elif seq >= m.seq:
+            m.seq = seq + 1
+        s.add(point.time, seq, point.fields)
         d.points_written += len(point.fields)
         # Line-protocol byte accounting, computed arithmetically: the series
         # key prefix length is cached, so only field values and the ns
@@ -571,12 +575,26 @@ class InfluxDB:
     def write(self, db: str, point: Point) -> None:
         self._append(self._db(db), point)
 
-    def write_many(self, db: str, points: list[Point]) -> int:
-        """Bulk write: one database lookup, then straight appends."""
+    def write_many(
+        self, db: str, points: list[Point], *, seqs: list[int] | None = None
+    ) -> int:
+        """Bulk write: one database lookup, then straight appends.
+
+        ``seqs`` lets a routing layer (the sharded engine) pin each point's
+        per-measurement write sequence explicitly, so rows scattered over
+        several engines keep one global (time, seq) order and scatter-gather
+        merges reproduce a single engine's row order exactly.
+        """
         d = self._db(db)
         append = self._append
-        for p in points:
-            append(d, p)
+        if seqs is None:
+            for p in points:
+                append(d, p)
+        else:
+            if len(seqs) != len(points):
+                raise InfluxError("seqs must align 1:1 with points")
+            for p, q in zip(points, seqs):
+                append(d, p, q)
         return len(points)
 
     def write_lines(self, db: str, lines: str) -> int:
@@ -654,6 +672,31 @@ class InfluxDB:
         via bisect.  Results are ordered by (time, write order), identical
         to a stable time-sort over a flat insertion-ordered list.
         """
+        return [
+            p
+            for _, _, p in self.scan_points(
+                db, measurement, tags, t0, t1,
+                t0_exclusive=t0_exclusive, t1_exclusive=t1_exclusive,
+            )
+        ]
+
+    def scan_points(
+        self,
+        db: str,
+        measurement: str,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> list[tuple[float, int, Point]]:
+        """:meth:`points` plus each row's (time, seq) merge key.
+
+        The seq is the per-measurement write sequence — what a scatter
+        router needs to interleave several engines' rows into one globally
+        ordered stream.
+        """
         matched = self._matched_slices(
             self._db(db), measurement, tags, t0, t1, t0_exclusive, t1_exclusive
         )
@@ -671,7 +714,7 @@ class InfluxDB:
                 )
         if len(matched) > 1:
             out.sort(key=lambda r: (r[0], r[1]))
-        return [p for _, _, p in out]
+        return out
 
     @staticmethod
     def _resolve_columns(
@@ -758,6 +801,58 @@ class InfluxDB:
                 )
         tmp.sort(key=lambda r: (r[0], r[1]))
         return cols, [(t, vals) for t, _, vals in tmp]
+
+    def scan_keyed(
+        self,
+        db: str,
+        measurement: str,
+        columns: list[str] | None = None,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+        limit: int | None = None,
+    ) -> tuple[list[str], list[tuple[float, int, list[float | None]]]]:
+        """:meth:`scan_columns` plus each row's (time, seq) merge key.
+
+        This is the scatter-gather primitive: per-shard keyed streams can be
+        k-way merged on (time, seq) into exactly the row order a single
+        engine would produce.  Column discovery stays limit-invariant.
+        """
+        matched = self._matched_slices(
+            self._db(db), measurement, tags, t0, t1, t0_exclusive, t1_exclusive
+        )
+        cols = self._resolve_columns(matched, columns)
+        if not matched:
+            return cols, []
+        if len(matched) == 1:
+            s, lo, hi = matched[0]
+            if limit is not None:
+                hi = min(hi, lo + limit)
+            sel = [s.cols.get(c) for c in cols]
+            times, seqs = s.times, s.seqs
+            return cols, [
+                (times[i], seqs[i], [c[i] if c is not None else None for c in sel])
+                for i in range(lo, hi)
+            ]
+
+        def _iter(s: _Series, lo: int, hi: int):
+            sel = [s.cols.get(c) for c in cols]
+            times, seqs = s.times, s.seqs
+            for i in range(lo, hi):
+                yield (times[i], seqs[i], i, sel)
+
+        rows: list[tuple[float, int, list[float | None]]] = []
+        for t, q, i, sel in _heap_merge(
+            *(_iter(s, lo, hi) for s, lo, hi in matched),
+            key=lambda r: (r[0], r[1]),
+        ):
+            rows.append((t, q, [c[i] if c is not None else None for c in sel]))
+            if limit is not None and len(rows) >= limit:
+                break
+        return cols, rows
 
     # ------------------------------------------------------------------
     # Aggregation pushdown
@@ -1051,6 +1146,245 @@ class InfluxDB:
         return out
 
     # ------------------------------------------------------------------
+    # Scatter-gather partials (consumed by repro.db.sharded)
+    # ------------------------------------------------------------------
+    # A *partial stat* is the mergeable fold state of one column slice:
+    #     (count, total, vmin, vmax, last, last_t, last_seq, has_nan)
+    # count/total carry MEAN and SUM as a sum/count pair; vmin/vmax/last
+    # carry MIN/MAX/LAST; (last_t, last_seq) is the merge key of the slice's
+    # final value so LAST combines exactly across engines; has_nan poisons
+    # order-sensitive MIN/MAX merging.  last_t is None when the stat was
+    # served from a rollup bucket (the key is not stored there).
+
+    @staticmethod
+    def _partial_stat(
+        vals: list[float], last_t: float | None, last_seq: int | None
+    ):
+        """Fold one in-order value list into a partial stat (None if empty)."""
+        if not vals:
+            return None
+        return (
+            len(vals), sum(vals), min(vals), max(vals), vals[-1],
+            last_t, last_seq, any(v != v for v in vals),
+        )
+
+    def aggregate_partials(
+        self,
+        db: str,
+        measurement: str,
+        columns: list[str] | None = None,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> tuple[list[str], float | None, list[tuple | None]]:
+        """Per-column partial stats over the matched range.
+
+        Returns ``(columns, first_row_time, stats)``.  Values fold in this
+        engine's (time, seq) row order, so when every value of a column
+        lives on one engine the finalized aggregate is bit-identical to the
+        single-engine fold.
+        """
+        matched = self._matched_slices(
+            self._db(db), measurement, tags, t0, t1, t0_exclusive, t1_exclusive
+        )
+        cols = self._resolve_columns(matched, columns)
+        if not matched:
+            return cols, None, [None] * len(cols)
+        first_t = min(s.times[lo] for s, lo, _ in matched)
+        out: list[tuple | None] = []
+        if len(matched) == 1:
+            s, lo, hi = matched[0]
+            times, seqs = s.times, s.seqs
+            for c in cols:
+                col = s.cols.get(c)
+                if col is None:
+                    out.append(None)
+                    continue
+                vals, last = [], -1
+                for i in range(lo, hi):
+                    v = col[i]
+                    if v is not None:
+                        vals.append(v)
+                        last = i
+                out.append(
+                    self._partial_stat(
+                        vals,
+                        times[last] if last >= 0 else None,
+                        seqs[last] if last >= 0 else None,
+                    )
+                )
+            return cols, first_t, out
+        for c in cols:
+            pairs: list[tuple[float, int, float]] = []
+            for s, lo, hi in matched:
+                col = s.cols.get(c)
+                if col is None:
+                    continue
+                times, seqs = s.times, s.seqs
+                pairs.extend(
+                    (times[i], seqs[i], col[i])
+                    for i in range(lo, hi)
+                    if col[i] is not None
+                )
+            pairs.sort(key=lambda p: (p[0], p[1]))
+            out.append(
+                self._partial_stat(
+                    [v for _, _, v in pairs],
+                    pairs[-1][0] if pairs else None,
+                    pairs[-1][1] if pairs else None,
+                )
+            )
+        return cols, first_t, out
+
+    def bucket_partials(
+        self,
+        db: str,
+        measurement: str,
+        group_by_s: float,
+        columns: list[str] | None = None,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> tuple[list[str], list[tuple[float, list[tuple | None]]]]:
+        """``GROUP BY time(N)`` partial stats per bucket per column.
+
+        Single-series matches with a rollup tier exactly equal to ``N`` (and
+        no NaN ever ingested) serve whole buckets straight from the rollup
+        arrays — the sum/count pair ride — with raw folds only for the
+        head/tail buckets the time filter cut through.  Rollup-served stats
+        carry ``last_t=None`` (the key is not stored per bucket), which the
+        router treats as "fall back if LAST must merge across shards".
+        """
+        if group_by_s <= 0:
+            raise InfluxError("GROUP BY time() needs a positive bucket width")
+        matched = self._matched_slices(
+            self._db(db), measurement, tags, t0, t1, t0_exclusive, t1_exclusive
+        )
+        cols = self._resolve_columns(matched, columns)
+        if not matched:
+            return cols, []
+        if len(matched) == 1:
+            s, lo, hi = matched[0]
+            r = next(
+                (r for r in s.rollups if r.tier == group_by_s and not r.has_nan),
+                None,
+            )
+            if r is not None:
+                return cols, self._partials_rollup(s, lo, hi, cols, group_by_s, r)
+            return cols, self._partials_raw(s, lo, hi, cols, group_by_s)
+        # Multi-series within this engine: bucket the keyed merged rows.
+        _, rows = self.scan_keyed(
+            db, measurement, columns=cols, tags=tags, t0=t0, t1=t1,
+            t0_exclusive=t0_exclusive, t1_exclusive=t1_exclusive,
+        )
+        buckets: dict[float, list[tuple[list[float], float | None, int | None]]] = {}
+        for t, q, vals in rows:
+            b = (t // group_by_s) * group_by_s
+            slot = buckets.get(b)
+            if slot is None:
+                slot = buckets[b] = [([], None, None) for _ in cols]
+            for i, v in enumerate(vals):
+                if v is not None:
+                    vs, _, _ = slot[i]
+                    vs.append(v)
+                    slot[i] = (vs, t, q)
+        return cols, [
+            (
+                b,
+                [
+                    self._partial_stat(vs, lt, lq)
+                    for vs, lt, lq in buckets[b]
+                ],
+            )
+            for b in sorted(buckets)
+        ]
+
+    def _partials_raw(
+        self, s: _Series, lo: int, hi: int, cols: list[str], N: float
+    ) -> list[tuple[float, list[tuple | None]]]:
+        """Raw bucket walk emitting partial stats (single-series shape)."""
+        times, seqs = s.times, s.seqs
+        keyq = lambda t: (t // N) * N  # noqa: E731
+        sel = [s.cols.get(c) for c in cols]
+        out: list[tuple[float, list[tuple | None]]] = []
+        i = lo
+        while i < hi:
+            b = keyq(times[i])
+            j = bisect_right(times, b, i, hi, key=keyq)
+            row: list[tuple | None] = []
+            for col in sel:
+                if col is None:
+                    row.append(None)
+                    continue
+                vals, last = [], -1
+                for k in range(i, j):
+                    v = col[k]
+                    if v is not None:
+                        vals.append(v)
+                        last = k
+                row.append(
+                    self._partial_stat(
+                        vals,
+                        times[last] if last >= 0 else None,
+                        seqs[last] if last >= 0 else None,
+                    )
+                )
+            out.append((b, row))
+            i = j
+        return out
+
+    def _partials_rollup(
+        self, s: _Series, lo: int, hi: int, cols: list[str], N: float, r: _Rollup
+    ) -> list[tuple[float, list[tuple | None]]]:
+        """Partial stats served from rollup tier ``r.tier == N``.
+
+        The head/tail buckets the time filter may cut through are folded
+        raw (with exact last keys); every fully covered bucket comes
+        straight from the per-bucket count/total/min/max/last arrays.
+        ``r.has_nan`` is False on this path, so has_nan is False for served
+        buckets.
+        """
+        times = s.times
+        n = len(times)
+        keyt = lambda t: (t // N) * N  # noqa: E731
+        full_lo = lo
+        if lo > 0 and keyt(times[lo - 1]) == keyt(times[lo]):
+            full_lo = bisect_right(times, keyt(times[lo]), lo, hi, key=keyt)
+        full_hi = hi
+        if hi < n and keyt(times[hi]) == keyt(times[hi - 1]):
+            full_hi = bisect_left(times, keyt(times[hi - 1]), full_lo, hi,
+                                  key=keyt)
+        if full_hi < full_lo:
+            full_hi = full_lo
+        out: list[tuple[float, list[tuple | None]]] = []
+        if lo < full_lo:
+            out.extend(self._partials_raw(s, lo, full_lo, cols, N))
+        if full_lo < full_hi:
+            ri0 = bisect_left(r.starts, keyt(times[full_lo]))
+            ri1 = bisect_right(r.starts, keyt(times[full_hi - 1]))
+            rsel = [r.fields.get(c) for c in cols]
+            for ri in range(ri0, ri1):
+                row: list[tuple | None] = []
+                for rc in rsel:
+                    if rc is None or rc.count[ri] == 0:
+                        row.append(None)
+                    else:
+                        row.append(
+                            (rc.count[ri], rc.total[ri], rc.vmin[ri],
+                             rc.vmax[ri], rc.last[ri], None, None, False)
+                        )
+                out.append((r.starts[ri], row))
+        if full_hi < hi:
+            out.extend(self._partials_raw(s, full_hi, hi, cols, N))
+        return out
+
+    # ------------------------------------------------------------------
     # Series administration
     # ------------------------------------------------------------------
     def delete_series(self, db: str, measurement: str, tags: dict[str, str] | None = None) -> int:
@@ -1076,6 +1410,81 @@ class InfluxDB:
         if removed:
             self._bump(d, measurement)
         return removed
+
+    def series_count(
+        self, db: str, measurement: str, tags: dict[str, str] | None = None
+    ) -> int:
+        """Number of live series of ``measurement`` matching the tag filter
+        — a pure index probe, used by the shard router to find which
+        engines a query must scatter to."""
+        m = self._db(db).meas.get(measurement)
+        return 0 if m is None else len(m.match_ids(tags))
+
+    def list_series(self, db: str) -> list[tuple[str, dict[str, str]]]:
+        """Every live series as ``(measurement, tags)`` — the rebalancer's
+        enumeration primitive."""
+        d = self._db(db)
+        return [
+            (name, dict(s.tags))
+            for name, m in sorted(d.meas.items())
+            for _, s in sorted(m.series.items())
+        ]
+
+    def pop_series(
+        self, db: str, measurement: str, tags: dict[str, str]
+    ) -> list[tuple[float, int, dict[str, float]]] | None:
+        """Detach exactly the series whose tag set equals ``tags``.
+
+        Returns its rows as ``(time, seq, fields)`` (None if absent) and
+        bumps the generation.  Unlike :meth:`delete_series` this matches by
+        *exact* tag set, not containment — migration must never drag a
+        superset series along.  Cumulative ingest counters stay put: a
+        shard move is not new ingest.
+        """
+        d = self._db(db)
+        m = d.meas.get(measurement)
+        if m is None:
+            return None
+        sid = m.by_tags.get(tuple(sorted(tags.items())))
+        if sid is None:
+            return None
+        s = m.series[sid]
+        names = list(s.cols)
+        cols = [s.cols[n] for n in names]
+        rows = [
+            (t, q, {nm: col[i] for nm, col in zip(names, cols) if col[i] is not None})
+            for i, (t, q) in enumerate(zip(s.times, s.seqs))
+        ]
+        m.remove_series(sid)
+        if not m.series:
+            del d.meas[measurement]
+        self._bump(d, measurement)
+        return rows
+
+    def import_rows(
+        self,
+        db: str,
+        measurement: str,
+        tags: dict[str, str],
+        rows: list[tuple[float, int, dict[str, float]]],
+    ) -> int:
+        """Migration receive path: append rows keeping their original
+        (time, seq) keys, so global merge order survives the move.  Bumps
+        the generation; leaves the ingest counters untouched (the mirror of
+        :meth:`pop_series`)."""
+        if not rows:
+            return 0
+        d = self._db(db)
+        m = d.meas.get(measurement)
+        if m is None:
+            m = d.meas[measurement] = _Measurement(measurement, d.tiers)
+        s = m.series_for(tags)
+        for t, seq, fields in rows:
+            if seq >= m.seq:
+                m.seq = seq + 1
+            s.add(t, seq, fields)
+        self._bump(d, measurement)
+        return len(rows)
 
     # ------------------------------------------------------------------
     # Retention & stats
@@ -1104,15 +1513,36 @@ class InfluxDB:
             dropped += meas_dropped
         return dropped
 
-    def stats(self, db: str) -> dict[str, int]:
+    def stats(self, db: str) -> dict:
+        """Introspection snapshot of one database.
+
+        Besides the cumulative ingest counters, ``measurements`` breaks the
+        live state down per measurement — series and row counts, rollup
+        bucket counts per tier, and the generation stamp.  The shard
+        rebalancer, the balance tests, and the ``pmove shard`` CLI all read
+        this; it doubles as a debugging endpoint.
+        """
         d = self._db(db)
         stored = sum(
             len(s) for m in d.meas.values() for s in m.series.values()
         )
         n_series = sum(len(m.series) for m in d.meas.values())
+        measurements: dict[str, dict] = {}
+        for name, m in sorted(d.meas.items()):
+            rollup_buckets: dict[float, int] = {t: 0 for t in d.tiers}
+            for s in m.series.values():
+                for r in s.rollups:
+                    rollup_buckets[r.tier] = rollup_buckets.get(r.tier, 0) + len(r.starts)
+            measurements[name] = {
+                "series": len(m.series),
+                "points": sum(len(s) for s in m.series.values()),
+                "rollup_buckets": rollup_buckets,
+                "generation": d.gens.get(name, 0),
+            }
         return {
             "points_written": d.points_written,
             "bytes_written": d.bytes_written,
             "series_stored": stored,
             "series_count": n_series,
+            "measurements": measurements,
         }

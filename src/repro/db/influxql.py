@@ -79,13 +79,15 @@ class ResultSet:
     def column(self, name: str) -> list[float | None]:
         """One column's values, memoized: dashboards extract the same
         column per series per render, so the index lookup and list build
-        are paid once per name."""
+        are paid once per name.  Callers get a fresh list — the cache
+        entry must never be handed out, or one caller's in-place edit
+        would poison every later read."""
         cached = self._col_cache.get(name)
         if cached is None:
             idx = self.columns.index(name)
             cached = [row[idx] for _, row in self.rows]
             self._col_cache[name] = cached
-        return cached
+        return list(cached)
 
     def times(self) -> list[float]:
         return [t for t, _ in self.rows]

@@ -51,6 +51,8 @@ class GrafanaServer:
         self.cache_size = cache_size
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Renders served from a degraded (shard-down) engine state.
+        self.partial_serves = 0
 
     # ------------------------------------------------------------------
     def register(self, dashboard: Dashboard) -> str:
@@ -123,7 +125,14 @@ class GrafanaServer:
             if row[0] is not None:
                 times.append(t)
                 values.append(row[0])
-        if gen is not None:
+        # A sharded engine flags results computed while a shard holding
+        # relevant data was down.  Those are served (degraded beats blank
+        # panels) but never cached: the generation vector does not move
+        # when a shard merely recovers, so a cached partial could outlive
+        # the outage.
+        if getattr(self.influx, "last_partial", False):
+            self.partial_serves += 1
+        elif gen is not None:
             self._cache[key] = (gen, list(times), list(values))
             self._cache.move_to_end(key)
             while len(self._cache) > self.cache_size:

@@ -170,3 +170,39 @@ class TestCompareTargets:
         uid = d.compare_targets("socket", metric="RAPL_ENERGY_PKG")
         dash = d.grafana.get(uid)
         assert len(dash.panels[0].targets) == 2  # one socket per machine
+
+
+class TestShardedBackend:
+    """PMOVE_SHARDS config switch: same daemon, sharded storage."""
+
+    def test_default_is_single_engine(self):
+        from repro.db.influx import InfluxDB
+
+        assert isinstance(PMoVE().influx, InfluxDB)
+
+    def test_scenario_a_matches_single_engine(self):
+        from repro.db.sharded import ShardedInfluxDB
+
+        results = {}
+        for env in (None, {"PMOVE_SHARDS": "3"}):
+            d = PMoVE(env=env, seed=5)
+            d.attach_target(SimulatedMachine(icl(), seed=5))
+            stats, uid = d.scenario_a("icl", duration_s=4.0, freq_hz=2.0)
+            key = "sharded" if env else "single"
+            results[key] = (
+                stats.inserted_points,
+                d.influx.points(d.database, "kernel_percpu_cpu_idle"),
+                d.grafana.render_dashboard_text(uid),
+            )
+            if env:
+                assert isinstance(d.influx, ShardedInfluxDB)
+                assert "shards" in d.health()
+        assert results["sharded"] == results["single"]
+
+    def test_superdb_shards_param(self):
+        from repro.core import SuperDB
+        from repro.db.sharded import ShardedInfluxDB
+
+        assert isinstance(SuperDB(shards=3).influx, ShardedInfluxDB)
+        sdb = SuperDB(shards=3)
+        assert sdb.influx.databases() == ["superdb"]

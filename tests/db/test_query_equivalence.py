@@ -182,8 +182,19 @@ class TestResultSetColumn:
         rs = execute(db, "pmove", 'SELECT "a", "b" FROM "m"')
         first = rs.column("a")
         assert first == [float(i) for i in range(10)]
-        assert rs.column("a") is first  # memoized: same list object
+        assert rs.column("a") == first  # memoized, but never the same object
         assert rs.column("b") == [-float(i) for i in range(10)]
+
+    def test_column_result_is_not_aliased_to_cache(self):
+        """Mutating a returned column must not poison later reads — the
+        memo is internal, callers own their copy."""
+        db = _mk(Point("m", {}, {"a": float(i)}, float(i)) for i in range(5))
+        rs = execute(db, "pmove", 'SELECT "a" FROM "m"')
+        got = rs.column("a")
+        got[0] = 999.0
+        got.append(-1.0)
+        assert rs.column("a") == [float(i) for i in range(5)]
+        assert rs.column("a") is not rs.column("a")
 
     def test_limit_pushdown_matches_slice(self):
         db = _mk(

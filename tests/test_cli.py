@@ -163,3 +163,34 @@ class TestCommands:
         assert "1 pending" in out
         assert "anti-entropy pass 2" in out
         assert "complete=True" in out
+
+    def test_shard_stats(self, capsys):
+        code, out, _ = run(capsys, "shard", "--shards", "3",
+                           "--series", "12", "--points", "20")
+        assert code == 0
+        assert "ingested 240 points across 3 shard(s)" in out
+        assert "shard-0" in out and "shard-2" in out
+        assert "scatter COUNT(v) = 240.0 (partial=False)" in out
+
+    def test_shard_kill_degrades_to_partial(self, capsys):
+        code, out, _ = run(capsys, "shard", "--shards", "4",
+                           "--series", "16", "--points", "10",
+                           "--kill-shard", "1")
+        assert code == 0
+        assert "after killing shard-1:" in out
+        assert "down" in out
+        assert "partial=True" in out
+        assert "partial queries so far: 1" in out
+
+    def test_shard_add_rebalances(self, capsys):
+        code, out, _ = run(capsys, "shard", "--shards", "2",
+                           "--series", "20", "--points", "5", "--add-shard")
+        assert code == 0
+        assert "added shard-2" in out
+        assert "after rebalance:" in out
+
+    def test_shard_kill_unknown_shard_errors(self, capsys):
+        code, _, err = run(capsys, "shard", "--shards", "2",
+                           "--kill-shard", "9")
+        assert code == 1
+        assert "unknown shard" in err
