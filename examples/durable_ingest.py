@@ -1,0 +1,83 @@
+"""Durable streaming ingest: one commit log feeding four consumer groups.
+
+PR 2's shipper made the host→DB link resilient, but it is still a single
+point-to-point queue: rollups, anomaly scans and SUPERDB federation all
+ride the DB writer's fate.  This example stands up the checkpointed
+commit log instead — topics = measurements, partitions = the PR 6 shard
+keys — and shows its three headline properties under chaos:
+
+1. **Zero loss** through a DB outage *and* a log crash-restart: consumers
+   only read flushed records, the producer resends the truncated tail
+   under the same sequence numbers, and the idempotence gates make crash
+   replay at-most-once-visible.
+2. **Independent consumer groups**: the rollup maintainer and anomaly
+   scanner keep consuming at their own pace while the db-writer group is
+   stuck retrying behind the outage.
+3. **The dead-letter queue**: a poison record parks (per group) instead
+   of wedging its partition; after the run a requeue redelivers parked
+   records to exactly the group that parked them.
+"""
+
+from repro.core import PMoVE
+from repro.faults import DbOutage, LogFaultSet, LogTruncation, ServiceFaultSet
+from repro.machine import SimulatedMachine, get_preset
+
+DURATION_S = 30.0
+FREQ_HZ = 2.0
+OUTAGE = (8.0, 16.0)  # 8 virtual seconds of dead DB, mid-run
+TRUNCATE_AT = 12.0  # the log itself crash-restarts inside the outage
+
+
+def main() -> None:
+    print(f"Scenario A on icl, {FREQ_HZ:g} Hz for {DURATION_S:g}s, durable mode;")
+    print(f"DB outage over t=[{OUTAGE[0]:g}, {OUTAGE[1]:g})s, "
+          f"log truncation at t={TRUNCATE_AT:g}s\n")
+
+    faults = ServiceFaultSet()
+    faults.inject(DbOutage(t0=OUTAGE[0], t1=OUTAGE[1]))
+    log_faults = LogFaultSet()
+    log_faults.inject(LogTruncation(at=TRUNCATE_AT))
+
+    daemon = PMoVE(service_faults=faults)
+    daemon.attach_target(SimulatedMachine(get_preset("icl")))
+    pipe = daemon.enable_durable_ingest(
+        log_faults=log_faults, fsync_every_reports=3,
+        anomaly_bounds={"kernel_all_load": (0.0, 64.0)},
+        max_apply_attempts=12,  # enough retry budget to outlast the outage
+    )
+    poison = pipe.log.inject_poison("kernel_percpu_cpu_idle", tag="poison")
+
+    stats, _ = daemon.scenario_a("icl", duration_s=DURATION_S,
+                                 freq_hz=FREQ_HZ, mode="durable")
+
+    print("[durable]")
+    print(f"  inserted {stats.inserted_points}/{stats.expected_points} points "
+          f"({stats.loss_pct:.1f}% lost)")
+    print(f"  all loss is {stats.lost_reports} pmcd scheduling hiccup(s) "
+          f"upstream of the log — every appended record was applied")
+    print(f"  {stats.produced_records} records appended, "
+          f"{stats.resent_records} resent after the truncation, "
+          f"{stats.duplicate_records} redeliveries gated off")
+    print(f"  breaker open {stats.breaker_open_s:.2f}s, "
+          f"peak group lag {stats.max_group_lag} records\n")
+
+    health = pipe.health()
+    print("consumer groups (each on its own checkpoints):")
+    for group, g in sorted(health["groups"].items()):
+        print(f"  {group:<10} applied {g['applied_records']:>3} records, "
+              f"parked {g['parked_records']}, lag {g['lag']}")
+
+    print(f"\nDLQ: {pipe.log.dlq.summary()} — the poison record "
+          f"(seq={poison.seq}) parked in every group")
+    n = pipe.log.requeue()
+    pipe.drain(pipe.log.now + 60.0)
+    print(f"requeued {n} record(s): still parsed as poison, so it re-parks "
+          f"({pipe.log.dlq.summary()}) — data never silently vanishes")
+
+    print("\nThe log is the queue: the outage stalls only the db-writer group,")
+    print("the truncation costs nothing (producer resend, same seqs), and the")
+    print("poison is quarantined per group instead of blocking its partition.")
+
+
+if __name__ == "__main__":
+    main()

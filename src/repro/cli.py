@@ -7,6 +7,8 @@ Usage (also available as ``python -m repro.cli``)::
     pmove monitor icl --duration 10  # Scenario A with a rendered dashboard
     pmove chaos icl --outage 5 10    # Scenario A surviving a scripted DB outage
     pmove chaos csl --node-crash 1 40  # node crash: requeue + fleet recovery
+    pmove chaos icl --durable --log-truncate 8  # commit-log ingest under a log crash
+    pmove chaos dlq                  # dead-letter lifecycle: park, inspect, requeue
     pmove superdb anti-entropy --wan-outage 0 2  # heal a partitioned report
     pmove observe csl --kernel triad # Scenario B + auto-generated queries
     pmove carm csl --threads 28      # CARM roofs (optionally --svg out.svg)
@@ -60,15 +62,18 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--freq", type=float, default=1.0)
     s.add_argument("--buffered", action="store_true",
                    help="ship through the resilient queue/retry/breaker layer")
+    s.add_argument("--durable", action="store_true",
+                   help="ship through the checkpointed commit log (consumer groups)")
     s.add_argument("--capacity", type=int, default=64, help="report queue capacity")
     s.add_argument("--policy", default="drop_oldest",
                    choices=("drop_oldest", "drop_newest", "spill"))
 
     s = sub.add_parser(
         "chaos",
-        help="Scenario A under scripted service faults: prove the shipper survives",
+        help="Scenario A under scripted service faults: prove the shipper survives "
+             "(target 'dlq' runs the dead-letter-queue lifecycle story)",
     )
-    s.add_argument("preset", choices=sorted(PRESETS))
+    s.add_argument("preset", choices=sorted(PRESETS) + ["dlq"])
     s.add_argument("--duration", type=float, default=20.0)
     s.add_argument("--freq", type=float, default=2.0)
     s.add_argument("--capacity", type=int, default=64)
@@ -92,6 +97,23 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--node-hang", nargs=3, type=float, metavar=("T0", "T1", "FACTOR"),
                    help="one node straggles by FACTOR during the window "
                         "(switches to the cluster chaos story)")
+    s.add_argument("--durable", action="store_true",
+                   help="ingest through the checkpointed commit log instead of "
+                        "the in-memory shipper queue")
+    s.add_argument("--log-truncate", type=float, metavar="T",
+                   help="durable: crash the log at T, wiping its unflushed tail "
+                        "(the producer detects and resends)")
+    s.add_argument("--consumer-crash", nargs=3, metavar=("GROUP", "T0", "T1"),
+                   help="durable: crash consumer GROUP-0 for the window; its "
+                        "partitions rebalance to survivors and replay from the "
+                        "committed checkpoint on rejoin")
+    s.add_argument("--poison", type=int, default=0, metavar="N",
+                   help="durable: inject N unparseable records (they park in "
+                        "the dead-letter queue instead of wedging consumers)")
+    s.add_argument("--max-apply-attempts", type=int, default=8,
+                   help="durable: per-record retry budget before parking")
+    s.add_argument("--requeue", action="store_true",
+                   help="durable: after the run, requeue the DLQ and drain again")
 
     s = sub.add_parser(
         "superdb",
@@ -182,7 +204,7 @@ def _cmd_monitor(args) -> int:
 
     daemon = PMoVE()
     daemon.attach_target(SimulatedMachine(get_preset(args.preset)))
-    mode = "buffered" if args.buffered else "unbuffered"
+    mode = "durable" if args.durable else ("buffered" if args.buffered else "unbuffered")
     config = ShipperConfig(capacity=args.capacity, policy=args.policy)
     stats, uid = daemon.scenario_a(args.preset, duration_s=args.duration,
                                    freq_hz=args.freq, mode=mode,
@@ -192,7 +214,110 @@ def _cmd_monitor(args) -> int:
     if args.buffered:
         print(f"buffered: max queue depth {stats.max_queue_depth}, "
               f"{stats.retried_reports} retried, {stats.recovered_reports} recovered")
+    if args.durable:
+        print(f"durable: {stats.produced_records} records through the log, "
+              f"max group lag {stats.max_group_lag}, "
+              f"backlog {stats.backlog_records}, parked {stats.parked_records}")
     print(daemon.grafana.render_dashboard_text(uid))
+    return 0
+
+
+def _print_dlq(pipe, header: str) -> None:
+    dlq = pipe.log.dlq
+    print(f"{header}: {dlq.parked_total} parked total, "
+          f"{dlq.requeued_total} requeued, now {dlq.summary() or '{}'}")
+    for d in pipe.log.dlq.to_dicts():
+        print(f"  [{d['group']}] {d['topic']}/p{d['partition']} seq={d['seq']} "
+              f"{d['reason']} after {d['attempts']} attempt(s): {d['error'][:60]}")
+
+
+def _cmd_durable_chaos(args, faults) -> int:
+    """Durable-ingest chaos: the commit-log pipeline under service faults
+    plus log-level faults (truncation, consumer crash, poison records)."""
+    from repro.core import PMoVE
+    from repro.faults import ConsumerCrash, LogFaultSet, LogTruncation
+
+    log_faults = LogFaultSet()
+    if args.log_truncate is not None:
+        log_faults.inject(LogTruncation(at=args.log_truncate))
+    if args.consumer_crash:
+        group, t0, t1 = args.consumer_crash
+        log_faults.inject(ConsumerCrash(group=group, consumer=f"{group}-0",
+                                        t0=float(t0), t1=float(t1)))
+
+    daemon = PMoVE(service_faults=faults)
+    daemon.attach_target(SimulatedMachine(get_preset(args.preset)))
+    pipe = daemon.enable_durable_ingest(
+        log_faults=log_faults, max_apply_attempts=args.max_apply_attempts
+    )
+    for i in range(args.poison):
+        pipe.log.inject_poison("kernel_percpu_cpu_idle", time=float(i),
+                               tag=f"poison-{i}")
+    stats, _ = daemon.scenario_a(args.preset, duration_s=args.duration,
+                                 freq_hz=args.freq, mode="durable")
+
+    print(f"durable chaos run on {args.preset}: "
+          f"{len(faults.faults)} service fault(s), "
+          f"{len(log_faults.faults)} log fault(s), {args.poison} poison record(s)")
+    for f in list(faults.faults) + list(log_faults.faults):
+        print(f"  {f!r}")
+    print(f"expected {stats.expected_points} points, inserted {stats.inserted_points} "
+          f"({stats.loss_pct:.1f}% lost)")
+    log_stats = pipe.log.stats()
+    print(f"log: {log_stats['appended_records']} appended, "
+          f"{log_stats['truncated_records']} truncated, "
+          f"{stats.resent_records} resent by producer, "
+          f"{log_stats['rebalances']} rebalance(s), "
+          f"{log_stats['checkpoint_commits']} checkpoint commits")
+    health = pipe.health()
+    for group, g in sorted(health["groups"].items()):
+        print(f"  {group}: applied {g['applied_records']}, "
+              f"dup-skipped {g['duplicate_records']}, parked {g['parked_records']}, "
+              f"lag {g['lag']}")
+    _print_dlq(pipe, "DLQ")
+    if args.requeue and pipe.log.dlq.summary():
+        n = pipe.log.requeue()
+        end = pipe.drain(pipe.log.now + 120.0)
+        print(f"requeued {n} record(s), drained to t={end:.3f}s")
+        _print_dlq(pipe, "DLQ after requeue")
+    return 0
+
+
+def _cmd_dlq(args) -> int:
+    """Dead-letter lifecycle story: a DB outage outlasts the per-record
+    retry budget so records park; we inspect the queue, heal the fault,
+    requeue, and watch everything (except the poison) land."""
+    from repro.core import PMoVE
+    from repro.faults import DbOutage, ServiceFaultSet
+
+    preset = "icl"
+    faults = ServiceFaultSet()
+    if args.outage:
+        outage = faults.inject(DbOutage(t0=args.outage[0], t1=args.outage[1]))
+    else:
+        outage = faults.inject(DbOutage(t0=args.duration / 4, t1=args.duration * 4))
+
+    daemon = PMoVE(service_faults=faults)
+    daemon.attach_target(SimulatedMachine(get_preset(preset)))
+    pipe = daemon.enable_durable_ingest(
+        max_apply_attempts=min(args.max_apply_attempts, 3)
+    )
+    pipe.log.inject_poison("kernel_percpu_cpu_idle", time=1.0)
+    stats, _ = daemon.scenario_a(preset, duration_s=args.duration,
+                                 freq_hz=args.freq, mode="durable")
+    print(f"durable run on {preset} with {outage!r}:")
+    print(f"expected {stats.expected_points} points, inserted {stats.inserted_points}, "
+          f"parked {stats.parked_records} record(s)")
+    _print_dlq(pipe, "DLQ")
+
+    faults.clear()  # the endpoint comes back
+    n = pipe.log.requeue()
+    end = pipe.drain(pipe.log.now + 120.0)
+    print(f"fault cleared; requeued {n} record(s), drained to t={end:.3f}s")
+    _print_dlq(pipe, "DLQ after requeue")
+    counters = pipe.flat_counters()
+    print(f"db-writer applied {counters['db-writer.applied_points']:.0f} points "
+          f"total; poison stays parked (parse errors never heal)")
     return 0
 
 
@@ -257,6 +382,8 @@ def _cmd_chaos(args) -> int:
     )
     from repro.pcp import ShipperConfig
 
+    if args.preset == "dlq":
+        return _cmd_dlq(args)
     if args.node_crash or args.node_hang:
         return _cmd_node_chaos(args)
 
@@ -273,6 +400,9 @@ def _cmd_chaos(args) -> int:
         faults.inject(FlakyWrites(t0=t0, t1=t1, p_fail=p))
     if not faults.faults:
         faults.inject(DbOutage(t0=args.duration / 4, t1=args.duration / 2))
+
+    if args.durable:
+        return _cmd_durable_chaos(args, faults)
 
     daemon = PMoVE(service_faults=faults)
     daemon.attach_target(SimulatedMachine(get_preset(args.preset)))

@@ -29,6 +29,7 @@ from repro.db.influx import InfluxDB
 from repro.db.influxql import ResultSet
 from repro.db.sharded import ShardedInfluxDB
 from repro.db.mongo import MongoDB
+from repro.faults.log import LogFaultSet
 from repro.faults.services import ServiceFault, ServiceFaultSet
 from repro.gpu.device import SimulatedGpu
 from repro.gpu.nvml import NvmlSampler
@@ -36,6 +37,15 @@ from repro.machine.activity import SoftwareState
 from repro.machine.kernel import KernelDescriptor
 from repro.machine.simulator import KernelRun, SimulatedMachine
 from repro.pcp.agents import PmdaLinux, PmdaNvidia, PmdaPerfevent, PmdaProc
+from repro.pcp.commitlog import CommitLog
+from repro.pcp.consumers import (
+    AnomalyScannerConsumer,
+    DbWriterConsumer,
+    FederatorConsumer,
+    IngestPipeline,
+    ReportTracker,
+    RollupMaintainerConsumer,
+)
 from repro.pcp.pmcd import Pmcd
 from repro.pcp.pmns import instance_field, metric_to_measurement, perfevent_metric
 from repro.pcp.sampler import Sampler, SamplingStats
@@ -123,6 +133,12 @@ class PMoVE:
         self.layer: AbstractionLayer = pmu_utils
         self.targets: dict[str, Target] = {}
         self._seed = seed
+        #: Durable-ingest pipeline (commit log + consumer groups), created
+        #: lazily by :meth:`enable_durable_ingest` / ``mode="durable"``.
+        self.ingest: IngestPipeline | None = None
+        #: Alert sink of the anomaly-scanner group (keyed upserts; survives
+        #: consumer crashes because the daemon owns it, not the consumer).
+        self.anomaly_alerts: dict = {}
 
     # ==================================================================
     # Attachment (Fig 3 steps 1-3)
@@ -207,6 +223,7 @@ class PMoVE:
         stats = t.sampler.run(
             metrics, freq_hz, t0, t0 + duration_s, tag=f"sysstate-{hostname}",
             mode=mode, shipper_config=shipper_config,
+            pipeline=self._pipeline_for(mode),
         )
         return stats, uid
 
@@ -273,7 +290,8 @@ class PMoVE:
         tag = new_tag()
         metrics = [perfevent_metric(e) for e in hw_events]
         stats = t.sampler.run(metrics, freq_hz, t0, run.t_end, tag=tag, final_fetch=True,
-                              mode=mode, shipper_config=shipper_config)
+                              mode=mode, shipper_config=shipper_config,
+                              pipeline=self._pipeline_for(mode))
 
         fields = observation_fields(cpu_ids)
         metric_entries = [
@@ -317,6 +335,82 @@ class PMoVE:
         )
         t.kb.save(self.mongo, self.database)  # step 3 re-occurs on KB change
         return obs, run
+
+    # ==================================================================
+    # Durable ingest (commit log + consumer groups)
+    # ==================================================================
+    def enable_durable_ingest(
+        self,
+        *,
+        n_partitions: int = 4,
+        db_writers: int = 1,
+        fsync_every_reports: int = 1,
+        log_faults: LogFaultSet | None = None,
+        superdb=None,
+        anomaly_bounds: dict | None = None,
+        max_apply_attempts: int = 8,
+    ) -> IngestPipeline:
+        """Stand up the checkpointed commit log and its consumer groups.
+
+        The db-writer group writes through the same fault-injectable proxy
+        as the unbuffered/buffered samplers (so PR 2's service faults bite
+        the durable apply path too); the federator, if a ``superdb`` is
+        given, applies into the cloud engine behind the WAN fault set of
+        its federation link.  Idempotent config errors fail loudly: the
+        pipeline is a singleton per daemon.
+        """
+        if self.ingest is not None:
+            raise RuntimeError("durable ingest already enabled")
+        log = CommitLog(n_partitions=n_partitions, faults=log_faults)
+        pipe = IngestPipeline(log, fsync_every_reports=fsync_every_reports)
+        tracker = ReportTracker()
+        for i in range(db_writers):
+            pipe.add(
+                DbWriterConsumer(
+                    log,
+                    self._write_influx,
+                    self.database,
+                    transport=TransportModel(),
+                    service_faults=self.service_faults,
+                    tracker=tracker,
+                    cid=f"db-writer-{i}",
+                    seed=self._seed * 7919 + i,
+                    max_apply_attempts=max_apply_attempts,
+                )
+            )
+        pipe.add(RollupMaintainerConsumer(log, cid="rollup-0", seed=self._seed + 101,
+                                          max_apply_attempts=max_apply_attempts))
+        pipe.add(
+            AnomalyScannerConsumer(
+                log,
+                sink=self.anomaly_alerts,
+                bounds=anomaly_bounds,
+                cid="anomaly-0",
+                seed=self._seed + 202,
+                max_apply_attempts=max_apply_attempts,
+            )
+        )
+        if superdb is not None:
+            pipe.add(
+                FederatorConsumer(
+                    log,
+                    FaultyInfluxDB(superdb.influx, superdb.link.faults),
+                    "superdb",
+                    cid="federator-0",
+                    seed=self._seed + 303,
+                    max_apply_attempts=max_apply_attempts,
+                )
+            )
+        self.ingest = pipe
+        return pipe
+
+    def _pipeline_for(self, mode: str) -> IngestPipeline | None:
+        """Pipeline to hand the sampler — auto-enabled on first durable run."""
+        if mode != "durable":
+            return None
+        if self.ingest is None:
+            self.enable_durable_ingest()
+        return self.ingest
 
     # ==================================================================
     # Resilience: chaos injection & health surface
@@ -367,6 +461,8 @@ class PMoVE:
                 "partial_queries": self.influx.partial_queries,
                 "dropped_points": dict(self.influx.dropped_points),
             }
+        if self.ingest is not None:
+            out["ingest"] = self.ingest.health()
         return out
 
     # ==================================================================

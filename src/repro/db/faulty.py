@@ -54,9 +54,17 @@ class FaultyInfluxDB:
         self.inner.write(db, point)
         self.accepted_writes += 1
 
-    def write_many(self, db: str, points: list[Point]) -> int:
+    def write_many(
+        self, db: str, points: list[Point], *, seqs: list[int] | None = None
+    ) -> int:
         self._check()
-        n = self.inner.write_many(db, points)
+        # ``seqs`` pins per-measurement write sequences (the durable-ingest
+        # apply path); forwarded verbatim so the idempotence gate works
+        # through the fault proxy.
+        if seqs is None:
+            n = self.inner.write_many(db, points)
+        else:
+            n = self.inner.write_many(db, points, seqs=seqs)
         self.accepted_writes += 1
         return n
 

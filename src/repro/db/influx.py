@@ -269,7 +269,7 @@ class _Series:
     configured tier.
     """
 
-    __slots__ = ("tags", "key_len", "times", "seqs", "cols", "rollups")
+    __slots__ = ("tags", "key_len", "times", "seqs", "cols", "rollups", "max_seq")
 
     def __init__(
         self, tags: dict[str, str], key_len: int, tiers: tuple[float, ...] = ()
@@ -280,8 +280,14 @@ class _Series:
         self.seqs: list[int] = []
         self.cols: dict[str, list[float | None]] = {}
         self.rollups: tuple[_Rollup, ...] = tuple(_Rollup(t) for t in tiers)
+        #: Highest write sequence ever stored — the durable-ingest apply
+        #: gate reads this to answer "did record seq N already land here?"
+        #: (retention trims rows but must not forget the high-watermark).
+        self.max_seq = -1
 
     def add(self, time: float, seq: int, fields: dict[str, float]) -> None:
+        if seq > self.max_seq:
+            self.max_seq = seq
         times = self.times
         in_order = not times or time >= times[-1]
         if in_order:
@@ -325,7 +331,11 @@ class _Series:
             if rc is None:
                 rc = r.fields[name] = _RollupCol(len(starts))
             if rc.count[k] == 0:
-                rc.total[k] = v
+                # 0.0 + v, not v: sum() folds from int 0, so a bucket of
+                # all -0.0 values totals +0.0 — the write-through total
+                # must bit-match fold_values/set_from or rollup-served
+                # MEAN/SUM diverges from raw folds (repr comparisons).
+                rc.total[k] = 0.0 + v
                 rc.vmin[k] = v
                 rc.vmax[k] = v
             else:
@@ -631,6 +641,30 @@ class InfluxDB:
         """
         d = self._dbs.get(db)
         return 0 if d is None else d.gens.get(measurement, 0)
+
+    def max_seq(
+        self, db: str, measurement: str, tags: dict[str, str] | None = None
+    ) -> int:
+        """Highest write sequence stored for a measurement (optionally
+        narrowed to the series matching ``tags``); -1 if nothing matches.
+
+        This is the durable-ingest idempotence gate: a commit-log record
+        applied with ``write_many(..., seqs=[N, ...])`` leaves ``N`` as the
+        matched series' high-watermark, so a crash-redelivered copy of the
+        record sees ``max_seq >= N`` and is skipped instead of re-applied.
+        """
+        d = self._dbs.get(db)
+        if d is None:
+            return -1
+        m = d.meas.get(measurement)
+        if m is None:
+            return -1
+        best = -1
+        for sid in m.match_ids(tags):
+            s = m.series[sid]
+            if s.max_seq > best:
+                best = s.max_seq
+        return best
 
     def _matched_slices(
         self,

@@ -277,27 +277,40 @@ class ShardedInfluxDB:
     def write(self, db: str, point: Point) -> None:
         self.write_many(db, [point])
 
-    def write_many(self, db: str, points: list[Point]) -> int:
+    def write_many(
+        self, db: str, points: list[Point], *, seqs: list[int] | None = None
+    ) -> int:
         """Route a batch: one grouped ``write_many`` per owning shard.
 
         Every point gets a global per-(db, measurement) write sequence
         before routing, so cross-shard merges reproduce single-engine row
-        order exactly.  Points owned by a crashed shard are dropped and
-        counted (``dropped_points``) — ingest degrades, it does not error.
-        Returns points actually written.
+        order exactly.  ``seqs`` lets a caller that already owns a global
+        sequence domain (the durable-ingest apply path pins commit-log
+        record seqs) supply the stamps instead; the router's own counter
+        advances past them so the two domains never collide.  Points owned
+        by a crashed shard are dropped and counted (``dropped_points``) —
+        ingest degrades, it does not error.  Returns points actually
+        written.
         """
         self._check_db(db)
-        seqs = self._seqs
+        if seqs is not None and len(seqs) != len(points):
+            raise InfluxError("seqs must align 1:1 with points")
+        own_seqs = self._seqs
         memo = self._placement
         place = self.ring.place
         groups: dict[str, tuple[list[Point], list[int]]] = {}
         # Hot loop: one sequence stamp + one memoized placement lookup per
         # point; a 0/1-tag set (the telemetry norm) skips the sort.
-        for p in points:
+        for i, p in enumerate(points):
             meas = p.measurement
             k = (db, meas)
-            q = seqs.get(k, 0)
-            seqs[k] = q + 1
+            if seqs is None:
+                q = own_seqs.get(k, 0)
+                own_seqs[k] = q + 1
+            else:
+                q = seqs[i]
+                if q >= own_seqs.get(k, 0):
+                    own_seqs[k] = q + 1
             tags = p.tags
             items = tags.items()
             tagkey = tuple(items) if len(tags) < 2 else tuple(sorted(items))
@@ -394,6 +407,18 @@ class ShardedInfluxDB:
         return tuple(
             self.shards[n].generation(db, measurement)
             for n in sorted(self.shards)
+        )
+
+    def max_seq(
+        self, db: str, measurement: str, tags: dict[str, str] | None = None
+    ) -> int:
+        """Highest pinned write sequence across *all* shards (down shards
+        included: their in-memory state models durable storage that comes
+        back with the node, so the durable-ingest gate must see it — the
+        safe error direction for at-most-once is "already applied")."""
+        return max(
+            (sh.max_seq(db, measurement, tags) for sh in self.shards.values()),
+            default=-1,
         )
 
     def scan_points(

@@ -8,6 +8,7 @@ hang, flap), so the resilient shipping layer and the failure-aware
 scheduler both have something real to survive.
 """
 
+from .log import ConsumerCrash, LogFaultSet, LogTruncation
 from .nodes import (
     NodeCrash,
     NodeFailure,
@@ -27,9 +28,12 @@ from .services import (
 )
 
 __all__ = [
+    "ConsumerCrash",
     "DbOutage",
     "FlakyWrites",
     "InsertLatencySpike",
+    "LogFaultSet",
+    "LogTruncation",
     "NetworkPartition",
     "NodeCrash",
     "NodeFailure",

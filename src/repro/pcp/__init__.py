@@ -3,6 +3,26 @@ pmcd collector, the host-target transport model, and the unbuffered
 sampling loop whose loss behaviour Table III measures."""
 
 from .agents import Agent, AgentCosts, PmdaLinux, PmdaNvidia, PmdaPerfevent, PmdaProc
+from .commitlog import (
+    Checkpoint,
+    CheckpointStore,
+    CommitLog,
+    DeadLetter,
+    DeadLetterQueue,
+    LogProducer,
+    LogRecord,
+    LogSegment,
+)
+from .consumers import (
+    AnomalyScannerConsumer,
+    ApplyError,
+    DbWriterConsumer,
+    FederatorConsumer,
+    IngestPipeline,
+    LogConsumer,
+    ReportTracker,
+    RollupMaintainerConsumer,
+)
 from .pmcd import Pmcd, Report
 from .pmns import (
     instance_field,
@@ -19,8 +39,24 @@ from .transport import TransportModel
 __all__ = [
     "Agent",
     "AgentCosts",
+    "AnomalyScannerConsumer",
+    "ApplyError",
+    "Checkpoint",
+    "CheckpointStore",
     "CircuitBreaker",
+    "CommitLog",
+    "DbWriterConsumer",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "FederatorConsumer",
+    "IngestPipeline",
+    "LogConsumer",
+    "LogProducer",
+    "LogRecord",
+    "LogSegment",
+    "ReportTracker",
     "RetryPolicy",
+    "RollupMaintainerConsumer",
     "Pmcd",
     "PmdaLinux",
     "PmdaNvidia",

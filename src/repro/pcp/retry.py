@@ -66,6 +66,12 @@ class CircuitBreaker:
         self._open_accum_s = 0.0
         #: (virtual time, new state) — the observable state machine trace.
         self.transitions: list[tuple[float, str]] = []
+        #: Half-open admits exactly one unresolved probe at a time; a second
+        #: caller is deferred a full open window past the probe's start.
+        self._probe_inflight = False
+        self._probe_started = 0.0
+        #: Total probes admitted while half-open (one per half-open window).
+        self.half_open_probes = 0
 
     def _set(self, t: float, state: str) -> None:
         if state != self.OPEN and self.state == self.OPEN:
@@ -80,20 +86,31 @@ class CircuitBreaker:
         """Soonest virtual time ≥ ``t`` an attempt may start."""
         if self.state == self.OPEN:
             return max(t, self.opened_at + self.open_s)
+        if self.state == self.HALF_OPEN and self._probe_inflight:
+            # One probe per half-open window: anyone else waits a full open
+            # window past the probe's start (by then the probe has resolved
+            # and moved the state to closed or back to open).
+            return max(t, self._probe_started + self.open_s)
         return t
 
     def on_attempt(self, t: float) -> None:
         """An attempt is starting at ``t`` (open → half-open when due)."""
         if self.state == self.OPEN and t >= self.opened_at + self.open_s:
             self._set(t, self.HALF_OPEN)
+        if self.state == self.HALF_OPEN and not self._probe_inflight:
+            self._probe_inflight = True
+            self._probe_started = t
+            self.half_open_probes += 1
 
     def record_success(self, t: float) -> None:
         self.consecutive_failures = 0
+        self._probe_inflight = False
         if self.state != self.CLOSED:
             self._set(t, self.CLOSED)
 
     def record_failure(self, t: float) -> None:
         self.consecutive_failures += 1
+        self._probe_inflight = False
         if self.state == self.HALF_OPEN or (
             self.state == self.CLOSED and self.consecutive_failures >= self.threshold
         ):

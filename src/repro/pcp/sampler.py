@@ -83,6 +83,21 @@ class SamplingStats:
     max_staleness_s: float = 0.0
     #: Lowest effective sampling frequency reached under backpressure.
     effective_freq_hz: float | None = None
+    # -- durable-mode (commit log) counters ----------------------------
+    #: Commit-log records appended by the producer this run.
+    produced_records: int = 0
+    #: Records the DB-writer group made visible in the host DB.
+    applied_records: int = 0
+    #: Records skipped by an idempotence gate (crash replay, redelivery).
+    duplicate_records: int = 0
+    #: Records parked in the dead-letter queue across all groups.
+    parked_records: int = 0
+    #: Unflushed records a log truncation wiped and the producer re-sent.
+    resent_records: int = 0
+    #: Peak durable-but-unconsumed backlog of any group during the run.
+    max_group_lag: int = 0
+    #: Backlog still unconsumed when the drain deadline passed.
+    backlog_records: int = 0
 
     @property
     def loss_pct(self) -> float:
@@ -183,6 +198,7 @@ class Sampler:
         final_fetch: bool = False,
         mode: str = "unbuffered",
         shipper_config: ShipperConfig | None = None,
+        pipeline=None,
     ) -> SamplingStats:
         """Sample ``metrics`` at ``freq_hz`` over ``[t_start, t_end]``.
 
@@ -201,15 +217,29 @@ class Sampler:
         does when P-MoVE "stops the sampling as the kernel is halted"
         (Scenario B); without it the tail window past the last tick is
         never observed.
+
+        ``mode="durable"`` produces reports into a shared
+        :class:`~repro.pcp.consumers.IngestPipeline` (the checkpointed
+        commit log) instead of writing point-to-point; the pipeline's
+        consumer groups — pumped between ticks and drained after the run —
+        make the data visible, and the stats are read back as counter
+        deltas from the pipeline's DB-writer group.
         """
         if freq_hz <= 0:
             raise ValueError("sampling frequency must be positive")
         if t_end <= t_start:
             raise ValueError("empty sampling window")
-        if mode not in ("unbuffered", "buffered"):
+        if mode not in ("unbuffered", "buffered", "durable"):
             raise ValueError(f"unknown sampling mode {mode!r}")
         tag = tag or str(uuid.uuid4())
-        if mode == "buffered":
+        if mode == "durable":
+            if pipeline is None:
+                raise ValueError("mode='durable' needs an IngestPipeline")
+            stats = self._run_durable(
+                metrics, freq_hz, t_start, t_end, tag, final_fetch, pipeline,
+                (shipper_config or ShipperConfig()).drain_grace_s,
+            )
+        elif mode == "buffered":
             stats = self._run_buffered(
                 metrics, freq_hz, t_start, t_end, tag, final_fetch,
                 shipper_config or ShipperConfig(),
@@ -406,6 +436,101 @@ class Sampler:
             max_queue_depth=shipper.max_queue_depth,
             max_staleness_s=shipper.max_staleness_s,
             effective_freq_hz=min_eff_freq,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_durable(
+        self,
+        metrics: list[str],
+        freq_hz: float,
+        t_start: float,
+        t_end: float,
+        tag: str,
+        final_fetch: bool,
+        pipeline,
+        drain_grace_s: float,
+    ) -> SamplingStats:
+        """Produce into the commit log; consumers run between ticks.
+
+        pmcd-side physics is unchanged (hiccups lose ticks, sub-floor
+        periods go stale-zero); the transport queue is gone — the log *is*
+        the queue, and appends are local, so there is no backpressure to
+        degrade under.  Loss can only happen downstream, where the chaos
+        suite proves there is none (or it is parked, visibly, in the DLQ).
+        """
+        period = 1.0 / freq_hz
+        n_ticks = int(round((t_end - t_start) * freq_hz))
+        p_zero = self.transport.zero_batch_probability(period)
+        hiccup = self.transport.hiccup_rate(self._rng)
+
+        before = pipeline.flat_counters()
+        writers = pipeline.group_members("db-writer")
+        open_before = sum(c.breaker.open_seconds(t_start) for c in writers)
+        points_per_report: int | None = None
+        last_fetch_t = t_start
+        lost = 0
+
+        for k in range(1, n_ticks + 1):
+            tick = t_start + k * period
+            pipeline.pump(tick)
+            if self._rng.random() < hiccup:
+                lost += 1  # pmcd scheduling hiccup: the fetch never happens
+                continue
+            is_zero = self._rng.random() < p_zero
+            if is_zero:
+                report = self.pmcd.fetch(metrics, tick, tick).zeroed()
+            else:
+                report = self.pmcd.fetch(metrics, last_fetch_t, tick)
+                last_fetch_t = tick
+            if points_per_report is None:
+                points_per_report = report.n_points
+            pipeline.produce(tick, tick, self._batch(report, tag), tag, is_zero)
+
+        if final_fetch and last_fetch_t < t_end:
+            report = self.pmcd.fetch(metrics, last_fetch_t, t_end)
+            if points_per_report is None:
+                points_per_report = report.n_points
+            pipeline.produce(t_end, t_end, self._batch(report, tag), tag)
+
+        pipeline.producer.flush(t_end)
+        end_t = pipeline.drain(t_end + drain_grace_s)
+        if points_per_report is None:
+            points_per_report = self.pmcd.fetch(metrics, t_start, t_end).n_points
+
+        after = pipeline.flat_counters()
+        delta = lambda key: int(after.get(key, 0) - before.get(key, 0))  # noqa: E731
+        parked = sum(
+            after.get(k, 0) - before.get(k, 0)
+            for k in after
+            if k.endswith(".parked_records")
+        )
+        return SamplingStats(
+            freq_hz=freq_hz,
+            n_metrics=len(metrics),
+            duration_s=t_end - t_start,
+            expected_points=n_ticks * points_per_report,
+            inserted_points=delta("db-writer.applied_points"),
+            zero_points=delta("db-writer.zero_points"),
+            expected_reports=n_ticks,
+            inserted_reports=delta("db-writer.reports"),
+            lost_reports=lost,
+            zero_reports=delta("db-writer.zero_reports"),
+            tag=tag,
+            mode="durable",
+            breaker_open_s=(
+                sum(c.breaker.open_seconds(max(end_t, t_end)) for c in writers)
+                - open_before
+            ),
+            max_staleness_s=max(
+                (c.max_staleness_s for c in writers), default=0.0
+            ),
+            produced_records=delta("producer.records"),
+            applied_records=delta("db-writer.applied_records"),
+            duplicate_records=delta("db-writer.duplicate_records"),
+            parked_records=int(parked),
+            resent_records=delta("producer.resent"),
+            max_group_lag=pipeline.max_group_lag,
+            backlog_records=pipeline.backlog_records(),
         )
 
     # ------------------------------------------------------------------

@@ -77,12 +77,19 @@ class ShipperConfig:
 
 @dataclass
 class WalEntry:
-    """One spilled report, serialized to line protocol for replay."""
+    """One spilled report, serialized to line protocol for replay.
+
+    ``seq`` is a shipper-issued sequence number: :meth:`Shipper.replay_wal`
+    records which seqs already landed, so a replay interrupted mid-way (or
+    invoked twice) can never double-insert an entry.  Entries constructed
+    without a seq (< 0) predate the dedup and are always replayed.
+    """
 
     time: float
     tag: str
     lines: str
     n_fields: int
+    seq: int = -1
 
 
 @dataclass
@@ -126,6 +133,8 @@ class Shipper:
         self.breaker = CircuitBreaker(self.config.breaker_threshold, self.config.breaker_open_s)
         self.queue: deque[_Item] = deque()
         self.wal: list[WalEntry] = []
+        self._wal_seq = 0
+        self._replayed_seqs: set[int] = set()
         self.free_at = -np.inf
         self.last_event_t = 0.0
 
@@ -169,12 +178,14 @@ class Shipper:
         return True
 
     def _spill(self, item: _Item) -> None:
+        self._wal_seq += 1
         self.wal.append(
             WalEntry(
                 time=item.report_time,
                 tag=item.tag,
                 lines="\n".join(p.to_line() for p in item.batch),
                 n_fields=item.n_fields,
+                seq=self._wal_seq,
             )
         )
         self.spilled_reports += 1
@@ -184,12 +195,23 @@ class Shipper:
 
         Timestamps travel inside the line protocol, so replayed points land
         at their original sample times — late, but not wrong.
+
+        Idempotent under repeated invocation and under crash-during-replay:
+        entries land one at a time, head first — the write (atomic at the
+        engine: a failed batch inserts nothing) is recorded against the
+        entry's seq *before* the entry is popped, so a replay that dies
+        between the two and is re-run skips the already-landed entry
+        instead of double-inserting it.
         """
         written = 0
-        for entry in self.wal:
-            self.influx.write_lines(self.database, entry.lines)
-            written += entry.n_fields
-        self.wal.clear()
+        while self.wal:
+            entry = self.wal[0]
+            if entry.seq < 0 or entry.seq not in self._replayed_seqs:
+                self.influx.write_lines(self.database, entry.lines)
+                if entry.seq >= 0:
+                    self._replayed_seqs.add(entry.seq)
+                written += entry.n_fields
+            self.wal.pop(0)
         return written
 
     # ------------------------------------------------------------------

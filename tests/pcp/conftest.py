@@ -1,0 +1,47 @@
+"""Shared fixtures for the PCP suites.
+
+``dlq_artifacts`` gives chaos tests a registry of live pipelines; when a
+test that used it fails, the fixture dumps each pipeline's DLQ contents,
+per-group lag, checkpoint map, and log stats as JSON under
+``test-artifacts/`` — the CI chaos lane uploads that directory, so a red
+run ships its evidence instead of just a traceback.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+
+@pytest.hookimpl(tryfirst=True, hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Stash each phase's report on the item so fixtures can see failures."""
+    outcome = yield
+    rep = outcome.get_result()
+    setattr(item, "rep_" + rep.when, rep)
+
+
+@pytest.fixture
+def dlq_artifacts(request):
+    """Register pipelines under a name; dumped to JSON if the test fails."""
+    pipelines = {}
+    yield pipelines
+    rep = getattr(request.node, "rep_call", None)
+    if rep is None or not rep.failed or not pipelines:
+        return
+    out = Path("test-artifacts")
+    out.mkdir(exist_ok=True)
+    doc = {}
+    for name, pipe in pipelines.items():
+        doc[name] = {
+            "dlq": pipe.log.dlq.to_dicts(),
+            "lag": {
+                g: pipe.log.total_lag(g)
+                for g in sorted({c.group for c in pipe.consumers})
+            },
+            "checkpoints": pipe.log.checkpoints.snapshot(),
+            "log_stats": pipe.log.stats(),
+            "health": pipe.health(),
+        }
+    path = out / f"{request.node.name}.json"
+    path.write_text(json.dumps(doc, indent=2, default=str, sort_keys=True))

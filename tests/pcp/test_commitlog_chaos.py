@@ -1,0 +1,481 @@
+"""Chaos suite for the durable ingest path (commit log + consumer groups).
+
+The acceptance bar, per the durable-ingest design: under the full fault
+matrix — DB outage, network partition, latency spike, flaky writes, log
+truncation, consumer crash/hang/flap — every record the producer appended
+is either applied exactly once per consumer group or parked, visibly, in
+the dead-letter queue; replaying from checkpoints after a crash converges
+to the same DB / rollup / alert state as a fault-free run; and a healed
+DLQ requeue delivers parked records to exactly the group that parked them.
+
+Tests that register pipelines with ``dlq_artifacts`` dump DLQ contents and
+lag stats to ``test-artifacts/`` on failure (uploaded by the CI chaos lane).
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.db import FaultyInfluxDB, InfluxDB, Point
+from repro.faults import (
+    ConsumerCrash,
+    DbOutage,
+    FlakyWrites,
+    InsertLatencySpike,
+    LogFaultSet,
+    LogTruncation,
+    NetworkPartition,
+    ServiceFaultSet,
+)
+from repro.machine import SimulatedMachine, SoftwareState, get_preset
+from repro.pcp import (
+    AnomalyScannerConsumer,
+    CommitLog,
+    DbWriterConsumer,
+    FederatorConsumer,
+    IngestPipeline,
+    Pmcd,
+    PmdaLinux,
+    PmdaPerfevent,
+    ReportTracker,
+    RollupMaintainerConsumer,
+    Sampler,
+    ShipperConfig,
+    TransportModel,
+    perfevent_metric,
+)
+from repro.pmu import PMU
+
+pytestmark = pytest.mark.chaos
+
+EVENTS = ["UNHALTED_CORE_CYCLES", "INSTRUCTION_RETIRED"]
+MEAS = "perfevent_hwcounters_UNHALTED_CORE_CYCLES_value"
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def stored_fields(influx, db="pmove"):
+    """Total stored field count — the engine-level visible-effect meter."""
+    return sum(
+        len(p.fields)
+        for m in influx.measurements(db)
+        for p in influx.points(db, m)
+    )
+
+
+def make_durable(
+    faults=None,
+    log_faults=None,
+    *,
+    seed=7,
+    duration=30.0,
+    n_writers=1,
+    fsync=1,
+    attempts=12,
+):
+    """icl + 2 HW metrics sampled into a commit-log pipeline.
+
+    The sampler and the db-writers both run hiccup-free transports so the
+    only loss channels left are the ones under test (DB faults, log
+    faults) — and the suite asserts those channels leak nothing.
+    """
+    m = SimulatedMachine(get_preset("icl"), seed=seed)
+    m.advance(duration + 1)
+    pmu = PMU(m, seed=seed)
+    pe = PmdaPerfevent(pmu)
+    pe.configure(EVENTS)
+    pmcd = Pmcd([pe, PmdaLinux(SoftwareState(m))])
+    influx = FaultyInfluxDB(InfluxDB(), faults or ServiceFaultSet([]))
+    sampler = Sampler(
+        pmcd, influx, transport=TransportModel(hiccup_rate_max=0.0), seed=seed
+    )
+    log = CommitLog(n_partitions=4, faults=log_faults)
+    pipe = IngestPipeline(log, fsync_every_reports=fsync)
+    tracker = ReportTracker()
+    for i in range(n_writers):
+        pipe.add(
+            DbWriterConsumer(
+                log,
+                influx,
+                "pmove",
+                transport=TransportModel(hiccup_rate_max=0.0),
+                tracker=tracker,
+                cid=f"db-writer-{i}",
+                seed=100 + i,
+                max_apply_attempts=attempts,
+            )
+        )
+    pipe.add(RollupMaintainerConsumer(log, seed=5))
+    pipe.add(AnomalyScannerConsumer(log, seed=6))
+    metrics = [perfevent_metric(e) for e in EVENTS]
+    return sampler, influx, pipe, metrics
+
+
+def assert_settled_exactly_once(pipe, influx, db="pmove"):
+    """The suite's core invariant: every produced field is visible in the
+    sink exactly once, or its record is parked in the DLQ; no group has
+    residual lag."""
+    for c in pipe.consumers:
+        assert pipe.log.total_lag(c.group) == 0, c.group
+    parked = sum(
+        e.record.n_fields for e in pipe.log.dlq.for_group("db-writer")
+    )
+    assert stored_fields(influx, db) == pipe.producer.produced_points - parked
+
+
+def run_durable(sampler, pipe, metrics, duration=30.0, tag="c", grace=60.0):
+    return sampler.run(
+        metrics, 2.0, 0.0, duration, tag=tag, mode="durable",
+        pipeline=pipe, shipper_config=ShipperConfig(drain_grace_s=grace),
+    )
+
+
+# ----------------------------------------------------------------------
+# Service-fault matrix: zero loss, nothing parked
+# ----------------------------------------------------------------------
+class TestServiceFaultMatrix:
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            DbOutage(t0=8.0, t1=12.0),
+            NetworkPartition(t0=5.0, t1=8.0),
+            InsertLatencySpike(t0=6.0, t1=14.0, factor=8.0),
+            FlakyWrites(t0=4.0, t1=16.0, p_fail=0.6, seed=3),
+        ],
+        ids=["outage", "partition", "latency", "flaky"],
+    )
+    def test_single_fault_zero_loss(self, fault, dlq_artifacts):
+        faults = ServiceFaultSet([fault])
+        sampler, influx, pipe, metrics = make_durable(faults)
+        dlq_artifacts["pipe"] = pipe
+        st = run_durable(sampler, pipe, metrics)
+        assert st.inserted_points == st.expected_points
+        assert st.loss_pct == 0.0
+        assert st.parked_records == 0
+        assert st.backlog_records == 0
+        assert_settled_exactly_once(pipe, influx)
+
+    def test_outage_really_bit(self):
+        """The zero-loss result is earned, not vacuous: the fault rejected
+        writes and the durable path retried through them."""
+        faults = ServiceFaultSet([DbOutage(t0=8.0, t1=12.0)])
+        sampler, influx, pipe, metrics = make_durable(faults)
+        st = run_durable(sampler, pipe, metrics)
+        assert st.inserted_points == st.expected_points
+        assert influx.rejected_writes > 0
+        (writer,) = pipe.group_members("db-writer")
+        assert writer.apply_failures > 0
+        assert st.breaker_open_s > 0.0
+
+
+# ----------------------------------------------------------------------
+# Log faults: truncation, consumer crash / hang / flap
+# ----------------------------------------------------------------------
+class TestLogFaultMatrix:
+    def test_truncation_is_loss_free_via_producer_resend(self, dlq_artifacts):
+        """fsync every 3 reports leaves an unacked tail; the truncation
+        wipes it and the producer re-appends under the same seqs."""
+        lf = LogFaultSet()
+        lf.inject(LogTruncation(at=10.3))
+        sampler, influx, pipe, metrics = make_durable(log_faults=lf, fsync=3)
+        dlq_artifacts["pipe"] = pipe
+        st = run_durable(sampler, pipe, metrics)
+        assert pipe.log.truncated_records > 0  # the fault really bit
+        assert st.resent_records > 0
+        assert st.inserted_points == st.expected_points
+        assert st.duplicate_records == 0  # same seqs, not new records
+        assert_settled_exactly_once(pipe, influx)
+
+    def test_consumer_crash_hands_partitions_to_survivors(self, dlq_artifacts):
+        lf = LogFaultSet()
+        lf.inject(ConsumerCrash("db-writer", "db-writer-0", 5.0, 20.0))
+        sampler, influx, pipe, metrics = make_durable(log_faults=lf, n_writers=2)
+        dlq_artifacts["pipe"] = pipe
+        st = run_durable(sampler, pipe, metrics)
+        assert st.inserted_points == st.expected_points
+        assert pipe.log.rebalances >= 2  # leave + rejoin at minimum
+        w0, w1 = pipe.group_members("db-writer")
+        assert w1.applied_records > 0  # the survivor actually took over
+        assert_settled_exactly_once(pipe, influx)
+
+    def test_consumer_hang_forever_with_survivor(self, dlq_artifacts):
+        """A hang (never returns) is a crash with an open-ended window —
+        the group runs on one member for the rest of the run, losslessly."""
+        lf = LogFaultSet()
+        lf.inject(ConsumerCrash("db-writer", "db-writer-0", 5.0))
+        sampler, influx, pipe, metrics = make_durable(log_faults=lf, n_writers=2)
+        dlq_artifacts["pipe"] = pipe
+        st = run_durable(sampler, pipe, metrics)
+        assert st.inserted_points == st.expected_points
+        assert_settled_exactly_once(pipe, influx)
+
+    def test_consumer_flap_never_duplicates_visible_effects(self, dlq_artifacts):
+        """Three short windows = flap: every rejoin rebalances and replays
+        from checkpoints, and the gates absorb every redelivery."""
+        lf = LogFaultSet()
+        for t0, t1 in [(4.0, 6.0), (9.0, 11.0), (14.0, 16.0)]:
+            lf.inject(ConsumerCrash("db-writer", "db-writer-0", t0, t1))
+        sampler, influx, pipe, metrics = make_durable(log_faults=lf, n_writers=2)
+        dlq_artifacts["pipe"] = pipe
+        st = run_durable(sampler, pipe, metrics)
+        assert st.inserted_points == st.expected_points
+        assert pipe.log.rebalances >= 6
+        assert_settled_exactly_once(pipe, influx)
+
+    def test_full_matrix_exactly_once(self, dlq_artifacts):
+        """Everything at once: outage + partition + latency + flaky layered
+        over a truncation and a flapping writer.  The invariant holds."""
+        faults = ServiceFaultSet(
+            [
+                DbOutage(t0=6.0, t1=9.0),
+                NetworkPartition(t0=12.0, t1=14.0),
+                InsertLatencySpike(t0=16.0, t1=19.0, factor=6.0),
+                FlakyWrites(t0=20.0, t1=24.0, p_fail=0.5, seed=5),
+            ]
+        )
+        lf = LogFaultSet()
+        lf.inject(LogTruncation(at=10.3))
+        lf.inject(ConsumerCrash("db-writer", "db-writer-0", 7.0, 13.0))
+        lf.inject(ConsumerCrash("db-writer", "db-writer-1", 15.0, 16.0))
+        lf.inject(ConsumerCrash("db-writer", "db-writer-1", 18.0, 19.0))
+        sampler, influx, pipe, metrics = make_durable(
+            faults, lf, n_writers=2, fsync=3
+        )
+        dlq_artifacts["pipe"] = pipe
+        st = run_durable(sampler, pipe, metrics, grace=120.0)
+        assert st.inserted_points == st.expected_points
+        assert st.parked_records == 0
+        assert st.backlog_records == 0
+        assert st.resent_records > 0
+        assert pipe.log.rebalances >= 6
+        assert_settled_exactly_once(pipe, influx)
+
+
+# ----------------------------------------------------------------------
+# DLQ lifecycle: park under pressure, heal, targeted requeue
+# ----------------------------------------------------------------------
+class TestDlqLifecycle:
+    def test_poison_is_isolated_not_head_of_line(self, dlq_artifacts):
+        sampler, influx, pipe, metrics = make_durable()
+        pipe.log.inject_poison(MEAS)
+        dlq_artifacts["pipe"] = pipe
+        st = run_durable(sampler, pipe, metrics)
+        # Real traffic is untouched; the poison parked once per group.
+        assert st.inserted_points == st.expected_points
+        letters = pipe.log.dlq.to_dicts()
+        assert len(letters) == 3
+        assert {d["group"] for d in letters} == {"db-writer", "rollup", "anomaly"}
+        assert all(d["reason"] == "parse-error" for d in letters)
+
+    def test_requeue_after_heal_delivers_only_to_parking_group(
+        self, dlq_artifacts
+    ):
+        """A long outage with a tight attempt budget parks records; after
+        the fault clears, one requeue lands them all — and the targeted
+        redelivery means the other groups just filter the copies."""
+        faults = ServiceFaultSet([DbOutage(t0=5.0, t1=60.0)])
+        sampler, influx, pipe, metrics = make_durable(
+            faults, attempts=3, duration=20.0
+        )
+        dlq_artifacts["pipe"] = pipe
+        st = run_durable(sampler, pipe, metrics, duration=20.0)
+        assert st.parked_records > 0
+        assert len(pipe.log.dlq.for_group("db-writer")) > 0
+        assert stored_fields(influx) < pipe.producer.produced_points
+
+        faults.clear()
+        n = pipe.log.requeue()
+        assert n > 0
+        pipe.drain(pipe.log.now + 120.0)
+
+        assert len(pipe.log.dlq) == 0
+        assert stored_fields(influx) == pipe.producer.produced_points
+        # rollup/anomaly applied the originals already and skipped the
+        # db-writer-targeted copies.
+        (rollup,) = pipe.group_members("rollup")
+        (anomaly,) = pipe.group_members("anomaly")
+        assert rollup.filtered_records == n
+        assert anomaly.filtered_records == n
+        assert rollup.parked_records == 0
+
+    def test_requeued_poison_reparks_forever(self):
+        sampler, influx, pipe, metrics = make_durable()
+        pipe.log.inject_poison(MEAS)
+        run_durable(sampler, pipe, metrics, duration=5.0)
+        assert len(pipe.log.dlq) == 3
+        n = pipe.log.requeue()
+        assert n == 3
+        pipe.drain(pipe.log.now + 60.0)
+        # Unparseable stays unparseable: back in the DLQ, not applied.
+        assert len(pipe.log.dlq) == 3
+        assert pipe.log.dlq.requeued_total == 3
+
+
+# ----------------------------------------------------------------------
+# Replay convergence & rebalance properties (fixed deterministic streams)
+# ----------------------------------------------------------------------
+def fixed_stream(n=40):
+    """A deterministic report stream: two topics x three series."""
+    out = []
+    for k in range(n):
+        t = 0.5 * (k + 1)
+        batch = [
+            Point(m, {"tag": tag, "host": "h0"},
+                  {"value": float((k * 7 + j * 3) % 13)}, t)
+            for m in ("cpu", "mem")
+            for j, tag in enumerate(("a", "b", "c"))
+        ]
+        out.append((t, batch))
+    return out
+
+
+def build_pipeline(log_faults=None, n_writers=2, bounds=None):
+    log = CommitLog(n_partitions=4, faults=log_faults)
+    pipe = IngestPipeline(log, fsync_every_reports=4)
+    influx = InfluxDB()
+    tracker = ReportTracker()
+    for i in range(n_writers):
+        pipe.add(
+            DbWriterConsumer(log, influx, "pmove", tracker=tracker,
+                             cid=f"db-writer-{i}", seed=10 + i)
+        )
+    pipe.add(RollupMaintainerConsumer(log, tier_s=5.0, seed=20))
+    pipe.add(
+        AnomalyScannerConsumer(log, bounds=bounds or {"cpu": (0.0, 9.0)},
+                               seed=30)
+    )
+    return pipe, influx
+
+
+def drive(pipe, stream):
+    for t, batch in stream:
+        pipe.pump(t)
+        pipe.produce(t, t, batch, "c")
+    pipe.producer.flush(stream[-1][0])
+    return pipe.drain(stream[-1][0] + 120.0)
+
+
+def db_hash(influx, db="pmove"):
+    lines = sorted(
+        p.to_line()
+        for m in influx.measurements(db)
+        for p in influx.points(db, m)
+    )
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+class TestReplayConvergence:
+    def test_faulted_run_converges_to_fault_free_state(self, dlq_artifacts):
+        """The acceptance-criteria core: crash mid-batch, truncate the log,
+        flap a writer — replay-from-checkpoint must land the *same* DB,
+        rollup and alert state as the run where nothing went wrong."""
+        stream = fixed_stream()
+
+        clean, clean_influx = build_pipeline()
+        drive(clean, stream)
+
+        lf = LogFaultSet()
+        lf.inject(LogTruncation(at=9.7))
+        lf.inject(ConsumerCrash("db-writer", "db-writer-0", 3.0, 8.0))
+        lf.inject(ConsumerCrash("db-writer", "db-writer-1", 12.0, 14.0))
+        lf.inject(ConsumerCrash("rollup", "rollup-0", 5.0, 9.0))
+        faulted, faulted_influx = build_pipeline(log_faults=lf)
+        dlq_artifacts["faulted"] = faulted
+        drive(faulted, stream)
+
+        assert db_hash(faulted_influx) == db_hash(clean_influx)
+        (r_clean,) = clean.group_members("rollup")
+        (r_fault,) = faulted.group_members("rollup")
+        assert r_fault.rollups() == r_clean.rollups()
+        (a_clean,) = clean.group_members("anomaly")
+        (a_fault,) = faulted.group_members("anomaly")
+        assert sorted(a_fault.alerts) == sorted(a_clean.alerts)
+        for key, alert in a_clean.alerts.items():
+            other = a_fault.alerts[key]
+            for f in ("topic", "tag", "time", "field", "value", "host"):
+                assert other[f] == alert[f]
+        # The faulted run really exercised the recovery paths.
+        assert faulted.log.rebalances > clean.log.rebalances
+        assert faulted.log.truncated_records > 0
+
+    def test_rollup_accumulator_is_exactly_once_under_crash(self):
+        """The checkpoint-embedded accumulator can neither skip nor double
+        count: the rolled totals equal the stream's arithmetic."""
+        stream = fixed_stream(20)
+        lf = LogFaultSet()
+        lf.inject(ConsumerCrash("rollup", "rollup-0", 2.0, 4.0))
+        lf.inject(ConsumerCrash("rollup", "rollup-0", 6.0, 7.0))
+        pipe, _ = build_pipeline(log_faults=lf, n_writers=1)
+        drive(pipe, stream)
+        expect = {}
+        for t, batch in stream:
+            for p in batch:
+                b = (p.time // 5.0) * 5.0
+                c, tot, mn, mx = expect.get(
+                    (p.measurement, b), (0.0, 0.0, np.inf, -np.inf)
+                )
+                v = p.fields["value"]
+                expect[(p.measurement, b)] = (
+                    c + 1.0, tot + v, min(mn, v), max(mx, v)
+                )
+        (rollup,) = pipe.group_members("rollup")
+        assert rollup.rollups() == expect
+
+
+class TestRebalanceProperty:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_seeded_crash_schedules_never_gap_or_duplicate(
+        self, seed, dlq_artifacts
+    ):
+        """Property over seeded fault schedules: any combination of crash
+        windows across a 3-writer group leaves the engine holding every
+        produced field exactly once."""
+        rng = np.random.default_rng(seed)
+        lf = LogFaultSet()
+        for i in range(3):
+            for _ in range(int(rng.integers(1, 3))):
+                t0 = float(rng.uniform(1.0, 15.0))
+                t1 = t0 + float(rng.uniform(0.5, 6.0))
+                lf.inject(ConsumerCrash("db-writer", f"db-writer-{i}", t0, t1))
+        pipe, influx = build_pipeline(log_faults=lf, n_writers=3)
+        dlq_artifacts["pipe"] = pipe
+        drive(pipe, fixed_stream())
+        assert stored_fields(influx) == pipe.producer.produced_points
+        assert pipe.backlog_records() == 0
+        assert len(pipe.log.dlq) == 0
+        assert pipe.log.rebalances >= 3
+
+
+class TestFederation:
+    def test_federator_converges_behind_wan_faults(self, dlq_artifacts):
+        """The SUPERDB push rides the same log: a WAN outage delays the
+        federator group, but after it heals the cloud engine holds exactly
+        the host engine's rows."""
+        log = CommitLog(n_partitions=4)
+        pipe = IngestPipeline(log, fsync_every_reports=1)
+        host, cloud = InfluxDB(), InfluxDB()
+        wan = ServiceFaultSet([DbOutage(t0=4.0, t1=9.0)])
+        pipe.add(DbWriterConsumer(log, host, "pmove", seed=1))
+        pipe.add(
+            FederatorConsumer(
+                log, FaultyInfluxDB(cloud, wan), "superdb",
+                seed=2, max_apply_attempts=12,
+            )
+        )
+        dlq_artifacts["pipe"] = pipe
+        drive(pipe, fixed_stream(30))
+        host_lines = sorted(
+            p.to_line()
+            for m in host.measurements("pmove")
+            for p in host.points("pmove", m)
+        )
+        cloud_lines = sorted(
+            p.to_line()
+            for m in cloud.measurements("superdb")
+            for p in cloud.points("superdb", m)
+        )
+        assert host_lines == cloud_lines
+        assert len(host_lines) == pipe.producer.produced_points
+        assert len(pipe.log.dlq) == 0

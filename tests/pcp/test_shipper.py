@@ -225,3 +225,110 @@ class TestShipperBreakerIntegration:
         assert s.queue == type(s.queue)()  # drained
         assert s.inserted_reports == 1
         assert s.breaker.open_seconds(s.last_event_t) > 5.0
+
+
+class TestWalReplayIdempotence:
+    """Satellite regression: replay_wal must be idempotent — under repeated
+    invocation AND under a crash that loses the pop but not the write."""
+
+    def spill_two(self):
+        s, influx = make_shipper(ShipperConfig(capacity=1, policy="spill"))
+        offer(s, 1.0, v=41.0)
+        offer(s, 2.0, v=42.0)  # evicts t=1
+        offer(s, 3.0, v=43.0)  # evicts t=2
+        return s, influx
+
+    def test_double_replay_writes_nothing_twice(self):
+        s, influx = self.spill_two()
+        assert s.replay_wal() == 2
+        assert s.replay_wal() == 0
+        assert len(influx.points("db", "m")) == 2
+
+    def test_crash_between_write_and_pop_is_safe(self):
+        """Simulate dying mid-replay with the head entry landed but still
+        in the WAL: a restart that replays the restored WAL skips it."""
+        s, influx = self.spill_two()
+        entries = list(s.wal)
+        assert s.replay_wal() == 2
+        s.wal = entries  # the crash-restored WAL snapshot, pops lost
+        assert s.replay_wal() == 0  # seqs recorded -> nothing re-inserted
+        assert len(influx.points("db", "m")) == 2
+
+    def test_pre_dedup_entries_always_replay(self):
+        """WalEntry(seq=-1) predates the seq stamp (e.g. deserialized from
+        an old WAL file): replayed unconditionally, like before."""
+        from repro.pcp import WalEntry
+
+        s, influx = make_shipper()
+        entry = WalEntry(time=1.0, tag="x", lines=batch(1.0)[0].to_line(),
+                         n_fields=1)
+        s.wal = [entry]
+        assert s.replay_wal() == 1
+        s.wal = [entry]
+        assert s.replay_wal() == 1  # no seq, no memory: legacy behavior
+        assert len(influx.points("db", "m")) == 2
+
+
+class TestHalfOpenSingleProbe:
+    """Satellite fix: half-open admits exactly one unresolved probe."""
+
+    def open_breaker(self):
+        b = CircuitBreaker(threshold=1, open_s=1.0)
+        b.on_attempt(0.0)
+        b.record_failure(0.0)  # open [0, 1)
+        assert b.state == b.OPEN
+        return b
+
+    def test_second_caller_waits_while_probe_unresolved(self):
+        b = self.open_breaker()
+        t = b.earliest_attempt(1.2)
+        assert t == 1.2
+        b.on_attempt(t)  # admitted: the half-open probe
+        assert b.state == b.HALF_OPEN
+        assert b.half_open_probes == 1
+        # A second attempt while the probe is in flight is pushed a full
+        # open window past the probe's start, not admitted immediately.
+        assert b.earliest_attempt(1.3) == pytest.approx(1.2 + 1.0)
+        b.on_attempt(1.3)  # even if forced, it is not counted as a probe
+        assert b.half_open_probes == 1
+
+    def test_probe_success_closes_and_releases(self):
+        b = self.open_breaker()
+        b.on_attempt(b.earliest_attempt(1.5))
+        b.record_success(1.6)
+        assert b.state == b.CLOSED
+        assert b.earliest_attempt(1.7) == 1.7  # gate released
+
+    def test_probe_failure_reopens_fresh_window(self):
+        b = self.open_breaker()
+        b.on_attempt(b.earliest_attempt(1.5))
+        b.record_failure(1.6)
+        assert b.state == b.OPEN
+        assert b.earliest_attempt(1.7) == pytest.approx(1.6 + 1.0)
+        # The next half-open window admits exactly one new probe.
+        b.on_attempt(b.earliest_attempt(2.7))
+        assert b.half_open_probes == 2
+
+    def test_breaker_trace_under_flaky_writes(self):
+        """closed -> open -> half_open -> closed through a real shipper
+        under a flaky window, with one probe per half-open transition."""
+        from repro.faults import FlakyWrites
+
+        cfg = ShipperConfig(breaker_threshold=2, breaker_open_s=0.5,
+                            backoff_base_s=0.01, backoff_cap_s=0.05)
+        faults = ServiceFaultSet([FlakyWrites(t0=0.0, t1=6.0, p_fail=0.9, seed=3)])
+        s, _ = make_shipper(cfg, faults=faults)
+        for t in (0.5, 1.0, 1.5, 2.0):
+            offer(s, t)
+        s.drain(60.0)
+        states = [st for _, st in s.breaker.transitions]
+        assert states[0] == "open"
+        assert states[-1] == "closed"
+        assert "half_open" in states
+        # Exactly one probe admitted per half-open window.
+        assert s.breaker.half_open_probes == states.count("half_open")
+        # The trace alternates legally: half_open only ever follows open.
+        for prev, cur in zip(states, states[1:]):
+            if cur == "half_open":
+                assert prev == "open"
+        assert len(s.queue) == 0 and s.inserted_reports == 4

@@ -194,3 +194,32 @@ class TestCommands:
                            "--kill-shard", "9")
         assert code == 1
         assert "unknown shard" in err
+
+    def test_monitor_durable(self, capsys):
+        code, out, _ = run(capsys, "monitor", "icl", "--duration", "4",
+                           "--freq", "2", "--durable")
+        assert code == 0
+        assert "records through the log" in out
+        assert "backlog 0" in out
+
+    def test_chaos_durable_full_mix(self, capsys):
+        code, out, _ = run(capsys, "chaos", "icl", "--duration", "20",
+                           "--freq", "2", "--durable",
+                           "--outage", "5", "9",
+                           "--log-truncate", "8",
+                           "--consumer-crash", "db-writer", "6", "12",
+                           "--poison", "1", "--requeue")
+        assert code == 0
+        assert "durable chaos run on icl" in out
+        assert "LogTruncation" in out
+        assert "ConsumerCrash" in out
+        assert "rebalance(s)" in out
+        assert "parse-error" in out  # the poison parked, visibly
+        assert "DLQ after requeue" in out
+
+    def test_chaos_dlq_lifecycle(self, capsys):
+        code, out, _ = run(capsys, "chaos", "dlq", "--duration", "16")
+        assert code == 0
+        assert "apply-error" in out
+        assert "fault cleared; requeued" in out
+        assert "poison stays parked" in out

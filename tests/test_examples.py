@@ -94,3 +94,14 @@ class TestExamples:
         assert "upgrade suggestion: skx" in out
         assert "diagnosed: cpu_throttle" in out
         assert "diagnosed: memory_contention" in out
+
+    def test_durable_ingest(self, capsys):
+        out = run_example("durable_ingest", capsys)
+        assert "[durable]" in out
+        assert "resent after the truncation" in out
+        assert "parked in every group" in out
+        assert "it re-parks" in out
+        assert "The log is the queue" in out
+        # Every record appended to the log was applied by every group.
+        assert "lag 0" in out
+        assert "every appended record was applied" in out
