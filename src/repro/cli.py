@@ -156,6 +156,29 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--iterations", type=int, default=300)
 
     s = sub.add_parser(
+        "serve",
+        help="multi-tenant serving frontend: admission control, bounded "
+             "fair executor, per-tenant SLO accounting",
+    )
+    s.add_argument("preset", choices=sorted(PRESETS))
+    s.add_argument("--duration", type=float, default=8.0,
+                   help="telemetry fill window before serving starts")
+    s.add_argument("--load-duration", type=float, default=10.0,
+                   help="virtual seconds of dashboard load to serve")
+    s.add_argument("--tenants", type=int, default=4)
+    s.add_argument("--workers", type=int, default=8, help="executor slots")
+    s.add_argument("--panels", type=int, default=6,
+                   help="dashboard width (panels in the shared refresh set)")
+    s.add_argument("--live-period", type=float, default=1.0,
+                   help="seconds between live refreshes per tenant")
+    s.add_argument("--backfill-period", type=float, default=4.0,
+                   help="seconds between backfill scans per tenant")
+    s.add_argument("--aggressor", action="store_true",
+                   help="turn the last tenant into a cache-busting flooder "
+                        "(admission keeps the rest unharmed)")
+    s.add_argument("--seed", type=int, default=0)
+
+    s = sub.add_parser(
         "shard",
         help="sharded storage demo: ingest into N shards, print per-shard "
              "stats, optionally kill a shard or rebalance",
@@ -558,6 +581,77 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Multi-tenant serving story: N tenants refresh the Scenario-A
+    dashboard concurrently; admission + the bounded fair executor keep
+    per-tenant SLOs honest, optionally while one tenant floods."""
+    from repro.core import PMoVE
+    from repro.serve import TenantConfig, mixed_load, replay
+
+    daemon = PMoVE()
+    daemon.attach_target(SimulatedMachine(get_preset(args.preset)))
+    _, uid = daemon.scenario_a(args.preset, duration_s=args.duration, freq_hz=2.0)
+    panels = daemon.grafana.get(uid).panels[: max(1, args.panels)]
+
+    names = [f"tenant-{i}" for i in range(args.tenants)]
+    aggressor = names[-1] if args.aggressor and args.tenants > 1 else None
+    configs = [
+        TenantConfig(name, rate_per_s=10.0, burst=15.0,
+                     point_budget_per_s=5_000.0, point_burst=20_000.0,
+                     max_queue_depth=32, cache_entries=64)
+        for name in names
+    ]
+    frontend = daemon.enable_serving(configs, n_workers=args.workers)
+
+    specs = mixed_load(
+        names, panels,
+        duration_s=args.load_duration,
+        span_s=args.duration,
+        window_s=min(60.0, args.duration / 2),
+        live_period_s=args.live_period,
+        backfill_period_s=args.backfill_period,
+        seed=args.seed,
+        aggressor=aggressor,
+    )
+    replay(frontend, specs)
+    makespan = frontend.drain()
+    health = frontend.health()
+
+    print(f"served {len(specs)} requests for {args.tenants} tenant(s) on "
+          f"{args.preset} through {args.workers} worker slot(s); "
+          f"virtual makespan {makespan:.3f}s"
+          + (f" (aggressor: {aggressor})" if aggressor else ""))
+    ex = health["executor"]
+    print(f"executor: {ex['executed']} executed, {ex['coalesced']} coalesced "
+          f"(single-flight), {ex['timeouts']} past-deadline cancels")
+    header = (f"  {'tenant':<10} {'sub':>5} {'adm':>5} {'rej':>5} {'done':>5} "
+              f"{'coal':>5} {'t/o':>4} {'p50ms':>8} {'p95ms':>8} {'p99ms':>8}")
+    print(header + "  (live-class latency)")
+    for name in names:
+        s = health["tenants"].get(name)
+        if s is None:
+            continue
+        live = s["latency"].get("live", s["latency"]["all"])
+        print(f"  {name:<10} {s['submitted']:>5} {s['admitted']:>5} "
+              f"{s['rejected_total']:>5} {s['completed']:>5} "
+              f"{s['coalesced']:>5} {s['timeouts']:>4} "
+              f"{live['p50_ms']:>8.2f} {live['p95_ms']:>8.2f} {live['p99_ms']:>8.2f}")
+    reasons: dict[str, int] = {}
+    for s in health["tenants"].values():
+        for reason, n in s["rejected"].items():
+            reasons[reason] = reasons.get(reason, 0) + n
+    if reasons:
+        pretty = ", ".join(f"{k}={v}" for k, v in sorted(reasons.items()))
+        print(f"rejections (429-style, explicit): {pretty}")
+    parts = health["cache_partitions"]
+    used = sum(1 for p in parts.values() if p["entries"])
+    print(f"cache partitions: {used}/{len(parts)} tenants warm, "
+          f"entries " +
+          ", ".join(f"{n}={parts[n]['entries']}/{parts[n]['capacity']}"
+                    for n in names))
+    return 0
+
+
 def _cmd_shard(args) -> int:
     from repro.db import InfluxError, Point, ShardedInfluxDB
     from repro.faults import NodeCrash
@@ -627,6 +721,7 @@ _COMMANDS = {
     "carm": _cmd_carm,
     "bench": _cmd_bench,
     "cluster": _cmd_cluster,
+    "serve": _cmd_serve,
     "shard": _cmd_shard,
 }
 

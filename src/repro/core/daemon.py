@@ -54,6 +54,7 @@ from repro.pcp.transport import TransportModel
 from repro.pmu.abstraction import AbstractionLayer, UnsupportedEventError, pmu_utils
 from repro.pmu.counters import PMU
 from repro.probing.prober import collect_raw_probe, parse_probe
+from repro.serve import ServingFrontend, TenantConfig
 from repro.viz.generator import generate_dashboard
 from repro.viz.grafana import GrafanaServer
 from repro.workloads.pinning import pin_threads, pinning_script
@@ -139,6 +140,10 @@ class PMoVE:
         #: Alert sink of the anomaly-scanner group (keyed upserts; survives
         #: consumer crashes because the daemon owns it, not the consumer).
         self.anomaly_alerts: dict = {}
+        #: Multi-tenant serving frontend (admission + bounded executor +
+        #: per-tenant SLOs), created by :meth:`enable_serving`.  ``None``
+        #: keeps the single-caller synchronous path untouched.
+        self.serving: ServingFrontend | None = None
 
     # ==================================================================
     # Attachment (Fig 3 steps 1-3)
@@ -413,6 +418,32 @@ class PMoVE:
         return self.ingest
 
     # ==================================================================
+    # Multi-tenant serving (admission + bounded executor + SLOs)
+    # ==================================================================
+    def enable_serving(
+        self,
+        tenants: list[TenantConfig] | list[str] | None = None,
+        **kwargs,
+    ) -> ServingFrontend:
+        """Stand up the multi-tenant frontend above this daemon's Grafana.
+
+        ``tenants`` takes full :class:`TenantConfig` envelopes or plain
+        names (default envelopes).  Like durable ingest, the frontend is
+        a singleton per daemon, and purely opt-in: nothing about the
+        synchronous single-caller dashboard path changes until a caller
+        routes requests through ``self.serving``.
+        """
+        if self.serving is not None:
+            raise RuntimeError("serving frontend already enabled")
+        configs: list[TenantConfig] = []
+        for entry in tenants or [TenantConfig("default")]:
+            configs.append(
+                entry if isinstance(entry, TenantConfig) else TenantConfig(str(entry))
+            )
+        self.serving = ServingFrontend(self.grafana, configs, **kwargs)
+        return self.serving
+
+    # ==================================================================
     # Resilience: chaos injection & health surface
     # ==================================================================
     def inject_service_fault(self, fault: ServiceFault) -> ServiceFault:
@@ -463,6 +494,8 @@ class PMoVE:
             }
         if self.ingest is not None:
             out["ingest"] = self.ingest.health()
+        if self.serving is not None:
+            out["serving"] = self.serving.health()
         return out
 
     # ==================================================================

@@ -1,0 +1,48 @@
+"""repro.serve — the multi-tenant serving frontend above the Grafana layer.
+
+PR 5 made one dashboard refresh fast; PR 6 made the storage horizontal.
+This package makes the read path *shared*: per-tenant admission control
+(token buckets, point quotas, bounded queues, explicit 429s), a bounded
+weighted-fair virtual-time executor (priorities with aging, deadlines,
+single-flight coalescing), per-tenant partitions of the result cache, and
+per-tenant SLO accounting (p50/p95/p99 by priority class).
+"""
+
+from .admission import (
+    REJECT_POINT_QUOTA,
+    REJECT_QUEUE_FULL,
+    REJECT_RATE_LIMITED,
+    REJECT_UNKNOWN_TENANT,
+    AdmissionController,
+    AdmissionDecision,
+    Priority,
+    QueryRequest,
+)
+from .executor import BoundedExecutor, ExecutionRecord, ServiceCostModel
+from .frontend import ServingFrontend
+from .load import RequestSpec, mixed_load, replay
+from .slo import SloBoard, TenantSLO, percentile
+from .tenants import TenantConfig, TokenBucket
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "BoundedExecutor",
+    "ExecutionRecord",
+    "Priority",
+    "QueryRequest",
+    "RequestSpec",
+    "REJECT_POINT_QUOTA",
+    "REJECT_QUEUE_FULL",
+    "REJECT_RATE_LIMITED",
+    "REJECT_UNKNOWN_TENANT",
+    "ServiceCostModel",
+    "ServingFrontend",
+    "SloBoard",
+    "TenantConfig",
+    "TenantSLO",
+    "TokenBucket",
+    "mixed_load",
+    "percentile",
+    "replay",
+]

@@ -19,6 +19,7 @@ freshness, never over-report it.
 
 from __future__ import annotations
 
+import re
 from collections import OrderedDict
 
 from repro.db.influx import InfluxDB
@@ -27,7 +28,34 @@ from repro.db.influxql import execute
 from .dashboard import Dashboard, DashboardError, Panel, Target
 from .render import Series, render_series_svg, render_series_text
 
-__all__ = ["GrafanaServer"]
+__all__ = ["GrafanaServer", "quote_tag_value"]
+
+_AND_SPLIT = re.compile(r"\s+AND\s+", re.IGNORECASE)
+
+
+def quote_tag_value(value: str) -> str:
+    """Quote a tag value for a WHERE clause, or refuse.
+
+    The InfluxQL grammar here has no escape sequences: a double-quoted
+    value may not contain ``"`` and a single-quoted one may not contain
+    ``'``.  A value containing ``"`` is emitted single-quoted; one
+    containing both quote kinds, or anything the parser's ``AND``
+    splitter would cut in half, cannot be represented and is rejected
+    outright — a malformed (or worse, silently truncated) statement is
+    never produced.
+    """
+    if '"' in value and "'" in value:
+        raise DashboardError(
+            f"tag value {value!r} mixes single and double quotes; "
+            "InfluxQL here cannot escape either"
+        )
+    if _AND_SPLIT.search(value):
+        raise DashboardError(
+            f"tag value {value!r} contains an AND separator; "
+            "it would split the WHERE clause"
+        )
+    quote = "'" if '"' in value else '"'
+    return f"{quote}{value}{quote}"
 
 
 class GrafanaServer:
@@ -45,9 +73,19 @@ class GrafanaServer:
         self.api_token = api_token
         self._dashboards: dict[str, Dashboard] = {}
         #: (database, statement) → (generation, times, values); LRU-bounded.
+        #: This is the *default* partition — the single-caller path every
+        #: PR before the serving tier used, byte-identical.
         self._cache: OrderedDict[
             tuple[str, str], tuple[int, list[float], list[float]]
         ] = OrderedDict()
+        #: tenant → its private partition of the same generation-stamped
+        #: cache.  Partitions are evicted independently: an aggressor
+        #: tenant churning its own partition cannot evict a quiet
+        #: tenant's working set (or the default partition's).
+        self._tenant_caches: dict[
+            str, OrderedDict[tuple[str, str], tuple[int, list[float], list[float]]]
+        ] = {}
+        self._tenant_cache_sizes: dict[str, int] = {}
         self.cache_size = cache_size
         self.cache_hits = 0
         self.cache_misses = 0
@@ -87,7 +125,7 @@ class GrafanaServer:
         where = []
         effective_tag = target.tag or tag
         if effective_tag is not None and effective_tag != "":
-            where.append(f'tag="{effective_tag}"')
+            where.append(f"tag={quote_tag_value(effective_tag)}")
         if t0 is not None:
             where.append(f"time >= {t0}")
         if t1 is not None:
@@ -100,24 +138,51 @@ class GrafanaServer:
             clause += f" GROUP BY time({target.group_by_s}s)"
         return f'SELECT {sel} FROM "{target.measurement}"{clause}'
 
+    # ------------------------------------------------------------------
+    # Tenant cache partitions
+    # ------------------------------------------------------------------
+    def set_tenant_cache_size(self, tenant: str, entries: int) -> None:
+        """Create (or resize) ``tenant``'s private cache partition."""
+        if entries < 1:
+            raise ValueError("tenant cache needs at least one entry")
+        self._tenant_cache_sizes[tenant] = entries
+        partition = self._tenant_caches.setdefault(tenant, OrderedDict())
+        while len(partition) > entries:
+            partition.popitem(last=False)
+
+    def tenant_cache_info(self, tenant: str) -> dict[str, int]:
+        partition = self._tenant_caches.get(tenant, {})
+        return {
+            "entries": len(partition),
+            "capacity": self._tenant_cache_sizes.get(tenant, self.cache_size),
+        }
+
+    def _partition_for(self, tenant: str | None) -> tuple[OrderedDict, int]:
+        if tenant is None:
+            return self._cache, self.cache_size
+        partition = self._tenant_caches.setdefault(tenant, OrderedDict())
+        return partition, self._tenant_cache_sizes.get(tenant, self.cache_size)
+
     def _target_series(
-        self, target: Target, statement: str
-    ) -> tuple[list[float], list[float]]:
-        """One target's (times, values), through the generation cache.
+        self, target: Target, statement: str, tenant: str | None = None
+    ) -> tuple[list[float], list[float], bool]:
+        """One target's (times, values, served_from_cache).
 
         The generation stamp is read *before* executing, so a write racing
         the query can only make the cached entry look stale (recompute),
         never fresh (stale serve).  Engines without generation support
-        (stamp ``None``) bypass the cache entirely.
+        (stamp ``None``) bypass the cache entirely.  ``tenant`` selects a
+        private partition; ``None`` is the default (single-caller) one.
         """
+        cache, capacity = self._partition_for(tenant)
         key = (self.database, statement)
         gen_of = getattr(self.influx, "generation", None)
         gen = gen_of(self.database, target.measurement) if callable(gen_of) else None
-        hit = self._cache.get(key)
+        hit = cache.get(key)
         if hit is not None and gen is not None and hit[0] == gen:
-            self._cache.move_to_end(key)
+            cache.move_to_end(key)
             self.cache_hits += 1
-            return list(hit[1]), list(hit[2])
+            return list(hit[1]), list(hit[2]), True
         self.cache_misses += 1
         rs = execute(self.influx, self.database, statement)
         times, values = [], []
@@ -133,15 +198,51 @@ class GrafanaServer:
         if getattr(self.influx, "last_partial", False):
             self.partial_serves += 1
         elif gen is not None:
-            self._cache[key] = (gen, list(times), list(values))
-            self._cache.move_to_end(key)
-            while len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
-        return times, values
+            cache[key] = (gen, list(times), list(values))
+            cache.move_to_end(key)
+            while len(cache) > capacity:
+                cache.popitem(last=False)
+        return times, values, False
 
     def invalidate_cache(self) -> None:
-        """Drop every cached panel result (e.g. after swapping engines)."""
+        """Drop every cached panel result, in every partition."""
         self._cache.clear()
+        for partition in self._tenant_caches.values():
+            partition.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/partial counters (results stats, not caches).
+
+        Counters describe the *current* engine's serving history; leaving
+        them running across an engine swap blends two engines' stats into
+        one meaningless series."""
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.partial_serves = 0
+
+    def set_engine(self, influx: InfluxDB) -> None:
+        """Swap the backing engine: drop cached results AND stats.
+
+        The cache must go because generation stamps are per-engine (a
+        fresh engine restarts its counters, so stale entries could look
+        fresh); the stats must go because they described the old engine."""
+        self.influx = influx
+        self.invalidate_cache()
+        self.reset_stats()
+
+    def execute_target(
+        self,
+        target: Target,
+        t0: float | None = None,
+        t1: float | None = None,
+        tag: str | None = None,
+        tenant: str | None = None,
+    ) -> tuple[list[float], list[float], bool]:
+        """One target's (times, values, served_from_cache) — the serving
+        frontend's per-target entry point (it needs the hit flag for its
+        service-cost model)."""
+        statement = self.target_statement(target, t0, t1, tag)
+        return self._target_series(target, statement, tenant=tenant)
 
     def execute_panel(
         self,
@@ -149,12 +250,13 @@ class GrafanaServer:
         t0: float | None = None,
         t1: float | None = None,
         tag: str | None = None,
+        tenant: str | None = None,
     ) -> Series:
         """Run a panel's targets; returns label → (times, values)."""
         series: Series = {}
         for target in panel.targets:
             statement = self.target_statement(target, t0, t1, tag)
-            times, values = self._target_series(target, statement)
+            times, values, _ = self._target_series(target, statement, tenant=tenant)
             label = target.alias or f"{target.measurement}{target.params}"[-40:]
             series[label] = (times, values)
         return series

@@ -1,0 +1,162 @@
+"""Admission control: token buckets, quotas, and explicit 429s.
+
+The contract under test: every rejection carries a reason, a rejected
+request never debits the tenant's buckets more than once, and admission
+is a pure function of virtual time — no wall clock anywhere.
+"""
+
+import pytest
+
+from repro.serve import (
+    REJECT_POINT_QUOTA,
+    REJECT_QUEUE_FULL,
+    REJECT_RATE_LIMITED,
+    REJECT_UNKNOWN_TENANT,
+    AdmissionController,
+    Priority,
+    QueryRequest,
+    TenantConfig,
+    TokenBucket,
+)
+
+
+def _req(tenant="a", submit_t=0.0, est_points=0.0, rid=0):
+    return QueryRequest(
+        rid=rid, tenant=tenant, panel=None, statements=(f"S{rid}",),
+        submit_t=submit_t, est_points=est_points,
+    )
+
+
+class TestTokenBucket:
+    def test_starts_full_and_debits(self):
+        b = TokenBucket(rate_per_s=1.0, capacity=3.0)
+        assert b.level(0.0) == 3.0
+        assert b.try_take(0.0) and b.try_take(0.0) and b.try_take(0.0)
+        assert not b.try_take(0.0)
+
+    def test_refusal_does_not_debit(self):
+        b = TokenBucket(rate_per_s=0.0, capacity=2.0)
+        assert not b.try_take(0.0, 5.0)
+        assert b.level(0.0) == 2.0  # the failed take cost nothing
+
+    def test_refills_at_rate_and_caps_at_capacity(self):
+        b = TokenBucket(rate_per_s=2.0, capacity=4.0)
+        assert b.try_take(0.0, 4.0)
+        assert b.level(1.0) == pytest.approx(2.0)
+        assert b.level(100.0) == 4.0  # never above capacity
+
+    def test_backwards_time_is_clamped_not_refunded(self):
+        b = TokenBucket(rate_per_s=1.0, capacity=2.0)
+        assert b.try_take(5.0, 2.0)
+        assert b.level(3.0) == 0.0  # earlier timestamp: no refill, no error
+        assert b.level(6.0) == pytest.approx(1.0)  # clock resumed from 5.0
+
+    def test_zero_rate_bucket_never_refills(self):
+        b = TokenBucket(rate_per_s=0.0, capacity=1.0)
+        assert b.try_take(0.0)
+        assert not b.try_take(1e9)
+
+    def test_fractional_refill_epsilon(self):
+        """Ten 0.1s refills at 1 token/s must fund a whole token despite
+        float dust — the admission epsilon absorbs it."""
+        b = TokenBucket(rate_per_s=1.0, capacity=1.0)
+        assert b.try_take(0.0, 1.0)
+        for k in range(1, 11):
+            b.level(k * 0.1)
+        assert b.try_take(1.0, 1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=-1.0, capacity=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=1.0, capacity=0.0)
+
+
+class TestTenantConfig:
+    def test_defaults_are_valid(self):
+        c = TenantConfig("team-a")
+        assert c.request_bucket().capacity == c.burst
+        assert c.point_bucket().rate_per_s == c.point_budget_per_s
+
+    @pytest.mark.parametrize("kw", [
+        {"name": ""},
+        {"rate_per_s": 0.0},
+        {"burst": -1.0},
+        {"point_budget_per_s": 0.0},
+        {"weight": 0.0},
+        {"max_queue_depth": 0},
+        {"cache_entries": 0},
+    ])
+    def test_invalid_envelope_rejected(self, kw):
+        base = {"name": "t"}
+        base.update(kw)
+        with pytest.raises(ValueError):
+            TenantConfig(**base)
+
+
+class TestPriority:
+    def test_live_outranks_backfill(self):
+        assert Priority.LIVE < Priority.BACKFILL
+
+    def test_parse(self):
+        assert Priority.parse("live") is Priority.LIVE
+        assert Priority.parse("BACKFILL") is Priority.BACKFILL
+        assert Priority.parse(Priority.LIVE) is Priority.LIVE
+        with pytest.raises(ValueError):
+            Priority.parse("urgent")
+
+    def test_labels(self):
+        assert Priority.LIVE.label == "live"
+        assert Priority.BACKFILL.label == "backfill"
+
+
+class TestAdmissionController:
+    def test_unknown_tenant_rejected(self):
+        ctl = AdmissionController([TenantConfig("a")])
+        d = ctl.admit(_req(tenant="ghost"), queue_depth=0)
+        assert not d.admitted and d.reason == REJECT_UNKNOWN_TENANT
+
+    def test_duplicate_register_rejected(self):
+        ctl = AdmissionController([TenantConfig("a")])
+        with pytest.raises(ValueError):
+            ctl.register(TenantConfig("a"))
+
+    def test_queue_full_rejected_before_any_debit(self):
+        """A queue_full rejection must not burn a rate token: the very
+        next request (with room) still admits on a burst of 1."""
+        ctl = AdmissionController(
+            [TenantConfig("a", rate_per_s=0.001, burst=1.0, max_queue_depth=2)]
+        )
+        d = ctl.admit(_req(), queue_depth=2)
+        assert not d.admitted and d.reason == REJECT_QUEUE_FULL
+        assert ctl.admit(_req(rid=1), queue_depth=0).admitted
+
+    def test_rate_limited_after_burst_then_refills(self):
+        ctl = AdmissionController([TenantConfig("a", rate_per_s=1.0, burst=2.0)])
+        assert ctl.admit(_req(rid=0), 0).admitted
+        assert ctl.admit(_req(rid=1), 0).admitted
+        d = ctl.admit(_req(rid=2), 0)
+        assert not d.admitted and d.reason == REJECT_RATE_LIMITED
+        # One virtual second buys one token back.
+        assert ctl.admit(_req(rid=3, submit_t=1.0), 0).admitted
+
+    def test_point_quota_guards_expensive_scans(self):
+        ctl = AdmissionController(
+            [TenantConfig("a", point_budget_per_s=100.0, point_burst=1000.0)]
+        )
+        d = ctl.admit(_req(est_points=5000.0), 0)
+        assert not d.admitted and d.reason == REJECT_POINT_QUOTA
+        # The cheap request right after is fine: the refused scan did not
+        # drain the point bucket.
+        assert ctl.admit(_req(rid=1, est_points=500.0), 0).admitted
+
+    def test_admit_uses_explicit_time_over_submit_time(self):
+        ctl = AdmissionController([TenantConfig("a", rate_per_s=1.0, burst=1.0)])
+        assert ctl.admit(_req(), 0).admitted
+        assert not ctl.admit(_req(rid=1), 0, t=0.0).admitted
+        assert ctl.admit(_req(rid=2), 0, t=10.0).admitted
+
+    def test_tenants_listing(self):
+        ctl = AdmissionController([TenantConfig("b"), TenantConfig("a")])
+        assert ctl.tenants() == ["a", "b"]
+        assert ctl.config("a").name == "a"

@@ -223,3 +223,24 @@ class TestCommands:
         assert "apply-error" in out
         assert "fault cleared; requeued" in out
         assert "poison stays parked" in out
+
+    def test_serve_multi_tenant(self, capsys):
+        code, out, _ = run(capsys, "serve", "icl", "--duration", "6",
+                           "--load-duration", "8", "--tenants", "3",
+                           "--workers", "4")
+        assert code == 0
+        assert "3 tenant(s)" in out
+        assert "virtual makespan" in out
+        assert "single-flight" in out
+        assert "tenant-0" in out and "tenant-2" in out
+        assert "p99ms" in out
+        assert "cache partitions" in out
+
+    def test_serve_aggressor_gets_rejected_not_served(self, capsys):
+        code, out, _ = run(capsys, "serve", "icl", "--duration", "6",
+                           "--load-duration", "8", "--tenants", "3",
+                           "--workers", "4", "--aggressor")
+        assert code == 0
+        assert "aggressor: tenant-2" in out
+        assert "rejections (429-style, explicit):" in out
+        assert "rate_limited" in out or "point_quota" in out or "queue_full" in out

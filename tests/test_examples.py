@@ -95,6 +95,15 @@ class TestExamples:
         assert "diagnosed: cpu_throttle" in out
         assert "diagnosed: memory_contention" in out
 
+    def test_multi_tenant_serving(self, capsys):
+        out = run_example("multi_tenant_serving", capsys)
+        assert "with 'batch' flooding" in out
+        assert "live-class p99 per tenant" in out
+        assert "rate_limited" in out
+        assert "single-flight coalescing" in out
+        assert "cache partitions stayed private" in out
+        assert "admission + partitions held the SLO" in out
+
     def test_durable_ingest(self, capsys):
         out = run_example("durable_ingest", capsys)
         assert "[durable]" in out

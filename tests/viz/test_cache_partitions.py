@@ -1,0 +1,145 @@
+"""Grafana result-cache partitions: LRU order, tenant isolation, and the
+engine-swap stats contract (``reset_stats`` / ``set_engine``).
+"""
+
+import pytest
+
+from repro.db.influx import InfluxDB, Point
+from repro.viz.dashboard import Panel, Target
+from repro.viz.grafana import GrafanaServer
+
+
+def _mk(n=50):
+    influx = InfluxDB()
+    influx.create_database("pmove")
+    influx.write_many(
+        "pmove",
+        [Point("cpu", {"tag": "t1"}, {"_cpu0": float(i)}, float(i)) for i in range(n)],
+    )
+    server = GrafanaServer(influx)
+    panel = Panel(id=1, title="cpu", targets=[Target("cpu", "_cpu0", tag="t1")])
+    return influx, server, panel
+
+
+def _refresh(server, panel, t0, tenant=None):
+    return server.execute_panel(panel, t0=t0, t1=t0 + 10.0, tenant=tenant)
+
+
+class TestLruEvictionOrder:
+    def test_oldest_entry_evicted_first(self):
+        _, server, panel = _mk()
+        server.cache_size = 2
+        _refresh(server, panel, 0.0)   # A
+        _refresh(server, panel, 10.0)  # B  → cache holds [A, B]
+        _refresh(server, panel, 20.0)  # C  → A evicted, holds [B, C]
+        misses = server.cache_misses
+        _refresh(server, panel, 0.0)   # A again: must be a miss
+        assert server.cache_misses == misses + 1
+        _refresh(server, panel, 20.0)  # C: still resident
+        assert server.cache_hits == 1
+
+    def test_hit_refreshes_recency(self):
+        """True LRU, not FIFO: touching A makes B the eviction victim."""
+        _, server, panel = _mk()
+        server.cache_size = 2
+        _refresh(server, panel, 0.0)   # A
+        _refresh(server, panel, 10.0)  # B
+        _refresh(server, panel, 0.0)   # touch A → order [B, A]
+        _refresh(server, panel, 20.0)  # C evicts B, holds [A, C]
+        hits = server.cache_hits
+        _refresh(server, panel, 0.0)   # A survives
+        assert server.cache_hits == hits + 1
+        misses = server.cache_misses
+        _refresh(server, panel, 10.0)  # B is gone
+        assert server.cache_misses == misses + 1
+
+
+class TestTenantPartitions:
+    def test_partitions_do_not_share_entries(self):
+        """The same statement cached for tenant a is a miss for tenant b
+        (and for the default partition) — partitions are private."""
+        _, server, panel = _mk()
+        server.set_tenant_cache_size("a", 8)
+        server.set_tenant_cache_size("b", 8)
+        _refresh(server, panel, 0.0, tenant="a")
+        assert server.cache_misses == 1
+        _refresh(server, panel, 0.0, tenant="b")
+        assert server.cache_misses == 2
+        _refresh(server, panel, 0.0)  # default partition: also cold
+        assert server.cache_misses == 3
+        _refresh(server, panel, 0.0, tenant="a")
+        assert server.cache_hits == 1
+
+    def test_aggressor_flood_cannot_evict_other_partitions(self):
+        _, server, panel = _mk()
+        server.set_tenant_cache_size("quiet", 4)
+        server.set_tenant_cache_size("noisy", 4)
+        _refresh(server, panel, 0.0, tenant="quiet")
+        _refresh(server, panel, 0.0)  # default partition's copy
+        for k in range(25):  # far past every partition's capacity
+            _refresh(server, panel, float(k), tenant="noisy")
+        assert server.tenant_cache_info("noisy")["entries"] == 4
+        hits = server.cache_hits
+        _refresh(server, panel, 0.0, tenant="quiet")
+        _refresh(server, panel, 0.0)
+        assert server.cache_hits == hits + 2  # both survived the flood
+
+    def test_resize_trims_oldest(self):
+        _, server, panel = _mk()
+        server.set_tenant_cache_size("a", 8)
+        for k in range(6):
+            _refresh(server, panel, float(k), tenant="a")
+        server.set_tenant_cache_size("a", 2)
+        assert server.tenant_cache_info("a") == {"entries": 2, "capacity": 2}
+        hits = server.cache_hits
+        _refresh(server, panel, 5.0, tenant="a")  # newest survived the trim
+        assert server.cache_hits == hits + 1
+
+    def test_partition_size_must_be_positive(self):
+        _, server, _ = _mk()
+        with pytest.raises(ValueError):
+            server.set_tenant_cache_size("a", 0)
+
+    def test_invalidate_clears_every_partition(self):
+        _, server, panel = _mk()
+        server.set_tenant_cache_size("a", 8)
+        _refresh(server, panel, 0.0, tenant="a")
+        _refresh(server, panel, 0.0)
+        server.invalidate_cache()
+        assert server.tenant_cache_info("a")["entries"] == 0
+        assert not server._cache
+
+
+class TestEngineSwap:
+    def test_reset_stats_zeroes_counters_only(self):
+        _, server, panel = _mk()
+        _refresh(server, panel, 0.0)
+        _refresh(server, panel, 0.0)
+        assert server.cache_hits == 1 and server.cache_misses == 1
+        server.reset_stats()
+        assert server.cache_hits == 0
+        assert server.cache_misses == 0
+        assert server.partial_serves == 0
+        assert server._cache  # the cached results themselves survive
+
+    def test_set_engine_swaps_invalidates_and_resets(self):
+        """Generation stamps are per-engine: a swap must drop both the
+        cached results (stale stamps could look fresh) and the stats
+        (they described the old engine)."""
+        _, server, panel = _mk()
+        _refresh(server, panel, 0.0)
+        _refresh(server, panel, 0.0)
+
+        fresh = InfluxDB()
+        fresh.create_database("pmove")
+        fresh.write_many("pmove", [
+            Point("cpu", {"tag": "t1"}, {"_cpu0": -1.0}, float(i)) for i in range(5)
+        ])
+        server.set_engine(fresh)
+        assert server.influx is fresh
+        assert server.cache_hits == 0 and server.cache_misses == 0
+        assert not server._cache
+        # The next refresh answers from the new engine, not a stale entry.
+        times, values = next(iter(_refresh(server, panel, 0.0).values()))
+        assert set(values) == {-1.0}
+        assert server.cache_misses == 1
