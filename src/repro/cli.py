@@ -15,6 +15,8 @@ Usage (also available as ``python -m repro.cli``)::
     pmove bench icl stream           # BenchmarkInterface runners
     pmove cluster --nodes 4          # cluster demo job with comm telemetry
     pmove shard --shards 4 --kill-shard 1  # sharded storage + degraded serving
+    pmove fuzz all --budget 50 --seed 3 --minimize  # coverage-guided fuzzing
+    pmove fuzz all --replay tests/fuzz/corpus       # replay minimized seeds
     pmove presets                    # list the Table II platforms
 
 Every subcommand runs against the simulated substrate, entirely offline.
@@ -190,6 +192,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="crash this shard (name or index) and show degraded serving")
     s.add_argument("--add-shard", action="store_true",
                    help="attach one more shard and rebalance after ingest")
+
+    s = sub.add_parser(
+        "fuzz",
+        help="coverage-guided scenario fuzzing: evolve whole-twin scenarios "
+             "against the invariant oracles",
+    )
+    s.add_argument("preset", choices=sorted(PRESETS) + ["all"],
+                   help="restrict scenarios to one platform, or 'all'")
+    s.add_argument("--budget", type=int, default=50,
+                   help="scenarios to execute (default 50)")
+    s.add_argument("--seed", type=int, default=0, help="campaign seed")
+    s.add_argument("--minimize", action="store_true",
+                   help="ddmin-shrink each failure family to a minimal seed")
+    s.add_argument("--baseline", action="store_true",
+                   help="mutation-free control arm (fresh grammar draws only)")
+    s.add_argument("--coverage-out", metavar="PATH",
+                   help="write the coverage-map JSON artifact to PATH")
+    s.add_argument("--corpus", metavar="DIR",
+                   help="write minimized failing scenarios into DIR as "
+                        "replayable JSON seeds")
+    s.add_argument("--replay", metavar="PATH",
+                   help="replay one scenario JSON seed (or every *.json in "
+                        "a directory) instead of running a campaign")
     return p
 
 
@@ -710,6 +735,89 @@ def _cmd_shard(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    import os
+
+    from repro.fuzz import PRESET_POOL, Scenario, execute, run_campaign
+
+    if args.replay:
+        paths = (
+            sorted(
+                os.path.join(args.replay, n)
+                for n in os.listdir(args.replay)
+                if n.endswith(".json")
+            )
+            if os.path.isdir(args.replay)
+            else [args.replay]
+        )
+        if not paths:
+            print(f"error: no seeds under {args.replay}", file=sys.stderr)
+            return 1
+        failed = 0
+        for path in paths:
+            with open(path) as fh:
+                sc = Scenario.from_json(fh.read())
+            run = execute(sc)
+            verdict = "FAIL" if run.failed else "ok"
+            print(f"{verdict:<4} {os.path.basename(path)} "
+                  f"coverage={len(run.coverage)}")
+            for v in run.violations:
+                print(f"     violation: {v}")
+            failed += bool(run.failed)
+        print(f"replayed {len(paths)} seed(s), {failed} failing")
+        return 1 if failed else 0
+
+    presets = PRESET_POOL if args.preset == "all" else (args.preset,)
+
+    def progress(i, run, novel):
+        if novel:
+            print(f"  run {i:>4}: +{len(novel)} coverage "
+                  f"({', '.join(novel[:4])}{'…' if len(novel) > 4 else ''})")
+
+    result = run_campaign(
+        args.budget,
+        args.seed,
+        presets=presets,
+        mutate_corpus=not args.baseline,
+        do_minimize=args.minimize,
+        keep_run_docs=False,
+        on_run=progress,
+    )
+    arm = "baseline (mutation-free)" if args.baseline else "guided"
+    print(f"\n{arm} campaign: budget={result.budget} seed={result.seed}")
+    print(f"  distinct coverage: {result.distinct_coverage}")
+    print(f"  corpus size:       {len(result.corpus)}")
+    print(f"  failures:          {len(result.failures)}")
+    print(f"  rerun checks:      {result.rerun_checks} "
+          f"({len(result.rerun_mismatches)} mismatched)")
+    print(f"  fingerprint:       {result.fingerprint()[:16]}")
+
+    if args.coverage_out:
+        with open(args.coverage_out, "w") as fh:
+            fh.write(result.coverage.to_json())
+        print(f"coverage map -> {args.coverage_out}")
+
+    if args.corpus:
+        os.makedirs(args.corpus, exist_ok=True)
+        written = 0
+        for fail in result.failures:
+            doc = fail.get("minimized")
+            if doc is None:
+                continue
+            sc = Scenario.from_dict(doc)
+            name = f"seed-{sc.seed}-run-{fail['i']}.json"
+            with open(os.path.join(args.corpus, name), "w") as fh:
+                fh.write(sc.to_json())
+            written += 1
+        print(f"{written} minimized seed(s) -> {args.corpus}")
+
+    for fail in result.failures:
+        print(f"FAIL run {fail['i']}:")
+        for v in fail["violations"]:
+            print(f"  {v}")
+    return 1 if result.failures else 0
+
+
 _COMMANDS = {
     "presets": _cmd_presets,
     "probe": _cmd_probe,
@@ -723,6 +831,7 @@ _COMMANDS = {
     "cluster": _cmd_cluster,
     "serve": _cmd_serve,
     "shard": _cmd_shard,
+    "fuzz": _cmd_fuzz,
 }
 
 

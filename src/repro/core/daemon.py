@@ -266,6 +266,7 @@ class PMoVE:
         command: str | None = None,
         mode: str = "unbuffered",
         shipper_config: ShipperConfig | None = None,
+        tag: str | None = None,
     ) -> tuple[dict[str, Any], KernelRun]:
         """Profile one kernel execution; returns (observation entry, run).
 
@@ -273,6 +274,11 @@ class PMoVE:
         pinning script, run the kernel under sampling, record the
         time-series under a fresh tag, and append the ObservationInterface
         (with auto-generated queries) to the KB.
+
+        ``tag`` pins the observation's series tag; the default draws a
+        fresh UUID.  Seed-deterministic harnesses (the scenario fuzzer)
+        pass an explicit tag so shard placement — a hash over the series
+        key including this tag — is identical across reruns.
         """
         t = self.target(hostname)
         spec = t.machine.spec
@@ -292,7 +298,7 @@ class PMoVE:
         run = t.machine.run_kernel(descriptor, cpu_ids, sampling_overhead=overhead)
 
         # Sample the execution window and stop as the kernel halts.
-        tag = new_tag()
+        tag = tag or new_tag()
         metrics = [perfevent_metric(e) for e in hw_events]
         stats = t.sampler.run(metrics, freq_hz, t0, run.t_end, tag=tag, final_fetch=True,
                               mode=mode, shipper_config=shipper_config,
@@ -496,6 +502,12 @@ class PMoVE:
             out["ingest"] = self.ingest.health()
         if self.serving is not None:
             out["serving"] = self.serving.health()
+        # Last fuzz campaign run in this process (repro.fuzz.status) —
+        # the liveness probe is where operators look for everything else,
+        # so the fuzzer's verdict on the twin belongs there too.
+        from repro.fuzz.status import snapshot as _fuzz_snapshot
+
+        out["fuzz"] = _fuzz_snapshot()
         return out
 
     # ==================================================================

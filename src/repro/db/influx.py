@@ -526,6 +526,11 @@ class InfluxDB:
         # (statement → rows) entry can never collide with a post-drop
         # recreation of the same database/measurement.
         self._gen_seq = 0
+        #: Rollup-planner decision counters: every ``GROUP BY time(N)``
+        #: plan records its outcome (``served:<tier>`` / ``raw-fallback`` /
+        #: ``multi-series-raw``) and each disqualification reason.  Purely
+        #: observational — the scenario fuzzer's coverage signal.
+        self.rollup_plan: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Admin
@@ -993,6 +998,7 @@ class InfluxDB:
             return cols, self._buckets_raw(s, lo, hi, cols, agg, group_by_s)
         # Multi-series: fold the merged scan in row order (rare shape —
         # exactness over speed).
+        self._note_plan("multi-series-raw")
         _, rows = self.scan_columns(
             db, measurement, columns=cols, tags=tags, t0=t0, t1=t1,
             t0_exclusive=t0_exclusive, t1_exclusive=t1_exclusive,
@@ -1009,20 +1015,31 @@ class InfluxDB:
             for b in sorted(buckets)
         ]
 
-    @staticmethod
-    def _pick_rollup(s: _Series, agg: str, group_by_s: float) -> _Rollup | None:
+    def _note_plan(self, outcome: str) -> None:
+        self.rollup_plan[outcome] = self.rollup_plan.get(outcome, 0) + 1
+
+    def _pick_rollup(self, s: _Series, agg: str, group_by_s: float) -> _Rollup | None:
         """Largest rollup tier that can serve ``GROUP BY time(N)`` exactly."""
         best = None
+        skips: set[str] = set()
         for r in s.rollups:
             k = group_by_s / r.tier
             if k < 1.0 or k != k or not k.is_integer():
+                skips.add("skip:tier-not-dividing")
                 continue
             if k != 1.0 and agg in ("MEAN", "SUM"):
-                continue  # cross-bucket float summation reorders the fold
+                # cross-bucket float summation reorders the fold
+                skips.add("skip:mean-sum-needs-exact-tier")
+                continue
             if agg in ("MIN", "MAX") and r.has_nan:
-                continue  # NaN makes min/max folds order-dependent
+                # NaN makes min/max folds order-dependent
+                skips.add("skip:nan-poisoned")
+                continue
             if best is None or r.tier > best.tier:
                 best = r
+        for reason in skips:
+            self._note_plan(reason)
+        self._note_plan(f"served:{best.tier:g}" if best is not None else "raw-fallback")
         return best
 
     def _buckets_raw(

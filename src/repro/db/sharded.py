@@ -205,6 +205,17 @@ class ShardedInfluxDB:
     def shard_names(self) -> list[str]:
         return sorted(self.shards)
 
+    @property
+    def rollup_plan(self) -> dict[str, int]:
+        """Rollup-planner decision counters summed across shards — the
+        same observational surface :attr:`InfluxDB.rollup_plan` exposes on
+        the single engine."""
+        out: dict[str, int] = {}
+        for sh in self.shards.values():
+            for k, v in sh.rollup_plan.items():
+                out[k] = out.get(k, 0) + v
+        return out
+
     def _require_shard(self, name: str) -> InfluxDB:
         try:
             return self.shards[name]

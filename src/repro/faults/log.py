@@ -66,11 +66,49 @@ class LogFaultSet:
         self.truncations: list[LogTruncation] = []
         self.crashes: list[ConsumerCrash] = []
 
-    def inject(self, fault: LogTruncation | ConsumerCrash):
+    def inject(
+        self,
+        fault: LogTruncation | ConsumerCrash,
+        *,
+        allow_overlap: bool = False,
+    ):
+        """Add one fault to the schedule, validating it loudly.
+
+        A duplicate truncation (same instant, same topic scope) or two
+        crash windows that overlap for the same consumer are schedule
+        bugs — the merged behaviour is indistinguishable from a single
+        window, so the writer's intent silently degrades.  Injection
+        rejects both; ``allow_overlap=True`` opts a deliberate layering
+        back in.  Zero-length crash windows are already rejected by the
+        :class:`ConsumerCrash` constructor.
+        """
         if isinstance(fault, LogTruncation):
+            if not allow_overlap:
+                for f in self.truncations:
+                    if f.at == fault.at and f.topic == fault.topic:
+                        raise ValueError(
+                            f"duplicate truncation at t={fault.at} "
+                            f"(topic={fault.topic!r})"
+                        )
             self.truncations.append(fault)
             self.truncations.sort(key=lambda f: f.at)
         elif isinstance(fault, ConsumerCrash):
+            if fault.t1 <= fault.t0:  # defensive: constructor enforces
+                raise ValueError(f"zero-length crash window: {fault}")
+            if not allow_overlap:
+                for f in self.crashes:
+                    if (
+                        f.group == fault.group
+                        and f.consumer == fault.consumer
+                        and f.t0 < fault.t1
+                        and fault.t0 < f.t1
+                    ):
+                        raise ValueError(
+                            "overlapping crash windows for "
+                            f"{fault.group}/{fault.consumer}: "
+                            f"[{f.t0}, {f.t1}) vs [{fault.t0}, {fault.t1}) "
+                            "— pass allow_overlap=True if layering is intended"
+                        )
             self.crashes.append(fault)
             self.crashes.sort(key=lambda f: (f.t0, f.t1))
         else:

@@ -194,7 +194,28 @@ class NodeFaultSet:
     def __bool__(self) -> bool:
         return any(self.by_node.values())
 
-    def inject(self, node: str, fault: NodeFault) -> NodeFault:
+    def inject(
+        self, node: str, fault: NodeFault, *, allow_overlap: bool = False
+    ) -> NodeFault:
+        """Install one fault on ``node``.
+
+        Two same-kind faults whose windows overlap on one node are almost
+        always a schedule bug (the writer meant back-to-back windows, or
+        injected twice) — silently merging them hides it, so injection
+        rejects the overlap loudly.  Pass ``allow_overlap=True`` for the
+        deliberate cases (compounding hang factors, chaos soak layering).
+        Zero-length windows are already rejected by the fault constructor.
+        """
+        if fault.t1 <= fault.t0:  # defensive: constructors enforce this
+            raise ValueError(f"zero-length fault window on {node}: {fault}")
+        if not allow_overlap:
+            for f in self.by_node.get(node, []):
+                if type(f) is type(fault) and f.t0 < fault.t1 and fault.t0 < f.t1:
+                    raise ValueError(
+                        f"overlapping {type(fault).__name__} windows on "
+                        f"{node}: [{f.t0}, {f.t1}) vs [{fault.t0}, {fault.t1}) "
+                        "— pass allow_overlap=True if layering is intended"
+                    )
         self.by_node.setdefault(node, []).append(fault)
         return fault
 

@@ -1,0 +1,142 @@
+"""Delta-debugging minimizer: shrink a failing scenario to the smallest
+one that still fails the *same* oracle.
+
+Classic ddmin adapted to a structured grammar: instead of bisecting a
+flat token list, we work over the scenario's removable components
+(individual faults, tenants, optional phases) and shrinkable scalars
+(duration, shard count, window widths).  Each candidate reduction is
+kept iff a fresh execution still violates an oracle with the same
+*family* prefix (e.g. any ``ingest-no-loss:`` violation counts as the
+same failure — details like counts may legitimately change as the
+scenario shrinks).
+
+The result is serialized to ``tests/fuzz/corpus/<name>.json`` and
+replayed forever by the chaos CI lane.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .runner import RunResult, execute
+from .scenario import Scenario, ScenarioError
+
+__all__ = ["minimize", "violation_family"]
+
+
+def violation_family(violations: list[str]) -> frozenset[str]:
+    """The oracle names (prefix before ``:``) a run violated."""
+    return frozenset(v.split(":", 1)[0] for v in violations)
+
+
+def _still_fails(sc: Scenario, family: frozenset[str]) -> bool:
+    result = execute(sc)
+    return bool(violation_family(result.violations) & family)
+
+
+def _removals(sc: Scenario) -> list[Scenario]:
+    """Every one-component-removed candidate, cheapest wins first."""
+    out: list[Scenario] = []
+
+    def push(**kw) -> None:
+        try:
+            out.append(sc.with_(**kw))
+        except ScenarioError:
+            pass
+
+    # whole optional phases first (biggest single cuts)
+    if sc.cluster is not None:
+        push(cluster=None)
+    if sc.federate:
+        push(federate=False, wan_outage=None, observe=sc.observe)
+    if sc.observe and not sc.federate:
+        push(observe=False)
+    if sc.stream is not None:
+        push(tenants=(), stream=None)
+    if sc.wan_outage is not None:
+        push(wan_outage=None)
+    # then individual schedule entries
+    for i in range(len(sc.service_faults)):
+        push(service_faults=sc.service_faults[:i] + sc.service_faults[i + 1:])
+    for i in range(len(sc.log_faults)):
+        push(log_faults=sc.log_faults[:i] + sc.log_faults[i + 1:])
+    for i in range(len(sc.shard_crashes)):
+        push(shard_crashes=sc.shard_crashes[:i] + sc.shard_crashes[i + 1:])
+    for i in range(len(sc.tenants)):
+        t = sc.tenants[:i] + sc.tenants[i + 1:]
+        push(tenants=t, stream=sc.stream if t else None)
+    if sc.cluster is not None:
+        for i in range(len(sc.cluster.node_faults)):
+            nf = (sc.cluster.node_faults[:i] + sc.cluster.node_faults[i + 1:])
+            push(cluster=type(sc.cluster)(
+                n_nodes=sc.cluster.n_nodes, job_nodes=sc.cluster.job_nodes,
+                iterations=sc.cluster.iterations, node_faults=nf,
+            ))
+    return out
+
+
+def _shrinks(sc: Scenario) -> list[Scenario]:
+    """Scalar reductions: shorter run, fewer shards, narrower windows."""
+    out: list[Scenario] = []
+
+    def push(**kw) -> None:
+        try:
+            out.append(sc.with_(**kw))
+        except ScenarioError:
+            pass
+
+    if sc.duration_s > 4.0:
+        push(duration_s=round(max(4.0, sc.duration_s / 2), 3))
+    if sc.shards > 2:
+        push(shards=2, shard_crashes=tuple(
+            type(c)(min(c.shard, 1), c.t0, c.t1) for c in sc.shard_crashes
+        ))
+    if sc.freq_hz > 1.0:
+        push(freq_hz=max(1.0, sc.freq_hz / 2))
+    if sc.db_writers > 1:
+        ok = all(
+            f.consumer == 0 for f in sc.log_faults if f.kind == "consumer-crash"
+        )
+        if ok:
+            push(db_writers=1)
+    for i, f in enumerate(sc.service_faults):
+        if f.t1 != float("inf") and (f.t1 - f.t0) > 1.0:
+            mid = round((f.t0 + f.t1) / 2, 3)
+            nf = type(f)(f.kind, f.t0, mid, f.param)
+            push(service_faults=(
+                sc.service_faults[:i] + (nf,) + sc.service_faults[i + 1:]
+            ))
+    return out
+
+
+def minimize(
+    sc: Scenario,
+    violations: list[str],
+    *,
+    max_steps: int = 64,
+    on_step: Callable[[Scenario], None] | None = None,
+) -> tuple[Scenario, RunResult]:
+    """Greedy ddmin to a 1-minimal scenario for the same failure family.
+
+    Returns the minimal scenario and its (still failing) run result.
+    Bounded by ``max_steps`` executions so a pathological failure cannot
+    stall a campaign."""
+    family = violation_family(violations)
+    if not family:
+        raise ValueError("minimize() needs a failing run's violations")
+    current = sc
+    steps = 0
+    progress = True
+    while progress and steps < max_steps:
+        progress = False
+        for cand in _removals(current) + _shrinks(current):
+            steps += 1
+            if steps > max_steps:
+                break
+            if _still_fails(cand, family):
+                current = cand
+                if on_step is not None:
+                    on_step(current)
+                progress = True
+                break  # restart from the shrunk scenario (greedy descent)
+    return current, execute(current)

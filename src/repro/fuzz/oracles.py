@@ -1,0 +1,231 @@
+"""Invariant oracles: what must hold after *every* scenario, no matter
+how adversarial the schedule.
+
+Each oracle returns a list of violation strings (empty = pass); the
+runner attaches them to the :class:`~repro.fuzz.runner.RunResult` and the
+campaign minimizes any scenario that produces one.  Oracles are written
+against the same invariants the chaos suites assert by hand — the fuzzer
+just checks them over arbitrary schedules:
+
+- **O1 ingest-no-loss** — durable mode loses nothing once the pipeline
+  settles (every produced field visible exactly once or parked, and
+  nothing stays parked after faults expire and the DLQ is requeued);
+  buffered mode loses nothing when the outage fits in the queue
+  (the PR 2 sub-capacity condition).
+- **O2 rollup-exactly-once** — the rollup group's committed accumulator
+  counts every produced field exactly once (checkpoint-embedded state
+  can neither skip nor double-count).
+- **O4 shard-partial-never-error** — with a shard down, reads degrade to
+  ``partial`` results; they never raise.
+- **O5 quiet-tenant isolation** — an aggressor tenant cannot blow up a
+  quiet tenant's live-class p99 beyond a bounded multiple of its
+  aggressor-free latency.
+
+O3 (fault-free golden byte-identity) and O6 (seeded rerun bit-identity)
+need a *second* execution, so they live in the runner and the campaign
+respectively.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "stored_fields",
+    "check_durable_settled",
+    "check_buffered_no_loss",
+    "check_rollup_exactly_once",
+    "check_shard_partial_never_error",
+    "check_slo_isolation",
+]
+
+
+def stored_fields(influx, db: str = "pmove") -> int:
+    """Total stored field count — the engine-level visible-effect meter
+    (same meter the commit-log chaos suite uses)."""
+    return sum(
+        len(p.fields)
+        for m in influx.measurements(db)
+        for p in influx.points(db, m)
+    )
+
+
+def _parked_fields(pipe, group: str) -> int:
+    return sum(e.record.n_fields for e in pipe.log.dlq.for_group(group))
+
+
+def check_durable_settled(scenario, daemon, pipe) -> list[str]:
+    """O1 (durable): after the settle protocol (drain past every fault
+    window, requeue healed DLQ entries, drain again) —
+
+    - no consumer group retains lag;
+    - every produced field is visible in the host DB exactly once, minus
+      what is (still) parked;
+    - nothing stays parked: every park was apply-exhaustion under a
+      finite fault, so a post-expiry requeue must heal it.
+
+    Skipped under shard crashes: writes routed to a downed shard are
+    *dropped by design* (counted in ``dropped_points``), which is shard
+    semantics, not ingest loss."""
+    if scenario.mode != "durable" or pipe is None or scenario.shard_crashes:
+        return []
+    out: list[str] = []
+    for group in sorted({c.group for c in pipe.consumers}):
+        lag = pipe.log.total_lag(group)
+        if lag:
+            out.append(f"ingest-no-loss: group {group} retains lag {lag} after settle")
+    parked = _parked_fields(pipe, "db-writer")
+    stored = stored_fields(daemon.influx, daemon.database)
+    produced = pipe.producer.produced_points
+    if stored != produced - parked:
+        out.append(
+            "ingest-no-loss: stored fields "
+            f"{stored} != produced {produced} - parked {parked}"
+        )
+    total_parked = len(pipe.log.dlq.entries)
+    if total_parked:
+        out.append(
+            f"ingest-no-loss: {total_parked} record(s) still parked after "
+            "fault expiry + requeue"
+        )
+    return out
+
+
+#: The runner ships with a default breaker: after a fault window closes,
+#: the breaker stays open up to this long before the half-open probe.
+BREAKER_OPEN_S = 1.0
+
+
+def check_buffered_no_loss(scenario, stats) -> list[str]:
+    """O1 (buffered): the PR 2 guarantee — an outage whose backlog fits
+    the bounded queue loses nothing.  Applies only when every fault is a
+    clean availability window (outage/partition; latency and flaky change
+    the service-time story) and the backlogged reports fit comfortably.
+
+    The effective unavailability of each window extends past ``t1`` by the
+    breaker cooldown plus one probe tick: reports keep queueing until the
+    half-open probe succeeds, so a backlog model that stops at ``t1``
+    calls correct boundary shedding a loss."""
+    if scenario.mode != "buffered" or stats is None:
+        return []
+    if any(f.kind not in ("outage", "partition") for f in scenario.service_faults):
+        return []
+    tick_s = 1.0 / scenario.freq_hz
+    backlog = sum(
+        scenario.freq_hz
+        * (min(f.t1, scenario.duration_s) - max(f.t0, 0.0)
+           + BREAKER_OPEN_S + tick_s)
+        for f in scenario.service_faults
+    )
+    if backlog > scenario.queue_capacity - 2:
+        return []  # over capacity: shedding is the *correct* behaviour
+    out: list[str] = []
+    # Adaptive degradation under backpressure *intentionally* skips ticks
+    # (stride doubling) — bounded, counted, and recovered by the widened
+    # fetch windows.  Only loss beyond the degraded ticks is a real leak.
+    ppr = stats.expected_points / max(1, stats.expected_reports)
+    unexplained = (
+        stats.expected_points - stats.inserted_points
+        - stats.degraded_ticks * ppr
+    )
+    if unexplained > 0:
+        out.append(
+            f"buffered-no-loss: {unexplained:.0f} point(s) lost beyond "
+            f"degradation on a sub-capacity outage (backlog ~{backlog:.0f} "
+            f"reports, capacity {scenario.queue_capacity}, "
+            f"{stats.degraded_ticks} degraded tick(s))"
+        )
+    if stats.dropped_by_policy:
+        out.append(
+            f"buffered-no-loss: queue policy shed {stats.dropped_by_policy} "
+            "report(s) under a sub-capacity outage"
+        )
+    if stats.unshipped_reports:
+        out.append(
+            f"buffered-no-loss: {stats.unshipped_reports} report(s) never "
+            "shipped despite the drain grace"
+        )
+    return out
+
+
+def check_rollup_exactly_once(scenario, pipe) -> list[str]:
+    """O2: the committed rollup accumulators count every produced field
+    exactly once (minus fields whose records the rollup group parked)."""
+    if scenario.mode != "durable" or pipe is None:
+        return []
+    rollup = next(
+        (c for c in pipe.consumers if c.group == "rollup"), None
+    )
+    if rollup is None:
+        return []
+    if pipe.log.total_lag("rollup"):
+        return []  # settle violation already reported by O1
+    counted = sum(c for (c, _tot, _mn, _mx) in rollup.rollups().values())
+    expected = pipe.producer.produced_points - _parked_fields(pipe, "rollup")
+    if counted != expected:
+        return [
+            "rollup-exactly-once: accumulators counted "
+            f"{counted:g} field(s), expected {expected}"
+        ]
+    return []
+
+
+def check_shard_partial_never_error(scenario, daemon) -> list[str]:
+    """O4: with a shard down, every read degrades (``partial``) instead
+    of raising.  Probes an aggregate per measurement at an instant inside
+    each crash window."""
+    if not scenario.shard_crashes:
+        return []
+    out: list[str] = []
+    influx = daemon.influx
+    db = daemon.database
+    probes = [
+        c.t0 + 1.0 if c.t1 == float("inf") else (c.t0 + c.t1) / 2.0
+        for c in scenario.shard_crashes
+    ]
+    for t in probes:
+        influx.at(t)
+        for m in sorted(influx.measurements(db))[:4]:
+            for agg in ("COUNT", "MEAN"):
+                try:
+                    influx.aggregate_columns(db, m, agg)
+                except Exception as e:  # noqa: BLE001 — any raise is the bug
+                    out.append(
+                        "shard-partial-never-error: "
+                        f"{agg}({m}) at t={t:.3f} raised {type(e).__name__}: {e}"
+                    )
+    return out
+
+
+#: Quiet-tenant live p99 may be at most BOUND_FACTOR × its aggressor-free
+#: p99 plus BOUND_SLACK_MS (absorbs quantile noise at tiny sample counts).
+BOUND_FACTOR = 3.0
+BOUND_SLACK_MS = 100.0
+
+
+def check_slo_isolation(scenario, health, baseline_health) -> list[str]:
+    """O5: per-tenant admission + weighted-fair dequeue + private cache
+    partitions must bound how much an aggressor can hurt anyone else."""
+    if health is None or baseline_health is None:
+        return []
+    aggressor = next((t.name for t in scenario.tenants if t.aggressor), None)
+    if aggressor is None:
+        return []
+    out: list[str] = []
+    for t in scenario.tenants:
+        if t.name == aggressor:
+            continue
+        now = health["tenants"].get(t.name)
+        base = baseline_health["tenants"].get(t.name)
+        if not now or not base:
+            continue
+        p99 = now["latency"].get("live", now["latency"]["all"])["p99_ms"]
+        p99_base = base["latency"].get("live", base["latency"]["all"])["p99_ms"]
+        bound = BOUND_FACTOR * p99_base + BOUND_SLACK_MS
+        if p99 > bound:
+            out.append(
+                f"slo-isolation: quiet tenant {t.name} live p99 {p99:.1f}ms "
+                f"exceeds bound {bound:.1f}ms (aggressor-free p99 "
+                f"{p99_base:.1f}ms, aggressor {aggressor})"
+            )
+    return out

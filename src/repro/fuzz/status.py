@@ -1,0 +1,37 @@
+"""Process-level fuzz status, surfaced through ``PMoVE.health()["fuzz"]``.
+
+The daemon and the fuzzer meet in the middle here: every campaign (CLI
+or API) records a compact summary when it finishes, and any ``PMoVE``
+instance in the same process reports it from its health probe — the same
+place an operator already looks for breaker states and ingest lag.  Kept
+as a leaf module so the daemon's health path never imports the campaign
+machinery (which itself imports the daemon).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["record_campaign", "snapshot", "reset"]
+
+_campaigns = 0
+_last: dict[str, Any] | None = None
+
+
+def record_campaign(summary: dict[str, Any]) -> None:
+    """Remember the most recent campaign's summary for health probes."""
+    global _campaigns, _last
+    _campaigns += 1
+    _last = dict(summary)
+
+
+def snapshot() -> dict[str, Any]:
+    """What ``PMoVE.health()["fuzz"]`` reports."""
+    return {"campaigns": _campaigns, "last_campaign": _last}
+
+
+def reset() -> None:
+    """Test isolation hook."""
+    global _campaigns, _last
+    _campaigns = 0
+    _last = None

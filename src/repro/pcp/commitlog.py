@@ -318,6 +318,18 @@ class DeadLetterQueue:
     def for_group(self, group: str) -> list[DeadLetter]:
         return [e for e in self.entries if e.group == group]
 
+    def is_parked(self, group: str, seq: int) -> bool:
+        """Whether ``group`` currently holds this seq parked.
+
+        Consumers check this on redelivery: once a record is parked, the
+        DLQ owns it — a crash-replay of the same batch must *skip* it, or
+        the record gets applied both by the replay (after the fault heals)
+        and by the eventual requeue under a fresh seq, defeating every
+        idempotence gate."""
+        return any(
+            e.group == group and e.record.seq == seq for e in self.entries
+        )
+
     def take(self, group: str | None = None) -> list[DeadLetter]:
         """Remove and return parked entries (all groups if None)."""
         taken = [e for e in self.entries if group is None or e.group == group]

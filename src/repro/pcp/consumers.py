@@ -118,6 +118,7 @@ class LogConsumer:
         self.duplicate_records = 0
         self.filtered_records = 0
         self.parked_records = 0
+        self.replayed_parked_records = 0
         self.apply_failures = 0
         self.interruptions = 0
         self.max_staleness_s = 0.0
@@ -175,6 +176,13 @@ class LogConsumer:
                 self.filtered_records += 1  # another group's DLQ redelivery
             elif rec.seq <= applied_seq:
                 self.duplicate_records += 1
+            elif log.dlq.is_parked(self.group, rec.seq):
+                # Crash-replay of a record this group already parked: the
+                # DLQ owns it now.  Re-attempting here could *succeed*
+                # (the fault healed) and the later requeue — under a
+                # fresh seq no idempotence gate recognizes — would apply
+                # it a second time.
+                self.replayed_parked_records += 1
             else:
                 done, t, interrupted = self._handle(rec, t, alive)
                 if interrupted:
@@ -560,7 +568,8 @@ class IngestPipeline:
             g = c.group
             for attr in (
                 "applied_records", "applied_points", "duplicate_records",
-                "filtered_records", "parked_records", "apply_failures",
+                "filtered_records", "parked_records",
+                "replayed_parked_records", "apply_failures",
                 "zero_points",
             ):
                 v = getattr(c, attr, None)

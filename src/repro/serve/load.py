@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.fuzz.rng import spawn
 from repro.viz.dashboard import Panel
 
 from .admission import Priority
@@ -70,7 +71,7 @@ def mixed_load(
     """
     if not tenant_names or not panels:
         raise ValueError("need at least one tenant and one panel")
-    rng = np.random.default_rng(seed)
+    rng = spawn(seed, "serve.load.mixed_load")
     specs: list[RequestSpec] = []
 
     for tenant in sorted(tenant_names):

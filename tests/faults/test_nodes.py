@@ -111,7 +111,8 @@ class TestNodeFaultSet:
     def test_hang_factors_multiply(self):
         fs = NodeFaultSet()
         fs.inject("n0", NodeHang(t0=0.0, t1=10.0, factor=2.0))
-        fs.inject("n0", NodeHang(t0=5.0, t1=10.0, factor=3.0))
+        fs.inject("n0", NodeHang(t0=5.0, t1=10.0, factor=3.0),
+                  allow_overlap=True)
         assert fs.hang_factor("n0", 1.0) == 2.0
         assert fs.hang_factor("n0", 6.0) == 6.0
 
@@ -124,7 +125,7 @@ class TestNodeFaultSet:
     def test_down_intervals_merge_overlaps(self):
         fs = NodeFaultSet()
         fs.inject("n0", NodeCrash(t0=1.0, t1=4.0))
-        fs.inject("n0", NodeCrash(t0=3.0, t1=6.0))
+        fs.inject("n0", NodeCrash(t0=3.0, t1=6.0), allow_overlap=True)
         assert fs.down_intervals("n0", 0.0, 10.0) == [(1.0, 6.0)]
         assert fs.down_seconds("n0", 0.0, 10.0) == pytest.approx(5.0)
 

@@ -1,0 +1,114 @@
+"""The ddmin minimizer: family matching and greedy structural descent.
+
+The descent is tested against a *stubbed* executor whose failure
+predicate is known exactly ("fails iff an outage window is present"), so
+the test asserts the minimizer strips every component except the one the
+predicate needs — without paying for real twin executions."""
+
+from types import SimpleNamespace
+
+import pytest
+
+import repro.fuzz.minimize as M
+from repro.fuzz import (
+    FaultSpec,
+    LogFaultSpec,
+    Scenario,
+    StreamSpec,
+    TenantSpec,
+    violation_family,
+)
+from repro.fuzz.minimize import _removals, _shrinks, minimize
+from repro.fuzz.scenario import ClusterSpec, NodeFaultSpec
+
+
+class TestViolationFamily:
+    def test_prefix_before_colon(self):
+        vs = [
+            "ingest-no-loss: 3 fields missing",
+            "ingest-no-loss: lag 7",
+            "rollup-exactly-once: counted 12, expected 13",
+        ]
+        assert violation_family(vs) == {"ingest-no-loss", "rollup-exactly-once"}
+
+    def test_empty(self):
+        assert violation_family([]) == frozenset()
+
+
+def _fat_scenario() -> Scenario:
+    """One of everything removable, plus the outage the stub needs."""
+    return Scenario(
+        seed=77,
+        duration_s=12.0,
+        freq_hz=4.0,
+        mode="durable",
+        service_faults=(
+            FaultSpec("outage", 1.0, 3.0),
+            FaultSpec("latency", 4.0, 6.0, 5.0),
+        ),
+        log_faults=(LogFaultSpec("truncate", 2.0),),
+        tenants=(TenantSpec("a"), TenantSpec("b")),
+        stream=StreamSpec(),
+        cluster=ClusterSpec(node_faults=(NodeFaultSpec("crash", 0, 1.0, 2.0),)),
+        observe=True,
+        federate=True,
+        wan_outage=(0.5, 2.0),
+    ).validate()
+
+
+class TestCandidates:
+    def test_removals_are_valid_and_strictly_smaller(self):
+        sc = _fat_scenario()
+        cands = _removals(sc)
+        assert cands
+        for c in cands:
+            c.validate()
+            assert c != sc
+
+    def test_shrinks_are_valid(self):
+        sc = _fat_scenario()
+        for c in _shrinks(sc):
+            c.validate()
+            assert c != sc
+
+
+class TestDescent:
+    @pytest.fixture
+    def stub_executor(self, monkeypatch):
+        """execute() that fails iff the scenario has an outage window."""
+        calls = []
+
+        def fake_execute(sc):
+            calls.append(sc)
+            has_outage = any(f.kind == "outage" for f in sc.service_faults)
+            violations = ["ingest-no-loss: stub"] if has_outage else []
+            return SimpleNamespace(
+                violations=violations, failed=bool(violations), scenario=sc
+            )
+
+        monkeypatch.setattr(M, "execute", fake_execute)
+        return calls
+
+    def test_strips_everything_but_the_trigger(self, stub_executor):
+        sc = _fat_scenario()
+        small, run = minimize(sc, ["ingest-no-loss: stub"], max_steps=200)
+        assert run.failed
+        # Exactly the trigger survives; all riders are gone.
+        assert [f.kind for f in small.service_faults] == ["outage"]
+        assert small.log_faults == ()
+        assert small.tenants == () and small.stream is None
+        assert small.cluster is None
+        assert not small.observe and not small.federate
+        # Scalars shrank to their floors.
+        assert small.duration_s == 4.0
+        assert small.freq_hz == 1.0
+
+    def test_step_budget_bounds_executions(self, stub_executor):
+        sc = _fat_scenario()
+        minimize(sc, ["ingest-no-loss: stub"], max_steps=5)
+        # max_steps candidate executions + the final re-execution.
+        assert len(stub_executor) <= 5 + 2
+
+    def test_requires_a_failing_run(self):
+        with pytest.raises(ValueError):
+            minimize(_fat_scenario(), [])

@@ -1,0 +1,113 @@
+"""Invariant oracles: unit behaviour on synthetic inputs plus the
+integration property that clean generated scenarios pass every oracle."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.fuzz import (
+    FaultSpec,
+    Scenario,
+    StreamSpec,
+    TenantSpec,
+    execute,
+    generate,
+)
+from repro.fuzz.oracles import (
+    BOUND_FACTOR,
+    BOUND_SLACK_MS,
+    check_buffered_no_loss,
+    check_slo_isolation,
+)
+
+
+def _stats(**kw):
+    base = dict(
+        expected_reports=20, expected_points=200, inserted_points=200,
+        degraded_ticks=0, dropped_by_policy=0, unshipped_reports=0,
+    )
+    base.update(kw)
+    return SimpleNamespace(**base)
+
+
+def _buffered(*faults, capacity=64):
+    return Scenario(
+        mode="buffered", duration_s=10.0, freq_hz=2.0,
+        queue_capacity=capacity, service_faults=tuple(faults),
+    ).validate()
+
+
+class TestBufferedNoLoss:
+    def test_clean_run_passes(self):
+        sc = _buffered(FaultSpec("outage", 2.0, 4.0))
+        assert check_buffered_no_loss(sc, _stats()) == []
+
+    def test_sub_capacity_loss_is_a_violation(self):
+        sc = _buffered(FaultSpec("outage", 2.0, 4.0))
+        out = check_buffered_no_loss(sc, _stats(inserted_points=150))
+        assert out and "buffered-no-loss" in out[0]
+
+    def test_degraded_ticks_explain_missing_points(self):
+        # 3 skipped ticks x 10 points/report = the whole shortfall.
+        sc = _buffered(FaultSpec("outage", 2.0, 4.0))
+        stats = _stats(inserted_points=170, degraded_ticks=3)
+        assert check_buffered_no_loss(sc, stats) == []
+
+    def test_over_capacity_outage_not_checked(self):
+        # Backlog ~ (8s + cooldown) * 2Hz > 16 - 2: shedding is correct.
+        sc = _buffered(FaultSpec("outage", 1.0, 9.0), capacity=16)
+        assert check_buffered_no_loss(sc, _stats(inserted_points=0)) == []
+
+    def test_messy_fault_kinds_not_checked(self):
+        sc = _buffered(FaultSpec("flaky", 2.0, 4.0, 0.5))
+        assert check_buffered_no_loss(sc, _stats(inserted_points=0)) == []
+
+    def test_policy_shedding_under_sub_capacity_is_a_violation(self):
+        sc = _buffered(FaultSpec("outage", 2.0, 4.0))
+        out = check_buffered_no_loss(sc, _stats(dropped_by_policy=2))
+        assert any("queue policy shed" in v for v in out)
+
+
+def _health(p99_ms):
+    return {"tenants": {
+        "quiet": {"latency": {"live": {"p99_ms": p99_ms},
+                              "all": {"p99_ms": p99_ms}}},
+    }}
+
+
+class TestSloIsolation:
+    def _scenario(self):
+        return Scenario(
+            tenants=(TenantSpec("quiet"), TenantSpec("loud", aggressor=True)),
+            stream=StreamSpec(),
+        ).validate()
+
+    def test_within_bound_passes(self):
+        sc = self._scenario()
+        bound = BOUND_FACTOR * 10.0 + BOUND_SLACK_MS
+        assert check_slo_isolation(sc, _health(bound - 1), _health(10.0)) == []
+
+    def test_blown_bound_is_a_violation(self):
+        sc = self._scenario()
+        bound = BOUND_FACTOR * 10.0 + BOUND_SLACK_MS
+        out = check_slo_isolation(sc, _health(bound + 1), _health(10.0))
+        assert out and "slo-isolation" in out[0]
+
+    def test_no_aggressor_no_check(self):
+        sc = Scenario(
+            tenants=(TenantSpec("a"), TenantSpec("b")),
+            stream=StreamSpec(),
+        ).validate()
+        assert check_slo_isolation(sc, _health(1e9), _health(1.0)) == []
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", [0, 5, 14, 33])
+    def test_generated_scenarios_pass_every_oracle(self, seed):
+        run = execute(generate(seed))
+        assert run.error is None
+        assert run.violations == []
+
+    def test_rerun_bit_identity(self):
+        sc = generate(8)
+        assert execute(sc).fingerprint == execute(sc).fingerprint
