@@ -5,6 +5,7 @@ Usage (also available as ``python -m repro.cli``)::
     pmove probe skx                  # probe a preset, print the summary
     pmove kb csl --depth 2           # build + render the Knowledge Base
     pmove monitor icl --duration 10  # Scenario A with a rendered dashboard
+    pmove sketch icl --duration 8    # per-measurement tier sketch footprint
     pmove chaos icl --outage 5 10    # Scenario A surviving a scripted DB outage
     pmove chaos csl --node-crash 1 40  # node crash: requeue + fleet recovery
     pmove chaos icl --durable --log-truncate 8  # commit-log ingest under a log crash
@@ -69,6 +70,15 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--capacity", type=int, default=64, help="report queue capacity")
     s.add_argument("--policy", default="drop_oldest",
                    choices=("drop_oldest", "drop_newest", "spill"))
+
+    s = sub.add_parser(
+        "sketch",
+        help="run Scenario A briefly, then print the per-measurement tier "
+             "sketch state (t-digest buckets/centroids, HLL fields, memory)",
+    )
+    s.add_argument("preset", choices=sorted(PRESETS))
+    s.add_argument("--duration", type=float, default=8.0)
+    s.add_argument("--freq", type=float, default=2.0)
 
     s = sub.add_parser(
         "chaos",
@@ -267,6 +277,37 @@ def _cmd_monitor(args) -> int:
               f"max group lag {stats.max_group_lag}, "
               f"backlog {stats.backlog_records}, parked {stats.parked_records}")
     print(daemon.grafana.render_dashboard_text(uid))
+    return 0
+
+
+def _cmd_sketch(args) -> int:
+    """Sketch observability: the write-through tier digests and HLLs that
+    serve PERCENTILE / COUNT DISTINCT without rescanning raw points."""
+    from repro.core import PMoVE
+
+    daemon = PMoVE()
+    daemon.attach_target(SimulatedMachine(get_preset(args.preset)))
+    daemon.scenario_a(args.preset, duration_s=args.duration, freq_hz=args.freq)
+
+    st = daemon.influx.stats(daemon.database)
+    print(f"sketch state on {args.preset} after {args.duration:g}s sampling "
+          f"({st['points_written']} points, {st['series_count']} series):")
+    hdr = (f"{'measurement':<40} {'series':>6} {'est':>6} {'digests':>8} "
+           f"{'centroids':>10} {'hll':>4} {'kB':>8}")
+    print(hdr)
+    print("-" * len(hdr))
+    total_bytes = 0
+    for name, m in st["measurements"].items():
+        sk = m["sketch"]
+        nbytes = sk["digest_memory_bytes"] + sk["hll_memory_bytes"]
+        total_bytes += nbytes
+        print(f"{name:<40} {m['series']:>6} {sk['active_series_estimate']:>6.0f} "
+              f"{sk['digest_buckets']:>8} {sk['digest_centroids']:>10} "
+              f"{sk['hll_fields']:>4} {nbytes / 1024.0:>8.1f}")
+    print(f"total sketch memory: {total_bytes / 1024.0:.1f} kB across "
+          f"{len(st['measurements'])} measurements "
+          f"({1 << daemon.influx.sketch.hll_p} HLL registers, "
+          f"compression {daemon.influx.sketch.compression})")
     return 0
 
 
@@ -823,6 +864,7 @@ _COMMANDS = {
     "probe": _cmd_probe,
     "kb": _cmd_kb,
     "monitor": _cmd_monitor,
+    "sketch": _cmd_sketch,
     "chaos": _cmd_chaos,
     "superdb": _cmd_superdb,
     "observe": _cmd_observe,

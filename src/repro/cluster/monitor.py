@@ -28,6 +28,7 @@ from typing import Any
 from repro.core.daemon import PMoVE
 from repro.core.dtmi import make_dtmi
 from repro.core.views import level_view
+from repro.db.sketch import DEFAULT_SKETCH, TDigest
 from repro.pcp.sampler import SamplingStats
 
 from .cluster import SimulatedCluster
@@ -79,6 +80,10 @@ class ClusterMonitor:
             self.daemon.database, "cluster_kb"
         ).create_index("name")
         self._last_sample_t: dict[str, float] = {}
+        #: Per-node sample-latency t-digests (mergeable, O(compression)
+        #: memory each); fed by :meth:`record_sample_latency` and by every
+        #: monitored job run, read back as p95/p99 in :meth:`fleet_health`.
+        self._latency: dict[str, TDigest] = {}
         for machine in cluster.nodes.values():
             self.daemon.attach_target(machine)
         self._save_cluster_kb()
@@ -184,10 +189,38 @@ class ClusterMonitor:
         self._save_cluster_kb()
         return events
 
+    def record_sample_latency(self, node: str, seconds: float) -> None:
+        """Feed one observed sample latency into ``node``'s t-digest."""
+        d = self._latency.get(node)
+        if d is None:
+            d = self._latency[node] = TDigest(DEFAULT_SKETCH.compression)
+        d.add(seconds)
+
+    def _active_series_estimates(self) -> dict[str, float]:
+        """HLL-approximate active-series count per measurement, summed over
+        shard engines when the daemon's store is sharded."""
+        st = self.daemon.influx.stats(self.daemon.database)
+        per_shard = (
+            st["shards"].values() if "shards" in st else (st,)
+        )
+        out: dict[str, float] = {}
+        for shard_st in per_shard:
+            for meas, mstat in shard_st.get("measurements", {}).items():
+                est = mstat.get("sketch", {}).get("active_series_estimate")
+                if est is not None:
+                    out[meas] = out.get(meas, 0.0) + est
+        return out
+
     def fleet_health(self) -> dict[str, Any]:
         """Cluster-wide health: the daemon's telemetry-path snapshot plus
         per-node liveness derived from lifecycle state and the virtual time
-        of each node's last successful sample."""
+        of each node's last successful sample.
+
+        Per-node ``sample_latency_p95``/``p99`` come from mergeable
+        t-digests (O(compression) memory per node, never a raw latency
+        log); ``active_series`` totals ride the storage engine's
+        HyperLogLogs, so the fleet view stays O(tiers) no matter how much
+        telemetry is stored."""
         now = self.cluster.time()
         nodes: dict[str, Any] = {}
         for name in self.cluster.node_names:
@@ -196,6 +229,7 @@ class ClusterMonitor:
             last_t = sampler.last_success_t
             if last_t is None:
                 last_t = self._last_sample_t.get(name)
+            lat = self._latency.get(name)
             nodes[name] = {
                 "state": state,
                 "live": state == "up",
@@ -206,14 +240,19 @@ class ClusterMonitor:
                     1 for e in self.cluster.executions
                     if e.status == "failed" and e.failed_node == name
                 ),
+                "sample_latency_p95": lat.quantile(0.95) if lat else None,
+                "sample_latency_p99": lat.quantile(0.99) if lat else None,
             }
         down = [n for n, h in nodes.items() if not h["live"]]
+        by_meas = self._active_series_estimates()
         return {
             "time": now,
             "degraded": bool(down),
             "nodes_down": down,
             "nodes": nodes,
             "daemon": self.daemon.health(),
+            "active_series_estimate": sum(by_meas.values()),
+            "active_series_by_measurement": by_meas,
         }
 
     # ------------------------------------------------------------------
@@ -255,6 +294,10 @@ class ClusterMonitor:
             )
             if stats[node].inserted_reports > 0:
                 self._last_sample_t[node] = execution.t_end
+                # Worst insert-time lag of this run is the node's observed
+                # sample latency; the digest keeps the full distribution
+                # across runs without retaining per-run stats.
+                self.record_sample_latency(node, stats[node].max_staleness_s)
 
         job_doc = make_job_entry(self.cluster.name, entry.job_index, execution)
         job_doc["requeues"] = entry.requeues

@@ -16,11 +16,12 @@ from dataclasses import dataclass, field
 
 from repro.db.influx import InfluxDB
 from repro.db.influxql import execute
+from repro.db.sketch import nearest_rank
 
 from .kb import KnowledgeBase
 
-__all__ = ["Anomaly", "rolling_zscore", "ewma_chart", "scan_series",
-           "scan_observation", "scan_component"]
+__all__ = ["Anomaly", "rolling_zscore", "ewma_chart", "percentile_exceed",
+           "scan_series", "scan_observation", "scan_component"]
 
 
 @dataclass(frozen=True)
@@ -99,7 +100,37 @@ def ewma_chart(
     return out
 
 
-_DETECTORS = {"zscore": rolling_zscore, "ewma": ewma_chart}
+def percentile_exceed(
+    times: list[float],
+    values: list[float],
+    pct: float = 99.0,
+    cutoff: float | None = None,
+    series: str = "",
+) -> list[Anomaly]:
+    """Flag samples at or above the series' ``pct``-quantile cutoff.
+
+    ``cutoff`` is normally supplied by :func:`scan_observation` from the
+    engine's sketch-served quantile (O(tiers), not O(points)); standalone
+    use computes the exact nearest-rank cutoff from the given values.
+    The score is 1 at the cutoff and grows with the relative excess.
+    """
+    if not 50.0 <= pct < 100.0:
+        raise ValueError("pct must be in [50, 100)")
+    if cutoff is None:
+        cutoff = nearest_rank(values, pct)
+    if cutoff is None or cutoff != cutoff:
+        return []
+    denom = max(abs(cutoff), 1e-9)
+    out: list[Anomaly] = []
+    for t, v in zip(times, values):
+        if v >= cutoff:
+            out.append(Anomaly(t=t, value=v, score=1.0 + (v - cutoff) / denom,
+                               detector="percentile", series=series))
+    return out
+
+
+_DETECTORS = {"zscore": rolling_zscore, "ewma": ewma_chart,
+              "percentile": percentile_exceed}
 
 
 def scan_series(
@@ -140,9 +171,23 @@ def scan_observation(
     as_rates: bool = True,
     **kw,
 ) -> list[Anomaly]:
-    """Run a detector over every series an observation recorded."""
+    """Run a detector over every series an observation recorded.
+
+    The ``percentile`` detector's cutoff is fetched from the engine's
+    sketch-served quantile path when the tested values are the stored ones
+    (``as_rates=False``) — the scan itself stays O(points), but the cutoff
+    costs O(tiers) and matches what a dashboard percentile panel shows.
+    Rate-normalized values aren't stored, so with ``as_rates=True`` the
+    cutoff falls back to the exact in-memory fold.
+    """
     if observation.get("@type") != "ObservationInterface":
         raise ValueError("need an ObservationInterface entry")
+    sketch_served = (
+        detector == "percentile"
+        and not as_rates
+        and "cutoff" not in kw
+        and hasattr(influx, "quantile_columns")
+    )
     out: list[Anomaly] = []
     for m in observation["metrics"]:
         # One columnar scan per measurement (no Point materialization),
@@ -152,14 +197,24 @@ def scan_observation(
             database, m["measurement"], columns=fields,
             tags={"tag": observation["tag"]},
         )
+        cutoffs: dict[str, float | None] = {}
+        if sketch_served:
+            _, _, qs = influx.quantile_columns(
+                database, m["measurement"], kw.get("pct", 99.0),
+                columns=fields, tags={"tag": observation["tag"]},
+            )
+            cutoffs = dict(zip(fields, qs))
         for i, f in enumerate(fields):
             times = [t for t, r in rows if r[i] is not None]
             values = [r[i] for _, r in rows if r[i] is not None]
             if as_rates:
                 times, values = _to_rates(times, values)
+            extra = dict(kw)
+            if sketch_served:
+                extra["cutoff"] = cutoffs.get(f)
             out.extend(
                 scan_series(times, values, detector=detector,
-                            series=f"{m['measurement']}:{f}", **kw)
+                            series=f"{m['measurement']}:{f}", **extra)
             )
     return sorted(out, key=lambda a: a.t)
 

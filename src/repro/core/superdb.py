@@ -29,6 +29,7 @@ from typing import Any
 from repro.db.influx import InfluxDB
 from repro.db.mongo import MongoDB
 from repro.db.sharded import ShardedInfluxDB
+from repro.db.sketch import DEFAULT_SKETCH, HyperLogLog, TDigest
 from repro.faults.services import ServiceFaultSet
 from repro.pcp.retry import RetryPolicy
 
@@ -184,6 +185,7 @@ class SuperDB:
             doc["points_copied"] = copied
         else:
             aggregates: dict[str, dict[str, dict[str, float]]] = {}
+            sketches: dict[str, dict[str, dict[str, Any]]] = {}
             for m in obs["metrics"]:
                 # One columnar scan per measurement; per-field value lists
                 # come out of the column arrays, no Point materialization.
@@ -193,12 +195,26 @@ class SuperDB:
                     tags={"tag": obs["tag"]},
                 )
                 per_field: dict[str, dict[str, float]] = {}
+                per_sketch: dict[str, dict[str, Any]] = {}
                 for i, f in enumerate(fields):
                     vals = [r[i] for _, r in rows if r[i] is not None]
                     per_field[f] = _aggregate(vals)
                     copied += len(vals)
+                    # Mergeable sketches travel beside the scalar summary:
+                    # SUPERDB can answer global percentile / cardinality
+                    # questions without ever pulling raw points back.
+                    dg = TDigest(DEFAULT_SKETCH.compression)
+                    dg.add_many(vals)
+                    hll = HyperLogLog(DEFAULT_SKETCH.hll_p)
+                    for v in vals:
+                        hll.add(v)
+                    per_sketch[f] = {
+                        "digest": dg.to_dict(), "hll": hll.to_dict()
+                    }
                 aggregates[m["measurement"]] = per_field
+                sketches[m["measurement"]] = per_sketch
             doc["aggregates"] = aggregates
+            doc["sketches"] = sketches
         self.mongo.collection("superdb", "observations").replace_one(
             {"@id": doc["@id"]}, doc, upsert=True
         )
@@ -238,8 +254,17 @@ class SuperDB:
         so one bad series cannot poison a host's row.  A host whose last
         sync left observations pending is flagged ``partial: True`` — its
         numbers are real but may not cover everything the host measured.
+
+        Observations reported with serialized sketches additionally yield
+        true cross-observation percentiles (``p50``/``p95``/``p99``, from a
+        register-exact t-digest merge — not a mean of per-observation
+        percentiles) and an HLL cardinality estimate
+        (``distinct_estimate``); hosts synced before the sketch era simply
+        lack those keys.
         """
         out: dict[str, dict[str, float]] = {}
+        digests: dict[str, list[TDigest]] = {}
+        hlls: dict[str, list[HyperLogLog]] = {}
         for doc in self.mongo.collection("superdb", "observations").find(
             {"@type": "AGGObservationInterface"}
         ):
@@ -253,7 +278,30 @@ class SuperDB:
             total = cur["count"] + agg["count"]
             cur["mean"] = (cur["mean"] * cur["count"] + agg["mean"] * agg["count"]) / total
             cur["count"] = total
+            sk = doc.get("sketches", {}).get(measurement, {}).get(field)
+            if sk:
+                if "digest" in sk:
+                    digests.setdefault(host, []).append(
+                        TDigest.from_dict(sk["digest"])
+                    )
+                if "hll" in sk:
+                    hlls.setdefault(host, []).append(
+                        HyperLogLog.from_dict(sk["hll"])
+                    )
         for host, cur in out.items():
+            ds = digests.get(host)
+            if ds:
+                merged = ds[0] if len(ds) == 1 else TDigest.merged(ds)
+                for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+                    v = merged.quantile(q)
+                    if v is not None:
+                        cur[label] = v
+            hs = hlls.get(host)
+            if hs:
+                hll = HyperLogLog(hs[0].p)
+                for h in hs:
+                    hll.merge_from(h)
+                cur["distinct_estimate"] = float(round(hll.count()))
             state = self.sync_status(host)
             cur["partial"] = bool(state is not None and not state.get("complete", True))
         return out

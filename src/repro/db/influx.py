@@ -43,6 +43,19 @@ from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
 from heapq import merge as _heap_merge
 
+from .sketch import (
+    DEFAULT_SKETCH,
+    HyperLogLog,
+    SketchConfig,
+    TDigest,
+    float_hash64,
+    nearest_rank,
+    stable_hash64,
+    stddev_from_partials,
+    value_key,
+)
+from .sketch import stddev_of as _stddev_of
+
 __all__ = ["Point", "InfluxError", "RetentionPolicy", "InfluxDB",
            "DEFAULT_ROLLUP_TIERS", "fold_values"]
 
@@ -198,36 +211,48 @@ class _RollupCol:
     A bucket with ``count == 0`` holds no value for this field.  ``total``,
     ``vmin``, ``vmax`` and ``last`` are maintained as the *left fold* of the
     raw values in (time, write-seq) order, so every stat is bit-identical to
-    folding the raw column slice of that bucket.
+    folding the raw column slice of that bucket.  ``sumsq`` extends the fold
+    with Σv² (STDDEV partials, same fold order), and ``digest`` holds one
+    write-through :class:`~repro.db.sketch.TDigest` per bucket — the
+    quantile summary the PERCENTILE serving planner merges at read time.
     """
 
-    __slots__ = ("count", "total", "vmin", "vmax", "last")
+    __slots__ = ("count", "total", "vmin", "vmax", "last", "sumsq", "digest",
+                 "compression")
 
-    def __init__(self, n: int) -> None:
+    def __init__(self, n: int, compression: int = DEFAULT_SKETCH.compression) -> None:
         self.count = [0] * n
         self.total = [0.0] * n
         self.vmin = [0.0] * n
         self.vmax = [0.0] * n
         self.last = [0.0] * n
+        self.sumsq = [0.0] * n
+        self.digest: list[TDigest | None] = [None] * n
+        self.compression = compression
 
     def _arrays(self):
-        return (self.count, self.total, self.vmin, self.vmax, self.last)
+        return (self.count, self.total, self.vmin, self.vmax, self.last,
+                self.sumsq)
 
     def append_bucket(self) -> None:
         for a in self._arrays():
             a.append(0)
+        self.digest.append(None)
 
     def insert_bucket(self, k: int) -> None:
         for a in self._arrays():
             a.insert(k, 0)
+        self.digest.insert(k, None)
 
     def drop_buckets(self, k: int) -> None:
         for a in self._arrays():
             del a[:k]
+        del self.digest[:k]
 
     def remove_bucket(self, k: int) -> None:
         for a in self._arrays():
             del a[k]
+        del self.digest[k]
 
     def set_from(self, k: int, values: list[float]) -> None:
         """Recompute bucket ``k`` from the raw in-order value list."""
@@ -237,6 +262,16 @@ class _RollupCol:
             self.vmin[k] = min(values)
             self.vmax[k] = max(values)
             self.last[k] = values[-1]
+            sq = 0.0
+            for v in values:
+                sq += v * v
+            self.sumsq[k] = sq
+            d = TDigest(self.compression)
+            d.add_many(values)
+            self.digest[k] = d
+        else:
+            self.sumsq[k] = 0.0
+            self.digest[k] = None
 
 
 class _Rollup:
@@ -248,13 +283,14 @@ class _Rollup:
     folds for those aggregates once a NaN was ever ingested.
     """
 
-    __slots__ = ("tier", "starts", "fields", "has_nan")
+    __slots__ = ("tier", "starts", "fields", "has_nan", "compression")
 
-    def __init__(self, tier: float) -> None:
+    def __init__(self, tier: float,
+                 compression: int = DEFAULT_SKETCH.compression) -> None:
         self.tier = tier
         self.starts: list[float] = []
         self.fields: dict[str, _RollupCol] = {}
-
+        self.compression = compression
         self.has_nan = False
 
 
@@ -269,17 +305,29 @@ class _Series:
     configured tier.
     """
 
-    __slots__ = ("tags", "key_len", "times", "seqs", "cols", "rollups", "max_seq")
+    __slots__ = ("tags", "key_len", "times", "seqs", "cols", "rollups", "max_seq",
+                 "hlls", "hll_trimmed", "sketch")
 
     def __init__(
-        self, tags: dict[str, str], key_len: int, tiers: tuple[float, ...] = ()
+        self, tags: dict[str, str], key_len: int, tiers: tuple[float, ...] = (),
+        sketch: SketchConfig = DEFAULT_SKETCH,
     ) -> None:
         self.tags = tags
         self.key_len = key_len  # len of the escaped "measurement,tag=…" prefix
         self.times: list[float] = []
         self.seqs: list[int] = []
         self.cols: dict[str, list[float | None]] = {}
-        self.rollups: tuple[_Rollup, ...] = tuple(_Rollup(t) for t in tiers)
+        self.sketch = sketch
+        self.rollups: tuple[_Rollup, ...] = tuple(
+            _Rollup(t, sketch.compression) for t in tiers
+        )
+        #: Per-field value-cardinality HLL over the series' whole history —
+        #: what serves ``COUNT(DISTINCT field)`` without a scan.  Order- and
+        #: duplicate-insensitive, so out-of-order writes need no rebuild;
+        #: retention trims set ``hll_trimmed`` (an HLL cannot forget) and
+        #: the planner falls back to exact scans from then on.
+        self.hlls: dict[str, HyperLogLog] = {}
+        self.hll_trimmed = False
         #: Highest write sequence ever stored — the durable-ingest apply
         #: gate reads this to answer "did record seq N already land here?"
         #: (retention trims rows but must not forget the high-watermark).
@@ -304,11 +352,16 @@ class _Series:
                 col.insert(idx, None)
         n = len(times)
         cols = self.cols
+        hlls = self.hlls
         for name, v in fields.items():
             col = cols.get(name)
             if col is None:
                 col = cols[name] = [None] * n
             col[idx] = v
+            hll = hlls.get(name)
+            if hll is None:
+                hll = hlls[name] = HyperLogLog(self.sketch.hll_p)
+            hll.add_hash(float_hash64(v))
         if in_order:
             for r in self.rollups:
                 self._rollup_append(r, time, fields)
@@ -329,23 +382,29 @@ class _Series:
         for name, v in fields.items():
             rc = r.fields.get(name)
             if rc is None:
-                rc = r.fields[name] = _RollupCol(len(starts))
+                rc = r.fields[name] = _RollupCol(len(starts), r.compression)
             if rc.count[k] == 0:
                 # 0.0 + v, not v: sum() folds from int 0, so a bucket of
                 # all -0.0 values totals +0.0 — the write-through total
                 # must bit-match fold_values/set_from or rollup-served
                 # MEAN/SUM diverges from raw folds (repr comparisons).
                 rc.total[k] = 0.0 + v
+                rc.sumsq[k] = 0.0 + v * v
                 rc.vmin[k] = v
                 rc.vmax[k] = v
             else:
                 rc.total[k] += v
+                rc.sumsq[k] += v * v
                 if v < rc.vmin[k]:
                     rc.vmin[k] = v
                 if v > rc.vmax[k]:
                     rc.vmax[k] = v
             rc.count[k] += 1
             rc.last[k] = v
+            d = rc.digest[k]
+            if d is None:
+                d = rc.digest[k] = TDigest(rc.compression)
+            d.add(v)
             if v != v:
                 r.has_nan = True
 
@@ -373,7 +432,7 @@ class _Series:
         for name, col in self.cols.items():
             rc = r.fields.get(name)
             if rc is None:
-                rc = r.fields[name] = _RollupCol(len(r.starts))
+                rc = r.fields[name] = _RollupCol(len(r.starts), r.compression)
             vals = [v for v in col[i:j] if v is not None]
             rc.set_from(k, vals)
             if any(v != v for v in vals):
@@ -406,6 +465,11 @@ class _Series:
         """Retention: slice off rows with ``time < horizon``; returns #dropped."""
         idx = bisect_left(self.times, horizon)
         if idx:
+            # HLLs cannot forget the trimmed values: poison cardinality
+            # serving for this series (exact scans take over).
+            self.hll_trimmed = True
+            for hll in self.hlls.values():
+                hll.trimmed = True
             del self.times[:idx]
             del self.seqs[:idx]
             for col in self.cols.values():
@@ -434,11 +498,13 @@ class _Measurement:
     """All series of one measurement plus the inverted tag index."""
 
     __slots__ = ("name", "key_base_len", "series", "by_tags", "tag_index",
-                 "seq", "next_sid", "tiers")
+                 "seq", "next_sid", "tiers", "sketch", "series_hll")
 
-    def __init__(self, name: str, tiers: tuple[float, ...] = ()) -> None:
+    def __init__(self, name: str, tiers: tuple[float, ...] = (),
+                 sketch: SketchConfig = DEFAULT_SKETCH) -> None:
         self.name = name
         self.tiers = tiers
+        self.sketch = sketch
         self.key_base_len = _esc_len(name)
         self.series: dict[int, _Series] = {}
         self.by_tags: dict[tuple[tuple[str, str], ...], int] = {}
@@ -448,6 +514,9 @@ class _Measurement:
         # series count would hand a dropped series' id to the next new one
         # and silently alias it with a survivor.
         self.next_sid = 0
+        #: Every tag set ever seen, HLL-summarized — the "active series"
+        #: cardinality `fleet_health` reports without enumerating series.
+        self.series_hll = HyperLogLog(sketch.hll_p)
 
     def series_for(self, tags: dict[str, str]) -> _Series:
         key = tuple(sorted(tags.items()))
@@ -458,11 +527,12 @@ class _Measurement:
             key_len = self.key_base_len + sum(
                 2 + _esc_len(k) + _esc_len(v) for k, v in key
             )
-            s = _Series(dict(tags), key_len, self.tiers)
+            s = _Series(dict(tags), key_len, self.tiers, self.sketch)
             self.series[sid] = s
             self.by_tags[key] = sid
             for kv in key:
                 self.tag_index.setdefault(kv, set()).add(sid)
+            self.series_hll.add_hash(stable_hash64(key))
             return s
         return self.series[sid]
 
@@ -494,15 +564,17 @@ class _Measurement:
 
 class _Database:
     __slots__ = ("name", "meas", "retention", "points_written", "bytes_written",
-                 "tiers", "gens")
+                 "tiers", "gens", "sketch")
 
-    def __init__(self, name: str, tiers: tuple[float, ...] = ()) -> None:
+    def __init__(self, name: str, tiers: tuple[float, ...] = (),
+                 sketch: SketchConfig = DEFAULT_SKETCH) -> None:
         self.name = name
         self.meas: dict[str, _Measurement] = {}
         self.retention = RetentionPolicy()
         self.points_written = 0
         self.bytes_written = 0
         self.tiers = tiers
+        self.sketch = sketch
         #: Per-measurement generation stamps (see :meth:`InfluxDB.generation`).
         self.gens: dict[str, int] = {}
 
@@ -514,7 +586,8 @@ class InfluxDB:
     series maintains (seconds per bucket, ascending); ``()`` disables them.
     """
 
-    def __init__(self, rollup_tiers: tuple[float, ...] = DEFAULT_ROLLUP_TIERS) -> None:
+    def __init__(self, rollup_tiers: tuple[float, ...] = DEFAULT_ROLLUP_TIERS,
+                 sketch: SketchConfig | None = None) -> None:
         tiers = tuple(sorted(float(t) for t in rollup_tiers))
         if any(t <= 0 for t in tiers):
             raise InfluxError("rollup tiers must be positive durations")
@@ -522,6 +595,7 @@ class InfluxDB:
             raise InfluxError("rollup tiers must be distinct")
         self._dbs: dict[str, _Database] = {}
         self._rollup_tiers = tiers
+        self.sketch = sketch if sketch is not None else DEFAULT_SKETCH
         # Instance-global generation sequence: never reused, so a cached
         # (statement → rows) entry can never collide with a post-drop
         # recreation of the same database/measurement.
@@ -531,6 +605,12 @@ class InfluxDB:
         #: ``multi-series-raw``) and each disqualification reason.  Purely
         #: observational — the scenario fuzzer's coverage signal.
         self.rollup_plan: dict[str, int] = {}
+        #: Sketch-planner decision counters, same contract as
+        #: ``rollup_plan``: every PERCENTILE/COUNT DISTINCT plan records
+        #: whether tier sketches served it (``served:<tier>`` /
+        #: ``hll-served``) or which rule disqualified them
+        #: (``fallback:merge-bound``, ``fallback:nan-poisoned``, …).
+        self.sketch_plan: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Admin
@@ -538,7 +618,7 @@ class InfluxDB:
     def create_database(self, name: str) -> None:
         if not name:
             raise InfluxError("database name cannot be empty")
-        self._dbs.setdefault(name, _Database(name, self._rollup_tiers))
+        self._dbs.setdefault(name, _Database(name, self._rollup_tiers, self.sketch))
 
     def drop_database(self, name: str) -> None:
         self._dbs.pop(name, None)
@@ -565,7 +645,9 @@ class InfluxDB:
     def _append(self, d: _Database, point: Point, seq: int | None = None) -> None:
         m = d.meas.get(point.measurement)
         if m is None:
-            m = d.meas[point.measurement] = _Measurement(point.measurement, d.tiers)
+            m = d.meas[point.measurement] = _Measurement(
+                point.measurement, d.tiers, d.sketch
+            )
         s = m.series_for(point.tags)
         self._bump(d, point.measurement)
         if seq is None:
@@ -1436,6 +1518,804 @@ class InfluxDB:
         return out
 
     # ------------------------------------------------------------------
+    # Sketch-served analytics: PERCENTILE / STDDEV / DISTINCT
+    # ------------------------------------------------------------------
+    # The planner contract mirrors the rollup planner: serve from tier
+    # sketches only when the configured error bound provably holds —
+    # a dividing tier, no NaN poisoning, at most ``max_merge`` digests per
+    # answer, and ``digest_bound(merged) <= epsilon`` — otherwise fall back
+    # to an exact columnar scan.  Every decision lands in ``sketch_plan``.
+
+    def _note_sketch(self, outcome: str) -> None:
+        self.sketch_plan[outcome] = self.sketch_plan.get(outcome, 0) + 1
+
+    def _pick_sketch_rollup(self, s: _Series, group_by_s: float) -> _Rollup | None:
+        """Largest tier whose per-bucket digests can serve ``GROUP BY
+        time(N)`` percentiles within the configured rank-error bound."""
+        cfg = self.sketch
+        best = None
+        skips: set[str] = set()
+        for r in s.rollups:
+            k = group_by_s / r.tier
+            if k < 1.0 or k != k or not k.is_integer():
+                skips.add("fallback:tier-not-dividing")
+                continue
+            if r.has_nan:
+                skips.add("fallback:nan-poisoned")
+                continue
+            if k > cfg.max_merge:
+                skips.add("fallback:merge-bound")
+                continue
+            if cfg.digest_bound(merged=k > 1.0) > cfg.epsilon:
+                skips.add("fallback:error-bound")
+                continue
+            if best is None or r.tier > best.tier:
+                best = r
+        for reason in skips:
+            self._note_sketch(reason)
+        self._note_sketch(
+            f"served:{best.tier:g}" if best is not None else "fallback:raw-scan"
+        )
+        return best
+
+    def quantile_buckets(
+        self,
+        db: str,
+        measurement: str,
+        pct: float,
+        group_by_s: float,
+        columns: list[str] | None = None,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> tuple[list[str], list[tuple[float, list[float | None]]]]:
+        """``PERCENTILE(field, pct) … GROUP BY time(N)``.
+
+        Single-series matches serve interior buckets by merging at most
+        ``N/tier`` per-bucket digests (O(tiers) per bucket, not O(rows));
+        the head/tail buckets a time filter cut through — and every
+        fallback — use the exact nearest-rank fold."""
+        if group_by_s <= 0:
+            raise InfluxError("GROUP BY time() needs a positive bucket width")
+        matched = self._matched_slices(
+            self._db(db), measurement, tags, t0, t1, t0_exclusive, t1_exclusive
+        )
+        cols = self._resolve_columns(matched, columns)
+        if not matched:
+            return cols, []
+        if len(matched) == 1:
+            s, lo, hi = matched[0]
+            r = self._pick_sketch_rollup(s, group_by_s)
+            if r is not None:
+                return cols, self._quantile_rollup(s, lo, hi, cols, pct,
+                                                   group_by_s, r)
+            return cols, self._quantile_raw(s, lo, hi, cols, pct, group_by_s)
+        self._note_sketch("fallback:multi-series")
+        _, rows = self.scan_columns(
+            db, measurement, columns=cols, tags=tags, t0=t0, t1=t1,
+            t0_exclusive=t0_exclusive, t1_exclusive=t1_exclusive,
+        )
+        buckets: dict[float, list[list[float]]] = {}
+        for t, vals in rows:
+            b = (t // group_by_s) * group_by_s
+            slot = buckets.setdefault(b, [[] for _ in cols])
+            for i, v in enumerate(vals):
+                if v is not None:
+                    slot[i].append(v)
+        return cols, [
+            (b, [nearest_rank(vs, pct) for vs in buckets[b]])
+            for b in sorted(buckets)
+        ]
+
+    def _quantile_raw(
+        self, s: _Series, lo: int, hi: int, cols: list[str], pct: float, N: float
+    ) -> list[tuple[float, list[float | None]]]:
+        """Exact nearest-rank bucket walk over the raw value arrays."""
+        times = s.times
+        keyq = lambda t: (t // N) * N  # noqa: E731
+        sel = [s.cols.get(c) for c in cols]
+        out: list[tuple[float, list[float | None]]] = []
+        i = lo
+        while i < hi:
+            b = keyq(times[i])
+            j = bisect_right(times, b, i, hi, key=keyq)
+            row: list[float | None] = []
+            for col in sel:
+                if col is None:
+                    row.append(None)
+                    continue
+                vals = [v for v in col[i:j] if v is not None]
+                row.append(nearest_rank(vals, pct))
+            out.append((b, row))
+            i = j
+        return out
+
+    def _quantile_rollup(
+        self,
+        s: _Series,
+        lo: int,
+        hi: int,
+        cols: list[str],
+        pct: float,
+        N: float,
+        r: _Rollup,
+    ) -> list[tuple[float, list[float | None]]]:
+        """Serve grouped percentiles from tier digests.
+
+        Boundary output buckets the time filter may have cut through are
+        folded exactly from raw rows; each fully covered bucket merges the
+        ``N/tier`` digests it spans (one digest: no copy at all)."""
+        times = s.times
+        n = len(times)
+        keyN = lambda t: (t // N) * N  # noqa: E731
+        full_lo = lo
+        if lo > 0 and keyN(times[lo - 1]) == keyN(times[lo]):
+            full_lo = bisect_right(times, keyN(times[lo]), lo, hi, key=keyN)
+        full_hi = hi
+        if hi < n and keyN(times[hi]) == keyN(times[hi - 1]):
+            full_hi = bisect_left(times, keyN(times[hi - 1]), full_lo, hi,
+                                  key=keyN)
+        if full_hi < full_lo:
+            full_hi = full_lo
+        q = pct / 100.0
+        out: list[tuple[float, list[float | None]]] = []
+        if lo < full_lo:
+            out.extend(self._quantile_raw(s, lo, full_lo, cols, pct, N))
+        if full_lo < full_hi:
+            T = r.tier
+            ri0 = bisect_left(r.starts, (times[full_lo] // T) * T)
+            ri1 = bisect_right(r.starts, (times[full_hi - 1] // T) * T)
+            rsel = [r.fields.get(c) for c in cols]
+            cur: float | None = None
+            accs: list[list[TDigest]] = []
+
+            def _flush() -> None:
+                if cur is None:
+                    return
+                row: list[float | None] = []
+                for ds in accs:
+                    if not ds:
+                        row.append(None)
+                    elif len(ds) == 1:
+                        row.append(ds[0].quantile(q))
+                    else:
+                        row.append(TDigest.merged(ds).quantile(q))
+                out.append((cur, row))
+
+            for ri in range(ri0, ri1):
+                b = keyN(r.starts[ri])
+                if b != cur:
+                    _flush()
+                    cur = b
+                    accs = [[] for _ in cols]
+                for ci, rc in enumerate(rsel):
+                    if rc is not None and rc.count[ri]:
+                        d = rc.digest[ri]
+                        if d is not None:
+                            accs[ci].append(d)
+            _flush()
+        if full_hi < hi:
+            out.extend(self._quantile_raw(s, full_hi, hi, cols, pct, N))
+        return out
+
+    def _range_digests(
+        self, s: _Series, lo: int, hi: int, cols: list[str]
+    ) -> list[TDigest | None] | None:
+        """One merged digest per column over ``[lo, hi)``, or ``None`` when
+        no tier may serve it: the slice must be exactly tiled by whole tier
+        buckets (no partial head/tail), NaN-free, and span at most
+        ``max_merge`` digests within the error bound."""
+        cfg = self.sketch
+        times = s.times
+        n = len(times)
+        skips: set[str] = set()
+        for r in sorted(s.rollups, key=lambda r: -r.tier):
+            T = r.tier
+            keyt = lambda t: (t // T) * T  # noqa: E731
+            if (lo > 0 and keyt(times[lo - 1]) == keyt(times[lo])) or (
+                hi < n and keyt(times[hi]) == keyt(times[hi - 1])
+            ):
+                skips.add("fallback:unaligned-range")
+                continue
+            if r.has_nan:
+                skips.add("fallback:nan-poisoned")
+                continue
+            ri0 = bisect_left(r.starts, keyt(times[lo]))
+            ri1 = bisect_right(r.starts, keyt(times[hi - 1]))
+            m = ri1 - ri0
+            if m > cfg.max_merge:
+                skips.add("fallback:merge-bound")
+                continue
+            if cfg.digest_bound(merged=m > 1) > cfg.epsilon:
+                skips.add("fallback:error-bound")
+                continue
+            out: list[TDigest | None] = []
+            for c in cols:
+                rc = r.fields.get(c)
+                if rc is None:
+                    out.append(None)
+                    continue
+                ds = [
+                    rc.digest[ri]
+                    for ri in range(ri0, ri1)
+                    if rc.count[ri] and rc.digest[ri] is not None
+                ]
+                if not ds:
+                    out.append(None)
+                elif len(ds) == 1:
+                    out.append(ds[0])
+                else:
+                    out.append(TDigest.merged(ds))
+            for reason in skips:
+                self._note_sketch(reason)
+            self._note_sketch(f"served:{T:g}")
+            return out
+        for reason in skips:
+            self._note_sketch(reason)
+        self._note_sketch("fallback:raw-scan")
+        return None
+
+    def quantile_columns(
+        self,
+        db: str,
+        measurement: str,
+        pct: float,
+        columns: list[str] | None = None,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> tuple[list[str], float | None, list[float | None]]:
+        """Ungrouped ``PERCENTILE(field, pct)`` per column.
+
+        Served from merged tier digests when the matched slice is exactly
+        bucket-tiled and within the merge/error bounds; exact nearest-rank
+        scan otherwise."""
+        matched = self._matched_slices(
+            self._db(db), measurement, tags, t0, t1, t0_exclusive, t1_exclusive
+        )
+        cols = self._resolve_columns(matched, columns)
+        if not matched:
+            return cols, None, [None] * len(cols)
+        first_t = min(s.times[lo] for s, lo, _ in matched)
+        if len(matched) == 1:
+            s, lo, hi = matched[0]
+            digests = self._range_digests(s, lo, hi, cols)
+            if digests is not None:
+                q = pct / 100.0
+                return cols, first_t, [
+                    d.quantile(q) if d is not None else None for d in digests
+                ]
+            col_vals = (
+                [v for v in s.cols[c][lo:hi] if v is not None]
+                if c in s.cols else []
+                for c in cols
+            )
+            return cols, first_t, [nearest_rank(vs, pct) for vs in col_vals]
+        self._note_sketch("fallback:multi-series")
+        out: list[float | None] = []
+        for c in cols:
+            vals: list[float] = []
+            for s, lo, hi in matched:
+                col = s.cols.get(c)
+                if col is not None:
+                    vals.extend(v for v in col[lo:hi] if v is not None)
+            out.append(nearest_rank(vals, pct))
+        return cols, first_t, out
+
+    def stddev_columns(
+        self,
+        db: str,
+        measurement: str,
+        columns: list[str] | None = None,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> tuple[list[str], float | None, list[float | None]]:
+        """Ungrouped sample STDDEV per column — exact, folded in the same
+        (time, seq) order as the naive reference."""
+        matched = self._matched_slices(
+            self._db(db), measurement, tags, t0, t1, t0_exclusive, t1_exclusive
+        )
+        cols = self._resolve_columns(matched, columns)
+        if not matched:
+            return cols, None, [None] * len(cols)
+        first_t = min(s.times[lo] for s, lo, _ in matched)
+        out: list[float | None] = []
+        if len(matched) == 1:
+            s, lo, hi = matched[0]
+            for c in cols:
+                col = s.cols.get(c)
+                vals = (
+                    [v for v in col[lo:hi] if v is not None]
+                    if col is not None else []
+                )
+                out.append(_stddev_of(vals))
+            return cols, first_t, out
+        for c in cols:
+            pairs: list[tuple[float, int, float]] = []
+            for s, lo, hi in matched:
+                col = s.cols.get(c)
+                if col is None:
+                    continue
+                times, seqs = s.times, s.seqs
+                pairs.extend(
+                    (times[i], seqs[i], col[i])
+                    for i in range(lo, hi)
+                    if col[i] is not None
+                )
+            pairs.sort(key=lambda p: (p[0], p[1]))
+            out.append(_stddev_of([v for _, _, v in pairs]))
+        return cols, first_t, out
+
+    def stddev_buckets(
+        self,
+        db: str,
+        measurement: str,
+        group_by_s: float,
+        columns: list[str] | None = None,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> tuple[list[str], list[tuple[float, list[float | None]]]]:
+        """``STDDEV(field) … GROUP BY time(N)``, exact.
+
+        A rollup tier equal to ``N`` serves whole buckets from the stored
+        (count, Σv, Σv²) fold — bit-identical to the raw fold because the
+        write path maintains both in the same order — with raw folds for
+        the head/tail buckets the time filter cut through."""
+        if group_by_s <= 0:
+            raise InfluxError("GROUP BY time() needs a positive bucket width")
+        matched = self._matched_slices(
+            self._db(db), measurement, tags, t0, t1, t0_exclusive, t1_exclusive
+        )
+        cols = self._resolve_columns(matched, columns)
+        if not matched:
+            return cols, []
+        if len(matched) == 1:
+            s, lo, hi = matched[0]
+            r = next((r for r in s.rollups if r.tier == group_by_s), None)
+            if r is not None:
+                self._note_sketch(f"stddev-served:{r.tier:g}")
+                return cols, self._stddev_rollup(s, lo, hi, cols, group_by_s, r)
+            self._note_sketch("stddev-raw")
+            return cols, self._stddev_raw(s, lo, hi, cols, group_by_s)
+        self._note_sketch("stddev-raw")
+        _, rows = self.scan_columns(
+            db, measurement, columns=cols, tags=tags, t0=t0, t1=t1,
+            t0_exclusive=t0_exclusive, t1_exclusive=t1_exclusive,
+        )
+        buckets: dict[float, list[list[float]]] = {}
+        for t, vals in rows:
+            b = (t // group_by_s) * group_by_s
+            slot = buckets.setdefault(b, [[] for _ in cols])
+            for i, v in enumerate(vals):
+                if v is not None:
+                    slot[i].append(v)
+        return cols, [
+            (b, [_stddev_of(vs) for vs in buckets[b]])
+            for b in sorted(buckets)
+        ]
+
+    def _stddev_raw(
+        self, s: _Series, lo: int, hi: int, cols: list[str], N: float
+    ) -> list[tuple[float, list[float | None]]]:
+        times = s.times
+        keyq = lambda t: (t // N) * N  # noqa: E731
+        sel = [s.cols.get(c) for c in cols]
+        out: list[tuple[float, list[float | None]]] = []
+        i = lo
+        while i < hi:
+            b = keyq(times[i])
+            j = bisect_right(times, b, i, hi, key=keyq)
+            row: list[float | None] = []
+            for col in sel:
+                if col is None:
+                    row.append(None)
+                    continue
+                vals = [v for v in col[i:j] if v is not None]
+                row.append(_stddev_of(vals))
+            out.append((b, row))
+            i = j
+        return out
+
+    def _stddev_rollup(
+        self, s: _Series, lo: int, hi: int, cols: list[str], N: float, r: _Rollup
+    ) -> list[tuple[float, list[float | None]]]:
+        """STDDEV buckets from tier ``r.tier == N``: head/tail raw, interior
+        from the per-bucket (count, total, sumsq) arrays."""
+        times = s.times
+        n = len(times)
+        keyt = lambda t: (t // N) * N  # noqa: E731
+        full_lo = lo
+        if lo > 0 and keyt(times[lo - 1]) == keyt(times[lo]):
+            full_lo = bisect_right(times, keyt(times[lo]), lo, hi, key=keyt)
+        full_hi = hi
+        if hi < n and keyt(times[hi]) == keyt(times[hi - 1]):
+            full_hi = bisect_left(times, keyt(times[hi - 1]), full_lo, hi,
+                                  key=keyt)
+        if full_hi < full_lo:
+            full_hi = full_lo
+        out: list[tuple[float, list[float | None]]] = []
+        if lo < full_lo:
+            out.extend(self._stddev_raw(s, lo, full_lo, cols, N))
+        if full_lo < full_hi:
+            ri0 = bisect_left(r.starts, keyt(times[full_lo]))
+            ri1 = bisect_right(r.starts, keyt(times[full_hi - 1]))
+            rsel = [r.fields.get(c) for c in cols]
+            for ri in range(ri0, ri1):
+                row: list[float | None] = []
+                for rc in rsel:
+                    if rc is None or rc.count[ri] == 0:
+                        row.append(None)
+                    else:
+                        row.append(
+                            stddev_from_partials(
+                                rc.count[ri], rc.total[ri], rc.sumsq[ri]
+                            )
+                        )
+                out.append((r.starts[ri], row))
+        if full_hi < hi:
+            out.extend(self._stddev_raw(s, full_hi, hi, cols, N))
+        return out
+
+    def distinct_keyed(
+        self,
+        db: str,
+        measurement: str,
+        column: str,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> list[tuple[float, int, float]]:
+        """Exact distinct values of one field with their first-occurrence
+        (time, seq) merge keys, ordered by first occurrence.
+
+        Dedup keys on :func:`~repro.db.sketch.value_key`, so ``-0.0`` and
+        ``0.0`` are one value, every NaN is one value, and shard-split
+        streams merge to exactly the unsharded answer."""
+        matched = self._matched_slices(
+            self._db(db), measurement, tags, t0, t1, t0_exclusive, t1_exclusive
+        )
+        best: dict[bytes, tuple[float, int, float]] = {}
+        for s, lo, hi in matched:
+            col = s.cols.get(column)
+            if col is None:
+                continue
+            times, seqs = s.times, s.seqs
+            for i in range(lo, hi):
+                v = col[i]
+                if v is None:
+                    continue
+                vk = value_key(v)
+                prev = best.get(vk)
+                if prev is None or (times[i], seqs[i]) < (prev[0], prev[1]):
+                    best[vk] = (times[i], seqs[i], v)
+        return sorted(best.values())
+
+    def distinct_values(
+        self,
+        db: str,
+        measurement: str,
+        column: str,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> list[tuple[float, float]]:
+        """``DISTINCT(field)``: (first_time, value) per distinct value in
+        first-occurrence order — always exact (a value list cannot be
+        sketch-served)."""
+        self._note_sketch("distinct-scan")
+        return [
+            (t, v)
+            for t, _, v in self.distinct_keyed(
+                db, measurement, column, tags, t0, t1,
+                t0_exclusive=t0_exclusive, t1_exclusive=t1_exclusive,
+            )
+        ]
+
+    def count_distinct(
+        self,
+        db: str,
+        measurement: str,
+        column: str,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> tuple[float | None, float | None]:
+        """``COUNT(DISTINCT field)`` → ``(first_time, count)``: HLL-served
+        when provably within the configured relative error bound — every
+        matched series fully covered by the time range and never trimmed —
+        else an exact value-keyed scan.  Count is ``None`` when no value
+        matches."""
+        matched = self._matched_slices(
+            self._db(db), measurement, tags, t0, t1, t0_exclusive, t1_exclusive
+        )
+        if not matched:
+            return None, None
+        first_t = min(s.times[lo] for s, lo, _ in matched)
+        cfg = self.sketch
+        reason: str | None = None
+        hlls: list[HyperLogLog] = []
+        for s, lo, hi in matched:
+            if lo != 0 or hi != len(s.times):
+                reason = "fallback:hll-partial-range"
+                break
+            if s.hll_trimmed:
+                reason = "fallback:hll-trimmed"
+                break
+            h = s.hlls.get(column)
+            if h is None:
+                continue  # field absent in this series: contributes nothing
+            if h.trimmed:
+                reason = "fallback:hll-trimmed"
+                break
+            if h.error_bound() > cfg.hll_epsilon:
+                reason = "fallback:hll-error-bound"
+                break
+            hlls.append(h)
+        if reason is None:
+            if not hlls:
+                return first_t, None
+            self._note_sketch("hll-served")
+            if len(hlls) == 1:
+                return first_t, float(round(hlls[0].count()))
+            merged = HyperLogLog(hlls[0].p)
+            for h in hlls:
+                merged.merge_from(h)
+            return first_t, float(round(merged.count()))
+        self._note_sketch(reason)
+        n = len(
+            self.distinct_keyed(
+                db, measurement, column, tags, t0, t1,
+                t0_exclusive=t0_exclusive, t1_exclusive=t1_exclusive,
+            )
+        )
+        return first_t, (float(n) if n else None)
+
+    def quantile_partials(
+        self,
+        db: str,
+        measurement: str,
+        columns: list[str] | None = None,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> tuple[list[str], float | None, list[TDigest | None]]:
+        """Scatter-gather primitive: one digest per column over the matched
+        range.  Serves from merged tier digests when the planner allows and
+        otherwise *builds* the digest from the raw slice, so the router
+        always receives a true mergeable sketch — never interleaved values.
+        """
+        matched = self._matched_slices(
+            self._db(db), measurement, tags, t0, t1, t0_exclusive, t1_exclusive
+        )
+        cols = self._resolve_columns(matched, columns)
+        if not matched:
+            return cols, None, [None] * len(cols)
+        first_t = min(s.times[lo] for s, lo, _ in matched)
+        if len(matched) == 1:
+            s, lo, hi = matched[0]
+            digests = self._range_digests(s, lo, hi, cols)
+            if digests is not None:
+                return cols, first_t, digests
+        out: list[TDigest | None] = []
+        for c in cols:
+            d = TDigest(self.sketch.compression)
+            for s, lo, hi in matched:
+                col = s.cols.get(c)
+                if col is not None:
+                    d.add_many(v for v in col[lo:hi] if v is not None)
+            out.append(d if (d.count or d.has_nan) else None)
+        return cols, first_t, out
+
+    def quantile_bucket_partials(
+        self,
+        db: str,
+        measurement: str,
+        group_by_s: float,
+        columns: list[str] | None = None,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> tuple[list[str], list[tuple[float, list[TDigest | None]]]]:
+        """Per-bucket digest partials for sharded ``GROUP BY time(N)``
+        percentiles: tier-digest-served interior buckets, built-from-raw
+        boundary buckets — every bucket ships a mergeable digest."""
+        if group_by_s <= 0:
+            raise InfluxError("GROUP BY time() needs a positive bucket width")
+        matched = self._matched_slices(
+            self._db(db), measurement, tags, t0, t1, t0_exclusive, t1_exclusive
+        )
+        cols = self._resolve_columns(matched, columns)
+        if not matched:
+            return cols, []
+        if len(matched) == 1:
+            s, lo, hi = matched[0]
+            r = self._pick_sketch_rollup(s, group_by_s)
+            if r is not None:
+                return cols, self._digest_rollup(s, lo, hi, cols, group_by_s, r)
+            return cols, self._digest_raw(s, lo, hi, cols, group_by_s)
+        self._note_sketch("fallback:multi-series")
+        _, rows = self.scan_columns(
+            db, measurement, columns=cols, tags=tags, t0=t0, t1=t1,
+            t0_exclusive=t0_exclusive, t1_exclusive=t1_exclusive,
+        )
+        comp = self.sketch.compression
+        buckets: dict[float, list[TDigest | None]] = {}
+        for t, vals in rows:
+            b = (t // group_by_s) * group_by_s
+            slot = buckets.get(b)
+            if slot is None:
+                slot = buckets[b] = [None] * len(cols)
+            for i, v in enumerate(vals):
+                if v is not None:
+                    d = slot[i]
+                    if d is None:
+                        d = slot[i] = TDigest(comp)
+                    d.add(v)
+        return cols, [(b, buckets[b]) for b in sorted(buckets)]
+
+    def _digest_raw(
+        self, s: _Series, lo: int, hi: int, cols: list[str], N: float
+    ) -> list[tuple[float, list[TDigest | None]]]:
+        times = s.times
+        keyq = lambda t: (t // N) * N  # noqa: E731
+        sel = [s.cols.get(c) for c in cols]
+        comp = self.sketch.compression
+        out: list[tuple[float, list[TDigest | None]]] = []
+        i = lo
+        while i < hi:
+            b = keyq(times[i])
+            j = bisect_right(times, b, i, hi, key=keyq)
+            row: list[TDigest | None] = []
+            for col in sel:
+                if col is None:
+                    row.append(None)
+                    continue
+                vals = [v for v in col[i:j] if v is not None]
+                if not vals:
+                    row.append(None)
+                    continue
+                d = TDigest(comp)
+                d.add_many(vals)
+                row.append(d)
+            out.append((b, row))
+            i = j
+        return out
+
+    def _digest_rollup(
+        self, s: _Series, lo: int, hi: int, cols: list[str], N: float, r: _Rollup
+    ) -> list[tuple[float, list[TDigest | None]]]:
+        """Digest partials per output bucket from tier digests (interior)
+        plus built-from-raw boundary buckets."""
+        times = s.times
+        n = len(times)
+        keyN = lambda t: (t // N) * N  # noqa: E731
+        full_lo = lo
+        if lo > 0 and keyN(times[lo - 1]) == keyN(times[lo]):
+            full_lo = bisect_right(times, keyN(times[lo]), lo, hi, key=keyN)
+        full_hi = hi
+        if hi < n and keyN(times[hi]) == keyN(times[hi - 1]):
+            full_hi = bisect_left(times, keyN(times[hi - 1]), full_lo, hi,
+                                  key=keyN)
+        if full_hi < full_lo:
+            full_hi = full_lo
+        out: list[tuple[float, list[TDigest | None]]] = []
+        if lo < full_lo:
+            out.extend(self._digest_raw(s, lo, full_lo, cols, N))
+        if full_lo < full_hi:
+            T = r.tier
+            ri0 = bisect_left(r.starts, (times[full_lo] // T) * T)
+            ri1 = bisect_right(r.starts, (times[full_hi - 1] // T) * T)
+            rsel = [r.fields.get(c) for c in cols]
+            cur: float | None = None
+            accs: list[list[TDigest]] = []
+
+            def _flush() -> None:
+                if cur is None:
+                    return
+                row: list[TDigest | None] = []
+                for ds in accs:
+                    if not ds:
+                        row.append(None)
+                    elif len(ds) == 1:
+                        row.append(ds[0])
+                    else:
+                        row.append(TDigest.merged(ds))
+                out.append((cur, row))
+
+            for ri in range(ri0, ri1):
+                b = keyN(r.starts[ri])
+                if b != cur:
+                    _flush()
+                    cur = b
+                    accs = [[] for _ in cols]
+                for ci, rc in enumerate(rsel):
+                    if rc is not None and rc.count[ri]:
+                        d = rc.digest[ri]
+                        if d is not None:
+                            accs[ci].append(d)
+            _flush()
+        if full_hi < hi:
+            out.extend(self._digest_raw(s, full_hi, hi, cols, N))
+        return out
+
+    def distinct_partials(
+        self,
+        db: str,
+        measurement: str,
+        column: str,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> tuple[float | None, HyperLogLog | None, list[tuple[float, int, float]]]:
+        """Cardinality partials for the shard router: ``(first_t, hll,
+        exact)``.
+
+        ``hll`` is a merged per-series HLL when this engine could serve the
+        range approximately (None otherwise); ``exact`` is the value-keyed
+        distinct list with first-occurrence merge keys, always present so
+        the router can fall back to an exact union when any shard's HLL is
+        disqualified."""
+        matched = self._matched_slices(
+            self._db(db), measurement, tags, t0, t1, t0_exclusive, t1_exclusive
+        )
+        first_t = min((s.times[lo] for s, lo, _ in matched), default=None)
+        hll: HyperLogLog | None = None
+        ok = True
+        collected: list[HyperLogLog] = []
+        for s, lo, hi in matched:
+            if lo != 0 or hi != len(s.times) or s.hll_trimmed:
+                ok = False
+                break
+            h = s.hlls.get(column)
+            if h is None:
+                continue
+            if h.trimmed:
+                ok = False
+                break
+            collected.append(h)
+        if ok and collected:
+            hll = HyperLogLog(collected[0].p)
+            for h in collected:
+                hll.merge_from(h)
+        exact = self.distinct_keyed(
+            db, measurement, column, tags, t0, t1,
+            t0_exclusive=t0_exclusive, t1_exclusive=t1_exclusive,
+        )
+        return first_t, hll, exact
+
+    # ------------------------------------------------------------------
     # Series administration
     # ------------------------------------------------------------------
     def delete_series(self, db: str, measurement: str, tags: dict[str, str] | None = None) -> int:
@@ -1528,7 +2408,7 @@ class InfluxDB:
         d = self._db(db)
         m = d.meas.get(measurement)
         if m is None:
-            m = d.meas[measurement] = _Measurement(measurement, d.tiers)
+            m = d.meas[measurement] = _Measurement(measurement, d.tiers, d.sketch)
         s = m.series_for(tags)
         for t, seq, fields in rows:
             if seq >= m.seq:
@@ -1581,14 +2461,36 @@ class InfluxDB:
         measurements: dict[str, dict] = {}
         for name, m in sorted(d.meas.items()):
             rollup_buckets: dict[float, int] = {t: 0 for t in d.tiers}
+            digest_buckets = 0
+            digest_centroids = 0
+            digest_bytes = 0
+            hll_fields = 0
+            hll_bytes = m.series_hll.memory_bytes()
             for s in m.series.values():
                 for r in s.rollups:
                     rollup_buckets[r.tier] = rollup_buckets.get(r.tier, 0) + len(r.starts)
+                    for rc in r.fields.values():
+                        for dg in rc.digest:
+                            if dg is not None:
+                                digest_buckets += 1
+                                digest_centroids += dg.centroid_count
+                                digest_bytes += dg.memory_bytes()
+                hll_fields += len(s.hlls)
+                hll_bytes += sum(h.memory_bytes() for h in s.hlls.values())
             measurements[name] = {
                 "series": len(m.series),
                 "points": sum(len(s) for s in m.series.values()),
                 "rollup_buckets": rollup_buckets,
                 "generation": d.gens.get(name, 0),
+                "sketch": {
+                    "digest_buckets": digest_buckets,
+                    "digest_centroids": digest_centroids,
+                    "digest_memory_bytes": digest_bytes,
+                    "hll_fields": hll_fields,
+                    "hll_registers": 1 << m.sketch.hll_p,
+                    "hll_memory_bytes": hll_bytes,
+                    "active_series_estimate": float(round(m.series_hll.count())),
+                },
             }
         return {
             "points_written": d.points_written,

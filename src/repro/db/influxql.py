@@ -9,7 +9,8 @@ Supported grammar::
     SHOW MEASUREMENTS
     select_list := * | item [, item]*
     item        := "field" | field | AGG("field") with AGG in
-                   MEAN MAX MIN SUM COUNT LAST
+                   MEAN MAX MIN SUM COUNT LAST STDDEV MEDIAN DISTINCT
+                 | PERCENTILE("field", <pct>) | COUNT(DISTINCT "field")
     cond        := tagkey = "value" | tagkey = 'value'
                  | time >= <sec> | time <= <sec> | time > | time <
 
@@ -24,10 +25,17 @@ Execution pushes work into the storage engine: raw selects ride
 :meth:`InfluxDB.scan_columns` (with LIMIT pushed into the scan),
 aggregates ride :meth:`InfluxDB.aggregate_columns`, and ``GROUP BY time``
 rides :meth:`InfluxDB.scan_buckets` — which serves coarse buckets from
-write-through rollup tiers when that is provably exact.  Parsed
-statements are LRU-cached, since dashboards re-issue the same
-auto-generated query text on every refresh.  :func:`naive_execute` keeps
-the original materialize-then-fold path as the equivalence reference.
+write-through rollup tiers when that is provably exact.  The analytic
+aggregates added by the sketch layer dispatch the same way:
+``PERCENTILE``/``MEDIAN`` ride :meth:`InfluxDB.quantile_buckets` /
+:meth:`InfluxDB.quantile_columns` (tier t-digests when the serving
+planner's error bound holds, exact nearest-rank otherwise), ``STDDEV``
+rides the (count, Σv, Σv²) rollup partials, and ``COUNT(DISTINCT f)``
+rides per-series HyperLogLogs.  Engines that lack those methods fall
+back to :func:`naive_execute`, which keeps the original
+materialize-then-fold path as the exact reference.  Parsed statements
+are LRU-cached, since dashboards re-issue the same auto-generated query
+text on every refresh.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 
 from .influx import InfluxDB, InfluxError
+from .sketch import nearest_rank, stddev_of, value_key
 
 __all__ = [
     "Query",
@@ -47,7 +56,15 @@ __all__ = [
     "show_measurements",
 ]
 
-_AGGS = ("MEAN", "MAX", "MIN", "SUM", "COUNT", "LAST")
+_AGGS = ("MEAN", "MAX", "MIN", "SUM", "COUNT", "LAST", "STDDEV", "DISTINCT")
+# Analytic aggregates introduced by the sketch layer; MEDIAN parses to
+# PERCENTILE/50 and COUNT(DISTINCT f) to COUNT_DISTINCT, so neither
+# appears in Query.aggregate.
+_ANALYTIC = ("PERCENTILE", "STDDEV", "DISTINCT", "COUNT_DISTINCT")
+
+# Split a select list on commas that sit *outside* parentheses, so
+# PERCENTILE("f", 99) stays one item.
+_SEL_SPLIT = re.compile(r"\s*,\s*(?![^()]*\))")
 
 
 @dataclass(frozen=True)
@@ -56,7 +73,7 @@ class Query:
 
     measurement: str
     columns: tuple[str, ...]  # field names, or ("*",)
-    aggregate: str | None  # None or one of _AGGS
+    aggregate: str | None  # None, one of _AGGS, PERCENTILE or COUNT_DISTINCT
     tag_filters: tuple[tuple[str, str], ...]
     t0: float | None
     t1: float | None
@@ -64,6 +81,7 @@ class Query:
     limit: int | None = None
     t0_exclusive: bool = False  # strict time >  (vs >=)
     t1_exclusive: bool = False  # strict time <  (vs <=)
+    agg_arg: float | None = None  # PERCENTILE threshold (MEDIAN → 50.0)
 
 
 @dataclass
@@ -136,18 +154,55 @@ def _parse_query_cached(text: str) -> Query:
     measurement = _strip_quotes(m.group("meas"))
 
     aggregate: str | None = None
+    agg_arg: float | None = None
     columns: list[str] = []
     if sel == "*":
         columns = ["*"]
     else:
-        for item in re.split(r"\s*,\s*", sel):
+        for item in _SEL_SPLIT.split(sel):
             am = re.match(r"(\w+)\((.+)\)$", item.strip())
-            if am and am.group(1).upper() in _AGGS:
-                agg = am.group(1).upper()
-                if aggregate is not None and aggregate != agg:
+            agg: str | None = None
+            arg: float | None = None
+            col: str | None = None
+            if am:
+                fn = am.group(1).upper()
+                inner = am.group(2).strip()
+                if fn == "COUNT":
+                    dm = re.match(
+                        r"DISTINCT\s*\(\s*(.+?)\s*\)$|DISTINCT\s+(.+)$",
+                        inner,
+                        re.IGNORECASE,
+                    )
+                    if dm:
+                        agg = "COUNT_DISTINCT"
+                        col = _strip_quotes(dm.group(1) or dm.group(2))
+                    else:
+                        agg, col = "COUNT", _strip_quotes(inner)
+                elif fn == "PERCENTILE":
+                    parts = re.split(r"\s*,\s*", inner)
+                    if len(parts) != 2:
+                        raise InfluxError("PERCENTILE takes (field, pct)")
+                    try:
+                        arg = float(parts[1])
+                    except ValueError:
+                        raise InfluxError(
+                            f"bad PERCENTILE threshold {parts[1]!r}"
+                        ) from None
+                    if not 0.0 <= arg <= 100.0:
+                        raise InfluxError(
+                            "PERCENTILE threshold must be in [0, 100]"
+                        )
+                    agg, col = "PERCENTILE", _strip_quotes(parts[0])
+                elif fn == "MEDIAN":
+                    agg, arg, col = "PERCENTILE", 50.0, _strip_quotes(inner)
+                elif fn in _AGGS:
+                    agg, col = fn, _strip_quotes(inner)
+            if agg is not None:
+                if aggregate is not None and (aggregate != agg or agg_arg != arg):
                     raise InfluxError("mixed aggregate functions not supported")
                 aggregate = agg
-                columns.append(_strip_quotes(am.group(2)))
+                agg_arg = arg
+                columns.append(col)
             else:
                 columns.append(_strip_quotes(item))
 
@@ -187,10 +242,11 @@ def _parse_query_cached(text: str) -> Query:
         limit=limit,
         t0_exclusive=t0_exclusive,
         t1_exclusive=t1_exclusive,
+        agg_arg=agg_arg,
     )
 
 
-def _agg(name: str, values: list[float]) -> float | None:
+def _agg(name: str, values: list[float], arg: float | None = None) -> float | None:
     if not values:
         return None
     if name == "MEAN":
@@ -205,7 +261,25 @@ def _agg(name: str, values: list[float]) -> float | None:
         return float(len(values))
     if name == "LAST":
         return values[-1]
+    if name == "PERCENTILE":
+        return nearest_rank(values, arg if arg is not None else 50.0)
+    if name == "STDDEV":
+        return stddev_of(values)
+    if name == "COUNT_DISTINCT":
+        return float(len({value_key(v) for v in values}))
     raise InfluxError(f"unknown aggregate {name}")
+
+
+def _check_analytic(q: Query) -> None:
+    """Shape rules shared by :func:`execute` and :func:`naive_execute` so
+    the pushdown and reference paths reject the same statements."""
+    if q.aggregate in ("DISTINCT", "COUNT_DISTINCT"):
+        if q.group_by_s is not None:
+            raise InfluxError(
+                f"{q.aggregate} with GROUP BY time is not supported"
+            )
+        if len(q.columns) != 1 or q.columns[0] == "*":
+            raise InfluxError(f"{q.aggregate} needs exactly one field")
 
 
 def execute(db: InfluxDB, database: str, query: Query | str) -> ResultSet:
@@ -223,6 +297,9 @@ def execute(db: InfluxDB, database: str, query: Query | str) -> ResultSet:
     q = parse_query(query) if isinstance(query, str) else query
     columns = None if q.columns == ("*",) else list(q.columns)
     tags = dict(q.tag_filters)
+
+    if q.aggregate in _ANALYTIC:
+        return _execute_analytic(db, database, q, columns, tags)
 
     if q.aggregate is None:
         cols, rows = db.scan_columns(
@@ -271,6 +348,78 @@ def execute(db: InfluxDB, database: str, query: Query | str) -> ResultSet:
     return ResultSet(columns=cols, rows=out)
 
 
+def _execute_analytic(
+    db,
+    database: str,
+    q: Query,
+    columns: list[str] | None,
+    tags: dict[str, str],
+) -> ResultSet:
+    """Dispatch PERCENTILE / STDDEV / DISTINCT / COUNT(DISTINCT) to the
+    engine's sketch-aware methods, falling back to the exact
+    :func:`naive_execute` fold for engines that lack them."""
+    _check_analytic(q)
+    kw = dict(
+        tags=tags,
+        t0=q.t0,
+        t1=q.t1,
+        t0_exclusive=q.t0_exclusive,
+        t1_exclusive=q.t1_exclusive,
+    )
+    if q.aggregate == "PERCENTILE":
+        pct = q.agg_arg if q.agg_arg is not None else 50.0
+        if q.group_by_s is not None:
+            if hasattr(db, "quantile_buckets"):
+                cols, out = db.quantile_buckets(
+                    database, q.measurement, pct, q.group_by_s,
+                    columns=columns, **kw,
+                )
+                if q.limit is not None:
+                    out = out[: q.limit]
+                return ResultSet(columns=cols, rows=out)
+        elif hasattr(db, "quantile_columns"):
+            cols, first_t, aggs = db.quantile_columns(
+                database, q.measurement, pct, columns=columns, **kw
+            )
+            return ResultSet(
+                columns=cols,
+                rows=[(first_t if first_t is not None else 0.0, aggs)],
+            )
+    elif q.aggregate == "STDDEV":
+        if q.group_by_s is not None:
+            if hasattr(db, "stddev_buckets"):
+                cols, out = db.stddev_buckets(
+                    database, q.measurement, q.group_by_s,
+                    columns=columns, **kw,
+                )
+                if q.limit is not None:
+                    out = out[: q.limit]
+                return ResultSet(columns=cols, rows=out)
+        elif hasattr(db, "stddev_columns"):
+            cols, first_t, aggs = db.stddev_columns(
+                database, q.measurement, columns=columns, **kw
+            )
+            return ResultSet(
+                columns=cols,
+                rows=[(first_t if first_t is not None else 0.0, aggs)],
+            )
+    elif q.aggregate == "DISTINCT":
+        if hasattr(db, "distinct_values"):
+            pairs = db.distinct_values(database, q.measurement, q.columns[0], **kw)
+            rows = [(t, [v]) for t, v in pairs]
+            if q.limit is not None:
+                rows = rows[: q.limit]
+            return ResultSet(columns=[q.columns[0]], rows=rows)
+    elif q.aggregate == "COUNT_DISTINCT":
+        if hasattr(db, "count_distinct"):
+            first_t, cnt = db.count_distinct(database, q.measurement, q.columns[0], **kw)
+            return ResultSet(
+                columns=[q.columns[0]],
+                rows=[(first_t if first_t is not None else 0.0, [cnt])],
+            )
+    return naive_execute(db, database, q)
+
+
 def naive_execute(db, database: str, query: Query | str) -> ResultSet:
     """The seed execute path: materialize scan rows, then fold in Python.
 
@@ -279,6 +428,8 @@ def naive_execute(db, database: str, query: Query | str) -> ResultSet:
     exposing ``scan_columns`` — including :class:`~repro.db.naive.NaiveInfluxDB`.
     """
     q = parse_query(query) if isinstance(query, str) else query
+    if q.aggregate in _ANALYTIC:
+        _check_analytic(q)
     cols, rows = db.scan_columns(
         database,
         q.measurement,
@@ -295,12 +446,31 @@ def naive_execute(db, database: str, query: Query | str) -> ResultSet:
             rows = rows[: q.limit]
         return ResultSet(columns=cols, rows=rows)
 
+    if q.aggregate == "DISTINCT":
+        # One row per distinct value (value-keyed), in first-seen order.
+        idx = cols.index(q.columns[0]) if q.columns[0] in cols else None
+        seen: dict[bytes, tuple[float, float]] = {}
+        if idx is not None:
+            for t, r in rows:
+                v = r[idx]
+                if v is None:
+                    continue
+                vk = value_key(v)
+                if vk not in seen:
+                    seen[vk] = (t, v)
+        out = [(t, [v]) for t, v in seen.values()]
+        if q.limit is not None:
+            out = out[: q.limit]
+        return ResultSet(columns=[q.columns[0]], rows=out)
+
     if q.group_by_s is None:
         row = []
         for i in range(len(cols)):
             vals = [r[i] for _, r in rows if r[i] is not None]
-            row.append(_agg(q.aggregate, vals))
+            row.append(_agg(q.aggregate, vals, q.agg_arg))
         t = rows[0][0] if rows else 0.0
+        if q.aggregate == "COUNT_DISTINCT":
+            return ResultSet(columns=[q.columns[0]], rows=[(t, row)])
         return ResultSet(columns=cols, rows=[(t, row)])
 
     # GROUP BY time(Ns): bucket on floor(time / N) * N.
@@ -312,7 +482,7 @@ def naive_execute(db, database: str, query: Query | str) -> ResultSet:
             if v is not None:
                 slot[i].append(v)
     out = [
-        (b, [_agg(q.aggregate, bucket) for bucket in buckets[b]])
+        (b, [_agg(q.aggregate, bucket, q.agg_arg) for bucket in buckets[b]])
         for b in sorted(buckets)
     ]
     if q.limit is not None:

@@ -29,6 +29,8 @@ import re
 from bisect import bisect_left, bisect_right
 from typing import Any
 
+from .sketch import value_key
+
 __all__ = ["MongoError", "Collection", "MongoDB"]
 
 
@@ -336,26 +338,25 @@ class Collection:
     def distinct(self, path: str, flt: dict | None = None) -> list[Any]:
         """Distinct resolved values among matching docs, first-seen order.
 
-        Hashable values dedup through a set (O(1) each); unhashable ones
-        (lists/dicts) fall back to list membership among themselves only —
-        the seed's O(n·k) scan over *every* prior value is gone.
+        Dedup is by the sketch module's canonical :func:`value_key`
+        encoding — one O(1) path for every value shape.  Unhashable
+        values (lists/dicts) no longer pay list membership, dicts dedup
+        regardless of insertion order, ``1``/``1.0`` and ``-0.0``/``0.0``
+        collapse exactly as ``==`` says they should, and the keying is
+        process-stable (no salted ``hash()``), so DISTINCT answers agree
+        with the Influx side's value-keyed DISTINCT.
         """
         flt = flt or {}
-        seen_hashable: set[Any] = set()
-        seen_unhashable: list[Any] = []
+        seen: set[bytes] = set()
         out: list[Any] = []
         for d in self._scan(flt):
             found, v = _resolve_path(d, path)
             if not found:
                 continue
-            try:
-                if v not in seen_hashable:
-                    seen_hashable.add(v)
-                    out.append(v)
-            except TypeError:
-                if v not in seen_unhashable:
-                    seen_unhashable.append(v)
-                    out.append(v)
+            k = value_key(v)
+            if k not in seen:
+                seen.add(k)
+                out.append(v)
         return out
 
     # ------------------------------------------------------------------

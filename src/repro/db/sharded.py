@@ -61,6 +61,7 @@ from .influx import (
     Point,
     fold_values,
 )
+from .sketch import HyperLogLog, SketchConfig, TDigest, stddev_of, value_key
 
 __all__ = ["HashRing", "ShardedInfluxDB", "series_key"]
 
@@ -144,6 +145,7 @@ class ShardedInfluxDB:
         rollup_tiers: tuple[float, ...] = DEFAULT_ROLLUP_TIERS,
         vnodes: int = 64,
         faults: NodeFaultSet | None = None,
+        sketch: SketchConfig | None = None,
     ) -> None:
         names = list(shard_names) if shard_names else [
             f"shard-{i}" for i in range(n_shards)
@@ -153,8 +155,9 @@ class ShardedInfluxDB:
         if len(set(names)) != len(names):
             raise InfluxError("shard names must be distinct")
         self._rollup_tiers = rollup_tiers
+        self._sketch = sketch
         self.shards: dict[str, InfluxDB] = {
-            n: InfluxDB(rollup_tiers) for n in names
+            n: InfluxDB(rollup_tiers, sketch=sketch) for n in names
         }
         self.ring = HashRing(names, vnodes=vnodes)
         #: Shard outages ride the cluster node-fault model, in virtual time.
@@ -215,6 +218,20 @@ class ShardedInfluxDB:
             for k, v in sh.rollup_plan.items():
                 out[k] = out.get(k, 0) + v
         return out
+
+    @property
+    def sketch_plan(self) -> dict[str, int]:
+        """Sketch-planner decision counters summed across shards."""
+        out: dict[str, int] = {}
+        for sh in self.shards.values():
+            for k, v in sh.sketch_plan.items():
+                out[k] = out.get(k, 0) + v
+        return out
+
+    @property
+    def sketch(self) -> SketchConfig:
+        """The (shared) sketch configuration of the shard engines."""
+        return next(iter(self.shards.values())).sketch
 
     def _require_shard(self, name: str) -> InfluxDB:
         try:
@@ -810,6 +827,334 @@ class ShardedInfluxDB:
         return cols, rows
 
     # ------------------------------------------------------------------
+    # Sketch-served analytics scatter-gather
+    # ------------------------------------------------------------------
+    # PERCENTILE ships per-shard t-digest partials and merges them as
+    # digests (true merge — the whole point of mergeable sketches), so the
+    # cross-shard answer carries the same rank-error bound as a single
+    # engine.  COUNT(DISTINCT) merges per-shard HLLs register-wise when
+    # every shard may serve approximately, else unions the value-keyed
+    # exact lists.  STDDEV and DISTINCT re-fold the interleaved scan —
+    # exact, and byte-identical to the unsharded engine.
+
+    def quantile_columns(
+        self,
+        db: str,
+        measurement: str,
+        pct: float,
+        columns: list[str] | None = None,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> tuple[list[str], float | None, list[float | None]]:
+        self._check_db(db)
+        names, partial = self._scatter_shards(db, measurement, tags)
+        self._note_partial(partial)
+        kw = dict(
+            tags=tags, t0=t0, t1=t1,
+            t0_exclusive=t0_exclusive, t1_exclusive=t1_exclusive,
+        )
+        shard_s: dict[str, float] = {}
+        if not names:
+            cols = list(columns) if columns is not None else []
+            self._record("quantile_columns", shard_s)
+            return cols, None, [None] * len(cols)
+        if len(names) == 1:
+            out = self._timed(
+                shard_s, names[0],
+                lambda: self.shards[names[0]].quantile_columns(
+                    db, measurement, pct, columns=columns, **kw
+                ),
+            )
+            self._record("quantile_columns", shard_s)
+            return out
+        per = [
+            (
+                n,
+                self._timed(
+                    shard_s, n,
+                    lambda n=n: self.shards[n].quantile_partials(
+                        db, measurement, columns=columns, **kw
+                    ),
+                ),
+            )
+            for n in names
+        ]
+        cols = self._union_columns([c for _, (c, _, _) in per], columns)
+        first_t = min(
+            (ft for _, (_, ft, _) in per if ft is not None), default=None
+        )
+        q = pct / 100.0
+        out: list[float | None] = []
+        for c in cols:
+            ds: list[TDigest] = []
+            for _, (shard_cols, _, digests) in per:
+                try:
+                    si = shard_cols.index(c)
+                except ValueError:
+                    continue
+                d = digests[si]
+                if d is not None:
+                    ds.append(d)
+            if not ds:
+                out.append(None)
+            elif len(ds) == 1:
+                out.append(ds[0].quantile(q))
+            else:
+                out.append(TDigest.merged(ds).quantile(q))
+        self._record("quantile_columns", shard_s)
+        return cols, first_t, out
+
+    def quantile_buckets(
+        self,
+        db: str,
+        measurement: str,
+        pct: float,
+        group_by_s: float,
+        columns: list[str] | None = None,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> tuple[list[str], list[tuple[float, list[float | None]]]]:
+        if group_by_s <= 0:
+            raise InfluxError("GROUP BY time() needs a positive bucket width")
+        self._check_db(db)
+        names, partial = self._scatter_shards(db, measurement, tags)
+        self._note_partial(partial)
+        kw = dict(
+            tags=tags, t0=t0, t1=t1,
+            t0_exclusive=t0_exclusive, t1_exclusive=t1_exclusive,
+        )
+        shard_s: dict[str, float] = {}
+        if not names:
+            self._record("quantile_buckets", shard_s)
+            return (list(columns) if columns is not None else []), []
+        if len(names) == 1:
+            out = self._timed(
+                shard_s, names[0],
+                lambda: self.shards[names[0]].quantile_buckets(
+                    db, measurement, pct, group_by_s, columns=columns, **kw
+                ),
+            )
+            self._record("quantile_buckets", shard_s)
+            return out
+        per = [
+            (
+                n,
+                self._timed(
+                    shard_s, n,
+                    lambda n=n: self.shards[n].quantile_bucket_partials(
+                        db, measurement, group_by_s, columns=columns, **kw
+                    ),
+                ),
+            )
+            for n in names
+        ]
+        cols = self._union_columns([c for _, (c, _) in per], columns)
+        buckets: dict[float, list[list[TDigest]]] = {}
+        for _, (shard_cols, bucket_rows) in per:
+            idx = [
+                shard_cols.index(c) if c in shard_cols else None for c in cols
+            ]
+            for b, digest_row in bucket_rows:
+                slot = buckets.get(b)
+                if slot is None:
+                    slot = buckets[b] = [[] for _ in cols]
+                for ci, i in enumerate(idx):
+                    if i is None:
+                        continue
+                    d = digest_row[i]
+                    if d is not None:
+                        slot[ci].append(d)
+        q = pct / 100.0
+        rows: list[tuple[float, list[float | None]]] = []
+        for b in sorted(buckets):
+            row: list[float | None] = []
+            for ds in buckets[b]:
+                if not ds:
+                    row.append(None)
+                elif len(ds) == 1:
+                    row.append(ds[0].quantile(q))
+                else:
+                    row.append(TDigest.merged(ds).quantile(q))
+            rows.append((b, row))
+        self._record("quantile_buckets", shard_s)
+        return cols, rows
+
+    def stddev_columns(
+        self,
+        db: str,
+        measurement: str,
+        columns: list[str] | None = None,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> tuple[list[str], float | None, list[float | None]]:
+        """Exact: single contributing shard delegates (rollup-partial
+        serving and all); multi-shard re-folds the interleaved keyed scan in
+        single-engine row order, so results stay byte-identical."""
+        self._check_db(db)
+        names, partial = self._scatter_shards(db, measurement, tags)
+        self._note_partial(partial)
+        kw = dict(
+            tags=tags, t0=t0, t1=t1,
+            t0_exclusive=t0_exclusive, t1_exclusive=t1_exclusive,
+        )
+        if not names:
+            cols = list(columns) if columns is not None else []
+            return cols, None, [None] * len(cols)
+        if len(names) == 1:
+            return self.shards[names[0]].stddev_columns(
+                db, measurement, columns=columns, **kw
+            )
+        cols, rows = self.scan_columns(
+            db, measurement, columns=columns, **kw
+        )
+        first_t = rows[0][0] if rows else None
+        out: list[float | None] = []
+        for i in range(len(cols)):
+            vals = [r[i] for _, r in rows if r[i] is not None]
+            out.append(stddev_of(vals))
+        return cols, first_t, out
+
+    def stddev_buckets(
+        self,
+        db: str,
+        measurement: str,
+        group_by_s: float,
+        columns: list[str] | None = None,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> tuple[list[str], list[tuple[float, list[float | None]]]]:
+        if group_by_s <= 0:
+            raise InfluxError("GROUP BY time() needs a positive bucket width")
+        self._check_db(db)
+        names, partial = self._scatter_shards(db, measurement, tags)
+        self._note_partial(partial)
+        kw = dict(
+            tags=tags, t0=t0, t1=t1,
+            t0_exclusive=t0_exclusive, t1_exclusive=t1_exclusive,
+        )
+        if not names:
+            return (list(columns) if columns is not None else []), []
+        if len(names) == 1:
+            return self.shards[names[0]].stddev_buckets(
+                db, measurement, group_by_s, columns=columns, **kw
+            )
+        cols, rows = self.scan_columns(db, measurement, columns=columns, **kw)
+        buckets: dict[float, list[list[float]]] = {}
+        for t, vals in rows:
+            b = (t // group_by_s) * group_by_s
+            slot = buckets.setdefault(b, [[] for _ in cols])
+            for i, v in enumerate(vals):
+                if v is not None:
+                    slot[i].append(v)
+        return cols, [
+            (b, [stddev_of(vs) for vs in buckets[b]]) for b in sorted(buckets)
+        ]
+
+    def distinct_values(
+        self,
+        db: str,
+        measurement: str,
+        column: str,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> list[tuple[float, float]]:
+        """Exact DISTINCT: per-shard value-keyed lists merged on the global
+        (time, seq) first-occurrence key."""
+        self._check_db(db)
+        names, partial = self._scatter_shards(db, measurement, tags)
+        self._note_partial(partial)
+        kw = dict(
+            tags=tags, t0=t0, t1=t1,
+            t0_exclusive=t0_exclusive, t1_exclusive=t1_exclusive,
+        )
+        if not names:
+            return []
+        if len(names) == 1:
+            return self.shards[names[0]].distinct_values(
+                db, measurement, column, **kw
+            )
+        best: dict[bytes, tuple[float, int, float]] = {}
+        for n in names:
+            for t, seq, v in self.shards[n].distinct_keyed(
+                db, measurement, column, **kw
+            ):
+                vk = value_key(v)
+                prev = best.get(vk)
+                if prev is None or (t, seq) < (prev[0], prev[1]):
+                    best[vk] = (t, seq, v)
+        return [(t, v) for t, _, v in sorted(best.values())]
+
+    def count_distinct(
+        self,
+        db: str,
+        measurement: str,
+        column: str,
+        tags: dict[str, str] | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        *,
+        t0_exclusive: bool = False,
+        t1_exclusive: bool = False,
+    ) -> tuple[float | None, float | None]:
+        """COUNT(DISTINCT): register-wise HLL merge when every contributing
+        shard may serve approximately, else an exact value-key union."""
+        self._check_db(db)
+        names, partial = self._scatter_shards(db, measurement, tags)
+        self._note_partial(partial)
+        kw = dict(
+            tags=tags, t0=t0, t1=t1,
+            t0_exclusive=t0_exclusive, t1_exclusive=t1_exclusive,
+        )
+        if not names:
+            return None, None
+        if len(names) == 1:
+            return self.shards[names[0]].count_distinct(
+                db, measurement, column, **kw
+            )
+        per = [
+            self.shards[n].distinct_partials(db, measurement, column, **kw)
+            for n in names
+        ]
+        first_t = min((ft for ft, _, _ in per if ft is not None), default=None)
+        cfg = self.sketch
+        hlls = [h for _, h, _ in per if h is not None]
+        # Approximate only when *every* shard could serve its slice and the
+        # merged register width stays within the configured bound.
+        if (
+            len(hlls) == len(per)
+            and hlls
+            and hlls[0].error_bound() <= cfg.hll_epsilon
+        ):
+            merged = HyperLogLog(hlls[0].p)
+            for h in hlls:
+                merged.merge_from(h)
+            return first_t, float(round(merged.count()))
+        keys: set[bytes] = set()
+        for _, _, exact in per:
+            keys.update(value_key(v) for _, _, v in exact)
+        return first_t, (float(len(keys)) if keys else None)
+
+    # ------------------------------------------------------------------
     # Series administration, retention, stats
     # ------------------------------------------------------------------
     def delete_series(
@@ -870,7 +1215,7 @@ class ShardedInfluxDB:
             name = f"shard-{i}"
         if name in self.shards:
             raise InfluxError(f"shard {name!r} already attached")
-        engine = engine or InfluxDB(self._rollup_tiers)
+        engine = engine or InfluxDB(self._rollup_tiers, sketch=self._sketch)
         for db, duration in self._databases.items():
             engine.create_database(db)
             if duration is not None:

@@ -1,0 +1,571 @@
+"""Mergeable sketches for write-path analytics: t-digest, HLL, reservoir.
+
+PR 5's rollup tiers maintain count/total/min/max/last incrementally, which
+serves MEAN/SUM/COUNT/MIN/MAX/LAST at O(tiers) cost — but percentiles and
+distinct counts still require a raw columnar scan on every read.  This
+module supplies the three mergeable summaries that close that gap (the
+online-ODA pattern of DCDB Wintermute):
+
+- :class:`TDigest` — quantile sketch (merging-digest variant).  Clusters
+  near the tails stay small (the ``4·n·q·(1−q)/δ`` size limit), so rank
+  error is tightest exactly where p95/p99 dashboards look.
+- :class:`HyperLogLog` — cardinality with ``1.04/√m`` standard error,
+  register-wise-max mergeable across shards and federation hosts.
+- :class:`ReservoirSample` — a bottom-k sample keyed by a stable hash of
+  each row's identity, so shard-split samples merge into exactly the
+  sample an unsharded store would keep.
+
+Everything here is pure python, deterministic (no entropy source — ties
+break on canonical byte encodings), and serializable to JSON-safe dicts,
+which is what lets SUPERDB ship sketches over a ``FederationLink`` and
+lets the sharded engine scatter-gather *summaries* instead of rows.
+
+:func:`value_key` is the canonical value encoding shared by every sketch
+(and by ``repro.db.mongo.distinct``): type-tagged, length-prefixed bytes
+with ``-0.0`` folded onto ``+0.0``, every NaN collapsed to one key, and
+dict entries ordered by encoded key — so logically equal values can never
+alias apart (or distinct values alias together) the way interpreter
+``hash()`` tricks allow.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import Any, Iterable
+
+__all__ = [
+    "SketchConfig",
+    "DEFAULT_SKETCH",
+    "TDigest",
+    "HyperLogLog",
+    "ReservoirSample",
+    "value_key",
+    "stable_hash64",
+    "float_hash64",
+    "nearest_rank",
+    "stddev_from_partials",
+]
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SketchConfig:
+    """Sketch parameters plus the serving-planner error contract.
+
+    ``epsilon`` is the *rank* error the planner promises for any
+    sketch-served quantile: a single digest at compression ``δ`` is bounded
+    by ``2/δ``; merging buckets costs at most one doubling (the merged
+    centroids re-compress once), so the planner serves iff
+    ``digest_bound · (2 if merged else 1) ≤ epsilon`` and at most
+    ``max_merge`` digests fold into one answer.  ``hll_epsilon`` bounds the
+    relative error of an HLL-served ``COUNT(DISTINCT …)`` the same way.
+    """
+
+    compression: int = 200
+    epsilon: float = 0.02
+    hll_p: int = 12
+    hll_epsilon: float = 0.025
+    max_merge: int = 64
+
+    def digest_bound(self, merged: bool = False) -> float:
+        b = 2.0 / self.compression
+        return 2.0 * b if merged else b
+
+
+DEFAULT_SKETCH = SketchConfig()
+
+
+# ----------------------------------------------------------------------
+# Canonical value keying
+# ----------------------------------------------------------------------
+_F_NAN = b"f\x7f\xf8\x00\x00\x00\x00\x00\x00"  # canonical NaN encoding
+
+
+def _encode(v: Any, out: bytearray) -> None:
+    if v is None:
+        out += b"z"
+    elif isinstance(v, bool):
+        out += b"b1" if v else b"b0"
+    elif isinstance(v, float) or isinstance(v, int):
+        f: float
+        if isinstance(v, int):
+            try:
+                f = float(v)
+            except OverflowError:
+                out += b"i" + str(v).encode()
+                out += b"\x00"
+                return
+            if int(f) != v:  # not exactly float-representable: exact key
+                out += b"i" + str(v).encode()
+                out += b"\x00"
+                return
+        else:
+            f = v
+        if f != f:
+            out += _F_NAN  # every NaN payload is the same value key
+        else:
+            if f == 0.0:
+                f = 0.0  # -0.0 and +0.0 are equal: one key
+            out += b"f" + struct.pack(">d", f)
+    elif isinstance(v, str):
+        b = v.encode("utf-8")
+        out += b"s" + struct.pack(">I", len(b)) + b
+    elif isinstance(v, (bytes, bytearray)):
+        out += b"y" + struct.pack(">I", len(v)) + bytes(v)
+    elif isinstance(v, (list, tuple)):
+        out += b"l" + struct.pack(">I", len(v))
+        for item in v:
+            _encode(item, out)
+    elif isinstance(v, dict):
+        entries = []
+        for k, val in v.items():
+            kb = bytearray()
+            _encode(k, kb)
+            vb = bytearray()
+            _encode(val, vb)
+            entries.append((bytes(kb), bytes(vb)))
+        entries.sort()  # insertion order must not leak into the key
+        out += b"d" + struct.pack(">I", len(entries))
+        for kb, vb in entries:
+            out += kb
+            out += vb
+    elif isinstance(v, (set, frozenset)):
+        elems = []
+        for item in v:
+            eb = bytearray()
+            _encode(item, eb)
+            elems.append(bytes(eb))
+        elems.sort()
+        out += b"S" + struct.pack(">I", len(elems))
+        for eb in elems:
+            out += eb
+    else:
+        b = repr(v).encode("utf-8", "backslashreplace")
+        out += b"r" + struct.pack(">I", len(b)) + b
+
+
+def value_key(v: Any) -> bytes:
+    """Canonical, prefix-free byte encoding of one (JSON-ish) value.
+
+    Equal values always produce equal keys — ``1 == 1.0``, ``-0.0 == 0.0``
+    and dicts regardless of insertion order — and unequal values never
+    collide by construction (type tags + length prefixes)."""
+    out = bytearray()
+    _encode(v, out)
+    return bytes(out)
+
+
+def stable_hash64(v: Any) -> int:
+    """64-bit blake2b of :func:`value_key` — stable across processes and
+    machines (unlike ``hash()``, which is salted for strings and
+    implementation-defined everywhere else)."""
+    return int.from_bytes(blake2b(value_key(v), digest_size=8).digest(), "big")
+
+
+def float_hash64(v: float) -> int:
+    """:func:`stable_hash64` fast path for float field values (the ingest
+    hot loop skips the generic encoder dispatch)."""
+    if v != v:
+        key = _F_NAN
+    else:
+        key = b"f" + struct.pack(">d", 0.0 if v == 0.0 else v)
+    return int.from_bytes(blake2b(key, digest_size=8).digest(), "big")
+
+
+# ----------------------------------------------------------------------
+# Exact reference folds shared by execute() and naive_execute()
+# ----------------------------------------------------------------------
+def nearest_rank(values: list[float], pct: float) -> float | None:
+    """Exact ``PERCENTILE(field, pct)`` reference: nearest-rank over the
+    sorted non-NaN values (Influx returns an actual stored value)."""
+    vals = sorted(v for v in values if v == v)
+    if not vals:
+        return None
+    idx = math.ceil((pct / 100.0) * len(vals)) - 1
+    if idx < 0:
+        idx = 0
+    elif idx >= len(vals):
+        idx = len(vals) - 1
+    return vals[idx]
+
+
+def stddev_from_partials(count: int, total: float, sumsq: float) -> float | None:
+    """Sample standard deviation from the (count, Σv, Σv²) fold state.
+
+    Both the pushdown path (rollup sumsq partials) and the naive reference
+    call this on partials folded in the *same* row order, so the two paths
+    stay bit-identical."""
+    if count < 2:
+        return None
+    var = (sumsq - (total * total) / count) / (count - 1)
+    if var != var:  # NaN poisoned the fold
+        return var
+    return math.sqrt(var) if var > 0.0 else 0.0
+
+
+def stddev_of(values: list[float]) -> float | None:
+    """Sample stddev of raw values, folded left-to-right exactly like the
+    rollup write path (``sum`` then ``Σv²`` in order) so exact scans and
+    rollup-served answers agree bit-for-bit."""
+    if not values:
+        return None
+    total = sum(values)
+    sq = 0.0
+    for v in values:
+        sq += v * v
+    return stddev_from_partials(len(values), total, sq)
+
+
+# ----------------------------------------------------------------------
+# t-digest
+# ----------------------------------------------------------------------
+class TDigest:
+    """Deterministic merging t-digest.
+
+    Values buffer unsorted (O(1) append — the write path's cost) and fold
+    into weight-limited centroids on compression, which runs when the
+    buffer reaches ``4·compression`` or a read arrives.  NaN never enters a
+    centroid; it sets ``has_nan`` so the serving planner can refuse the
+    digest the same way rollup MIN/MAX serving refuses NaN-poisoned tiers.
+    """
+
+    __slots__ = ("compression", "has_nan", "_means", "_weights", "_count",
+                 "_min", "_max", "_buf")
+
+    def __init__(self, compression: int = DEFAULT_SKETCH.compression) -> None:
+        if compression < 10:
+            raise ValueError("t-digest compression must be >= 10")
+        self.compression = int(compression)
+        self.has_nan = False
+        self._means: list[float] = []
+        self._weights: list[float] = []
+        self._count = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._buf: list[float] = []
+
+    # -- write side -----------------------------------------------------
+    def add(self, v: float) -> None:
+        if v != v:
+            self.has_nan = True
+            return
+        self._buf.append(v)
+        self._count += 1.0
+        if v < self._min:
+            self._min = v
+        if v > self._max:
+            self._max = v
+        if len(self._buf) >= 4 * self.compression:
+            self._compress()
+
+    def add_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    def merge_from(self, other: "TDigest") -> None:
+        """Fold ``other`` in.  Commutative up to identical results: both
+        orders sort the same (mean, weight) multiset before compressing."""
+        other_pairs = list(zip(other._means, other._weights))
+        other_pairs.extend((v, 1.0) for v in other._buf)
+        self._compress()
+        pairs = list(zip(self._means, self._weights))
+        pairs.extend(other_pairs)
+        self._count += other._count
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+        self.has_nan = self.has_nan or other.has_nan
+        self._means = [m for m, _ in pairs]
+        self._weights = [w for _, w in pairs]
+        self._buf = []
+        self._recluster()
+
+    @classmethod
+    def merged(cls, digests: Iterable["TDigest"],
+               compression: int | None = None) -> "TDigest":
+        digests = list(digests)
+        if compression is None:
+            compression = (digests[0].compression if digests
+                           else DEFAULT_SKETCH.compression)
+        out = cls(compression)
+        for d in digests:
+            out.merge_from(d)
+        return out
+
+    # -- compression ----------------------------------------------------
+    def _compress(self) -> None:
+        if not self._buf:
+            return
+        pairs = list(zip(self._means, self._weights))
+        pairs.extend((v, 1.0) for v in self._buf)
+        self._buf = []
+        self._means = [m for m, _ in pairs]
+        self._weights = [w for _, w in pairs]
+        self._recluster()
+
+    def _recluster(self) -> None:
+        """One deterministic merge pass over the sorted (mean, weight)
+        multiset, with the classic ``4·n·q·(1−q)/δ`` cluster-size limit."""
+        if not self._means:
+            return
+        pairs = sorted(zip(self._means, self._weights))
+        total = 0.0
+        for _, w in pairs:
+            total += w
+        delta = float(self.compression)
+        means: list[float] = []
+        weights: list[float] = []
+        cm, cw = pairs[0]
+        cum = 0.0  # total weight in already-sealed clusters
+        for m, w in pairs[1:]:
+            nw = cw + w
+            q = (cum + nw / 2.0) / total
+            limit = 4.0 * total * q * (1.0 - q) / delta
+            if nw <= limit or limit < 1.0 and nw <= 1.0:
+                cw = nw
+                cm += (w / cw) * (m - cm)
+            else:
+                means.append(cm)
+                weights.append(cw)
+                cum += cw
+                cm, cw = m, w
+        means.append(cm)
+        weights.append(cw)
+        self._means = means
+        self._weights = weights
+
+    # -- read side ------------------------------------------------------
+    @property
+    def count(self) -> float:
+        return self._count
+
+    @property
+    def centroid_count(self) -> int:
+        self._compress()
+        return len(self._means)
+
+    def quantile(self, q: float) -> float | None:
+        """Approximate value at quantile ``q`` (rank error ≤ 2/δ)."""
+        if self._count == 0:
+            return None
+        self._compress()
+        q = 0.0 if q < 0.0 else 1.0 if q > 1.0 else q
+        means, weights, n = self._means, self._weights, self._count
+        if len(means) == 1:
+            return means[0]
+        idx = q * n
+        if idx <= weights[0] / 2.0:
+            return self._min
+        cum = 0.0
+        prev_mid = 0.0
+        prev_val = self._min
+        for m, w in zip(means, weights):
+            mid = cum + w / 2.0
+            if idx <= mid:
+                span = mid - prev_mid
+                frac = (idx - prev_mid) / span if span > 0 else 0.0
+                # Clamp to the bracketing interval (means are sorted):
+                # prev + frac*(m - prev) cancels catastrophically when
+                # |prev| dwarfs |m| (prev=-1.0, m=-6e-89, frac=1 gives
+                # 0.0 — outside the data range entirely).
+                v = prev_val + frac * (m - prev_val)
+                return min(max(v, prev_val), m)
+            cum += w
+            prev_mid = mid
+            prev_val = m
+        span = n - prev_mid
+        frac = (idx - prev_mid) / span if span > 0 else 1.0
+        v = prev_val + frac * (self._max - prev_val)
+        return min(max(v, prev_val), self._max)
+
+    def rank_error_bound(self) -> float:
+        return 2.0 / self.compression
+
+    def memory_bytes(self) -> int:
+        """Arithmetic footprint estimate (object + centroid/buffer floats)."""
+        return 96 + 16 * len(self._means) + 8 * len(self._buf)
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        self._compress()
+        return {
+            "compression": self.compression,
+            "count": self._count,
+            "min": None if self._count == 0 else self._min,
+            "max": None if self._count == 0 else self._max,
+            "means": list(self._means),
+            "weights": list(self._weights),
+            "has_nan": self.has_nan,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "TDigest":
+        d = cls(doc["compression"])
+        d._means = [float(m) for m in doc["means"]]
+        d._weights = [float(w) for w in doc["weights"]]
+        d._count = float(doc["count"])
+        if doc.get("min") is not None:
+            d._min = float(doc["min"])
+        if doc.get("max") is not None:
+            d._max = float(doc["max"])
+        d.has_nan = bool(doc.get("has_nan", False))
+        return d
+
+
+# ----------------------------------------------------------------------
+# HyperLogLog
+# ----------------------------------------------------------------------
+def _hll_alpha(m: int) -> float:
+    if m == 16:
+        return 0.673
+    if m == 32:
+        return 0.697
+    if m == 64:
+        return 0.709
+    return 0.7213 / (1.0 + 1.079 / m)
+
+
+class HyperLogLog:
+    """Classic 64-bit HLL over :func:`stable_hash64` values.
+
+    ``2**p`` one-byte registers; merge is register-wise max, so shard and
+    federation merges estimate exactly the union.  ``trimmed`` marks that
+    values were *removed* from the backing store (retention, series drops)
+    — HLL cannot forget, so the planner must fall back to exact scans."""
+
+    __slots__ = ("p", "m", "registers", "trimmed")
+
+    def __init__(self, p: int = DEFAULT_SKETCH.hll_p) -> None:
+        if not 4 <= p <= 16:
+            raise ValueError("HLL precision p must be in [4, 16]")
+        self.p = p
+        self.m = 1 << p
+        self.registers = bytearray(self.m)
+        self.trimmed = False
+
+    def add(self, value: Any) -> None:
+        self.add_hash(stable_hash64(value))
+
+    def add_hash(self, h: int) -> None:
+        j = h >> (64 - self.p)
+        rest = h & ((1 << (64 - self.p)) - 1)
+        # rank = leading zeros of the remaining 64-p bits, plus one
+        rank = (64 - self.p) - rest.bit_length() + 1
+        if rank > self.registers[j]:
+            self.registers[j] = rank
+
+    def merge_from(self, other: "HyperLogLog") -> None:
+        if other.p != self.p:
+            raise ValueError("cannot merge HLLs of different precision")
+        regs, oregs = self.registers, other.registers
+        for i in range(self.m):
+            if oregs[i] > regs[i]:
+                regs[i] = oregs[i]
+        self.trimmed = self.trimmed or other.trimmed
+
+    def count(self) -> float:
+        m = self.m
+        zeros = 0
+        acc = 0.0
+        for r in self.registers:
+            if r == 0:
+                zeros += 1
+            acc += _POW2_NEG[r]
+        est = _hll_alpha(m) * m * m / acc
+        if est <= 2.5 * m and zeros:
+            return m * math.log(m / zeros)  # linear counting regime
+        return est
+
+    def error_bound(self) -> float:
+        """Relative standard error: ``1.04/√m``."""
+        return 1.04 / math.sqrt(self.m)
+
+    def memory_bytes(self) -> int:
+        return 64 + self.m
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "p": self.p,
+            "registers": bytes(self.registers).hex(),
+            "trimmed": self.trimmed,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "HyperLogLog":
+        h = cls(doc["p"])
+        regs = bytes.fromhex(doc["registers"])
+        if len(regs) != h.m:
+            raise ValueError("HLL register payload does not match precision")
+        h.registers = bytearray(regs)
+        h.trimmed = bool(doc.get("trimmed", False))
+        return h
+
+
+_POW2_NEG = tuple(2.0 ** -r for r in range(65))
+
+
+# ----------------------------------------------------------------------
+# Bottom-k reservoir
+# ----------------------------------------------------------------------
+class ReservoirSample:
+    """Deterministic bottom-k sample.
+
+    Each item's priority is the stable hash of its identity key (for
+    time-series rows: the ``(time, seq)`` pair), so any partition of the
+    stream — shards, federation hosts — keeps samples that merge into
+    exactly the k items the unsharded stream would have kept."""
+
+    __slots__ = ("k", "_items", "_seen")
+
+    def __init__(self, k: int = 64) -> None:
+        if k < 1:
+            raise ValueError("reservoir size must be >= 1")
+        self.k = k
+        self._items: list[tuple[int, float]] = []  # (priority, value)
+        self._seen = 0
+
+    def add(self, value: float, key: Any = None) -> None:
+        self._seen += 1
+        pri = stable_hash64((key, value) if key is not None else value)
+        self._items.append((pri, value))
+        if len(self._items) > 4 * self.k:
+            self._prune()
+
+    def merge_from(self, other: "ReservoirSample") -> None:
+        self._items.extend(other._items)
+        self._seen += other._seen
+        self._prune()
+
+    def _prune(self) -> None:
+        self._items.sort()
+        del self._items[self.k:]
+
+    @property
+    def seen(self) -> int:
+        return self._seen
+
+    def values(self) -> list[float]:
+        self._prune()
+        return [v for _, v in self._items]
+
+    def to_dict(self) -> dict[str, Any]:
+        self._prune()
+        return {
+            "k": self.k,
+            "seen": self._seen,
+            "items": [[p, v] for p, v in self._items],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "ReservoirSample":
+        r = cls(doc["k"])
+        r._seen = int(doc["seen"])
+        r._items = [(int(p), float(v)) for p, v in doc["items"]]
+        r._prune()
+        return r

@@ -143,6 +143,14 @@ def harvest(run: dict[str, Any]) -> set[str]:
         if n:
             pts.add(f"rollup-plan:{reason}")
 
+    # --- sketch serving planner --------------------------------------
+    # Keys are already ``served:<tier:g>`` / ``fallback:<why>`` /
+    # ``hll-served`` — tier-sketch serves, fallback disqualifications and
+    # merge-bound rejections each become one behaviour point.
+    for reason, n in run.get("sketch_plan", {}).items():
+        if n:
+            pts.add(f"sketch-plan:{reason}")
+
     # --- shards -------------------------------------------------------
     sh = run.get("shards", {})
     if sh:

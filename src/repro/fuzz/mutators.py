@@ -254,6 +254,26 @@ def toggle_rollup_stream(sc: Scenario, rng: np.random.Generator) -> Scenario | N
     return _guarded(sc, stream=stream)
 
 
+def toggle_percentile_stream(sc: Scenario, rng: np.random.Generator) -> Scenario | None:
+    """Flip the stream's downsampled twin into ``PERCENTILE`` queries (or
+    back to a scalar aggregate).  ``toggle_rollup_stream`` can land on
+    PERCENTILE by luck, but the sketch serving planner's frontier
+    (tier serves, merge-bound and error-bound fallbacks) sits behind the
+    *combination* of PERCENTILE with a specific percentile, so a
+    dedicated operator keeps the corpus exploring it."""
+    if sc.stream is None:
+        return None
+    if sc.stream.agg == "PERCENTILE":
+        agg = str(rng.choice([a for a in AGGS if a not in ("", "PERCENTILE")]))
+        stream = StreamSpec(**{**sc.stream.__dict__, "agg": agg})
+    else:
+        pct = float(rng.choice([50.0, 90.0, 95.0, 99.0]))
+        stream = StreamSpec(
+            **{**sc.stream.__dict__, "agg": "PERCENTILE", "agg_arg": pct}
+        )
+    return _guarded(sc, stream=stream)
+
+
 def make_durable(sc: Scenario, rng: np.random.Generator) -> Scenario | None:
     """Escalate into the deep end in one step: durable ingest plus a log
     fault.  ``toggle_mode`` + ``add_fault`` can get here in two lucky
@@ -305,6 +325,7 @@ MUTATORS: tuple[Mutator, ...] = (
     change_shards,
     reorder_queries,
     toggle_rollup_stream,
+    toggle_percentile_stream,
     make_durable,
     crash_consumer_mid_replay,
 )

@@ -170,7 +170,11 @@ def _serving_phase(
         twins = []
         for i, p in enumerate(panels):
             targets = [
-                dataclasses.replace(t, agg=stream.agg, group_by_s=stream.group_by_s)
+                dataclasses.replace(
+                    t, agg=stream.agg, group_by_s=stream.group_by_s,
+                    agg_arg=(stream.agg_arg if stream.agg == "PERCENTILE"
+                             else None),
+                )
                 for t in p.targets
             ]
             twins.append(Panel(id=900 + i, title=f"{p.title} [rollup]",
@@ -315,6 +319,7 @@ def _assemble_counters(
             "rejected_writes": daemon._write_influx.rejected_writes,
         },
         "rollup_plan": dict(getattr(daemon.influx, "rollup_plan", {})),
+        "sketch_plan": dict(getattr(daemon.influx, "sketch_plan", {})),
         "violations": list(violations),
     }
     target = next(iter(daemon.targets.values()), None)

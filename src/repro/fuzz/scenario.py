@@ -56,7 +56,7 @@ SERVICE_KINDS = ("outage", "partition", "latency", "flaky")
 LOG_KINDS = ("truncate", "consumer-crash")
 NODE_KINDS = ("crash", "hang", "flap")
 MODES = ("unbuffered", "buffered", "durable")
-AGGS = ("", "MEAN", "SUM", "MIN", "MAX", "COUNT")
+AGGS = ("", "MEAN", "SUM", "MIN", "MAX", "COUNT", "PERCENTILE")
 
 
 class ScenarioError(ValueError):
@@ -212,9 +212,12 @@ class StreamSpec:
     #: Sub-seed of the schedule rng; the reorder mutator perturbs this.
     order_seed: int = 0
     #: "" = raw panel targets; else every panel gains a downsampled twin
-    #: (``agg`` + ``group_by_s``) that exercises the rollup planner.
+    #: (``agg`` + ``group_by_s``) that exercises the rollup planner —
+    #: ``PERCENTILE`` additionally walks the sketch serving planner, with
+    #: ``agg_arg`` as its percentile.
     agg: str = ""
     group_by_s: float = 10.0
+    agg_arg: float = 95.0
     n_workers: int = 4
 
     def validate(self) -> None:
@@ -228,6 +231,8 @@ class StreamSpec:
             raise ScenarioError(f"unknown stream aggregate {self.agg!r}")
         if self.group_by_s <= 0:
             raise ScenarioError("group_by_s must be positive")
+        if not 0.0 <= self.agg_arg <= 100.0:
+            raise ScenarioError("agg_arg must be a percentile in [0, 100]")
         if not 1 <= self.n_workers <= 16:
             raise ScenarioError("executor slots must be in [1, 16]")
 

@@ -53,17 +53,27 @@ class ServiceCostModel:
 
     ``base_s`` is the per-request floor (parse, plan, render); each
     cache-hit target adds ``hit_s``; each missed target adds its scanned
-    points at ``per_point_s``.  Purely deterministic — the model is the
-    clock, exactly like the transport/apply cost models elsewhere in the
-    repo.
+    points at ``per_point_s``.  A missed target the engine answered from
+    rollup-tier sketches scanned no raw points at all — it costs the flat
+    ``sketch_s`` (a few merged digests, O(tiers)) instead of a per-point
+    term.  Purely deterministic — the model is the clock, exactly like
+    the transport/apply cost models elsewhere in the repo.
     """
 
     base_s: float = 0.002
     hit_s: float = 0.0005
     per_point_s: float = 5e-6
+    sketch_s: float = 0.0008
 
-    def service_s(self, hit_targets: int, missed_points: float) -> float:
-        return self.base_s + self.hit_s * hit_targets + self.per_point_s * missed_points
+    def service_s(
+        self, hit_targets: int, missed_points: float, sketch_targets: int = 0
+    ) -> float:
+        return (
+            self.base_s
+            + self.hit_s * hit_targets
+            + self.sketch_s * sketch_targets
+            + self.per_point_s * missed_points
+        )
 
 
 @dataclass

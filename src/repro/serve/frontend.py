@@ -168,14 +168,27 @@ class ServingFrontend:
         slo.admitted += 1
         return True
 
+    def _sketch_serves(self) -> int:
+        """Total sketch-served answers the engine has recorded so far."""
+        plan = getattr(self.grafana.influx, "sketch_plan", None)
+        if not plan:
+            return 0
+        return sum(
+            v for k, v in plan.items()
+            if k.startswith("served:") or k.startswith("stddev-served")
+            or k == "hll-served"
+        )
+
     def _execute(self, request: QueryRequest, t: float) -> tuple[Any, int, float]:
         """Resolve the panel through the tenant's cache partition and
         model the service time from what actually happened."""
         series: dict[str, tuple[list[float], list[float]]] = {}
         hit_targets = 0
         missed_points = 0
+        sketch_targets = 0
         total_points = 0
         for target in request.panel.targets:
+            serves_before = self._sketch_serves()
             times, values, hit = self.grafana.execute_target(
                 target, request.t0, request.t1, request.tag, tenant=request.tenant
             )
@@ -184,13 +197,20 @@ class ServingFrontend:
             total_points += len(times)
             if hit:
                 hit_targets += 1
+            elif self._sketch_serves() > serves_before:
+                # The engine answered from tier sketches: no raw points
+                # were scanned, so the per-point term would overcharge.
+                sketch_targets += 1
             else:
                 missed_points += len(times)
         slo = self.board.for_tenant(request.tenant)
         slo.cache_hit_targets += hit_targets
         slo.cache_miss_targets += len(request.panel.targets) - hit_targets
         slo.points_scanned += missed_points
-        service_s = self.cost_model.service_s(hit_targets, missed_points)
+        slo.sketch_served_targets += sketch_targets
+        service_s = self.cost_model.service_s(
+            hit_targets, missed_points, sketch_targets
+        )
         return series, total_points, service_s
 
     def _complete(

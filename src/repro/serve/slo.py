@@ -52,6 +52,7 @@ class TenantSLO:
         self.cache_hit_targets = 0
         self.cache_miss_targets = 0
         self.points_scanned = 0
+        self.sketch_served_targets = 0
         self.max_queue_depth = 0
         #: priority name ("live"/"backfill") → virtual-second latencies.
         self.latencies: dict[str, list[float]] = defaultdict(list)
@@ -86,6 +87,7 @@ class TenantSLO:
             "cache_hit_targets": self.cache_hit_targets,
             "cache_miss_targets": self.cache_miss_targets,
             "points_scanned": self.points_scanned,
+            "sketch_served_targets": self.sketch_served_targets,
             "max_queue_depth": self.max_queue_depth,
             "latency": {
                 "all": _latency_summary(all_samples),

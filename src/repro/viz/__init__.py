@@ -2,6 +2,7 @@
 dashboard generation from KB views (Fig 2), a Grafana-like server, and
 text/SVG renderers."""
 
+from .continuous import ContinuousQuery, ContinuousQueryRegistrar
 from .dashboard import Dashboard, DashboardError, Panel, Target
 from .generator import generate_dashboard
 from .grafana import GrafanaServer
@@ -10,6 +11,8 @@ from .svg import PALETTE, SvgCanvas
 
 __all__ = [
     "PALETTE",
+    "ContinuousQuery",
+    "ContinuousQueryRegistrar",
     "Dashboard",
     "DashboardError",
     "GrafanaServer",

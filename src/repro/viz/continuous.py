@@ -1,0 +1,181 @@
+"""Continuous queries: incrementally materialized dashboard targets.
+
+Real InfluxDB lets operators register ``CONTINUOUS QUERY`` statements that
+downsample on a schedule so dashboards read precomputed rows instead of
+rescanning raw points.  :class:`ContinuousQueryRegistrar` plays that role
+for :class:`~repro.viz.grafana.GrafanaServer`: a registered target (its
+``agg``/``agg_arg``/``group_by_s`` describe e.g. ``PERCENTILE("lat", 99)
+... GROUP BY time(60s)``) is re-executed only over the buckets that closed
+since the last refresh, and the results accumulate in a materialized
+series the server can chart without touching the engine.
+
+Cost model: each refresh issues one InfluxQL statement scoped to the new
+buckets.  When the target is a ``PERCENTILE`` over a rollup-tier-aligned
+``GROUP BY time`` window, the engine answers each bucket from its tier
+t-digests — O(tiers) work per bucket, independent of how many raw points
+landed in it — so steady-state materialization cost tracks wall-clock
+time, not ingest volume.
+
+Late data: writes landing behind the watermark would silently miss the
+materialized rows, so each refresh re-executes the trailing
+``replay_buckets`` already-closed buckets and replaces their rows; data
+arriving later than that is visible only via :meth:`backfill`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.db.influxql import execute
+
+from .dashboard import DashboardError, Target
+from .grafana import GrafanaServer
+
+__all__ = ["ContinuousQuery", "ContinuousQueryRegistrar"]
+
+
+@dataclass
+class ContinuousQuery:
+    """One registered materialization (name + target + progress state)."""
+
+    name: str
+    target: Target
+    start_t: float
+    replay_buckets: int
+    #: Exclusive upper bound of materialized time: every bucket whose key
+    #: is < watermark has been executed at least once.
+    watermark: float = 0.0
+    #: bucket key -> value (None = bucket executed, field absent/NaN-free
+    #: rows empty); insertion is keyed so replayed buckets replace in place.
+    rows: dict[float, float | None] = field(default_factory=dict)
+    refreshes: int = 0
+    buckets_materialized: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.target.agg:
+            raise DashboardError(f"continuous query {self.name!r} needs an agg")
+        if self.target.group_by_s <= 0:
+            raise DashboardError(
+                f"continuous query {self.name!r} needs GROUP BY time "
+                "(group_by_s > 0)"
+            )
+        if self.replay_buckets < 0:
+            raise DashboardError("replay_buckets must be >= 0")
+        self.watermark = self.start_t
+
+
+class ContinuousQueryRegistrar:
+    """Registry + refresh loop for materialized dashboard targets."""
+
+    def __init__(self, server: GrafanaServer) -> None:
+        self.server = server
+        self._queries: dict[str, ContinuousQuery] = {}
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        target: Target,
+        start_t: float = 0.0,
+        replay_buckets: int = 1,
+    ) -> ContinuousQuery:
+        """Install (or replace) a continuous query; materialization starts
+        empty and advances on :meth:`refresh`."""
+        if target.group_by_s <= 0:
+            raise DashboardError(
+                f"continuous query {name!r} needs GROUP BY time "
+                "(group_by_s > 0)"
+            )
+        cq = ContinuousQuery(
+            name=name,
+            target=target,
+            start_t=(start_t // target.group_by_s) * target.group_by_s,
+            replay_buckets=replay_buckets,
+        )
+        self._queries[name] = cq
+        return cq
+
+    def unregister(self, name: str) -> None:
+        self._queries.pop(name, None)
+
+    def names(self) -> list[str]:
+        return sorted(self._queries)
+
+    def get(self, name: str) -> ContinuousQuery:
+        try:
+            return self._queries[name]
+        except KeyError:
+            raise DashboardError(f"no continuous query {name!r}") from None
+
+    # ------------------------------------------------------------------
+    def _execute_window(self, cq: ContinuousQuery, lo: float, hi: float) -> int:
+        """Materialize buckets with lo <= key < hi; returns buckets written.
+
+        ``time <= hi - 1ulp`` is approximated by querying up to the last
+        closed bucket's end minus nothing — the engine keys buckets at
+        ``(t // g) * g``, so restricting to keys < hi after execution is
+        exact regardless of the range's right edge.
+        """
+        if hi <= lo:
+            return 0
+        statement = self.server.target_statement(cq.target, t0=lo, t1=hi)
+        rs = execute(self.server.influx, self.server.database, statement)
+        written = 0
+        for t, row in rs.rows:
+            if lo <= t < hi:
+                cq.rows[t] = row[0]
+                written += 1
+        # Buckets with no rows at all stay absent (a gap, not a zero) —
+        # matching what a direct panel query over the same range returns.
+        return written
+
+    def refresh(self, now: float, name: str | None = None) -> dict[str, int]:
+        """Advance materialization to every bucket fully closed at ``now``.
+
+        Returns {cq name: buckets written this refresh}.  Only closed
+        buckets are executed — a half-open bucket would materialize a
+        value that still changes under ingest.
+        """
+        out: dict[str, int] = {}
+        queries = [self.get(name)] if name is not None else list(self._queries.values())
+        for cq in queries:
+            g = cq.target.group_by_s
+            horizon = (now // g) * g  # first still-open bucket's key
+            lo = max(cq.start_t, cq.watermark - cq.replay_buckets * g)
+            written = self._execute_window(cq, lo, horizon)
+            cq.watermark = max(cq.watermark, horizon)
+            cq.refreshes += 1
+            cq.buckets_materialized += written
+            out[cq.name] = written
+        return out
+
+    def backfill(self, name: str) -> int:
+        """Re-execute a query's whole materialized range (late-data repair
+        beyond the replay window); returns buckets written."""
+        cq = self.get(name)
+        return self._execute_window(cq, cq.start_t, cq.watermark)
+
+    # ------------------------------------------------------------------
+    def series(self, name: str) -> tuple[list[float], list[float]]:
+        """The materialized (times, values) — what a panel charts."""
+        cq = self.get(name)
+        times, values = [], []
+        for t in sorted(cq.rows):
+            v = cq.rows[t]
+            if v is not None:
+                times.append(t)
+                values.append(v)
+        return times, values
+
+    def stats(self) -> dict[str, dict[str, Any]]:
+        return {
+            name: {
+                "watermark": cq.watermark,
+                "buckets": len(cq.rows),
+                "refreshes": cq.refreshes,
+                "buckets_materialized": cq.buckets_materialized,
+                "statement": self.server.target_statement(cq.target),
+            }
+            for name, cq in sorted(self._queries.items())
+        }

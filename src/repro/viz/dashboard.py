@@ -33,7 +33,9 @@ class Target:
     ``group_by_s`` opt a target into a downsampled view (``AGG("field")
     ... GROUP BY time(Ns)``) served from the engine's rollup tiers; both
     default off and are omitted from the JSON, so legacy documents stay
-    byte-identical.
+    byte-identical.  ``agg_arg`` carries a parameterized aggregate's
+    argument — today the N of ``PERCENTILE("field", N)``, served from the
+    rollup tiers' t-digests.
     """
 
     measurement: str
@@ -42,14 +44,22 @@ class Target:
     datasource_type: str = "influxdb"
     tag: str = ""
     alias: str = ""  # legend label override
-    agg: str = ""  # "" = raw select; else MEAN/MAX/MIN/SUM/COUNT/LAST
+    agg: str = ""  # "" = raw select; else MEAN/MAX/MIN/SUM/COUNT/...
     group_by_s: float = 0.0  # 0 = no GROUP BY time()
+    agg_arg: float | None = None  # PERCENTILE(field, N)'s N
 
     def __post_init__(self) -> None:
         if not self.measurement:
             raise DashboardError("target needs a measurement")
         if self.group_by_s < 0:
             raise DashboardError("group_by_s must be >= 0")
+        if self.agg_arg is not None and not self.agg:
+            raise DashboardError("agg_arg needs an agg")
+        if self.agg.upper() == "PERCENTILE":
+            if self.agg_arg is None:
+                raise DashboardError("PERCENTILE needs agg_arg (the percentile)")
+            if not 0.0 <= self.agg_arg <= 100.0:
+                raise DashboardError("PERCENTILE agg_arg must be in [0, 100]")
 
     def to_json(self) -> dict[str, Any]:
         doc = {
@@ -65,6 +75,8 @@ class Target:
             doc["agg"] = self.agg
         if self.group_by_s:
             doc["groupBySeconds"] = self.group_by_s
+        if self.agg_arg is not None:
+            doc["aggArg"] = self.agg_arg
         return doc
 
     @classmethod
@@ -80,6 +92,7 @@ class Target:
                 alias=doc.get("alias", ""),
                 agg=doc.get("agg", ""),
                 group_by_s=float(doc.get("groupBySeconds", 0.0)),
+                agg_arg=(float(doc["aggArg"]) if "aggArg" in doc else None),
             )
         except KeyError as e:
             raise DashboardError(f"target missing {e}") from None

@@ -133,7 +133,10 @@ class GrafanaServer:
         clause = (" WHERE " + " AND ".join(where)) if where else ""
         sel = f'"{target.params}"'
         if target.agg:
-            sel = f'{target.agg}({sel})'
+            if target.agg_arg is not None:
+                sel = f'{target.agg}({sel}, {target.agg_arg:g})'
+            else:
+                sel = f'{target.agg}({sel})'
         if target.group_by_s:
             clause += f" GROUP BY time({target.group_by_s}s)"
         return f'SELECT {sel} FROM "{target.measurement}"{clause}'

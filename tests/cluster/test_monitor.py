@@ -113,3 +113,40 @@ class TestFleetViews:
         uid = mon.fleet_dashboard(kind="thread", metric="kernel.percpu.cpu.idle")
         dash = mon.daemon.grafana.get(uid)
         assert sum(len(p.targets) for p in dash.panels) == 16 * 3
+
+
+class TestFleetSketchHealth:
+    def test_nodes_that_sampled_get_latency_quantiles(self, monitored):
+        cluster, mon, _job, execution, _stats = monitored
+        health = mon.fleet_health()
+        for node in execution.nodes:
+            doc = health["nodes"][node]
+            assert doc["sample_latency_p95"] is not None
+            assert doc["sample_latency_p99"] >= doc["sample_latency_p95"]
+
+    def test_idle_nodes_have_no_latency(self, monitored):
+        cluster, mon, _job, execution, _stats = monitored
+        health = mon.fleet_health()
+        idle = set(cluster.node_names) - set(execution.nodes)
+        for node in idle:
+            assert health["nodes"][node]["sample_latency_p95"] is None
+
+    def test_active_series_estimated_from_hlls(self, monitored):
+        cluster, mon, *_ = monitored
+        health = mon.fleet_health()
+        est = health["active_series_estimate"]
+        by_meas = health["active_series_by_measurement"]
+        assert est == sum(by_meas.values()) > 0
+        # The HLL estimate tracks the true per-measurement series count.
+        influx, db = mon.daemon.influx, mon.daemon.database
+        for meas, guess in by_meas.items():
+            true = influx.series_count(db, meas)
+            assert abs(guess - true) <= max(2.0, 0.1 * true), meas
+
+    def test_record_sample_latency_feeds_digest(self, monitored):
+        _cluster, mon, *_ = monitored
+        for ms in (1.0, 2.0, 3.0, 100.0):
+            mon.record_sample_latency("synthetic-node", ms)
+        # p95/p99 land in the digest's recorded range.
+        d = mon._latency["synthetic-node"]
+        assert 1.0 <= d.quantile(0.95) <= 100.0

@@ -185,3 +185,34 @@ class TestMongoDB:
         m.collection("dt", "kb").insert_one({"a": 1})
         m.drop_database("dt")
         assert m.databases() == []
+
+
+class TestDistinctValueKeying:
+    """Regression: distinct() dedups by the canonical value_key encoding,
+    not interpreter hash()/== quirks split across two seen-structures."""
+
+    def test_dict_insertion_order_dedups(self):
+        col = MongoDB().collection("dt", "kb")
+        col.insert_one({"cfg": {"a": 1, "b": 2}})
+        col.insert_one({"cfg": {"b": 2, "a": 1}})
+        assert col.distinct("cfg") == [{"a": 1, "b": 2}]
+
+    def test_negative_zero_collapses(self):
+        col = MongoDB().collection("dt", "kb")
+        col.insert_one({"v": 0.0})
+        col.insert_one({"v": -0.0})
+        out = col.distinct("v")
+        assert len(out) == 1
+        assert str(out[0]) == "0.0"  # first-seen wins
+
+    def test_unhashable_values_dedup_in_constant_time(self):
+        col = MongoDB().collection("dt", "kb")
+        for i in range(200):
+            col.insert_one({"tags": [i % 5, "x"]})
+        assert col.distinct("tags") == [[i, "x"] for i in range(5)]
+
+    def test_mixed_hashable_and_unhashable_first_seen_order(self):
+        col = MongoDB().collection("dt", "kb")
+        for v in (3, [1], "s", [1], 3.0, {"k": 1}, {"k": 1}):
+            col.insert_one({"v": v})
+        assert col.distinct("v") == [3, [1], "s", {"k": 1}]

@@ -166,13 +166,15 @@ class TestDistinctFix:
             c.insert_one({"v": v})
         assert c.distinct("v") == [3, "a", [1, 2], {"k": 1}, 2.0, True, {"k": 2}]
 
-    def test_numeric_cross_type_dedup_matches_seed_semantics(self):
-        """1, 1.0 and True are mutually equal in Python — the hash-based
-        dedup must collapse them exactly like the seed's `v not in seen`."""
+    def test_numeric_cross_type_dedup_uses_value_key_typing(self):
+        """1 and 1.0 collapse (one numeric value), but booleans are their
+        own type bracket under `value_key` — like real MongoDB, and unlike
+        the seed's Python-equality `v not in seen`, which conflated
+        True with 1."""
         c = Collection("c")
         for v in [1, 1.0, True, 0, False, 0.0]:
             c.insert_one({"v": v})
-        assert c.distinct("v") == [1, 0]
+        assert c.distinct("v") == [1, True, 0, False]
 
     def test_large_distinct_is_fast(self):
         """10k docs over 5 distinct values: the seed's O(n·k) was fine, but

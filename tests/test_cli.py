@@ -59,6 +59,18 @@ class TestCommands:
         assert "sampled" in out
         assert "kernel_all_load" in out
 
+    def test_sketch_stats(self, capsys):
+        code, out, _ = run(capsys, "sketch", "icl", "--duration", "4",
+                           "--freq", "2")
+        assert code == 0
+        assert "sketch state on icl" in out
+        assert "kernel_all_load" in out
+        assert "total sketch memory" in out
+        # Per-measurement rows carry non-trivial digest state.
+        row = next(line for line in out.splitlines()
+                   if line.startswith("kernel_all_load"))
+        assert int(row.split()[3]) > 0  # digest buckets materialized
+
     def test_monitor_buffered(self, capsys):
         code, out, _ = run(capsys, "monitor", "icl", "--duration", "4",
                            "--freq", "2", "--buffered")

@@ -1,0 +1,126 @@
+"""Continuous-query registrar: incremental PERCENTILE materialization."""
+
+import random
+
+import pytest
+
+from repro.db.influx import InfluxDB, Point
+from repro.viz import (
+    ContinuousQueryRegistrar,
+    Dashboard,
+    DashboardError,
+    GrafanaServer,
+    Panel,
+    Target,
+)
+
+
+def seeded_server(n=600, g=60.0):
+    db = InfluxDB(rollup_tiers=(10.0, 60.0))
+    db.create_database("pmove")
+    rnd = random.Random(7)
+    pts = [Point("m", {"tag": "j1"}, {"lat": rnd.gauss(10, 3)}, float(i))
+           for i in range(n)]
+    db.write_many("pmove", pts)
+    srv = GrafanaServer(db)
+    tgt = Target(measurement="m", params="lat", agg="PERCENTILE",
+                 agg_arg=99.0, group_by_s=g, tag="j1")
+    return db, srv, tgt
+
+
+class TestTargetAggArg:
+    def test_statement_carries_the_percentile(self):
+        _, srv, tgt = seeded_server()
+        stmt = srv.target_statement(tgt)
+        assert 'PERCENTILE("lat", 99)' in stmt
+        assert "GROUP BY time(60.0s)" in stmt
+
+    def test_json_roundtrip(self):
+        _, _, tgt = seeded_server()
+        d = Dashboard(id=1, title="t", panels=[Panel(id=1, title="p", targets=[tgt])])
+        back = Dashboard.loads(d.dumps())
+        assert back.panels[0].targets[0].agg_arg == 99.0
+
+    def test_legacy_targets_stay_byte_identical(self):
+        plain = Target(measurement="m", params="lat")
+        assert "aggArg" not in plain.to_json()
+
+    def test_percentile_without_arg_rejected(self):
+        with pytest.raises(DashboardError):
+            Target(measurement="m", params="lat", agg="PERCENTILE")
+        with pytest.raises(DashboardError):
+            Target(measurement="m", params="lat", agg="PERCENTILE",
+                   agg_arg=150.0)
+
+
+class TestRegistrar:
+    def test_refresh_materializes_only_closed_buckets(self):
+        db, srv, tgt = seeded_server()
+        reg = ContinuousQueryRegistrar(srv)
+        reg.register("p99", tgt)
+        assert reg.refresh(300.0) == {"p99": 5}
+        times, _ = reg.series("p99")
+        assert times == [0.0, 60.0, 120.0, 180.0, 240.0]
+
+    def test_incremental_advance_serves_from_sketches(self):
+        db, srv, tgt = seeded_server()
+        reg = ContinuousQueryRegistrar(srv)
+        reg.register("p99", tgt)
+        reg.refresh(300.0)
+        before = dict(db.sketch_plan)
+        reg.refresh(600.0)
+        times, values = reg.series("p99")
+        assert times == [60.0 * k for k in range(10)]
+        assert all(v == v for v in values)
+        # Both refreshes answered from tier digests, O(tiers) per bucket.
+        assert sum(v for k, v in db.sketch_plan.items()
+                   if k.startswith("served:")) > sum(
+            v for k, v in before.items() if k.startswith("served:"))
+
+    def test_replay_window_repairs_late_data(self):
+        db, srv, tgt = seeded_server()
+        reg = ContinuousQueryRegistrar(srv)
+        reg.register("p99", tgt, replay_buckets=1)
+        reg.refresh(120.0)
+        _, before = reg.series("p99")
+        # Late write into the *last* closed bucket: replayed next refresh.
+        db.write_many("pmove", [
+            Point("m", {"tag": "j1"}, {"lat": 10_000.0}, 110.0)
+        ])
+        reg.refresh(180.0)
+        _, after = reg.series("p99")
+        # Sketch-served p99 interpolates toward the new outlier; the
+        # contract is that the replayed bucket *moved*, way up.
+        assert after[1] > max(before) * 100
+
+    def test_backfill_recomputes_whole_range(self):
+        db, srv, tgt = seeded_server()
+        reg = ContinuousQueryRegistrar(srv)
+        reg.register("p99", tgt)
+        reg.refresh(600.0)
+        db.write_many("pmove", [
+            Point("m", {"tag": "j1"}, {"lat": 99_999.0}, 5.0)
+        ])
+        assert reg.backfill("p99") == 10
+        _, values = reg.series("p99")
+        assert values[0] > 10_000.0  # bucket 0 now reflects the outlier
+
+    def test_needs_agg_and_group_by(self):
+        _, srv, _ = seeded_server()
+        reg = ContinuousQueryRegistrar(srv)
+        with pytest.raises(DashboardError):
+            reg.register("raw", Target(measurement="m", params="lat"))
+        with pytest.raises(DashboardError):
+            reg.register("nogroup", Target(measurement="m", params="lat",
+                                           agg="MEAN"))
+
+    def test_stats_and_names(self):
+        _, srv, tgt = seeded_server()
+        reg = ContinuousQueryRegistrar(srv)
+        reg.register("p99", tgt)
+        reg.refresh(120.0)
+        st = reg.stats()["p99"]
+        assert st["watermark"] == 120.0
+        assert st["refreshes"] == 1
+        assert "PERCENTILE" in st["statement"]
+        assert reg.names() == ["p99"]
